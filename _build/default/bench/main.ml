@@ -1,0 +1,105 @@
+(* Benchmark harness: regenerates every figure of the paper (FIG1, FIG2)
+   and the quantitative experiments its prose asserts (E3-E7, see
+   DESIGN.md), then times the analysis itself with Bechamel (E8: the
+   cost-vs-granularity and cost-vs-size trade-off of Section 3). *)
+
+open Tdfa_regalloc
+open Tdfa_core
+open Tdfa_workload
+open Tdfa_harness
+
+(* ------------------------------------------------------------------ *)
+(* E8: Bechamel micro-benchmarks of the analysis                        *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_bench ~granularity func =
+  let alloc =
+    Alloc.allocate func Common.standard_layout ~policy:Policy.First_fit
+  in
+  fun () ->
+    ignore
+      (Setup.run_post_ra ~granularity ~layout:Common.standard_layout
+         alloc.Alloc.func alloc.Alloc.assignment)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let granularity_tests =
+    List.map
+      (fun g ->
+        Test.make
+          ~name:(Printf.sprintf "analysis matmul g=%d" g)
+          (Staged.stage (analysis_bench ~granularity:g (Kernels.matmul ()))))
+      [ 1; 2; 4; 8 ]
+  in
+  let size_tests =
+    List.map
+      (fun live ->
+        let func = Kernels.high_pressure ~live () in
+        Test.make
+          ~name:
+            (Printf.sprintf "analysis size=%d instrs"
+               (Tdfa_ir.Func.instr_count func))
+          (Staged.stage (analysis_bench ~granularity:1 func)))
+      [ 8; 16; 32; 56 ]
+  in
+  let solver_test =
+    Test.make ~name:"liveness matmul"
+      (Staged.stage (fun () ->
+           ignore (Tdfa_dataflow.Liveness.analyze (Kernels.matmul ()))))
+  in
+  let alloc_test =
+    Test.make ~name:"regalloc matmul first-fit"
+      (Staged.stage (fun () ->
+           ignore
+             (Alloc.allocate (Kernels.matmul ()) Common.standard_layout
+                ~policy:Policy.First_fit)))
+  in
+  Test.make_grouped ~name:"tdfa"
+    (granularity_tests @ size_tests @ [ solver_test; alloc_test ])
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\n==== E8 - analysis cost (Bechamel, monotonic clock) ====\n\n";
+  let table =
+    Tdfa_report.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, ols) ->
+          let estimate =
+            match Analyze.OLS.estimates ols with
+            | Some (e :: _) -> Printf.sprintf "%.0f ns" e
+            | Some [] | None -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "n/a"
+          in
+          Tdfa_report.Table.add_row table [ name; estimate; r2 ])
+        rows)
+    results;
+  Tdfa_report.Table.print table
+
+let () =
+  Printf.printf "Thermal-Aware Data Flow Analysis - experiment suite\n";
+  Printf.printf "(paper: Ayala, Atienza, Brisk - DAC 2009; see DESIGN.md)\n";
+  Experiments.run_all ();
+  run_bechamel ()

@@ -1,0 +1,338 @@
+(* Command-line front end: analyze / simulate / policies / optimize /
+   show / list-kernels over the built-in kernels or a textual IR file. *)
+
+open Cmdliner
+open Tdfa_ir
+open Tdfa_thermal
+open Tdfa_regalloc
+open Tdfa_core
+open Tdfa_workload
+open Tdfa_harness
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let load_func ~kernel ~file =
+  match (kernel, file) with
+  | Some name, None -> (
+    match Kernels.find name with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %s (try list-kernels)" name))
+  | None, Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | source ->
+      if Filename.check_suffix path ".tc" then (
+        (* TC source: run the front end. *)
+        match Tdfa_lang.Front.compile_func_string source with
+        | f -> Ok f
+        | exception Tdfa_lang.Front.Error msg -> Error ("tc error: " ^ msg))
+      else (
+        match Parser.parse_func source with
+        | f -> Ok f
+        | exception Parser.Error msg -> Error ("parse error: " ^ msg))
+    | exception Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "--kernel and --file are mutually exclusive"
+  | None, None -> Error "one of --kernel or --file is required"
+
+let kernel_arg =
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME"
+         ~doc:"Built-in kernel to operate on (see $(b,list-kernels)).")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:
+           "File to operate on: textual IR, or TC source when the name \
+            ends in .tc.")
+
+let policy_conv =
+  let parse s =
+    match s with
+    | "first-fit" -> Ok Policy.First_fit
+    | "round-robin" -> Ok Policy.Round_robin
+    | "random" -> Ok (Policy.Random 42)
+    | "chessboard" -> Ok Policy.Chessboard
+    | "thermal-spread" -> Ok Policy.Thermal_spread
+    | "bank-pack" -> Ok (Policy.Bank_pack 4)
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
+  in
+  let print ppf p = Format.pp_print_string ppf (Policy.name p) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(value & opt policy_conv Policy.First_fit
+       & info [ "p"; "policy" ] ~docv:"POLICY"
+           ~doc:
+             "Register assignment policy: first-fit, round-robin, random, \
+              chessboard, thermal-spread or bank-pack.")
+
+let granularity_arg =
+  Arg.(value & opt int 1 & info [ "g"; "granularity" ] ~docv:"G"
+         ~doc:"Thermal-state granularity (cells per point edge).")
+
+let delta_arg =
+  Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~docv:"K"
+         ~doc:"Convergence threshold of the analysis, in kelvin.")
+
+let with_func kernel file k =
+  match load_func ~kernel ~file with
+  | Ok f -> k f
+  | Error msg ->
+    Printf.eprintf "tdfa: %s\n" msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let list_kernels () =
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "%-14s %4d instrs  %2d blocks\n" name (Func.instr_count f)
+        (List.length f.Func.blocks))
+    Kernels.all
+
+let show kernel file =
+  with_func kernel file (fun f -> print_endline (Printer.func_to_string f))
+
+let simulate kernel file policy =
+  with_func kernel file (fun f ->
+      let name = f.Func.name in
+      let run = Common.run_policy ~name f policy in
+      Printf.printf "kernel %s, policy %s: %d cycles, pressure %d, %d spills\n\n"
+        name (Policy.name policy) run.Common.cycles
+        run.Common.alloc.Alloc.max_pressure
+        (Tdfa_ir.Var.Set.cardinal run.Common.alloc.Alloc.spilled);
+      print_string (Heatmap.render Common.standard_layout run.Common.measured);
+      Format.printf "@\n%a@\n" Metrics.pp_summary run.Common.metrics)
+
+let analyze kernel file policy granularity delta pre_ra =
+  with_func kernel file (fun f ->
+      let name = f.Func.name in
+      let settings =
+        { Analysis.default_settings with Analysis.delta_k = delta }
+      in
+      (* Pre-RA: predictive placement on the original function (§4's
+         ambitious mode). Post-RA: allocate first, exact registers. *)
+      let func, assignment, mode =
+        if pre_ra then
+          (f, Placement.predict f Common.standard_layout, "pre-RA (predictive)")
+        else begin
+          let alloc = Alloc.allocate f Common.standard_layout ~policy in
+          (alloc.Alloc.func, alloc.Alloc.assignment,
+           Printf.sprintf "post-RA, policy %s" (Policy.name policy))
+        end
+      in
+      let outcome =
+        Setup.run_post_ra ~granularity ~settings ~layout:Common.standard_layout
+          func assignment
+      in
+      let info = Analysis.info outcome in
+      Printf.printf "kernel %s, %s: analysis %s after %d iterations \
+                     (last delta %.4f K)\n\n"
+        name mode
+        (if Analysis.converged outcome then "converged" else "DID NOT converge")
+        info.Analysis.iterations info.Analysis.final_delta_k;
+      let peak = Analysis.peak_map info in
+      Printf.printf "predicted worst-case map (peak %.2f K):\n"
+        (Thermal_state.peak peak);
+      print_string
+        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak));
+      let cfg =
+        Setup.config_of_assignment ~granularity ~layout:Common.standard_layout
+          func assignment
+      in
+      let ranked = Criticality.rank cfg info func assignment in
+      Printf.printf "\nmost critical variables:\n";
+      List.iteri
+        (fun i (r : Criticality.ranked) ->
+          if i < 8 then
+            Printf.printf "  %-12s score %10.1f  hottest point %.2f K\n"
+              (Var.to_string r.Criticality.var)
+              r.Criticality.score r.Criticality.hottest_point_k)
+        ranked)
+
+let policies kernel file =
+  with_func kernel file (fun f ->
+      let name = f.Func.name in
+      let table =
+        Tdfa_report.Table.create
+          ~headers:[ "policy"; "peak(K)"; "range(K)"; "maxgrad(K)"; "cycles" ]
+      in
+      List.iter
+        (fun p ->
+          let r = Common.run_policy ~name f p in
+          let m = r.Common.metrics in
+          Tdfa_report.Table.add_row table
+            [
+              Policy.name p;
+              Tdfa_report.Table.fk m.Metrics.peak_k;
+              Tdfa_report.Table.fk m.Metrics.range_k;
+              Tdfa_report.Table.fk m.Metrics.max_neighbor_gradient_k;
+              string_of_int r.Common.cycles;
+            ])
+        Policy.all;
+      Tdfa_report.Table.print table)
+
+let optimize kernel file =
+  with_func kernel file (fun f ->
+      let name = f.Func.name in
+      let base = Common.run_policy ~name f Policy.First_fit in
+      let info = Analysis.info (Common.analyze_run base) in
+      let cfg =
+        Setup.config_of_assignment ~layout:Common.standard_layout
+          base.Common.alloc.Alloc.func base.Common.alloc.Alloc.assignment
+      in
+      let critical =
+        Criticality.critical_vars cfg info base.Common.alloc.Alloc.func
+          base.Common.alloc.Alloc.assignment
+      in
+      let promoted, prom_report = Tdfa_optim.Promote.apply f in
+      let split, split_report =
+        Tdfa_optim.Split_ranges.apply promoted ~vars:critical
+      in
+      let after = Common.run_policy ~name split Policy.Thermal_spread in
+      Printf.printf
+        "thermal-aware pipeline on %s: %d loads promoted, %d copies inserted\n\n"
+        name prom_report.Tdfa_optim.Promote.promoted_addresses
+        split_report.Tdfa_optim.Split_ranges.copies_inserted;
+      let m0 = base.Common.metrics and m1 = after.Common.metrics in
+      Printf.printf "             %10s %10s\n" "before" "after";
+      Printf.printf "peak (K)     %10.2f %10.2f\n" m0.Metrics.peak_k m1.Metrics.peak_k;
+      Printf.printf "range (K)    %10.2f %10.2f\n" m0.Metrics.range_k m1.Metrics.range_k;
+      Printf.printf "maxgrad (K)  %10.2f %10.2f\n"
+        m0.Metrics.max_neighbor_gradient_k m1.Metrics.max_neighbor_gradient_k;
+      Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles)
+
+let compile kernel file policy granularity =
+  with_func kernel file (fun f ->
+      let name = f.Func.name in
+      let options =
+        { Tdfa_optim.Compile.default_options with
+          Tdfa_optim.Compile.policy;
+          granularity;
+        }
+      in
+      let result =
+        Tdfa_optim.Compile.run ~options ~layout:Common.standard_layout f
+      in
+      Printf.printf "thermal-aware compilation of %s (policy %s):\n\n" name
+        (Policy.name policy);
+      List.iter
+        (fun (s : Tdfa_optim.Pipeline.step) ->
+          Printf.printf "  %-14s %-24s %10.0f est. cycles\n"
+            s.Tdfa_optim.Pipeline.pass s.Tdfa_optim.Pipeline.detail
+            s.Tdfa_optim.Pipeline.cycles_after)
+        result.Tdfa_optim.Compile.steps;
+      let info = Analysis.info result.Tdfa_optim.Compile.analysis in
+      let peak = Analysis.peak_map info in
+      Printf.printf
+        "\nfinal analysis: %s after %d iterations; predicted peak %.2f K\n\n"
+        (if Analysis.converged result.Tdfa_optim.Compile.analysis then
+           "converged"
+         else "DID NOT converge")
+        info.Analysis.iterations (Thermal_state.peak peak);
+      print_string
+        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))
+
+let experiments id =
+  let run = function
+    | "fig1" -> ignore (Experiments.fig1 ())
+    | "fig2" -> ignore (Experiments.fig2 ())
+    | "e3" -> ignore (Experiments.e3 ())
+    | "e4" -> ignore (Experiments.e4 ())
+    | "e5" -> ignore (Experiments.e5 ())
+    | "e6" -> ignore (Experiments.e6 ())
+    | "e7" -> ignore (Experiments.e7 ())
+    | "e9" -> ignore (Experiments.e9 ())
+    | "e10" -> ignore (Experiments.e10 ())
+    | "e11" -> ignore (Experiments.e11 ())
+    | "e12" -> ignore (Experiments.e12 ())
+    | "e13" -> ignore (Experiments.e13 ())
+    | "e14" -> ignore (Experiments.e14 ())
+    | "e15" -> ignore (Experiments.e15 ())
+    | "e16" -> ignore (Experiments.e16 ())
+    | "e17" -> ignore (Experiments.e17 ())
+    | "all" -> Experiments.run_all ()
+    | other ->
+      Printf.eprintf
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e17, all)\n" other;
+      exit 1
+  in
+  run (String.lowercase_ascii id)
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list-kernels" ~doc:"List the built-in kernels.")
+    Term.(const list_kernels $ const ())
+
+let show_cmd =
+  Cmd.v (Cmd.info "show" ~doc:"Print a kernel or IR file.")
+    Term.(const show $ kernel_arg $ file_arg)
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Allocate, execute and thermally simulate a program.")
+    Term.(const simulate $ kernel_arg $ file_arg $ policy_arg)
+
+let pre_ra_arg =
+  Arg.(value & flag
+       & info [ "pre-ra" ]
+           ~doc:
+             "Run the predictive pre-allocation analysis (no register \
+              assignment yet; variables placed by the region heuristic).")
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the thermal data-flow analysis (Fig. 2) on a program.")
+    Term.(
+      const analyze $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
+      $ delta_arg $ pre_ra_arg)
+
+let policies_cmd =
+  Cmd.v
+    (Cmd.info "policies"
+       ~doc:"Compare register assignment policies thermally (Fig. 1).")
+    Term.(const policies $ kernel_arg $ file_arg)
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the thermal-aware pass pipeline and report the effect.")
+    Term.(const optimize $ kernel_arg $ file_arg)
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Run the full thermal-aware compilation pipeline (cleanup, \
+          promotion, splitting, thermal assignment, scheduling) and report \
+          the predicted map.")
+    Term.(const compile $ kernel_arg $ file_arg $ policy_arg $ granularity_arg)
+
+let experiments_cmd =
+  let id_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e14 or all.")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce the paper's figures and the extended experiments.")
+    Term.(const experiments $ id_arg)
+
+let main_cmd =
+  let doc = "thermal-aware data flow analysis (Ayala/Atienza/Brisk, DAC'09)" in
+  Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; show_cmd; simulate_cmd; analyze_cmd; policies_cmd;
+      optimize_cmd; compile_cmd; experiments_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/convergence_study.ml: Alloc Analysis Kernels Layout List Policy Printf Setup Tdfa_core Tdfa_floorplan Tdfa_regalloc Tdfa_workload Transfer

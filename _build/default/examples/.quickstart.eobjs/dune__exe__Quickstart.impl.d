@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Analysis Assignment Builder Instr Label Layout List Policy Printer Printf Setup Tdfa_core Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Thermal_state

@@ -1,0 +1,1 @@
+examples/vliw_binding.ml: Array Binding Bundler Fu_thermal Kernels List Machine Printf String Tdfa_thermal Tdfa_vliw Tdfa_workload

@@ -1,0 +1,1 @@
+examples/vliw_binding.mli:

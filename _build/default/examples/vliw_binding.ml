@@ -1,0 +1,35 @@
+(* Temperature-aware VLIW operation binding (the setting of the paper's
+   reference [4], Schafer et al.): the same bundles, issued on the same
+   cycles, produce very different functional-unit thermal maps depending
+   on which FU executes each operation.
+
+   Run with: dune exec examples/vliw_binding.exe *)
+
+open Tdfa_workload
+open Tdfa_vliw
+
+let () =
+  let machine = Machine.make ~width:4 () in
+  let func = Kernels.idct_row () in
+  let scheduled = Bundler.schedule_func ~width:4 func in
+  Printf.printf
+    "idct_row on a 4-wide VLIW: %d bundles, %.0f%% slot utilization\n\n"
+    (Bundler.bundle_count scheduled)
+    (100.0 *. Bundler.utilization ~width:4 scheduled);
+  Printf.printf "%-12s %10s %10s   %s\n" "binding" "peak(K)" "range(K)"
+    "per-FU temperatures";
+  List.iter
+    (fun policy ->
+      let temps, m = Fu_thermal.evaluate machine func policy in
+      let cells =
+        Array.to_list temps
+        |> List.map (Printf.sprintf "%.2f")
+        |> String.concat "  "
+      in
+      Printf.printf "%-12s %10.2f %10.2f   [%s]\n" (Binding.name policy)
+        m.Tdfa_thermal.Metrics.peak_k m.Tdfa_thermal.Metrics.range_k cells)
+    Binding.all;
+  print_newline ();
+  print_endline
+    "fixed binding concentrates work on FU0; rotating or temperature-aware\n\
+     binding homogenises the FU array at zero performance cost."

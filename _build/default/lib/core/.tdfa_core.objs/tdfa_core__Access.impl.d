@@ -1,0 +1,1 @@
+lib/core/access.ml: Assignment Block Instr List Tdfa_ir Tdfa_regalloc

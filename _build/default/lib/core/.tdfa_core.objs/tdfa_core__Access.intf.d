@@ -1,0 +1,1 @@
+lib/core/access.mli: Assignment Block Instr Tdfa_ir Tdfa_regalloc

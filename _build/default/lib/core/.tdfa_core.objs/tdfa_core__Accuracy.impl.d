@@ -1,0 +1,1 @@
+lib/core/accuracy.ml: Array Float Format Fun

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Block Float Func Hashtbl Label List Tdfa_ir Thermal_state Transfer

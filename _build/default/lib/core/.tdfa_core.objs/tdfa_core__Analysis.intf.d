@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Func Hashtbl Label Tdfa_ir Thermal_state Transfer

@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Func Hashtbl Instr Label List Program String Tdfa_ir

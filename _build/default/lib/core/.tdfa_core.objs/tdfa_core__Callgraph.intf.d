@@ -1,0 +1,1 @@
+lib/core/callgraph.mli: Label Program Tdfa_ir

@@ -1,0 +1,1 @@
+lib/core/criticality.ml: Analysis Assignment Float Func Instr List Tdfa_ir Tdfa_regalloc Thermal_state Transfer Var

@@ -1,0 +1,1 @@
+lib/core/criticality.mli: Analysis Assignment Func Tdfa_ir Tdfa_regalloc Transfer Var

@@ -1,0 +1,1 @@
+lib/core/interproc.ml: Access Analysis Array Block Callgraph Float Func Hashtbl Instr List Loops Params Program Tdfa_dataflow Tdfa_floorplan Tdfa_ir Tdfa_thermal Thermal_state Transfer

@@ -1,0 +1,1 @@
+lib/core/interproc.mli: Analysis Assignment Func Layout Params Program Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Thermal_state

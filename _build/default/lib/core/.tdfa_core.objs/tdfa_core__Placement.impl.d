@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Assignment Float Func Int Layout List Loops Region Setup Tdfa_dataflow Tdfa_floorplan Tdfa_ir Tdfa_regalloc Use_def Var

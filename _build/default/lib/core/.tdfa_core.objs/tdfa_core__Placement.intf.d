@@ -1,0 +1,1 @@
+lib/core/placement.mli: Assignment Func Layout Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Transfer

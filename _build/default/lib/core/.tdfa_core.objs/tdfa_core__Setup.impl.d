@@ -1,0 +1,1 @@
+lib/core/setup.ml: Access Analysis Block Float Func List Loops Tdfa_dataflow Tdfa_ir Transfer

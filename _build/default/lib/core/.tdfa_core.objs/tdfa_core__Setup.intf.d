@@ -1,0 +1,1 @@
+lib/core/setup.mli: Analysis Assignment Func Layout Loops Params Tdfa_dataflow Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Transfer

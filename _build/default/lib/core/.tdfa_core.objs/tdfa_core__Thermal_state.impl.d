@@ -1,0 +1,1 @@
+lib/core/thermal_state.ml: Array Float Layout List Tdfa_floorplan

@@ -1,0 +1,1 @@
+lib/core/thermal_state.mli: Layout Tdfa_floorplan

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Access Block Float Instr Label Layout List Params Tdfa_floorplan Tdfa_ir Tdfa_thermal Thermal_state

@@ -1,0 +1,1 @@
+lib/core/transfer.mli: Access Block Instr Label Layout Params Tdfa_floorplan Tdfa_ir Tdfa_thermal Thermal_state

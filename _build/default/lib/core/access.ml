@@ -1,0 +1,34 @@
+open Tdfa_ir
+open Tdfa_regalloc
+
+type kind = Read | Write
+
+type event = { cell : int; kind : kind; weight : float }
+
+let event ?(weight = 1.0) cell kind = { cell; kind; weight }
+
+let of_vars assignment reads writes =
+  let cells vars kind =
+    List.filter_map
+      (fun v ->
+        match Assignment.cell_of_var assignment v with
+        | Some cell -> Some { cell; kind; weight = 1.0 }
+        | None -> None)
+      vars
+  in
+  cells reads Read @ cells writes Write
+
+let of_instr assignment i =
+  let writes = match Instr.def i with Some d -> [ d ] | None -> [] in
+  of_vars assignment (Instr.uses i) writes
+
+let of_terminator assignment term =
+  of_vars assignment (Block.term_uses term) []
+
+let energy_j ~read_energy_j ~write_energy_j events =
+  List.fold_left
+    (fun acc e ->
+      acc
+      +. (e.weight
+          *. match e.kind with Read -> read_energy_j | Write -> write_energy_j))
+    0.0 events

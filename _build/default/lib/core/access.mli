@@ -1,0 +1,26 @@
+(** Mapping from instructions to the register-file cells they touch, given
+    a register assignment (post-allocation) or a predictive placement
+    (pre-allocation). Spilled variables have no cell and cause no RF
+    access.
+
+    An event carries a [weight] (equivalent access count): ordinary
+    instruction operands weigh 1.0; call sites use fractional weights to
+    inject the callee's aggregated access profile (see {!Interproc}). *)
+
+open Tdfa_ir
+open Tdfa_regalloc
+
+type kind = Read | Write
+
+type event = { cell : int; kind : kind; weight : float }
+
+val event : ?weight:float -> int -> kind -> event
+
+val of_instr : Assignment.t -> Instr.t -> event list
+(** One unit-weight event per register access, reads in operand order then
+    the write. *)
+
+val of_terminator : Assignment.t -> Block.terminator -> event list
+
+val energy_j : read_energy_j:float -> write_energy_j:float -> event list -> float
+(** Total dynamic energy of one execution of the access list. *)

@@ -1,0 +1,74 @@
+type report = {
+  mae_k : float;
+  rmse_k : float;
+  peak_error_k : float;
+  peak_cell_match : bool;
+  spearman : float;
+}
+
+(* Average ranks, with ties sharing the mean of their positions. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare xs.(i) xs.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j + 1 < n && Float.equal xs.(order.(!j + 1)) xs.(order.(!i))
+    do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b =
+  assert (Array.length a = Array.length b && Array.length a > 0);
+  let ra = ranks a and rb = ranks b in
+  let n = float_of_int (Array.length a) in
+  let mean xs = Array.fold_left ( +. ) 0.0 xs /. n in
+  let ma = mean ra and mb = mean rb in
+  let cov = ref 0.0 and va = ref 0.0 and vb = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let da = x -. ma and db = rb.(i) -. mb in
+      cov := !cov +. (da *. db);
+      va := !va +. (da *. da);
+      vb := !vb +. (db *. db))
+    ra;
+  if !va < 1e-12 || !vb < 1e-12 then 0.0
+  else !cov /. sqrt (!va *. !vb)
+
+let argmax xs =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > xs.(!best) then best := i) xs;
+  !best
+
+let compare_fields ~predicted ~measured =
+  let n = Array.length predicted in
+  if n = 0 || n <> Array.length measured then
+    invalid_arg "Accuracy.compare_fields: field length mismatch";
+  let abs_errors = Array.mapi (fun i p -> Float.abs (p -. measured.(i))) predicted in
+  let mae = Array.fold_left ( +. ) 0.0 abs_errors /. float_of_int n in
+  let mse =
+    Array.fold_left (fun acc e -> acc +. (e *. e)) 0.0 abs_errors /. float_of_int n
+  in
+  let peak_of xs = Array.fold_left Float.max neg_infinity xs in
+  {
+    mae_k = mae;
+    rmse_k = sqrt mse;
+    peak_error_k = Float.abs (peak_of predicted -. peak_of measured);
+    peak_cell_match = argmax predicted = argmax measured;
+    spearman = spearman predicted measured;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "mae=%.3fK rmse=%.3fK peak_err=%.3fK peak_cell_match=%b spearman=%.3f"
+    r.mae_k r.rmse_k r.peak_error_k r.peak_cell_match r.spearman

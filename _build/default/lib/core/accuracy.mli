@@ -1,0 +1,21 @@
+(** Comparison between the analysis' predicted thermal map and the
+    ground-truth RC simulation — the fidelity-vs-granularity trade-off of
+    §3 (experiments E5 and E7). Both fields are per register cell. *)
+
+type report = {
+  mae_k : float;  (** mean absolute error *)
+  rmse_k : float;
+  peak_error_k : float;  (** |predicted peak - measured peak| *)
+  peak_cell_match : bool;  (** same hottest cell *)
+  spearman : float;
+      (** rank correlation of cell temperatures: 1.0 = the prediction
+          orders hot spots exactly like the measurement *)
+}
+
+val compare_fields : predicted:float array -> measured:float array -> report
+(** @raise Invalid_argument on length mismatch or empty fields. *)
+
+val spearman : float array -> float array -> float
+(** Exposed for tests; ties receive their average rank. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,135 @@
+open Tdfa_ir
+
+type join_kind = Max | Average
+
+type settings = { delta_k : float; max_iterations : int; join : join_kind }
+
+let default_settings = { delta_k = 0.05; max_iterations = 200; join = Max }
+
+type info = {
+  iterations : int;
+  final_delta_k : float;
+  states_after : (Label.t * int, Thermal_state.t) Hashtbl.t;
+  exit_states : Thermal_state.t Label.Map.t;
+  unstable : (Label.t * int) list;
+}
+
+type outcome = Converged of info | Diverged of info
+
+let info = function Converged i -> i | Diverged i -> i
+let converged = function Converged _ -> true | Diverged _ -> false
+
+let join_states kind a b =
+  match kind with
+  | Max -> Thermal_state.join_max a b
+  | Average -> Thermal_state.join_average a b
+
+let run ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
+  let order = Func.reverse_postorder func in
+  let entry = Func.entry_label func in
+  let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let exit_states = ref Label.Map.empty in
+  let exit_state l =
+    match Label.Map.find_opt l !exit_states with
+    | Some s -> s
+    | None -> Transfer.fresh_state cfg
+  in
+  (* One pass of the do-while of Fig. 2; returns the largest change and
+     the set of instructions that moved more than delta. *)
+  let pass () =
+    let worst = ref 0.0 in
+    let unstable = ref [] in
+    List.iter
+      (fun label ->
+        let block = Func.find_block func label in
+        let incoming =
+          if Label.equal label entry then Transfer.fresh_state cfg
+          else
+            match Func.predecessors func label with
+            | [] -> Transfer.fresh_state cfg
+            | first :: rest ->
+              List.fold_left
+                (fun acc p -> join_states settings.join acc (exit_state p))
+                (exit_state first) rest
+        in
+        let state = ref incoming in
+        Array.iteri
+          (fun index i ->
+            (* "Estimate thermal state after I". *)
+            let after = Transfer.instr cfg label index i !state in
+            (* "If the change in I's thermal state exceeds delta". *)
+            let change =
+              match Hashtbl.find_opt states_after (label, index) with
+              | Some prev -> Thermal_state.max_delta prev after
+              | None -> infinity
+            in
+            (* A numerically exploded state (NaN from an unstable step)
+               counts as maximal change, not as convergence. *)
+            let change = if Float.is_nan change then infinity else change in
+            if change > settings.delta_k then
+              unstable := (label, index) :: !unstable;
+            if change < infinity then worst := Float.max !worst change
+            else worst := Float.max !worst (settings.delta_k +. 1.0);
+            Hashtbl.replace states_after (label, index) after;
+            state := after)
+          block.Block.body;
+        let after_term = Transfer.terminator cfg label block.Block.term !state in
+        exit_states := Label.Map.add label after_term !exit_states)
+      order;
+    (!worst, List.rev !unstable)
+  in
+  let rec iterate n =
+    let worst, unstable = pass () in
+    if unstable = [] then (n, worst, unstable, true)
+    else if n >= settings.max_iterations then (n, worst, unstable, false)
+    else iterate (n + 1)
+  in
+  let iterations, final_delta_k, unstable, ok = iterate 1 in
+  let result =
+    {
+      iterations;
+      final_delta_k;
+      states_after;
+      exit_states = !exit_states;
+      unstable;
+    }
+  in
+  if ok then Converged result else Diverged result
+
+let state_after info label index =
+  match Hashtbl.find_opt info.states_after (label, index) with
+  | Some s -> s
+  | None -> raise Not_found
+
+let fold_states info f init =
+  Hashtbl.fold (fun _ s acc -> f acc s) info.states_after init
+
+let peak_map info =
+  match fold_states info (fun acc s -> Some (match acc with
+      | None -> Thermal_state.copy s
+      | Some a -> Thermal_state.join_max a s)) None with
+  | Some m -> m
+  | None -> invalid_arg "Analysis.peak_map: empty function"
+
+let mean_map info =
+  let count = Hashtbl.length info.states_after in
+  if count = 0 then invalid_arg "Analysis.mean_map: empty function";
+  let acc =
+    fold_states info
+      (fun acc s ->
+        match acc with
+        | None ->
+          let c = Thermal_state.copy s in
+          Some c
+        | Some a ->
+          Thermal_state.map_points a (fun p t -> t +. Thermal_state.get s p);
+          Some a)
+      None
+  in
+  match acc with
+  | Some a ->
+    Thermal_state.map_points a (fun _ t -> t /. float_of_int count);
+    a
+  | None -> assert false

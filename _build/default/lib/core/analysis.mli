@@ -1,0 +1,50 @@
+(** The thermal data-flow analysis of Fig. 2: a forward analysis that
+    repeatedly computes the thermal state of the RF following each
+    instruction until the largest per-instruction change drops below a
+    user-supplied delta — or gives up after a bounded number of
+    iterations, since (unlike classic analyses on finite lattices) nothing
+    guarantees convergence (§4). *)
+
+open Tdfa_ir
+
+type join_kind =
+  | Max  (** conservative pointwise maximum at merge points *)
+  | Average  (** pointwise mean — smoother, less conservative *)
+
+type settings = {
+  delta_k : float;  (** the paper's delta parameter *)
+  max_iterations : int;  (** the "reasonable number of iterations" cap *)
+  join : join_kind;
+}
+
+val default_settings : settings
+(** delta = 0.05 K, 200 iterations, [Max] join. *)
+
+type info = {
+  iterations : int;
+  final_delta_k : float;  (** largest last-round change *)
+  states_after : (Label.t * int, Thermal_state.t) Hashtbl.t;
+      (** thermal state after each instruction — the output of Fig. 2 *)
+  exit_states : Thermal_state.t Label.Map.t;  (** state after each terminator *)
+  unstable : (Label.t * int) list;
+      (** instructions still changing by more than delta in the last
+          iteration (empty when converged) *)
+}
+
+type outcome = Converged of info | Diverged of info
+
+val run : ?settings:settings -> Transfer.config -> Func.t -> outcome
+
+val info : outcome -> info
+val converged : outcome -> bool
+
+val state_after : info -> Label.t -> int -> Thermal_state.t
+(** @raise Not_found for an unknown program point. *)
+
+val peak_map : info -> Thermal_state.t
+(** Pointwise maximum over all per-instruction states — the predicted
+    worst-case map. *)
+
+val mean_map : info -> Thermal_state.t
+(** Pointwise mean over all per-instruction states — the predicted
+    steady map (compare against the RC simulator's steady solution). *)

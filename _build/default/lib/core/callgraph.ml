@@ -1,0 +1,79 @@
+open Tdfa_ir
+
+type t = {
+  program : Program.t;
+  edges : (string, string list) Hashtbl.t;  (* caller -> callees *)
+  sites : (string, (Label.t * int) list) Hashtbl.t;
+}
+
+let build program =
+  let edges = Hashtbl.create 8 in
+  let sites = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      let callees = ref [] in
+      let my_sites = ref [] in
+      Func.iter_instrs
+        (fun label index i ->
+          match i with
+          | Instr.Call (_, callee, _) ->
+            if not (List.mem callee !callees) then callees := callee :: !callees;
+            my_sites := (label, index) :: !my_sites
+          | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+          | Instr.Store _ | Instr.Nop ->
+            ())
+        f;
+      Hashtbl.replace edges f.Func.name (List.rev !callees);
+      Hashtbl.replace sites f.Func.name (List.rev !my_sites))
+    (Program.funcs program);
+  { program; edges; sites }
+
+let callees t name =
+  match Hashtbl.find_opt t.edges name with Some l -> l | None -> []
+
+let callers t name =
+  Hashtbl.fold
+    (fun caller cs acc -> if List.mem name cs then caller :: acc else acc)
+    t.edges []
+  |> List.sort String.compare
+
+let call_sites t name =
+  match Hashtbl.find_opt t.sites name with Some l -> l | None -> []
+
+(* DFS with colouring; a back edge means recursion. *)
+let is_recursive t =
+  let color = Hashtbl.create 8 in  (* name -> `Gray | `Black *)
+  let cyclic = ref false in
+  let rec visit name =
+    match Hashtbl.find_opt color name with
+    | Some `Gray -> cyclic := true
+    | Some `Black -> ()
+    | None ->
+      Hashtbl.replace color name `Gray;
+      List.iter
+        (fun callee ->
+          if Program.find t.program callee <> None then visit callee)
+        (callees t name);
+      Hashtbl.replace color name `Black
+  in
+  List.iter (fun (f : Func.t) -> visit f.Func.name) (Program.funcs t.program);
+  !cyclic
+
+let topological_order t =
+  if is_recursive t then invalid_arg "Callgraph.topological_order: recursive";
+  let visited = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      List.iter
+        (fun callee ->
+          if Program.find t.program callee <> None then visit callee)
+        (callees t name);
+      order := name :: !order
+    end
+  in
+  List.iter (fun (f : Func.t) -> visit f.Func.name) (Program.funcs t.program);
+  (* Post-order pushes to the front, so the head is the last-finished
+     root; reversing yields leaf-first. *)
+  List.rev !order

@@ -1,0 +1,26 @@
+(** Call graph over a {!Tdfa_ir.Program}, for the interprocedural
+    extension of the analysis (§4 describes the analysis "in the context
+    of a single procedure"; whole-program propagation is the natural next
+    step). *)
+
+open Tdfa_ir
+
+type t
+
+val build : Program.t -> t
+
+val callees : t -> string -> string list
+(** Distinct callees of the function, in first-call order; unknown
+    (external) names are included. *)
+
+val callers : t -> string -> string list
+
+val call_sites : t -> string -> (Label.t * int) list
+(** Instruction positions in the given function that perform calls. *)
+
+val is_recursive : t -> bool
+(** Whether any call cycle exists (including self-recursion). *)
+
+val topological_order : t -> string list
+(** Callees before callers (leaf-first). Only defined functions appear.
+    @raise Invalid_argument when the graph is recursive. *)

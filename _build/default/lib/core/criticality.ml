@@ -1,0 +1,73 @@
+open Tdfa_ir
+open Tdfa_regalloc
+
+type ranked = { var : Var.t; score : float; hottest_point_k : float }
+
+(* Fold over every (variable, accessed cell, site) triple of the
+   function. *)
+let fold_accesses (func : Func.t) assignment f init =
+  let acc = ref init in
+  Func.iter_instrs
+    (fun label index i ->
+      let vars =
+        (match Instr.def i with Some d -> [ d ] | None -> [])
+        @ Instr.uses i
+      in
+      List.iter
+        (fun v ->
+          match Assignment.cell_of_var assignment v with
+          | Some cell -> acc := f !acc v cell label index
+          | None -> ())
+        vars)
+    func;
+  !acc
+
+let rank (cfg : Transfer.config) (info : Analysis.info) func assignment =
+  let peak = Analysis.peak_map info in
+  let ambient = (Transfer.fresh_state cfg |> Thermal_state.peak) in
+  let scores = Var.Tbl.create 64 in
+  let hottest = Var.Tbl.create 64 in
+  ignore
+    (fold_accesses func assignment
+       (fun () v cell label _index ->
+         let point = Thermal_state.point_of_cell peak cell in
+         let temp = Thermal_state.get peak point in
+         let excess = Float.max 0.0 (temp -. ambient) in
+         let freq = cfg.Transfer.block_frequency label in
+         let cur =
+           match Var.Tbl.find_opt scores v with Some s -> s | None -> 0.0
+         in
+         Var.Tbl.replace scores v (cur +. (freq *. excess));
+         let hv =
+           match Var.Tbl.find_opt hottest v with Some h -> h | None -> neg_infinity
+         in
+         Var.Tbl.replace hottest v (Float.max hv temp))
+       ());
+  let ranked =
+    Var.Tbl.fold
+      (fun v score acc ->
+        {
+          var = v;
+          score;
+          hottest_point_k =
+            (match Var.Tbl.find_opt hottest v with
+             | Some h -> h
+             | None -> ambient);
+        }
+        :: acc)
+      scores []
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare b.score a.score with
+      | 0 -> Var.compare a.var b.var
+      | c -> c)
+    ranked
+
+let critical_vars ?(margin_k = 1.0) cfg info func assignment =
+  let peak = Analysis.peak_map info in
+  let mean = Thermal_state.mean peak in
+  let ranked = rank cfg info func assignment in
+  List.filter_map
+    (fun r -> if r.hottest_point_k > mean +. margin_k then Some r.var else None)
+    ranked

@@ -1,0 +1,28 @@
+(** Ranking of variables by their contribution to predicted hot spots.
+
+    §4: "the goal would be to determine precisely which parts of the
+    program are likely to exacerbate power density and thermal problems
+    ... and to determine which variables are most likely to be involved".
+    The score of a variable accumulates, over all its accesses, the
+    execution frequency of the access site times the predicted excess
+    temperature of the accessed thermal point. *)
+
+open Tdfa_ir
+open Tdfa_regalloc
+
+type ranked = { var : Var.t; score : float; hottest_point_k : float }
+
+val rank :
+  Transfer.config -> Analysis.info -> Func.t -> Assignment.t -> ranked list
+(** Descending by score; variables with no register cell score 0. *)
+
+val critical_vars :
+  ?margin_k:float ->
+  Transfer.config ->
+  Analysis.info ->
+  Func.t ->
+  Assignment.t ->
+  Var.t list
+(** Variables whose accesses touch a point hotter than the mean predicted
+    temperature plus [margin_k] (default 1.0 K), hottest first — the
+    candidates for spilling or splitting. *)

@@ -1,0 +1,51 @@
+(** Whole-program (interprocedural) thermal analysis — the extension past
+    §4's single-procedure presentation.
+
+    Functions are processed leaf-first over the call graph. Each analysed
+    callee is condensed into a {e summary}: its average register-file
+    energy rate per cell and its estimated duration. A call site then
+    injects the callee's profile as fractional-weight access events, so a
+    caller's fixpoint accounts for the heat its callees generate without
+    re-walking their bodies. Recursive programs are rejected. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_regalloc
+
+type summary = {
+  energy_rate_j_per_cycle : float array;  (** per cell, callee + its callees *)
+  cycles : float;  (** estimated cycles of one invocation *)
+}
+
+val summarize :
+  ?params:Params.t ->
+  layout:Layout.t ->
+  callee_summary:(string -> summary option) ->
+  Func.t ->
+  Assignment.t ->
+  summary
+(** Loop-frequency-weighted access energy per cell, with nested call
+    sites expanded through [callee_summary]. *)
+
+type result = {
+  order : string list;  (** leaf-first analysis order *)
+  per_function : (string * Analysis.outcome) list;
+  program_peak : Thermal_state.t;
+      (** pointwise maximum over every function's predicted peak map *)
+  summaries : (string * summary) list;
+}
+
+val run :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  ?settings:Analysis.settings ->
+  layout:Layout.t ->
+  assignment_of:(Func.t -> Assignment.t) ->
+  Program.t ->
+  result
+(** Analyse every function of the program with call-site summary
+    injection. [assignment_of] supplies each function's register
+    assignment (functions share the physical register file).
+    @raise Invalid_argument on recursive programs. *)

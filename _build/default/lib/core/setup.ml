@@ -1,0 +1,33 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+let estimated_program_cycles (func : Func.t) loops =
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      let freq = Loops.frequency loops b.Block.label in
+      acc +. (freq *. float_of_int (Block.num_instrs b + 1)))
+    0.0 func.Func.blocks
+
+let config_of_assignment ?params ?granularity ?analysis_dt_s ~layout func
+    assignment =
+  let loops = Loops.analyze func in
+  let max_frequency =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        Float.max acc (Loops.frequency loops b.Block.label))
+      1.0 func.Func.blocks
+  in
+  Transfer.make_config ?params ?granularity ?analysis_dt_s ~max_frequency
+    ~layout
+    ~block_frequency:(fun l -> Loops.frequency loops l)
+    ~accesses_of_instr:(fun _ _ i -> Access.of_instr assignment i)
+    ~accesses_of_term:(fun _ term -> Access.of_terminator assignment term)
+    ()
+
+let run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout func
+    assignment =
+  let cfg =
+    config_of_assignment ?params ?granularity ?analysis_dt_s ~layout func
+      assignment
+  in
+  Analysis.run ?settings cfg func

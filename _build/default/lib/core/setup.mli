@@ -1,0 +1,34 @@
+(** Convenience constructors wiring a function and a register assignment
+    (or predictive placement) into a {!Transfer.config}. *)
+
+open Tdfa_ir
+open Tdfa_dataflow
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_regalloc
+
+val estimated_program_cycles : Func.t -> Loops.t -> float
+(** Sum of loop-frequency-weighted instruction counts (terminators
+    included), at one cycle each. *)
+
+val config_of_assignment :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  layout:Layout.t ->
+  Func.t ->
+  Assignment.t ->
+  Transfer.config
+(** Post-assignment analysis: the exact accessed registers are known
+    (§4: "makes the most sense if applied after register assignment"). *)
+
+val run_post_ra :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  ?settings:Analysis.settings ->
+  layout:Layout.t ->
+  Func.t ->
+  Assignment.t ->
+  Analysis.outcome
+(** One-call wrapper: build the config and run the Fig. 2 analysis. *)

@@ -1,0 +1,1 @@
+lib/dataflow/available_exprs.ml: Block Format Func Instr Set Solver Stdlib Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/available_exprs.mli: Format Func Instr Label Set Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/bitwidth.ml: Array Block Format Func Instr Label List Tdfa_ir Var

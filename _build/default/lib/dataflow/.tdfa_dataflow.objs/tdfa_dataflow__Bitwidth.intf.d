@@ -1,0 +1,1 @@
+lib/dataflow/bitwidth.mli: Format Func Label Tdfa_ir Var

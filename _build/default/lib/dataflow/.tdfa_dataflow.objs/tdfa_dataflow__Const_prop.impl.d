@@ -1,0 +1,1 @@
+lib/dataflow/const_prop.ml: Block Format Func Instr List Solver Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/const_prop.mli: Format Func Instr Label Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/dominators.ml: Func Label List Tdfa_ir

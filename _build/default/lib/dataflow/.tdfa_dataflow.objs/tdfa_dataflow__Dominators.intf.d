@@ -1,0 +1,1 @@
+lib/dataflow/dominators.mli: Func Label Tdfa_ir

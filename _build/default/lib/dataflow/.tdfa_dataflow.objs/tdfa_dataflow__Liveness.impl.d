@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Block Func Instr List Solver Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/loops.ml: Array Block Dominators Func Instr Label List Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/loops.mli: Func Label Tdfa_ir

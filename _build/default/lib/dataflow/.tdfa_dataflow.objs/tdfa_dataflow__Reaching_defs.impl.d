@@ -1,0 +1,1 @@
+lib/dataflow/reaching_defs.ml: Array Block Format Func Instr Int Label List Set Tdfa_ir Var

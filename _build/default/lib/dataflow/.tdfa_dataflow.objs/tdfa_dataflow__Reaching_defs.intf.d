@@ -1,0 +1,1 @@
+lib/dataflow/reaching_defs.mli: Format Func Label Set Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/solver.ml: Array Block Func Instr Label List Tdfa_ir

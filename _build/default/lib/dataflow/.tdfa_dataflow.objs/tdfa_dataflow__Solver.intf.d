@@ -1,0 +1,1 @@
+lib/dataflow/solver.mli: Block Func Instr Label Tdfa_ir

@@ -1,0 +1,1 @@
+lib/dataflow/use_def.ml: Block Func Instr Label List Loops Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/dataflow/use_def.mli: Func Label Loops Tdfa_ir Var

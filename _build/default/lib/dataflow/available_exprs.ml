@@ -1,0 +1,62 @@
+open Tdfa_ir
+
+module Expr = struct
+  type t = Instr.binop * Var.t * Var.t
+
+  let compare (o1, a1, b1) (o2, a2, b2) =
+    match Stdlib.compare o1 o2 with
+    | 0 -> ( match Var.compare a1 a2 with 0 -> Var.compare b1 b2 | c -> c)
+    | c -> c
+
+  let pp ppf (op, a, b) =
+    Format.fprintf ppf "%s(%a, %a)" (Instr.string_of_binop op) Var.pp a Var.pp b
+end
+
+module Expr_set = Set.Make (Expr)
+
+(* Meet is intersection, so "not yet computed" must act as top (the set of
+   all expressions). We represent facts as [All | Known of set]. *)
+module Domain = struct
+  type fact = All | Known of Expr_set.t
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Known x, Known y -> Expr_set.equal x y
+    | All, Known _ | Known _, All -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Known x, Known y -> Known (Expr_set.inter x y)
+
+  let bottom = All
+
+  let kill_var v set =
+    Expr_set.filter (fun (_, a, b) -> not (Var.equal a v || Var.equal b v)) set
+
+  let instr i fact =
+    let set = match fact with All -> Expr_set.empty | Known s -> s in
+    let set =
+      match i with
+      | Instr.Binop (op, _, s1, s2) -> Expr_set.add (op, s1, s2) set
+      | Instr.Const _ | Instr.Unop _ | Instr.Load _ | Instr.Store _
+      | Instr.Call _ | Instr.Nop ->
+        set
+    in
+    let set = match Instr.def i with Some d -> kill_var d set | None -> set in
+    Known set
+
+  let terminator (_ : Block.terminator) fact = fact
+  let entry (_ : Func.t) = Known Expr_set.empty
+end
+
+module S = Solver.Forward (Domain)
+
+type t = S.t
+
+let analyze = S.solve
+
+let to_set = function Domain.All -> Expr_set.empty | Domain.Known s -> s
+let available_in t l = to_set (S.input t l)
+let available_out t l = to_set (S.output t l)

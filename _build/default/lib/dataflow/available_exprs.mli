@@ -1,0 +1,24 @@
+(** Available expressions (forward, meet = intersection). Demonstrates the
+    all-paths style of analysis; used by tests and by the scheduler to
+    detect redundant recomputation. *)
+
+open Tdfa_ir
+
+module Expr : sig
+  type t = Instr.binop * Var.t * Var.t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Expr_set : Set.S with type elt = Expr.t
+
+type t
+
+val analyze : Func.t -> t
+
+val available_in : t -> Label.t -> Expr_set.t
+(** Expressions available on entry to the block along all paths. The entry
+    block has none. *)
+
+val available_out : t -> Label.t -> Expr_set.t

@@ -1,0 +1,186 @@
+open Tdfa_ir
+
+module Interval = struct
+  type t = Bot | Range of int * int
+
+  (* A pragmatic "infinite" bound that still survives arithmetic without
+     overflow in the transfer functions below. *)
+  let inf = 1 lsl 40
+  let top = Range (-inf, inf)
+  let of_const k = Range (k, k)
+  let clamp v = if v > inf then inf else if v < -inf then -inf else v
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Range (l1, h1), Range (l2, h2) -> Range (min l1 l2, max h1 h2)
+
+  let widen old_fact new_fact =
+    match (old_fact, new_fact) with
+    | Bot, x -> x
+    | x, Bot -> x
+    | Range (l1, h1), Range (l2, h2) ->
+      Range ((if l2 < l1 then -inf else l1), if h2 > h1 then inf else h1)
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot -> true
+    | Range (l1, h1), Range (l2, h2) -> l1 = l2 && h1 = h2
+    | Bot, Range _ | Range _, Bot -> false
+
+  let bits_for v =
+    let v = abs v in
+    let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+    go 0 v
+
+  (* Two's complement: a negative bound of -2^k still fits in k magnitude
+     bits plus the sign. *)
+  let bitwidth = function
+    | Bot -> 0
+    | Range (l, h) ->
+      if l <= -inf || h >= inf then 64
+      else if l < 0 then
+        1 + max (bits_for h) (bits_for (abs l - 1))
+      else max 1 (bits_for h)
+
+  let pp ppf = function
+    | Bot -> Format.fprintf ppf "bot"
+    | Range (l, h) ->
+      if l <= -inf && h >= inf then Format.fprintf ppf "top"
+      else Format.fprintf ppf "[%d, %d]" l h
+end
+
+(* Facts map variables to intervals; missing variable = Bot. *)
+module Domain = struct
+  type fact = Interval.t Var.Map.t
+
+  let equal = Var.Map.equal Interval.equal
+
+  let join a b =
+    Var.Map.union (fun _ i1 i2 -> Some (Interval.join i1 i2)) a b
+
+  let bottom = Var.Map.empty
+
+  let get v fact =
+    match Var.Map.find_opt v fact with Some i -> i | None -> Interval.Bot
+
+  let binop_interval op a b =
+    let open Interval in
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (l1, h1), Range (l2, h2) -> (
+      match op with
+      | Instr.Add -> Range (clamp (l1 + l2), clamp (h1 + h2))
+      | Instr.Sub -> Range (clamp (l1 - h2), clamp (h1 - l2))
+      | Instr.Mul ->
+        let products = [ l1 * l2; l1 * h2; h1 * l2; h1 * h2 ] in
+        Range
+          ( clamp (List.fold_left min max_int products),
+            clamp (List.fold_left max min_int products) )
+      | Instr.Div | Instr.Rem | Instr.Shr ->
+        (* Result magnitude never exceeds the dividend's. *)
+        let m = max (abs l1) (abs h1) in
+        Range (-m, m)
+      | Instr.And ->
+        if l1 >= 0 && l2 >= 0 then Range (0, min h1 h2) else top
+      | Instr.Or | Instr.Xor ->
+        if l1 >= 0 && l2 >= 0 then
+          let m = max h1 h2 in
+          (* Upper bound: next power of two minus one. *)
+          let rec pow2m1 p = if p > m then p else pow2m1 ((p * 2) + 1) in
+          Range (0, clamp (pow2m1 1))
+        else top
+      | Instr.Shl -> top
+      | Instr.Slt | Instr.Sle | Instr.Seq | Instr.Sne -> Range (0, 1))
+
+  let instr i fact =
+    match i with
+    | Instr.Const (d, k) -> Var.Map.add d (Interval.of_const k) fact
+    | Instr.Unop (Instr.Mov, d, s) -> Var.Map.add d (get s fact) fact
+    | Instr.Unop (Instr.Neg, d, s) ->
+      let iv =
+        match get s fact with
+        | Interval.Bot -> Interval.Bot
+        | Interval.Range (l, h) -> Interval.Range (-h, -l)
+      in
+      Var.Map.add d iv fact
+    | Instr.Unop (Instr.Not, d, _) -> Var.Map.add d Interval.top fact
+    | Instr.Binop (op, d, s1, s2) ->
+      Var.Map.add d (binop_interval op (get s1 fact) (get s2 fact)) fact
+    | Instr.Load (d, _, _) -> Var.Map.add d Interval.top fact
+    | Instr.Call (Some d, _, _) -> Var.Map.add d Interval.top fact
+    | Instr.Call (None, _, _) | Instr.Store _ | Instr.Nop -> fact
+
+  let entry (f : Func.t) =
+    List.fold_left
+      (fun acc p -> Var.Map.add p Interval.top acc)
+      Var.Map.empty f.Func.params
+end
+
+(* Bespoke fixpoint with widening after a few join rounds per block. *)
+type t = {
+  inputs : Domain.fact Label.Tbl.t;
+  outputs : Domain.fact Label.Tbl.t;
+}
+
+let widen_rounds = 4
+
+let analyze (func : Func.t) =
+  let inputs = Label.Tbl.create 16 in
+  let outputs = Label.Tbl.create 16 in
+  let visits = Label.Tbl.create 16 in
+  let order = Func.reverse_postorder func in
+  List.iter
+    (fun l ->
+      Label.Tbl.replace inputs l Domain.bottom;
+      Label.Tbl.replace outputs l Domain.bottom;
+      Label.Tbl.replace visits l 0)
+    order;
+  let entry = Func.entry_label func in
+  let transfer (b : Block.t) fact =
+    Array.fold_left (fun acc i -> Domain.instr i acc) fact b.Block.body
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let input =
+          if Label.equal l entry then Domain.entry func
+          else
+            List.fold_left
+              (fun acc p ->
+                match Label.Tbl.find_opt outputs p with
+                | Some o -> Domain.join acc o
+                | None -> acc)
+              Domain.bottom (Func.predecessors func l)
+        in
+        Label.Tbl.replace inputs l input;
+        let out = transfer (Func.find_block func l) input in
+        let old = Label.Tbl.find outputs l in
+        let rounds = Label.Tbl.find visits l in
+        let out =
+          if rounds >= widen_rounds then
+            Var.Map.union
+              (fun _ o n -> Some (Interval.widen o n))
+              old out
+          else out
+        in
+        if not (Domain.equal old out) then begin
+          Label.Tbl.replace outputs l out;
+          Label.Tbl.replace visits l (rounds + 1);
+          changed := true
+        end)
+      order
+  done;
+  { inputs; outputs }
+
+let find tbl l v =
+  match Label.Tbl.find_opt tbl l with
+  | None -> Interval.Bot
+  | Some fact -> (
+    match Var.Map.find_opt v fact with Some i -> i | None -> Interval.Bot)
+
+let interval_in t l v = find t.inputs l v
+let interval_out t l v = find t.outputs l v
+let bitwidth_of t l v = Interval.bitwidth (interval_out t l v)

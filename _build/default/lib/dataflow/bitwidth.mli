@@ -1,0 +1,29 @@
+(** Bitwidth analysis after Stephenson et al. (PLDI 2000), the paper's
+    reference point for "a more complex fact than one bit": each variable
+    carries an integer interval, from which its required bitwidth is
+    derived. Forward analysis with widening to guarantee termination. *)
+
+open Tdfa_ir
+
+module Interval : sig
+  type t = Bot | Range of int * int  (** inclusive; [Bot] = no value yet *)
+
+  val top : t
+  val of_const : int -> t
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val equal : t -> t -> bool
+  val bitwidth : t -> int
+  (** Bits needed to represent all values (sign bit included for negative
+      ranges); [Bot] needs 0 bits, unbounded ranges need 64. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val analyze : Func.t -> t
+val interval_in : t -> Label.t -> Var.t -> Interval.t
+val interval_out : t -> Label.t -> Var.t -> Interval.t
+val bitwidth_of : t -> Label.t -> Var.t -> int
+(** Bitwidth of the variable's interval at block exit. *)

@@ -1,0 +1,75 @@
+open Tdfa_ir
+
+module Value = struct
+  type t = Unknown | Const of int | Varying
+
+  let join a b =
+    match (a, b) with
+    | Unknown, x | x, Unknown -> x
+    | Const x, Const y -> if x = y then Const x else Varying
+    | Varying, (Const _ | Varying) | Const _, Varying -> Varying
+
+  let equal a b =
+    match (a, b) with
+    | Unknown, Unknown | Varying, Varying -> true
+    | Const x, Const y -> x = y
+    | (Unknown | Const _ | Varying), (Unknown | Const _ | Varying) -> false
+
+  let pp ppf = function
+    | Unknown -> Format.fprintf ppf "unknown"
+    | Const k -> Format.fprintf ppf "%d" k
+    | Varying -> Format.fprintf ppf "varying"
+end
+
+let eval_instr i env =
+  match i with
+  | Instr.Const (_, k) -> Some (Value.Const k)
+  | Instr.Unop (op, _, s) -> (
+    match env s with
+    | Value.Const x -> Some (Value.Const (Instr.eval_unop op x))
+    | Value.Unknown -> Some Value.Unknown
+    | Value.Varying -> Some Value.Varying)
+  | Instr.Binop (op, _, s1, s2) -> (
+    match (env s1, env s2) with
+    | Value.Const x, Value.Const y -> Some (Value.Const (Instr.eval_binop op x y))
+    | Value.Unknown, _ | _, Value.Unknown -> Some Value.Unknown
+    | Value.Varying, (Value.Const _ | Value.Varying)
+    | Value.Const _, Value.Varying ->
+      Some Value.Varying)
+  | Instr.Load (_, _, _) | Instr.Call (Some _, _, _) -> Some Value.Varying
+  | Instr.Call (None, _, _) | Instr.Store _ | Instr.Nop -> None
+
+module Domain = struct
+  type fact = Value.t Var.Map.t
+
+  let equal = Var.Map.equal Value.equal
+  let join a b = Var.Map.union (fun _ x y -> Some (Value.join x y)) a b
+  let bottom = Var.Map.empty
+
+  let get v fact =
+    match Var.Map.find_opt v fact with Some x -> x | None -> Value.Unknown
+
+  let instr i fact =
+    match Instr.def i with
+    | None -> fact
+    | Some d -> (
+      match eval_instr i (fun v -> get v fact) with
+      | Some value -> Var.Map.add d value fact
+      | None -> fact)
+
+  let terminator (_ : Block.terminator) fact = fact
+
+  let entry (f : Func.t) =
+    List.fold_left
+      (fun acc p -> Var.Map.add p Value.Varying acc)
+      Var.Map.empty f.Func.params
+end
+
+module S = Solver.Forward (Domain)
+
+type t = S.t
+
+let analyze = S.solve
+
+let value_in t l v = Domain.get v (S.input t l)
+let value_out t l v = Domain.get v (S.output t l)

@@ -1,0 +1,25 @@
+(** Constant propagation (forward). A variable is constant at a point when
+    every reaching definition assigns it the same known value. *)
+
+open Tdfa_ir
+
+module Value : sig
+  type t =
+    | Unknown  (** no definition seen yet (bottom) *)
+    | Const of int
+    | Varying  (** conflicting or non-constant definitions (top) *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type t
+
+val analyze : Func.t -> t
+val value_in : t -> Label.t -> Var.t -> Value.t
+val value_out : t -> Label.t -> Var.t -> Value.t
+
+val eval_instr : Instr.t -> (Var.t -> Value.t) -> Value.t option
+(** Value assigned by the instruction under the given environment, when it
+    defines something. Exposed for the folding pass. *)

@@ -1,0 +1,16 @@
+(** Dominator computation (iterative data-flow formulation). *)
+
+open Tdfa_ir
+
+type t
+
+val analyze : Func.t -> t
+
+val dominators : t -> Label.t -> Label.Set.t
+(** All blocks dominating [l], including [l] itself. *)
+
+val dominates : t -> Label.t -> Label.t -> bool
+(** [dominates t a b] holds when [a] dominates [b]. *)
+
+val idom : t -> Label.t -> Label.t option
+(** Immediate dominator; [None] for the entry block. *)

@@ -1,0 +1,43 @@
+open Tdfa_ir
+
+module Domain = struct
+  type fact = Var.Set.t
+
+  let equal = Var.Set.equal
+  let join = Var.Set.union
+  let bottom = Var.Set.empty
+  let exit (_ : Func.t) = Var.Set.empty
+
+  let instr i fact =
+    let without_def =
+      match Instr.def i with Some d -> Var.Set.remove d fact | None -> fact
+    in
+    List.fold_left (fun acc v -> Var.Set.add v acc) without_def (Instr.uses i)
+
+  let terminator term fact =
+    List.fold_left (fun acc v -> Var.Set.add v acc) fact (Block.term_uses term)
+end
+
+module S = Solver.Backward (Domain)
+
+type t = { solution : S.t; func : Func.t }
+
+let analyze func = { solution = S.solve func; func }
+let live_in t l = S.input t.solution l
+let live_out t l = S.output t.solution l
+let live_before_instr t l i = S.before_instr t.solution l i
+let live_after_instr t l i = S.after_instr t.solution l i
+
+let max_pressure t =
+  let best = ref 0 in
+  let consider s = best := max !best (Var.Set.cardinal s) in
+  List.iter
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      consider (live_in t l);
+      consider (live_out t l);
+      Array.iteri (fun i _ -> consider (live_after_instr t l i)) b.Block.body)
+    t.func.Func.blocks;
+  !best
+
+let iterations t = S.iterations t.solution

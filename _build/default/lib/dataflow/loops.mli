@@ -1,0 +1,35 @@
+(** Natural-loop detection and static execution-frequency estimates.
+
+    The thermal analysis weights heating by how often an instruction is
+    expected to execute; loop depth is the standard compile-time proxy. *)
+
+open Tdfa_ir
+
+type loop = {
+  header : Label.t;
+  body : Label.Set.t;  (** includes the header *)
+  back_edges : Label.t list;  (** sources of the latch edges *)
+}
+
+type t
+
+val analyze : Func.t -> t
+val loops : t -> loop list
+
+val depth : t -> Label.t -> int
+(** Loop-nesting depth of the block; 0 outside any loop. *)
+
+val trip_count : t -> Label.t -> int
+(** Best-effort static trip count of the innermost loop headed at the
+    given label, recovered from the [i < const] / [i += const] idiom;
+    falls back to {!default_trip} when the bound is not recognisable. *)
+
+val exact_trip_count : t -> Label.t -> int option
+(** The recovered trip count, or [None] when the idiom did not match —
+    transformations that must not guess (e.g. unrolling) use this. *)
+
+val default_trip : int
+
+val frequency : t -> Label.t -> float
+(** Estimated executions of the block per function invocation: the product
+    of trip counts of all enclosing loops (1.0 outside loops). *)

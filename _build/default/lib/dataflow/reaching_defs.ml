@@ -1,0 +1,100 @@
+open Tdfa_ir
+
+module Def = struct
+  type t = { label : Label.t; index : int; var : Var.t }
+
+  let compare a b =
+    match Label.compare a.label b.label with
+    | 0 -> ( match Int.compare a.index b.index with 0 -> Var.compare a.var b.var | c -> c)
+    | c -> c
+
+  let pp ppf d =
+    Format.fprintf ppf "%a@%a.%d" Var.pp d.var Label.pp d.label d.index
+end
+
+module Def_set = Set.Make (Def)
+
+(* The transfer function needs the def site's position; the generic solver
+   passes only the instruction. We instead precompute per-block gen/kill
+   and run a bespoke forward fixpoint — simpler than threading positions
+   through the functor. *)
+type t = {
+  reach_in : Def_set.t Label.Tbl.t;
+  reach_out : Def_set.t Label.Tbl.t;
+}
+
+let analyze (func : Func.t) =
+  let all_defs =
+    Func.fold_instrs
+      (fun acc label index i ->
+        match Instr.def i with
+        | Some var -> Def_set.add { Def.label; index; var } acc
+        | None -> acc)
+      Def_set.empty func
+  in
+  let gen = Label.Tbl.create 16 in
+  let kill = Label.Tbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      (* Last definition of each variable in the block generates; every
+         definition kills all other sites of the same variable. *)
+      let g = ref Def_set.empty in
+      let killed = ref Def_set.empty in
+      Array.iteri
+        (fun index i ->
+          match Instr.def i with
+          | None -> ()
+          | Some var ->
+            let site = { Def.label = l; index; var } in
+            let same_var d = Var.equal d.Def.var var in
+            g := Def_set.add site (Def_set.filter (fun d -> not (same_var d)) !g);
+            killed :=
+              Def_set.union !killed
+                (Def_set.filter (fun d -> same_var d && d <> site) all_defs))
+        b.Block.body;
+      Label.Tbl.replace gen l !g;
+      Label.Tbl.replace kill l !killed)
+    func.Func.blocks;
+  let reach_in = Label.Tbl.create 16 in
+  let reach_out = Label.Tbl.create 16 in
+  let order = Func.reverse_postorder func in
+  List.iter
+    (fun l ->
+      Label.Tbl.replace reach_in l Def_set.empty;
+      Label.Tbl.replace reach_out l Def_set.empty)
+    order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let input =
+          List.fold_left
+            (fun acc p ->
+              match Label.Tbl.find_opt reach_out p with
+              | Some s -> Def_set.union acc s
+              | None -> acc)
+            Def_set.empty (Func.predecessors func l)
+        in
+        Label.Tbl.replace reach_in l input;
+        let out =
+          Def_set.union (Label.Tbl.find gen l)
+            (Def_set.diff input (Label.Tbl.find kill l))
+        in
+        if not (Def_set.equal out (Label.Tbl.find reach_out l)) then begin
+          Label.Tbl.replace reach_out l out;
+          changed := true
+        end)
+      order
+  done;
+  { reach_in; reach_out }
+
+let reach_in t l =
+  match Label.Tbl.find_opt t.reach_in l with Some s -> s | None -> Def_set.empty
+
+let reach_out t l =
+  match Label.Tbl.find_opt t.reach_out l with Some s -> s | None -> Def_set.empty
+
+let defs_of_var_at t l v =
+  Def_set.filter (fun d -> Var.equal d.Def.var v) (reach_in t l)

@@ -1,0 +1,22 @@
+(** Reaching definitions (forward). A definition site is identified by its
+    block, instruction index and defined variable. *)
+
+open Tdfa_ir
+
+module Def : sig
+  type t = { label : Label.t; index : int; var : Var.t }
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Def_set : Set.S with type elt = Def.t
+
+type t
+
+val analyze : Func.t -> t
+val reach_in : t -> Label.t -> Def_set.t
+val reach_out : t -> Label.t -> Def_set.t
+
+val defs_of_var_at : t -> Label.t -> Var.t -> Def_set.t
+(** Definition sites of one variable reaching the block entry. *)

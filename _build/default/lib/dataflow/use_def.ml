@@ -1,0 +1,42 @@
+open Tdfa_ir
+
+type site = { label : Label.t; index : int }
+
+type t = {
+  func : Func.t;
+  defs : site list Var.Tbl.t;
+  uses : site list Var.Tbl.t;
+}
+
+let add tbl v site =
+  let cur = match Var.Tbl.find_opt tbl v with Some l -> l | None -> [] in
+  Var.Tbl.replace tbl v (site :: cur)
+
+let build (func : Func.t) =
+  let defs = Var.Tbl.create 64 in
+  let uses = Var.Tbl.create 64 in
+  Func.iter_instrs
+    (fun label index i ->
+      let site = { label; index } in
+      (match Instr.def i with Some d -> add defs d site | None -> ());
+      List.iter (fun v -> add uses v site) (Instr.uses i))
+    func;
+  List.iter
+    (fun (b : Block.t) ->
+      let site = { label = b.Block.label; index = Block.num_instrs b } in
+      List.iter (fun v -> add uses v site) (Block.term_uses b.Block.term))
+    func.Func.blocks;
+  { func; defs; uses }
+
+let defs t v =
+  match Var.Tbl.find_opt t.defs v with Some l -> List.rev l | None -> []
+
+let uses t v =
+  match Var.Tbl.find_opt t.uses v with Some l -> List.rev l | None -> []
+
+let static_use_count t v = List.length (uses t v)
+
+let weighted_access_count t loop_info v =
+  let weight_of site = Loops.frequency loop_info site.label in
+  List.fold_left (fun acc s -> acc +. weight_of s) 0.0 (defs t v)
+  +. List.fold_left (fun acc s -> acc +. weight_of s) 0.0 (uses t v)

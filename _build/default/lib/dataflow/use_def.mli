@@ -1,0 +1,18 @@
+(** Use/def site index for a function, shared by the allocator, the
+    criticality ranking and the optimization passes. *)
+
+open Tdfa_ir
+
+type site = { label : Label.t; index : int }
+
+type t
+
+val build : Func.t -> t
+val defs : t -> Var.t -> site list
+val uses : t -> Var.t -> site list
+
+val static_use_count : t -> Var.t -> int
+val weighted_access_count : t -> Loops.t -> Var.t -> float
+(** Loop-frequency-weighted number of register-file accesses (uses plus
+    defs) of the variable — the pre-register-allocation activity estimate
+    the thermal analysis relies on. *)

@@ -1,0 +1,1 @@
+lib/exec/driver.ml: Array Params Rc_model Simulator Tdfa_thermal Trace

@@ -1,0 +1,1 @@
+lib/exec/driver.mli: Params Rc_model Simulator Tdfa_ir Tdfa_thermal Trace Var

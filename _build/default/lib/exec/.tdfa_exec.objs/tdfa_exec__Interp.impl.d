@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Block Func Hashtbl Instr Int Label List Option Program Tdfa_ir Trace Var

@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Func Label Program Tdfa_ir Trace

@@ -1,0 +1,1 @@
+lib/exec/trace.ml: Array Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/exec/trace.mli: Tdfa_ir Var

@@ -1,0 +1,50 @@
+open Tdfa_thermal
+
+let default_window_cycles = 1000
+
+let power_of_counts (p : Params.t) ~window_cycles ~reads ~writes =
+  let window_s = float_of_int window_cycles /. p.Params.clock_hz in
+  Array.mapi
+    (fun i r ->
+      let energy =
+        (float_of_int r *. p.Params.read_energy_j)
+        +. (float_of_int writes.(i) *. p.Params.write_energy_j)
+      in
+      energy /. window_s)
+    reads
+
+let simulate_trace ?(window_cycles = default_window_cycles) model trace ~cell_of_var =
+  let p = Rc_model.params model in
+  let n = Rc_model.num_nodes model in
+  let windows =
+    Trace.windowed_counts trace ~cell_of_var ~num_cells:n ~window_cycles
+  in
+  let sim = Simulator.create model in
+  let window_s = float_of_int window_cycles /. p.Params.clock_hz in
+  Array.iter
+    (fun (reads, writes) ->
+      let power = power_of_counts p ~window_cycles ~reads ~writes in
+      Simulator.step sim ~power ~dt:window_s)
+    windows;
+  sim
+
+let steady_temps ?leak_mask model trace ~cell_of_var =
+  let p = Rc_model.params model in
+  let n = Rc_model.num_nodes model in
+  let reads, writes = Trace.access_counts trace ~cell_of_var ~num_cells:n in
+  let cycles = max 1 (Trace.cycles trace) in
+  let avg_power = power_of_counts p ~window_cycles:cycles ~reads ~writes in
+  let gated i =
+    match leak_mask with Some mask -> not mask.(i) | None -> false
+  in
+  (* One leakage feedback round: solve at ambient leakage, re-evaluate
+     leakage at the solution, solve again. *)
+  let with_leak temps =
+    let leak = Rc_model.leakage_power model ~temps in
+    Array.mapi (fun i pw -> if gated i then pw else pw +. leak.(i)) avg_power
+  in
+  let first =
+    Rc_model.steady_state model
+      ~power:(with_leak (Array.make n p.Params.ambient_k))
+  in
+  Rc_model.steady_state model ~power:(with_leak first)

@@ -1,0 +1,33 @@
+(** Glue from an execution trace to the RC thermal simulator: bins the
+    trace into fixed windows, converts access counts to dynamic power and
+    integrates. This is the "measured" side of every experiment. *)
+
+open Tdfa_ir
+open Tdfa_thermal
+
+val default_window_cycles : int
+
+val power_of_counts :
+  Params.t -> window_cycles:int -> reads:int array -> writes:int array -> float array
+(** Dynamic power per cell over one window. *)
+
+val simulate_trace :
+  ?window_cycles:int ->
+  Rc_model.t ->
+  Trace.t ->
+  cell_of_var:(Var.t -> int option) ->
+  Simulator.t
+(** Fresh simulator run over the whole trace; returns it with final
+    temperatures and peak history populated. *)
+
+val steady_temps :
+  ?leak_mask:bool array ->
+  Rc_model.t ->
+  Trace.t ->
+  cell_of_var:(Tdfa_ir.Var.t -> int option) ->
+  float array
+(** Steady-state temperatures under the trace's *average* power — the
+    long-run thermal map of the access pattern (what Fig. 1 shows).
+    Includes one leakage feedback iteration. [leak_mask.(i) = false]
+    power-gates cell [i]: it contributes no leakage (used by the
+    bank-gating experiment, §4's compromise with switched-off banks). *)

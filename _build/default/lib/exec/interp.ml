@@ -1,0 +1,152 @@
+open Tdfa_ir
+
+exception Out_of_fuel of int
+exception Runtime_error of string
+
+type outcome = {
+  return_value : int option;
+  cycles : int;
+  trace : Trace.t;
+  exec_counts : int Label.Map.t;
+  memory : (int * int) list;
+}
+
+type state = {
+  program : Program.t;
+  memory : (int, int) Hashtbl.t;
+  mutable cycle : int;
+  fuel : int;
+  mutable depth : int;
+  mutable events_rev : Trace.event list;
+  mutable exec_counts : int Label.Map.t;
+}
+
+(* Recursion is legal in the IR (and expressible in TC); bound the call
+   depth so a runaway recursion raises a clean error instead of
+   exhausting the host stack. *)
+let max_call_depth = 10_000
+
+(* Deterministic contents for uninitialised memory, so kernels that read
+   arrays before writing them stay reproducible. *)
+let memory_pattern addr = (addr * 2654435761) land 0xFFFF
+
+let mem_read st addr =
+  match Hashtbl.find_opt st.memory addr with
+  | Some v -> v
+  | None -> memory_pattern addr
+
+let mem_write st addr v = Hashtbl.replace st.memory addr v
+
+let record st var kind =
+  st.events_rev <- { Trace.cycle = st.cycle; var; kind } :: st.events_rev
+
+let tick st =
+  st.cycle <- st.cycle + 1;
+  if st.cycle > st.fuel then raise (Out_of_fuel st.cycle)
+
+let bump_block st l =
+  let cur =
+    match Label.Map.find_opt l st.exec_counts with Some k -> k | None -> 0
+  in
+  st.exec_counts <- Label.Map.add l (cur + 1) st.exec_counts
+
+let env_read env st v =
+  match Var.Tbl.find_opt env v with
+  | Some x ->
+    record st v Trace.Read;
+    x
+  | None -> raise (Runtime_error ("read of undefined variable " ^ Var.to_string v))
+
+let env_write env st v x =
+  record st v Trace.Write;
+  Var.Tbl.replace env v x
+
+let rec exec_call st name args =
+  match Program.find st.program name with
+  | None -> raise (Runtime_error ("call to unknown function @" ^ name))
+  | Some callee ->
+    st.depth <- st.depth + 1;
+    if st.depth > max_call_depth then
+      raise (Runtime_error "call depth exceeded (runaway recursion?)");
+    let result = exec_func st callee args in
+    st.depth <- st.depth - 1;
+    result
+
+and exec_func st (f : Func.t) args =
+  let env = Var.Tbl.create 64 in
+  List.iteri
+    (fun i p ->
+      let v = match List.nth_opt args i with Some x -> x | None -> 0 in
+      Var.Tbl.replace env p v)
+    f.Func.params;
+  let rec run_block label =
+    bump_block st label;
+    let block = Func.find_block f label in
+    exec_body env block
+  and exec_body env (block : Block.t) =
+    Array.iter (exec_instr env) block.Block.body;
+    tick st;
+    match block.Block.term with
+    | Block.Jump l -> run_block l
+    | Block.Branch (c, t, e) ->
+      let cv = env_read env st c in
+      run_block (if cv <> 0 then t else e)
+    | Block.Return (Some v) -> Some (env_read env st v)
+    | Block.Return None -> None
+  and exec_instr env i =
+    tick st;
+    match i with
+    | Instr.Const (d, k) -> env_write env st d k
+    | Instr.Unop (op, d, s) ->
+      let x = env_read env st s in
+      env_write env st d (Instr.eval_unop op x)
+    | Instr.Binop (op, d, s1, s2) ->
+      let x = env_read env st s1 in
+      let y = env_read env st s2 in
+      env_write env st d (Instr.eval_binop op x y)
+    | Instr.Load (d, base, off) ->
+      let b = env_read env st base in
+      tick st;  (* memory wait state *)
+      env_write env st d (mem_read st (b + off))
+    | Instr.Store (v, base, off) ->
+      let x = env_read env st v in
+      let b = env_read env st base in
+      tick st;  (* memory wait state *)
+      mem_write st (b + off) x
+    | Instr.Call (d, name, arg_vars) ->
+      let args = List.map (fun v -> env_read env st v) arg_vars in
+      let result = exec_call st name args in
+      (match d with
+       | Some d -> env_write env st d (Option.value result ~default:0)
+       | None -> ())
+    | Instr.Nop -> ()
+  in
+  run_block (Func.entry_label f)
+
+let run ?(fuel = 2_000_000) ?(args = []) program name =
+  let st =
+    {
+      program;
+      memory = Hashtbl.create 1024;
+      cycle = 0;
+      fuel;
+      depth = 0;
+      events_rev = [];
+      exec_counts = Label.Map.empty;
+    }
+  in
+  let return_value = exec_call st name args in
+  let memory =
+    Hashtbl.fold (fun addr v acc -> (addr, v) :: acc) st.memory []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  {
+    return_value;
+    cycles = st.cycle;
+    trace = Trace.of_events ~cycles:st.cycle (List.rev st.events_rev);
+    exec_counts = st.exec_counts;
+    memory;
+  }
+
+let run_func ?fuel ?args (f : Func.t) =
+  run ?fuel ?args (Program.of_funcs [ f ]) f.Func.name

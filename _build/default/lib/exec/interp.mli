@@ -1,0 +1,35 @@
+(** Deterministic IR interpreter. Executes a program and records every
+    register-file access with its cycle, producing the ground-truth trace
+    the thermal simulator consumes.
+
+    Memory is a flat word-addressed store initialised to a deterministic
+    pseudo-random pattern, so kernels reading uninitialised arrays still
+    behave reproducibly. Each instruction (and each taken terminator)
+    costs one cycle; loads and stores cost one extra wait-state cycle, so
+    spilling and promotion trade performance the way the paper assumes. *)
+
+open Tdfa_ir
+
+exception Out_of_fuel of int
+(** Raised when execution exceeds the fuel budget (cycles). *)
+
+exception Runtime_error of string
+(** Unknown callee, missing variable and similar faults. *)
+
+type outcome = {
+  return_value : int option;
+  cycles : int;
+  trace : Trace.t;
+  exec_counts : int Label.Map.t;  (** executions of each basic block *)
+  memory : (int * int) list;
+      (** final memory contents as sorted (address, value) bindings; used
+          to check that optimization passes preserve semantics (spill
+          slots live at or above {i 1_000_000} and can be filtered out) *)
+}
+
+val run : ?fuel:int -> ?args:int list -> Program.t -> string -> outcome
+(** [run program name] executes function [name]. Missing arguments default
+    to 0. Default [fuel] is 2_000_000 cycles. *)
+
+val run_func : ?fuel:int -> ?args:int list -> Func.t -> outcome
+(** Run a single function as a one-function program. *)

@@ -1,0 +1,61 @@
+open Tdfa_ir
+
+type kind = Read | Write
+
+type event = { cycle : int; var : Var.t; kind : kind }
+
+type t = { events : event array; cycles : int }
+
+let of_events ~cycles events =
+  let events = Array.of_list events in
+  Array.iteri
+    (fun i e ->
+      if i > 0 then assert (events.(i - 1).cycle <= e.cycle))
+    events;
+  { events; cycles }
+
+let cycles t = t.cycles
+let length t = Array.length t.events
+let iter f t = Array.iter f t.events
+let events t = Array.copy t.events
+
+let access_counts t ~cell_of_var ~num_cells =
+  let reads = Array.make num_cells 0 in
+  let writes = Array.make num_cells 0 in
+  iter
+    (fun e ->
+      match cell_of_var e.var with
+      | None -> ()
+      | Some cell ->
+        assert (cell >= 0 && cell < num_cells);
+        (match e.kind with
+         | Read -> reads.(cell) <- reads.(cell) + 1
+         | Write -> writes.(cell) <- writes.(cell) + 1))
+    t;
+  (reads, writes)
+
+let windowed_counts t ~cell_of_var ~num_cells ~window_cycles =
+  assert (window_cycles > 0);
+  let num_windows = max 1 ((t.cycles + window_cycles - 1) / window_cycles) in
+  let windows =
+    Array.init num_windows (fun _ -> (Array.make num_cells 0, Array.make num_cells 0))
+  in
+  iter
+    (fun e ->
+      match cell_of_var e.var with
+      | None -> ()
+      | Some cell ->
+        let w = min (num_windows - 1) (e.cycle / window_cycles) in
+        let reads, writes = windows.(w) in
+        (match e.kind with
+         | Read -> reads.(cell) <- reads.(cell) + 1
+         | Write -> writes.(cell) <- writes.(cell) + 1))
+    t;
+  windows
+
+let per_var_counts t =
+  Array.fold_left
+    (fun acc e ->
+      let cur = match Var.Map.find_opt e.var acc with Some k -> k | None -> 0 in
+      Var.Map.add e.var (cur + 1) acc)
+    Var.Map.empty t.events

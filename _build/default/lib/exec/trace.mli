@@ -1,0 +1,38 @@
+(** Cycle-stamped register-file access traces — the interface between
+    program execution and the thermal model. *)
+
+open Tdfa_ir
+
+type kind = Read | Write
+
+type event = { cycle : int; var : Var.t; kind : kind }
+
+type t
+
+val of_events : cycles:int -> event list -> t
+(** Events must be in nondecreasing cycle order. *)
+
+val cycles : t -> int
+val length : t -> int
+val iter : (event -> unit) -> t -> unit
+val events : t -> event array
+
+val access_counts :
+  t ->
+  cell_of_var:(Var.t -> int option) ->
+  num_cells:int ->
+  (int array * int array)
+(** Whole-trace totals: (reads per cell, writes per cell). Events whose
+    variable has no cell (spilled to memory) are dropped. *)
+
+val windowed_counts :
+  t ->
+  cell_of_var:(Var.t -> int option) ->
+  num_cells:int ->
+  window_cycles:int ->
+  (int array * int array) array
+(** Per-window totals; the last window may be partial. An empty trace
+    yields a single empty window. *)
+
+val per_var_counts : t -> int Var.Map.t
+(** Total accesses (reads + writes) per variable. *)

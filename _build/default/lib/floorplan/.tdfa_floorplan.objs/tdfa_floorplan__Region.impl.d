@@ -1,0 +1,1 @@
+lib/floorplan/region.ml: Array Float Layout List

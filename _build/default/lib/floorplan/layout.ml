@@ -1,0 +1,57 @@
+type t = {
+  rows : int;
+  cols : int;
+  cell_width_um : float;
+  cell_height_um : float;
+}
+
+let make ?(cell_width_um = 12.0) ?(cell_height_um = 6.0) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Layout.make: non-positive grid";
+  if cell_width_um <= 0.0 || cell_height_um <= 0.0 then
+    invalid_arg "Layout.make: non-positive cell size";
+  { rows; cols; cell_width_um; cell_height_um }
+
+let num_cells t = t.rows * t.cols
+
+let coord t i =
+  assert (i >= 0 && i < num_cells t);
+  (i / t.cols, i mod t.cols)
+
+let index t ~row ~col =
+  assert (row >= 0 && row < t.rows && col >= 0 && col < t.cols);
+  (row * t.cols) + col
+
+let in_range t i = i >= 0 && i < num_cells t
+
+let center_um t i =
+  let row, col = coord t i in
+  ( (float_of_int col +. 0.5) *. t.cell_width_um,
+    (float_of_int row +. 0.5) *. t.cell_height_um )
+
+let distance_um t i j =
+  let xi, yi = center_um t i in
+  let xj, yj = center_um t j in
+  Float.hypot (xi -. xj) (yi -. yj)
+
+let manhattan t i j =
+  let ri, ci = coord t i in
+  let rj, cj = coord t j in
+  abs (ri - rj) + abs (ci - cj)
+
+let neighbors t i =
+  let row, col = coord t i in
+  let candidates =
+    [ (row - 1, col); (row, col - 1); (row, col + 1); (row + 1, col) ]
+  in
+  List.filter_map
+    (fun (r, c) ->
+      if r >= 0 && r < t.rows && c >= 0 && c < t.cols then
+        Some (index t ~row:r ~col:c)
+      else None)
+    candidates
+
+let chessboard_color t i =
+  let row, col = coord t i in
+  (row + col) land 1
+
+let cells t = List.init (num_cells t) Fun.id

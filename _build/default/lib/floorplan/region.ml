@@ -1,0 +1,53 @@
+type t = {
+  layout : Layout.t;
+  num_regions : int;
+  of_cell : int array;  (* cell index -> region id *)
+}
+
+let build layout num_regions of_cell = { layout; num_regions; of_cell }
+
+let grid (layout : Layout.t) ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Region.grid: non-positive grid";
+  if rows > layout.Layout.rows || cols > layout.Layout.cols then
+    invalid_arg "Region.grid: more regions than cells";
+  let assign i =
+    let r, c = Layout.coord layout i in
+    let rr = r * rows / layout.Layout.rows in
+    let rc = c * cols / layout.Layout.cols in
+    (rr * cols) + rc
+  in
+  build layout (rows * cols) (Array.init (Layout.num_cells layout) assign)
+
+let quadrants layout = grid layout ~rows:2 ~cols:2
+let banks layout ~n = grid layout ~rows:1 ~cols:n
+
+let num_regions t = t.num_regions
+
+let region_of_cell t i =
+  assert (Layout.in_range t.layout i);
+  t.of_cell.(i)
+
+let cells_of_region t r =
+  List.filter (fun i -> t.of_cell.(i) = r) (Layout.cells t.layout)
+
+let centroid_cell t r =
+  let cells = cells_of_region t r in
+  match cells with
+  | [] -> invalid_arg "Region.centroid_cell: empty region"
+  | first :: _ ->
+    let n = float_of_int (List.length cells) in
+    let sx, sy =
+      List.fold_left
+        (fun (sx, sy) i ->
+          let x, y = Layout.center_um t.layout i in
+          (sx +. x, sy +. y))
+        (0.0, 0.0) cells
+    in
+    let cx, cy = (sx /. n, sy /. n) in
+    let dist i =
+      let x, y = Layout.center_um t.layout i in
+      Float.hypot (x -. cx) (y -. cy)
+    in
+    List.fold_left
+      (fun best i -> if dist i < dist best then i else best)
+      first cells

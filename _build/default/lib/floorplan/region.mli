@@ -1,0 +1,20 @@
+(** Coarse partitions of the register file, used by the pre-allocation
+    placement model ("assign critical variables to disparate regions",
+    §4) and by the granularity knob of the thermal state. *)
+
+type t
+
+val grid : Layout.t -> rows:int -> cols:int -> t
+(** Partition the layout into a [rows x cols] grid of regions; layout rows
+    and columns are distributed as evenly as possible.
+    @raise Invalid_argument when the region grid exceeds the layout. *)
+
+val quadrants : Layout.t -> t
+val banks : Layout.t -> n:int -> t
+(** [n] vertical banks (column stripes). *)
+
+val num_regions : t -> int
+val region_of_cell : t -> int -> int
+val cells_of_region : t -> int -> int list
+val centroid_cell : t -> int -> int
+(** The cell closest to the region's geometric centre. *)

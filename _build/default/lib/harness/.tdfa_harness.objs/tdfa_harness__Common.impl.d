@@ -1,0 +1,1 @@
+lib/harness/common.ml: Alloc Analysis Assignment Driver Interp Layout Metrics Params Policy Rc_model Setup Tdfa_core Tdfa_exec Tdfa_floorplan Tdfa_regalloc Tdfa_thermal Thermal_state

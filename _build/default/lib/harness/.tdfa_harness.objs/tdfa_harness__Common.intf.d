@@ -1,0 +1,1 @@
+lib/harness/common.mli: Alloc Analysis Func Layout Metrics Policy Rc_model Tdfa_core Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Var

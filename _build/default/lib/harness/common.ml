@@ -1,0 +1,44 @@
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_exec
+open Tdfa_regalloc
+open Tdfa_core
+
+let standard_layout = Layout.make ~rows:8 ~cols:8 ()
+let standard_model = Rc_model.build standard_layout Params.default
+
+type run = {
+  kernel : string;
+  policy : Policy.t;
+  alloc : Alloc.result;
+  cycles : int;
+  measured : float array;
+  metrics : Metrics.summary;
+}
+
+let cell_fn (alloc : Alloc.result) v = Assignment.cell_of_var alloc.Alloc.assignment v
+
+let run_policy ?(layout = standard_layout) ~name func policy =
+  let model =
+    if layout == standard_layout then standard_model
+    else Rc_model.build layout Params.default
+  in
+  let alloc = Alloc.allocate func layout ~policy in
+  let outcome = Interp.run_func alloc.Alloc.func in
+  let measured =
+    Driver.steady_temps model outcome.Interp.trace ~cell_of_var:(cell_fn alloc)
+  in
+  {
+    kernel = name;
+    policy;
+    alloc;
+    cycles = outcome.Interp.cycles;
+    measured;
+    metrics = Metrics.summarize layout measured;
+  }
+
+let analyze_run ?granularity ?settings ?(layout = standard_layout) run =
+  Setup.run_post_ra ?granularity ?settings ~layout run.alloc.Alloc.func
+    run.alloc.Alloc.assignment
+
+let predicted_cells info = Thermal_state.to_cell_array (Analysis.mean_map info)

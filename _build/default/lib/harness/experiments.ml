@@ -1,0 +1,1197 @@
+open Tdfa_thermal
+open Tdfa_exec
+open Tdfa_regalloc
+open Tdfa_core
+open Tdfa_workload
+open Tdfa_optim
+open Tdfa_report
+
+let section title =
+  Printf.printf "\n==== %s ====\n\n" title
+
+
+(* ------------------------------------------------------------------ *)
+(* FIG1                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type fig1_result = {
+  peak_first_fit : float;
+  peak_random : float;
+  peak_chessboard : float;
+  gradient_first_fit : float;
+  gradient_chessboard : float;
+}
+
+let fig1 ?(quiet = false) () =
+  if not quiet then
+    section "FIG1 - thermal maps per register assignment policy (8x8 RF)";
+  (* ~50% register pressure, where the chessboard pattern is exactly
+     realisable, as in the paper's figure. *)
+  let func = Kernels.high_pressure ~live:28 ~iters:64 () in
+  let policies =
+    [ Policy.First_fit; Policy.Random 42; Policy.Chessboard;
+      Policy.Round_robin; Policy.Thermal_spread ]
+  in
+  let runs =
+    List.map (fun p -> Common.run_policy ~name:"high_pressure" func p) policies
+  in
+  let lo =
+    List.fold_left
+      (fun acc (r : Common.run) -> Float.min acc r.Common.metrics.Metrics.min_k)
+      infinity runs
+  in
+  let hi =
+    List.fold_left
+      (fun acc (r : Common.run) -> Float.max acc r.Common.metrics.Metrics.peak_k)
+      neg_infinity runs
+  in
+  if not quiet then begin
+    (* The figure proper: maps (a), (b), (c) on a common scale. *)
+    let fig_runs = List.filteri (fun i _ -> i < 3) runs in
+    let maps =
+      List.map
+        (fun (r : Common.run) ->
+          Heatmap.render_normalized ~lo ~hi Common.standard_layout r.Common.measured)
+        fig_runs
+    in
+    let titles =
+      [ "(a) first-fit"; "(b) random"; "(c) chessboard" ]
+    in
+    print_string (Heatmap.side_by_side ~titles maps);
+    print_newline ();
+    let table =
+      Table.create
+        ~headers:
+          [ "policy"; "peak(K)"; "mean(K)"; "range(K)"; "maxgrad(K)";
+            "hotspots"; "regs used" ]
+    in
+    List.iter
+      (fun (r : Common.run) ->
+        let m = r.Common.metrics in
+        Table.add_row table
+          [
+            Policy.name r.Common.policy;
+            Table.fk m.Metrics.peak_k;
+            Table.fk m.Metrics.mean_k;
+            Table.fk m.Metrics.range_k;
+            Table.fk m.Metrics.max_neighbor_gradient_k;
+            string_of_int m.Metrics.hotspot_cells;
+            string_of_int
+              (List.length (Assignment.cells_in_use r.Common.alloc.Alloc.assignment));
+          ])
+      runs;
+    Table.print table
+  end;
+  let find p =
+    match
+      List.find_opt (fun (r : Common.run) -> r.Common.policy = p) runs
+    with
+    | Some r -> r.Common.metrics
+    | None -> assert false
+  in
+  let ff = find Policy.First_fit in
+  let rd = find (Policy.Random 42) in
+  let cb = find Policy.Chessboard in
+  {
+    peak_first_fit = ff.Metrics.peak_k;
+    peak_random = rd.Metrics.peak_k;
+    peak_chessboard = cb.Metrics.peak_k;
+    gradient_first_fit = ff.Metrics.max_neighbor_gradient_k;
+    gradient_chessboard = cb.Metrics.max_neighbor_gradient_k;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* FIG2                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type fig2_row = {
+  kernel : string;
+  delta_k : float;
+  iterations : int;
+  converged : bool;
+}
+
+let fig2_kernels = [ "fib"; "matmul"; "fir"; "crc"; "stencil"; "bubble_sort" ]
+
+let fig2 ?(quiet = false) () =
+  if not quiet then
+    section "FIG2 - convergence of the thermal data-flow fixpoint";
+  let deltas = [ 1.0; 0.1; 0.01; 0.001 ] in
+  let rows = ref [] in
+  let table =
+    Table.create ~headers:[ "kernel"; "delta(K)"; "iterations"; "converged" ]
+  in
+  List.iter
+    (fun name ->
+      let func =
+        match Kernels.find name with Some f -> f | None -> assert false
+      in
+      let alloc = Alloc.allocate func Common.standard_layout ~policy:Policy.First_fit in
+      List.iter
+        (fun delta_k ->
+          let settings =
+            { Analysis.default_settings with Analysis.delta_k; max_iterations = 500 }
+          in
+          let outcome =
+            Setup.run_post_ra ~settings ~layout:Common.standard_layout
+              alloc.Alloc.func alloc.Alloc.assignment
+          in
+          let info = Analysis.info outcome in
+          let row =
+            {
+              kernel = name;
+              delta_k;
+              iterations = info.Analysis.iterations;
+              converged = Analysis.converged outcome;
+            }
+          in
+          rows := row :: !rows;
+          Table.add_row table
+            [
+              name;
+              Printf.sprintf "%g" delta_k;
+              string_of_int row.iterations;
+              string_of_bool row.converged;
+            ])
+        deltas)
+    fig2_kernels;
+  (* A deliberately unstable configuration: the explicit step exceeds the
+     stability bound, the analysis oscillates and hits the iteration cap -
+     the non-convergence escape hatch of Fig. 2. *)
+  let func = Kernels.fib () in
+  let alloc = Alloc.allocate func Common.standard_layout ~policy:Policy.First_fit in
+  let settings =
+    { Analysis.default_settings with Analysis.delta_k = 0.05; max_iterations = 50 }
+  in
+  let outcome =
+    Setup.run_post_ra ~analysis_dt_s:1.0e-4 ~settings
+      ~layout:Common.standard_layout alloc.Alloc.func alloc.Alloc.assignment
+  in
+  let info = Analysis.info outcome in
+  let unstable_row =
+    {
+      kernel = "fib (dt too large)";
+      delta_k = 0.05;
+      iterations = info.Analysis.iterations;
+      converged = Analysis.converged outcome;
+    }
+  in
+  rows := unstable_row :: !rows;
+  Table.add_row table
+    [
+      unstable_row.kernel;
+      "0.05";
+      string_of_int unstable_row.iterations;
+      string_of_bool unstable_row.converged;
+    ];
+  if not quiet then Table.print table;
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* E3 - chessboard breakdown under pressure                             *)
+(* ------------------------------------------------------------------ *)
+
+type e3_row = {
+  live : int;
+  pressure_pct : float;
+  peak_by_policy : (string * float) list;
+}
+
+let e3_policies =
+  [ Policy.First_fit; Policy.Random 42; Policy.Chessboard; Policy.Thermal_spread ]
+
+let e3 ?(quiet = false) () =
+  if not quiet then
+    section "E3 - peak temperature vs register pressure (chessboard breakdown)";
+  let lives = [ 8; 16; 24; 28; 32; 40; 48; 56 ] in
+  let table =
+    Table.create
+      ~headers:
+        ("live" :: "pressure"
+        :: List.map Policy.name e3_policies)
+  in
+  let rows =
+    List.map
+      (fun live ->
+        let func = Kernels.high_pressure ~live ~iters:64 () in
+        let runs =
+          List.map
+            (fun p -> (p, Common.run_policy ~name:"high_pressure" func p))
+            e3_policies
+        in
+        let pressure =
+          match runs with
+          | (_, r) :: _ ->
+            float_of_int r.Common.alloc.Alloc.max_pressure /. 64.0 *. 100.0
+          | [] -> 0.0
+        in
+        let peaks =
+          List.map
+            (fun (p, (r : Common.run)) ->
+              (Policy.name p, r.Common.metrics.Metrics.peak_k))
+            runs
+        in
+        Table.add_row table
+          (string_of_int live :: Table.pct pressure
+          :: List.map (fun (_, v) -> Table.fk v) peaks);
+        { live; pressure_pct = pressure; peak_by_policy = peaks })
+      lives
+  in
+  if not quiet then Table.print table;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 - policy comparison across kernels                                *)
+(* ------------------------------------------------------------------ *)
+
+let e4 ?(quiet = false) () =
+  if not quiet then section "E4 - peak temperature per kernel and policy";
+  let policies = Policy.all in
+  let table =
+    Table.create
+      ~headers:(("kernel" :: List.map Policy.name policies) @ [ "best" ])
+  in
+  let results =
+    List.map
+      (fun (name, func) ->
+        let peaks =
+          List.map
+            (fun p ->
+              let r = Common.run_policy ~name func p in
+              (Policy.name p, r.Common.metrics.Metrics.peak_k))
+            policies
+        in
+        let best =
+          List.fold_left
+            (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+            ("", infinity) peaks
+        in
+        Table.add_row table
+          ((name :: List.map (fun (_, v) -> Table.fk v) peaks) @ [ fst best ]);
+        (name, peaks))
+      Kernels.all
+  in
+  if not quiet then Table.print table;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* E5 - fidelity vs granularity                                         *)
+(* ------------------------------------------------------------------ *)
+
+type e5_row = {
+  kernel : string;
+  granularity : int;
+  mae_k : float;
+  spearman : float;
+  analysis_ms : float;
+  iterations : int;
+}
+
+let e5 ?(quiet = false) () =
+  if not quiet then
+    section "E5 - analysis fidelity and cost vs thermal-state granularity";
+  let table =
+    Table.create
+      ~headers:
+        [ "kernel"; "granularity"; "points"; "mae(K)"; "spearman";
+          "iterations"; "time(ms)" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let func =
+        match Kernels.find name with Some f -> f | None -> assert false
+      in
+      let run = Common.run_policy ~name func Policy.First_fit in
+      List.iter
+        (fun granularity ->
+          let t0 = Sys.time () in
+          let outcome = Common.analyze_run ~granularity run in
+          let ms = (Sys.time () -. t0) *. 1000.0 in
+          let info = Analysis.info outcome in
+          let predicted = Common.predicted_cells info in
+          let report =
+            Accuracy.compare_fields ~predicted ~measured:run.Common.measured
+          in
+          let row =
+            {
+              kernel = name;
+              granularity;
+              mae_k = report.Accuracy.mae_k;
+              spearman = report.Accuracy.spearman;
+              analysis_ms = ms;
+              iterations = info.Analysis.iterations;
+            }
+          in
+          rows := row :: !rows;
+          let points =
+            Thermal_state.num_points
+              (Analysis.peak_map info)
+          in
+          Table.add_row table
+            [
+              name;
+              string_of_int granularity;
+              string_of_int points;
+              Table.f3 report.Accuracy.mae_k;
+              Table.f3 report.Accuracy.spearman;
+              string_of_int info.Analysis.iterations;
+              Table.f2 ms;
+            ])
+        [ 1; 2; 4; 8 ])
+    [ "matmul"; "stencil"; "fir" ];
+  if not quiet then Table.print table;
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* E6 - optimization ablation                                           *)
+(* ------------------------------------------------------------------ *)
+
+type e6_row = {
+  kernel : string;
+  variant : string;
+  peak_k : float;
+  range_k : float;
+  gradient_k : float;
+  back_to_back : int;
+  cycles : int;
+  overhead_pct : float;
+}
+
+(* Interpret an allocated function and measure its steady thermal map
+   under a given assignment. *)
+let measure_with_assignment func assignment =
+  let outcome = Interp.run_func func in
+  let measured =
+    Driver.steady_temps Common.standard_model outcome.Interp.trace
+      ~cell_of_var:(fun v -> Assignment.cell_of_var assignment v)
+  in
+  (outcome.Interp.cycles, measured, Metrics.summarize Common.standard_layout measured)
+
+(* Criticality ranking of a baseline run. *)
+let critical_of (base : Common.run) info =
+  let cfg =
+    Setup.config_of_assignment ~layout:Common.standard_layout
+      base.Common.alloc.Alloc.func base.Common.alloc.Alloc.assignment
+  in
+  Criticality.critical_vars cfg info base.Common.alloc.Alloc.func
+    base.Common.alloc.Alloc.assignment
+
+let e6 ?(quiet = false) () =
+  if not quiet then section "E6 - thermal-aware optimization ablation";
+  let rows = ref [] in
+  let row ~kernel ~variant ~base_cycles ~b2b cycles (m : Metrics.summary) =
+    let r =
+      {
+        kernel;
+        variant;
+        peak_k = m.Metrics.peak_k;
+        range_k = m.Metrics.range_k;
+        gradient_k = m.Metrics.max_neighbor_gradient_k;
+        back_to_back = b2b;
+        cycles;
+        overhead_pct =
+          float_of_int (cycles - base_cycles)
+          /. float_of_int base_cycles *. 100.0;
+      }
+    in
+    rows := r :: !rows
+  in
+  let b2b_of (r : Common.run) =
+    Schedule.count_back_to_back r.Common.alloc.Alloc.func
+      ~cell_of_var:(Common.cell_fn r.Common.alloc)
+  in
+  let baseline name =
+    let func = match Kernels.find name with Some f -> f | None -> assert false in
+    let base = Common.run_policy ~name func Policy.First_fit in
+    let info = Analysis.info (Common.analyze_run base) in
+    (func, base, info)
+  in
+
+  (* --- fir: spilling, splitting, NOP insertion, combined --- *)
+  let func, base, info = baseline "fir" in
+  let base_cycles = base.Common.cycles in
+  row ~kernel:"fir" ~variant:"baseline (first-fit)" ~base_cycles
+    ~b2b:(b2b_of base) base.Common.cycles base.Common.metrics;
+  let critical = critical_of base info in
+  let spilled_func, _ = Spill_critical.apply func ~critical ~max_spills:2 in
+  let r = Common.run_policy ~name:"fir" spilled_func Policy.First_fit in
+  row ~kernel:"fir" ~variant:"spill critical (2)" ~base_cycles ~b2b:(b2b_of r)
+    r.Common.cycles r.Common.metrics;
+  let split_func, _ = Split_ranges.apply func ~vars:critical in
+  let r = Common.run_policy ~name:"fir" split_func Policy.First_fit in
+  row ~kernel:"fir" ~variant:"split ranges" ~base_cycles ~b2b:(b2b_of r)
+    r.Common.cycles r.Common.metrics;
+  let peak = Analysis.peak_map info in
+  let mean_t = Thermal_state.mean peak in
+  let hot_after label index =
+    match Analysis.state_after info label index with
+    | s -> Thermal_state.peak s > mean_t +. 1.0
+    | exception Not_found -> false
+  in
+  let nop_func, _ =
+    Nop_insert.apply base.Common.alloc.Alloc.func ~hot_after ~nops:1
+  in
+  let cycles, _, m =
+    measure_with_assignment nop_func base.Common.alloc.Alloc.assignment
+  in
+  row ~kernel:"fir" ~variant:"nop insertion" ~base_cycles
+    ~b2b:
+      (Schedule.count_back_to_back nop_func
+         ~cell_of_var:(Common.cell_fn base.Common.alloc))
+    cycles m;
+  let comb, _ = Split_ranges.apply func ~vars:critical in
+  let r = Common.run_policy ~name:"fir" comb Policy.Thermal_spread in
+  row ~kernel:"fir" ~variant:"split + thermal-spread" ~base_cycles
+    ~b2b:(b2b_of r) r.Common.cycles r.Common.metrics;
+
+  (* --- idct_row: thermal-aware scheduling (the ILP-rich kernel) --- *)
+  let _, base, info = baseline "idct_row" in
+  let base_cycles = base.Common.cycles in
+  row ~kernel:"idct_row" ~variant:"baseline (first-fit)" ~base_cycles
+    ~b2b:(b2b_of base) base.Common.cycles base.Common.metrics;
+  let peak = Analysis.peak_map info in
+  let mean_t = Thermal_state.mean peak in
+  let hot_cell c =
+    Thermal_state.get peak (Thermal_state.point_of_cell peak c) > mean_t +. 1.0
+  in
+  let sched_func, sched_report =
+    Schedule.apply base.Common.alloc.Alloc.func
+      ~cell_of_var:(Common.cell_fn base.Common.alloc)
+      ~is_hot_cell:hot_cell
+  in
+  let cycles, _, m =
+    measure_with_assignment sched_func base.Common.alloc.Alloc.assignment
+  in
+  row ~kernel:"idct_row" ~variant:"schedule (thermal)" ~base_cycles
+    ~b2b:sched_report.Schedule.back_to_back_after cycles m;
+
+  (* --- scale: register promotion (the loop-invariant-load kernel) --- *)
+  let func, base, _ = baseline "scale" in
+  let base_cycles = base.Common.cycles in
+  row ~kernel:"scale" ~variant:"baseline (first-fit)" ~base_cycles
+    ~b2b:(b2b_of base) base.Common.cycles base.Common.metrics;
+  let prom_func, _ = Promote.apply func in
+  let r = Common.run_policy ~name:"scale" prom_func Policy.First_fit in
+  row ~kernel:"scale" ~variant:"promote" ~base_cycles ~b2b:(b2b_of r)
+    r.Common.cycles r.Common.metrics;
+
+  let rows = List.rev !rows in
+  if not quiet then begin
+    let table =
+      Table.create
+        ~headers:
+          [ "kernel"; "variant"; "peak(K)"; "range(K)"; "maxgrad(K)"; "b2b";
+            "cycles"; "overhead" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            r.kernel;
+            r.variant;
+            Table.fk r.peak_k;
+            Table.fk r.range_k;
+            Table.fk r.gradient_k;
+            string_of_int r.back_to_back;
+            string_of_int r.cycles;
+            Table.pct r.overhead_pct;
+          ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E7 - pre-RA predictive analysis vs post-assignment analysis          *)
+(* ------------------------------------------------------------------ *)
+
+type e7_row = {
+  kernel : string;
+  pre_spearman : float;
+  post_spearman : float;
+  pre_mae : float;
+  post_mae : float;
+}
+
+let e7 ?(quiet = false) () =
+  if not quiet then
+    section "E7 - predictive (pre-RA) vs post-assignment analysis accuracy";
+  let table =
+    Table.create
+      ~headers:
+        [ "kernel"; "pre mae(K)"; "post mae(K)"; "pre spearman"; "post spearman" ]
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let func =
+          match Kernels.find name with Some f -> f | None -> assert false
+        in
+        let run = Common.run_policy ~name func Policy.First_fit in
+        (* Post-assignment prediction. *)
+        let post_info = Analysis.info (Common.analyze_run run) in
+        let post = Common.predicted_cells post_info in
+        (* Pre-allocation prediction: original function, predicted
+           placement. *)
+        let cfg = Placement.config_pre_ra ~layout:Common.standard_layout func in
+        let pre_info = Analysis.info (Analysis.run cfg func) in
+        let pre = Common.predicted_cells pre_info in
+        let post_rep =
+          Accuracy.compare_fields ~predicted:post ~measured:run.Common.measured
+        in
+        let pre_rep =
+          Accuracy.compare_fields ~predicted:pre ~measured:run.Common.measured
+        in
+        Table.add_row table
+          [
+            name;
+            Table.f3 pre_rep.Accuracy.mae_k;
+            Table.f3 post_rep.Accuracy.mae_k;
+            Table.f3 pre_rep.Accuracy.spearman;
+            Table.f3 post_rep.Accuracy.spearman;
+          ];
+        {
+          kernel = name;
+          pre_spearman = pre_rep.Accuracy.spearman;
+          post_spearman = post_rep.Accuracy.spearman;
+          pre_mae = pre_rep.Accuracy.mae_k;
+          post_mae = post_rep.Accuracy.mae_k;
+        })
+      fig2_kernels
+  in
+  if not quiet then Table.print table;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E9 - VLIW functional-unit binding (paper ref [4])                    *)
+(* ------------------------------------------------------------------ *)
+
+type e9_row = {
+  kernel : string;
+  binding : string;
+  fu_peak_k : float;
+  fu_range_k : float;
+  utilization : float;
+}
+
+let e9 ?(quiet = false) () =
+  if not quiet then
+    section "E9 - VLIW FU binding: fixed vs round-robin vs coolest (width 4)";
+  let machine = Tdfa_vliw.Machine.make ~width:4 () in
+  let table =
+    Table.create
+      ~headers:[ "kernel"; "binding"; "peak(K)"; "range(K)"; "utilization" ]
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        let func =
+          match Kernels.find name with Some f -> f | None -> assert false
+        in
+        let scheduled =
+          Tdfa_vliw.Bundler.schedule_func ~width:4 func
+        in
+        let util = Tdfa_vliw.Bundler.utilization ~width:4 scheduled in
+        List.map
+          (fun policy ->
+            let _, m = Tdfa_vliw.Fu_thermal.evaluate machine func policy in
+            let row =
+              {
+                kernel = name;
+                binding = Tdfa_vliw.Binding.name policy;
+                fu_peak_k = m.Metrics.peak_k;
+                fu_range_k = m.Metrics.range_k;
+                utilization = util;
+              }
+            in
+            Table.add_row table
+              [
+                name;
+                row.binding;
+                Table.fk row.fu_peak_k;
+                Table.fk row.fu_range_k;
+                Table.pct (100.0 *. util);
+              ];
+            row)
+          Tdfa_vliw.Binding.all)
+      [ "idct_row"; "fir"; "stencil" ]
+  in
+  if not quiet then Table.print table;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 - bank packing + power gating vs spreading (§4 compromise)       *)
+(* ------------------------------------------------------------------ *)
+
+type e10_row = {
+  policy : string;
+  active_banks : int;
+  leakage_mw : float;
+  peak_k : float;
+  range_k : float;
+  mttf_rel_min : float;
+}
+
+let e10 ?(quiet = false) () =
+  if not quiet then
+    section "E10 - bank gating (pack + gate idle banks) vs thermal spreading";
+  let banks = 4 in
+  let func = Kernels.matmul () in
+  let table =
+    Table.create
+      ~headers:
+        [ "policy"; "active banks"; "leakage(mW)"; "peak(K)"; "range(K)";
+          "mttf_min(x)" ]
+  in
+  let rows =
+    List.map
+      (fun policy ->
+        let alloc = Alloc.allocate func Common.standard_layout ~policy in
+        let outcome = Interp.run_func alloc.Alloc.func in
+        let used = Assignment.cells_in_use alloc.Alloc.assignment in
+        let bank_of c =
+          Policy.bank_of_cell Common.standard_layout ~banks c
+        in
+        let active =
+          List.sort_uniq Int.compare (List.map bank_of used)
+        in
+        (* Idle banks are power-gated: their cells leak nothing. *)
+        let mask =
+          Array.init 64 (fun c -> List.mem (bank_of c) active)
+        in
+        let temps =
+          Driver.steady_temps ~leak_mask:mask Common.standard_model
+            outcome.Interp.trace
+            ~cell_of_var:(fun v -> Assignment.cell_of_var alloc.Alloc.assignment v)
+        in
+        let m = Metrics.summarize Common.standard_layout temps in
+        let gated_cells = Array.length (Array.of_seq (Seq.filter not (Array.to_seq mask))) in
+        let leakage_w =
+          Tdfa_thermal.Params.default.Tdfa_thermal.Params.leakage_w
+          *. float_of_int (64 - gated_cells)
+        in
+        let rel = Reliability.assess Common.standard_layout temps in
+        let row =
+          {
+            policy = Policy.name policy;
+            active_banks = List.length active;
+            leakage_mw = leakage_w *. 1000.0;
+            peak_k = m.Metrics.peak_k;
+            range_k = m.Metrics.range_k;
+            mttf_rel_min = rel.Reliability.mttf_rel_min;
+          }
+        in
+        Table.add_row table
+          [
+            row.policy;
+            string_of_int row.active_banks;
+            Table.f3 row.leakage_mw;
+            Table.fk row.peak_k;
+            Table.fk row.range_k;
+            Table.f3 row.mttf_rel_min;
+          ];
+        row)
+      [ Policy.Bank_pack banks; Policy.First_fit; Policy.Thermal_spread ]
+  in
+  if not quiet then Table.print table;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E11 - loop unrolling: cycles vs heat (§5)                            *)
+(* ------------------------------------------------------------------ *)
+
+type e11_row = {
+  factor : int;
+  cycles : int;
+  pressure : int;
+  peak_k : float;
+  predicted_peak_k : float;
+}
+
+let e11 ?(quiet = false) () =
+  if not quiet then
+    section "E11 - loop unrolling on matmul: performance vs temperature";
+  let func = Kernels.matmul () in
+  let table =
+    Table.create
+      ~headers:[ "factor"; "cycles"; "pressure"; "peak(K)"; "predicted peak(K)" ]
+  in
+  let rows =
+    List.map
+      (fun factor ->
+        let unrolled, _ = Tdfa_optim.Unroll.apply func ~factor in
+        let run = Common.run_policy ~name:"matmul" unrolled Policy.First_fit in
+        let info = Analysis.info (Common.analyze_run run) in
+        let predicted = Thermal_state.peak (Analysis.peak_map info) in
+        let row =
+          {
+            factor;
+            cycles = run.Common.cycles;
+            pressure = run.Common.alloc.Alloc.max_pressure;
+            peak_k = run.Common.metrics.Metrics.peak_k;
+            predicted_peak_k = predicted;
+          }
+        in
+        Table.add_row table
+          [
+            string_of_int factor;
+            string_of_int row.cycles;
+            string_of_int row.pressure;
+            Table.fk row.peak_k;
+            Table.fk row.predicted_peak_k;
+          ];
+        row)
+      [ 1; 2; 4; 8 ]
+  in
+  if not quiet then Table.print table;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E12 - compile-time thermal awareness vs runtime DTM (§1, ref [1])    *)
+(* ------------------------------------------------------------------ *)
+
+type e12_row = { variant : string; peak_k : float; slowdown_pct : float }
+
+let e12 ?(quiet = false) () =
+  if not quiet then
+    section "E12 - runtime DTM throttling vs compile-time thermal awareness (fir)";
+  let window_cycles = 1000 in
+  let total_windows = 400 in
+  let params = Tdfa_thermal.Params.default in
+  let window_s = float_of_int window_cycles /. params.Tdfa_thermal.Params.clock_hz in
+  (* Loop the kernel's access trace to reach thermal steady state. *)
+  let windows_of (run : Common.run) =
+    let w =
+      Trace.windowed_counts (Interp.run_func run.Common.alloc.Alloc.func).Interp.trace
+        ~cell_of_var:(Common.cell_fn run.Common.alloc)
+        ~num_cells:64 ~window_cycles
+    in
+    fun i ->
+      let reads, writes = w.(i mod Array.length w) in
+      Driver.power_of_counts params ~window_cycles ~reads ~writes
+  in
+  let trigger_k = 328.0 in
+  let baseline = Common.run_policy ~name:"fir" (Kernels.fir ()) Policy.First_fit in
+  let dtm_run policy_desc throttle (run : Common.run) =
+    let result =
+      Tdfa_thermal.Dtm.run Common.standard_model
+        { Tdfa_thermal.Dtm.trigger_k; throttle_factor = throttle }
+        ~power_of_window:(windows_of run) ~windows:total_windows ~window_s
+    in
+    {
+      variant = policy_desc;
+      peak_k = result.Tdfa_thermal.Dtm.peak_k;
+      slowdown_pct = (result.Tdfa_thermal.Dtm.slowdown -. 1.0) *. 100.0;
+    }
+  in
+  (* Compile-time variant: split critical ranges, spread the allocation;
+     its only cost is the static cycle overhead. *)
+  let info = Analysis.info (Common.analyze_run baseline) in
+  let critical = critical_of baseline info in
+  let split, _ = Tdfa_optim.Split_ranges.apply (Kernels.fir ()) ~vars:critical in
+  let tuned = Common.run_policy ~name:"fir" split Policy.Thermal_spread in
+  let tuned_overhead =
+    float_of_int (tuned.Common.cycles - baseline.Common.cycles)
+    /. float_of_int baseline.Common.cycles *. 100.0
+  in
+  (* Graded DVFS-style throttling as a second runtime baseline. *)
+  let dvfs =
+    let result =
+      Tdfa_thermal.Dtm.run_multilevel Common.standard_model
+        ~levels:[ (trigger_k -. 2.0, 0.8); (trigger_k, 0.5) ]
+        ~power_of_window:(windows_of baseline) ~windows:total_windows ~window_s
+    in
+    {
+      variant = "first-fit + DVFS (0.8/0.5)";
+      peak_k = result.Tdfa_thermal.Dtm.peak_k;
+      slowdown_pct = (result.Tdfa_thermal.Dtm.slowdown -. 1.0) *. 100.0;
+    }
+  in
+  let rows =
+    [
+      dtm_run "first-fit, no DTM" 1.0 baseline;
+      dtm_run "first-fit + DTM (throttle 0.5)" 0.5 baseline;
+      dvfs;
+      (let r = dtm_run "thermal-aware compile, no DTM" 1.0 tuned in
+       { r with slowdown_pct = tuned_overhead });
+    ]
+  in
+  if not quiet then begin
+    let table =
+      Table.create ~headers:[ "variant"; "peak(K)"; "slowdown/overhead" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [ r.variant; Table.fk r.peak_k; Table.pct r.slowdown_pct ])
+      rows;
+    Printf.printf "DTM trigger: %.1f K\n\n" trigger_k;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E13 - interprocedural analysis                                       *)
+(* ------------------------------------------------------------------ *)
+
+type e13_row = { variant : string; peak_k : float; mae_k : float }
+
+let e13 ?(quiet = false) () =
+  if not quiet then
+    section "E13 - whole-program analysis (summaries) vs per-procedure (main)";
+  let program = Kernels.multiproc_program () in
+  (* One register assignment per function; the physical RF is shared. *)
+  let assignments = Hashtbl.create 4 in
+  List.iter
+    (fun (f : Tdfa_ir.Func.t) ->
+      let a =
+        Alloc.allocate f Common.standard_layout ~policy:Policy.First_fit
+      in
+      Hashtbl.replace assignments f.Tdfa_ir.Func.name a.Alloc.assignment)
+    (Tdfa_ir.Program.funcs program);
+  let assignment_of (f : Tdfa_ir.Func.t) =
+    Hashtbl.find assignments f.Tdfa_ir.Func.name
+  in
+  (* Ground truth: execute the whole program; the union assignment is
+     unambiguous because the kernels' variables are prefixed. *)
+  let union =
+    Hashtbl.fold
+      (fun _ a acc -> Assignment.bindings a @ acc)
+      assignments []
+    |> Assignment.of_bindings
+  in
+  let outcome = Interp.run program "main" in
+  let measured =
+    Driver.steady_temps Common.standard_model outcome.Interp.trace
+      ~cell_of_var:(fun v -> Assignment.cell_of_var union v)
+  in
+  (* Naive: analyse main alone; its calls contribute nothing. *)
+  let main_func = Tdfa_ir.Program.main program in
+  let naive_outcome =
+    Setup.run_post_ra ~layout:Common.standard_layout main_func
+      (assignment_of main_func)
+  in
+  let naive = Common.predicted_cells (Analysis.info naive_outcome) in
+  (* Interprocedural: callee summaries injected at the call sites. *)
+  let inter =
+    Interproc.run ~layout:Common.standard_layout ~assignment_of program
+  in
+  let inter_cells = Thermal_state.to_cell_array inter.Interproc.program_peak in
+  let row variant cells =
+    let rep = Accuracy.compare_fields ~predicted:cells ~measured in
+    {
+      variant;
+      peak_k = Array.fold_left Float.max neg_infinity cells;
+      mae_k = rep.Accuracy.mae_k;
+    }
+  in
+  let rows =
+    [
+      row "per-procedure (main only)" naive;
+      row "interprocedural (summaries)" inter_cells;
+      {
+        variant = "measured (RC simulation)";
+        peak_k = Array.fold_left Float.max neg_infinity measured;
+        mae_k = 0.0;
+      };
+    ]
+  in
+  if not quiet then begin
+    let table = Table.create ~headers:[ "variant"; "peak(K)"; "mae vs measured(K)" ] in
+    List.iter
+      (fun r -> Table.add_row table [ r.variant; Table.fk r.peak_k; Table.f3 r.mae_k ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E14 - feedback-driven compilation vs the analysis (§1)               *)
+(* ------------------------------------------------------------------ *)
+
+type e14_row = {
+  variant : string;
+  peak_k : float;
+  thermal_simulations : int;
+}
+
+let e14 ?(quiet = false) () =
+  if not quiet then
+    section "E14 - feedback-driven reassignment vs analysis-guided (horner)";
+  let func = Kernels.horner () in
+  let simulate policy =
+    Common.run_policy ~name:"horner" func policy
+  in
+  (* Feedback loop: each round re-assigns preferring the cells the last
+     simulation measured as coolest. Every round costs one execution +
+     thermal simulation of the whole program. *)
+  let rec feedback rounds last_run sims acc =
+    if rounds = 0 then List.rev acc
+    else begin
+      let next = simulate (Policy.Measured last_run.Common.measured) in
+      let row =
+        {
+          variant = Printf.sprintf "feedback round %d" (List.length acc + 1);
+          peak_k = next.Common.metrics.Metrics.peak_k;
+          thermal_simulations = sims + 1;
+        }
+      in
+      feedback (rounds - 1) next (sims + 1) (row :: acc)
+    end
+  in
+  let baseline = simulate Policy.First_fit in
+  let base_row =
+    {
+      variant = "first-fit (round 0)";
+      peak_k = baseline.Common.metrics.Metrics.peak_k;
+      thermal_simulations = 1;
+    }
+  in
+  let feedback_rows = feedback 3 baseline 1 [] in
+  (* Analysis-guided: criticality-weighted spreading, no simulation in
+     the loop (the final simulation here is only for reporting). *)
+  let tuned = simulate Policy.Thermal_spread in
+  let tuned_row =
+    {
+      variant = "analysis-guided (thermal-spread)";
+      peak_k = tuned.Common.metrics.Metrics.peak_k;
+      thermal_simulations = 0;
+    }
+  in
+  let rows = (base_row :: feedback_rows) @ [ tuned_row ] in
+  if not quiet then begin
+    let table =
+      Table.create ~headers:[ "variant"; "peak(K)"; "simulations needed" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [ r.variant; Table.fk r.peak_k; string_of_int r.thermal_simulations ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E15 - duty-cycled execution: thermal cycling fatigue                 *)
+(* ------------------------------------------------------------------ *)
+
+type e15_row = {
+  policy : string;
+  transient_peak_k : float;
+  half_cycles : int;
+  max_swing_k : float;
+  damage_index : float;
+}
+
+let e15 ?(quiet = false) () =
+  if not quiet then
+    section
+      "E15 - thermal cycling under duty-cycled execution (crc, burst/idle)";
+  let window_cycles = 1000 in
+  let params = Tdfa_thermal.Params.default in
+  let window_s = float_of_int window_cycles /. params.Tdfa_thermal.Params.clock_hz in
+  let periods = 12 in
+  let burst_windows = 60 and idle_windows = 60 in
+  let rows =
+    List.map
+      (fun policy ->
+        let run = Common.run_policy ~name:"crc" (Kernels.crc ()) policy in
+        let windows =
+          Trace.windowed_counts
+            (Interp.run_func run.Common.alloc.Alloc.func).Interp.trace
+            ~cell_of_var:(Common.cell_fn run.Common.alloc)
+            ~num_cells:64 ~window_cycles
+        in
+        let period = burst_windows + idle_windows in
+        let power_of w =
+          let phase = w mod period in
+          if phase < burst_windows then begin
+            let reads, writes = windows.(phase mod Array.length windows) in
+            Driver.power_of_counts params ~window_cycles ~reads ~writes
+          end
+          else Array.make 64 0.0
+        in
+        let sim = Tdfa_thermal.Simulator.create Common.standard_model in
+        Tdfa_thermal.Simulator.run_windows sim power_of
+          ~windows:(periods * period) ~window_s;
+        let peaks = Tdfa_thermal.Simulator.peak_history sim in
+        let cyc = Reliability.cycling peaks in
+        let transient_peak = List.fold_left Float.max neg_infinity peaks in
+        {
+          policy = Policy.name policy;
+          transient_peak_k = transient_peak;
+          half_cycles = cyc.Reliability.half_cycles;
+          max_swing_k = cyc.Reliability.max_swing_k;
+          damage_index = cyc.Reliability.damage_index;
+        })
+      [ Policy.First_fit; Policy.Random 42; Policy.Thermal_spread ]
+  in
+  if not quiet then begin
+    let table =
+      Table.create
+        ~headers:
+          [ "policy"; "transient peak(K)"; "half-cycles"; "max swing(K)";
+            "damage index" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            r.policy;
+            Table.fk r.transient_peak_k;
+            string_of_int r.half_cycles;
+            Table.fk r.max_swing_k;
+            Table.f2 r.damage_index;
+          ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E16 - register-file size sweep                                       *)
+(* ------------------------------------------------------------------ *)
+
+type e16_row = {
+  rf : string;
+  cells : int;
+  policy : string;
+  spilled : int;
+  peak_k : float;
+  range_k : float;
+  cycles : int;
+}
+
+let e16 ?(quiet = false) () =
+  if not quiet then
+    section "E16 - register-file size sweep (horner kernel)";
+  let func = Kernels.horner () in
+  let shapes = [ (4, 4); (4, 8); (8, 8); (8, 16) ] in
+  let rows =
+    List.concat_map
+      (fun (r, c) ->
+        let layout = Tdfa_floorplan.Layout.make ~rows:r ~cols:c () in
+        List.map
+          (fun policy ->
+            let run = Common.run_policy ~layout ~name:"horner" func policy in
+            {
+              rf = Printf.sprintf "%dx%d" r c;
+              cells = r * c;
+              policy = Policy.name policy;
+              spilled =
+                Tdfa_ir.Var.Set.cardinal run.Common.alloc.Alloc.spilled;
+              peak_k = run.Common.metrics.Metrics.peak_k;
+              range_k = run.Common.metrics.Metrics.range_k;
+              cycles = run.Common.cycles;
+            })
+          [ Policy.First_fit; Policy.Thermal_spread ])
+      shapes
+  in
+  if not quiet then begin
+    let table =
+      Table.create
+        ~headers:
+          [ "RF"; "cells"; "policy"; "spilled"; "peak(K)"; "range(K)"; "cycles" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            r.rf;
+            string_of_int r.cells;
+            r.policy;
+            string_of_int r.spilled;
+            Table.fk r.peak_k;
+            Table.fk r.range_k;
+            string_of_int r.cycles;
+          ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* E17 - register re-assignment (paper ref [3])                         *)
+(* ------------------------------------------------------------------ *)
+
+type e17_row = {
+  kernel : string;
+  variant : string;
+  peak_k : float;
+  range_k : float;
+}
+
+let e17 ?(quiet = false) () =
+  if not quiet then
+    section "E17 - post-hoc register re-assignment (ref [3]) vs policies";
+  let rows =
+    List.concat_map
+      (fun name ->
+        let func =
+          match Kernels.find name with Some f -> f | None -> assert false
+        in
+        let base = Common.run_policy ~name func Policy.First_fit in
+        let weights = Alloc.default_weights base.Common.alloc.Alloc.func in
+        let reassigned =
+          Reassign.improve Common.standard_layout ~weights
+            base.Common.alloc.Alloc.assignment
+        in
+        let _, _, m_re =
+          measure_with_assignment base.Common.alloc.Alloc.func reassigned
+        in
+        let spread = Common.run_policy ~name func Policy.Thermal_spread in
+        [
+          {
+            kernel = name;
+            variant = "first-fit";
+            peak_k = base.Common.metrics.Metrics.peak_k;
+            range_k = base.Common.metrics.Metrics.range_k;
+          };
+          {
+            kernel = name;
+            variant = "re-assigned (ref [3])";
+            peak_k = m_re.Metrics.peak_k;
+            range_k = m_re.Metrics.range_k;
+          };
+          {
+            kernel = name;
+            variant = "thermal-spread";
+            peak_k = spread.Common.metrics.Metrics.peak_k;
+            range_k = spread.Common.metrics.Metrics.range_k;
+          };
+        ])
+      [ "horner"; "fir"; "crc" ]
+  in
+  if not quiet then begin
+    let table =
+      Table.create ~headers:[ "kernel"; "variant"; "peak(K)"; "range(K)" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [ r.kernel; r.variant; Table.fk r.peak_k; Table.fk r.range_k ])
+      rows;
+    Table.print table
+  end;
+  rows
+
+let run_all () =
+  let (_ : fig1_result) = fig1 () in
+  let (_ : fig2_row list) = fig2 () in
+  let (_ : e3_row list) = e3 () in
+  let (_ : (string * (string * float) list) list) = e4 () in
+  let (_ : e5_row list) = e5 () in
+  let (_ : e6_row list) = e6 () in
+  let (_ : e7_row list) = e7 () in
+  let (_ : e9_row list) = e9 () in
+  let (_ : e10_row list) = e10 () in
+  let (_ : e11_row list) = e11 () in
+  let (_ : e12_row list) = e12 () in
+  let (_ : e13_row list) = e13 () in
+  let (_ : e14_row list) = e14 () in
+  let (_ : e15_row list) = e15 () in
+  let (_ : e16_row list) = e16 () in
+  let (_ : e17_row list) = e17 () in
+  ()

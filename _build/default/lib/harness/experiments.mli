@@ -1,0 +1,189 @@
+(** The experiment suite: one function per figure of the paper plus the
+    quantitative experiments its prose asserts (DESIGN.md, §4). Each
+    prints a self-contained report to stdout and returns the headline
+    numbers so tests can assert the expected shape. *)
+
+type fig1_result = {
+  peak_first_fit : float;
+  peak_random : float;
+  peak_chessboard : float;
+  gradient_first_fit : float;
+  gradient_chessboard : float;
+}
+
+val fig1 : ?quiet:bool -> unit -> fig1_result
+(** Thermal maps for the three register assignment policies of Fig. 1, on
+    a 50 %-pressure workload. *)
+
+type fig2_row = {
+  kernel : string;
+  delta_k : float;
+  iterations : int;
+  converged : bool;
+}
+
+val fig2 : ?quiet:bool -> unit -> fig2_row list
+(** Convergence of the Fig. 2 fixpoint across kernels and delta values,
+    including a deliberately unstable configuration that diverges. *)
+
+type e3_row = {
+  live : int;
+  pressure_pct : float;
+  peak_by_policy : (string * float) list;
+}
+
+val e3 : ?quiet:bool -> unit -> e3_row list
+(** Chessboard breakdown beyond 50 % register pressure. *)
+
+val e4 : ?quiet:bool -> unit -> (string * (string * float) list) list
+(** Peak temperature per kernel x policy; returns (kernel, (policy, peak)
+    assoc). *)
+
+type e5_row = {
+  kernel : string;
+  granularity : int;
+  mae_k : float;
+  spearman : float;
+  analysis_ms : float;
+  iterations : int;
+}
+
+val e5 : ?quiet:bool -> unit -> e5_row list
+(** Fidelity and cost versus the granularity of the thermal state. *)
+
+type e6_row = {
+  kernel : string;
+  variant : string;
+  peak_k : float;
+  range_k : float;
+  gradient_k : float;
+  back_to_back : int;  (** adjacent same-cell access pairs (scheduler metric) *)
+  cycles : int;
+  overhead_pct : float;  (** vs that kernel's first-fit baseline *)
+}
+
+val e6 : ?quiet:bool -> unit -> e6_row list
+(** Ablation of the thermal-aware optimizations: spill/split/NOP on the
+    FIR kernel, scheduling on the IDCT kernel (the one with instruction-
+    level parallelism), promotion on the scale kernel (the one with a
+    loop-invariant load). *)
+
+type e7_row = {
+  kernel : string;
+  pre_spearman : float;
+  post_spearman : float;
+  pre_mae : float;
+  post_mae : float;
+}
+
+val e7 : ?quiet:bool -> unit -> e7_row list
+(** Pre-allocation predictive analysis versus post-assignment analysis. *)
+
+type e9_row = {
+  kernel : string;
+  binding : string;
+  fu_peak_k : float;
+  fu_range_k : float;
+  utilization : float;
+}
+
+val e9 : ?quiet:bool -> unit -> e9_row list
+(** VLIW functional-unit binding (paper ref [4]): fixed vs round-robin vs
+    coolest-FU binding on the ILP kernels. *)
+
+type e10_row = {
+  policy : string;
+  active_banks : int;
+  leakage_mw : float;
+  peak_k : float;
+  range_k : float;
+  mttf_rel_min : float;
+}
+
+val e10 : ?quiet:bool -> unit -> e10_row list
+(** §4's compromise: packing into few banks enables power gating (lower
+    leakage) but concentrates heat; spreading cools but keeps every bank
+    on. *)
+
+type e11_row = {
+  factor : int;
+  cycles : int;
+  pressure : int;
+  peak_k : float;
+  predicted_peak_k : float;
+}
+
+val e11 : ?quiet:bool -> unit -> e11_row list
+(** §5: thermal impact of a high-level transformation — loop unrolling
+    trades cycles against access density on the hot registers. *)
+
+type e12_row = {
+  variant : string;
+  peak_k : float;
+  slowdown_pct : float;
+}
+
+val e12 : ?quiet:bool -> unit -> e12_row list
+(** Compile-time thermal awareness vs runtime DTM throttling (the
+    feedback mechanism of ref [1] that §1 wants to avoid). *)
+
+type e13_row = { variant : string; peak_k : float; mae_k : float }
+
+val e13 : ?quiet:bool -> unit -> e13_row list
+(** Interprocedural analysis: whole-program summary propagation vs a
+    naive per-procedure analysis of [main], both against the measured
+    whole-program map. *)
+
+type e14_row = {
+  variant : string;
+  peak_k : float;
+  thermal_simulations : int;  (** feedback cost: full simulator runs *)
+}
+
+val e14 : ?quiet:bool -> unit -> e14_row list
+(** The paper's foil (§1): feedback-driven optimization needs a thermal
+    simulation per iteration; the analysis-guided compiler gets a
+    comparable map with zero. *)
+
+type e15_row = {
+  policy : string;
+  transient_peak_k : float;
+  half_cycles : int;
+  max_swing_k : float;
+  damage_index : float;
+}
+
+val e15 : ?quiet:bool -> unit -> e15_row list
+(** Transient behaviour under duty-cycled execution (bursts separated by
+    idle gaps): thermal cycling fatigue (§1's reliability concern) per
+    assignment policy. *)
+
+type e16_row = {
+  rf : string;  (** e.g. "4x8" *)
+  cells : int;
+  policy : string;
+  spilled : int;
+  peak_k : float;
+  range_k : float;
+  cycles : int;
+}
+
+val e16 : ?quiet:bool -> unit -> e16_row list
+(** Register-file size sweep: a small RF forces spilling (performance
+    loss) and leaves no room to spread (heat); a large RF gives the
+    thermal policy headroom. *)
+
+type e17_row = {
+  kernel : string;
+  variant : string;
+  peak_k : float;
+  range_k : float;
+}
+
+val e17 : ?quiet:bool -> unit -> e17_row list
+(** Post-hoc thermal register re-assignment (paper ref [3], Zhou et al.):
+    permuting physical registers under a fixed instruction stream
+    recovers most of the thermal-spread benefit. *)
+
+val run_all : unit -> unit
+(** Print every report in order. *)

@@ -1,0 +1,1 @@
+lib/ir/deps.ml: Array Instr List Var

@@ -1,0 +1,1 @@
+lib/ir/deps.mli: Instr

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Func Instr Label List Printf Program String Var

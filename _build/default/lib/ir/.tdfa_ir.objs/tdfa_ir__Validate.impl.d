@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Block Func Instr Label List Printf String Var

@@ -1,0 +1,1 @@
+lib/ir/var.ml: Format Hashtbl Map Set String

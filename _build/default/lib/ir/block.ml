@@ -1,0 +1,40 @@
+type terminator =
+  | Jump of Label.t
+  | Branch of Var.t * Label.t * Label.t
+  | Return of Var.t option
+
+type t = { label : Label.t; body : Instr.t array; term : terminator }
+
+let make label body term = { label; body = Array.of_list body; term }
+
+let successors = function
+  | Jump l -> [ l ]
+  | Branch (_, t, f) -> [ t; f ]
+  | Return _ -> []
+
+let term_uses = function
+  | Jump _ -> []
+  | Branch (c, _, _) -> [ c ]
+  | Return (Some v) -> [ v ]
+  | Return None -> []
+
+let num_instrs b = Array.length b.body
+let map_body f b = { b with body = Array.map f b.body }
+let with_body b body = { b with body = Array.of_list body }
+
+let map_term_labels f = function
+  | Jump l -> Jump (f l)
+  | Branch (c, t, e) -> Branch (c, f t, f e)
+  | Return v -> Return v
+
+let pp_term ppf = function
+  | Jump l -> Format.fprintf ppf "jmp %a" Label.pp l
+  | Branch (c, t, f) ->
+    Format.fprintf ppf "br %a, %a, %a" Var.pp c Label.pp t Label.pp f
+  | Return (Some v) -> Format.fprintf ppf "ret %a" Var.pp v
+  | Return None -> Format.fprintf ppf "ret"
+
+let pp ppf b =
+  Format.fprintf ppf "%a:@\n" Label.pp b.label;
+  Array.iter (fun i -> Format.fprintf ppf "  %a@\n" Instr.pp i) b.body;
+  Format.fprintf ppf "  %a" pp_term b.term

@@ -1,0 +1,22 @@
+(** Basic blocks: a label, a straight-line body and a terminator. *)
+
+type terminator =
+  | Jump of Label.t
+  | Branch of Var.t * Label.t * Label.t
+      (** [Branch (c, t, f)]: go to [t] when [c <> 0], else to [f] *)
+  | Return of Var.t option
+
+type t = { label : Label.t; body : Instr.t array; term : terminator }
+
+val make : Label.t -> Instr.t list -> terminator -> t
+val successors : terminator -> Label.t list
+val term_uses : terminator -> Var.t list
+val num_instrs : t -> int
+
+val map_body : (Instr.t -> Instr.t) -> t -> t
+val with_body : t -> Instr.t list -> t
+(** Replace the body, keeping label and terminator. *)
+
+val map_term_labels : (Label.t -> Label.t) -> terminator -> terminator
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type t = {
+  name : string;
+  params : Var.t list;
+  mutable counter : int;
+  mutable blocks_rev : Block.t list;
+  mutable current : (Label.t * Instr.t list) option;  (* instrs reversed *)
+}
+
+let create ~name ~params =
+  {
+    name;
+    params = List.map Var.of_string params;
+    counter = 0;
+    blocks_rev = [];
+    current = Some (Label.of_string "entry", []);
+  }
+
+let param b i =
+  match List.nth_opt b.params i with
+  | Some v -> v
+  | None -> invalid_arg "Builder.param: index out of range"
+
+let fresh_var b prefix =
+  let v = Printf.sprintf "%s%d" prefix b.counter in
+  b.counter <- b.counter + 1;
+  Var.of_string v
+
+let fresh_label b prefix =
+  let l = Printf.sprintf "%s%d" prefix b.counter in
+  b.counter <- b.counter + 1;
+  Label.of_string l
+
+let start_block b l =
+  (match b.current with
+   | Some (open_label, _) ->
+     invalid_arg
+       (Printf.sprintf "Builder.start_block: block %s still open"
+          (Label.to_string open_label))
+   | None -> ());
+  let already =
+    List.exists
+      (fun (blk : Block.t) -> Label.equal blk.Block.label l)
+      b.blocks_rev
+  in
+  if already then
+    invalid_arg
+      (Printf.sprintf "Builder.start_block: duplicate label %s"
+         (Label.to_string l));
+  b.current <- Some (l, [])
+
+let emit b i =
+  match b.current with
+  | None -> invalid_arg "Builder.emit: no open block"
+  | Some (l, instrs) -> b.current <- Some (l, i :: instrs)
+
+let const b k =
+  let d = fresh_var b "t" in
+  emit b (Instr.Const (d, k));
+  d
+
+let binop b op s1 s2 =
+  let d = fresh_var b "t" in
+  emit b (Instr.Binop (op, d, s1, s2));
+  d
+
+let unop b op s =
+  let d = fresh_var b "t" in
+  emit b (Instr.Unop (op, d, s));
+  d
+
+let mov b s = unop b Instr.Mov s
+
+let load b ~base off =
+  let d = fresh_var b "t" in
+  emit b (Instr.Load (d, base, off));
+  d
+
+let store b ~value ~base off = emit b (Instr.Store (value, base, off))
+
+let call b name args =
+  let d = fresh_var b "t" in
+  emit b (Instr.Call (Some d, name, args));
+  d
+
+let call_void b name args = emit b (Instr.Call (None, name, args))
+let nop b = emit b Instr.Nop
+
+let close b term =
+  match b.current with
+  | None -> invalid_arg "Builder: no open block to terminate"
+  | Some (l, instrs_rev) ->
+    let blk = Block.make l (List.rev instrs_rev) term in
+    b.blocks_rev <- blk :: b.blocks_rev;
+    b.current <- None
+
+let jump b l = close b (Block.Jump l)
+let branch b c t f = close b (Block.Branch (c, t, f))
+let ret b v = close b (Block.Return v)
+
+let finish b =
+  (match b.current with
+   | Some (l, _) ->
+     invalid_arg
+       (Printf.sprintf "Builder.finish: block %s not terminated"
+          (Label.to_string l))
+   | None -> ());
+  Func.make ~name:b.name ~params:b.params (List.rev b.blocks_rev)

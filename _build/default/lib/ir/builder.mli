@@ -1,0 +1,52 @@
+(** Imperative construction of functions with fresh names.
+
+    Typical use:
+    {[
+      let b = Builder.create ~name:"f" ~params:[ "n" ] in
+      let n = Builder.param b 0 in
+      let zero = Builder.const b 0 in
+      ...
+      Builder.ret b (Some zero);
+      let func = Builder.finish b
+    ]} *)
+
+type t
+
+val create : name:string -> params:string list -> t
+(** Opens an implicit entry block labelled ["entry"]. *)
+
+val param : t -> int -> Var.t
+(** @raise Invalid_argument when the index is out of range. *)
+
+val fresh_var : t -> string -> Var.t
+(** [fresh_var b prefix] is a variable named [prefix<k>] unused so far. *)
+
+val fresh_label : t -> string -> Label.t
+
+val start_block : t -> Label.t -> unit
+(** Begin a new block. The previous block must have been terminated.
+    @raise Invalid_argument otherwise, or when the label was already
+    used. *)
+
+val emit : t -> Instr.t -> unit
+
+(** {2 Emission helpers — each returns the defined variable} *)
+
+val const : t -> int -> Var.t
+val binop : t -> Instr.binop -> Var.t -> Var.t -> Var.t
+val unop : t -> Instr.unop -> Var.t -> Var.t
+val mov : t -> Var.t -> Var.t
+val load : t -> base:Var.t -> int -> Var.t
+val store : t -> value:Var.t -> base:Var.t -> int -> unit
+val call : t -> string -> Var.t list -> Var.t
+val call_void : t -> string -> Var.t list -> unit
+val nop : t -> unit
+
+(** {2 Terminators — each closes the current block} *)
+
+val jump : t -> Label.t -> unit
+val branch : t -> Var.t -> Label.t -> Label.t -> unit
+val ret : t -> Var.t option -> unit
+
+val finish : t -> Func.t
+(** @raise Invalid_argument when a block is still open. *)

@@ -1,0 +1,64 @@
+let block_preds body =
+  let n = Array.length body in
+  let preds = Array.make n [] in
+  let add_edge i j = if i <> j then preds.(j) <- i :: preds.(j) in
+  let is_mem i = Instr.accesses_memory body.(i) in
+  let is_store i =
+    match body.(i) with
+    | Instr.Store _ -> true
+    | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+    | Instr.Call _ | Instr.Nop ->
+      false
+  in
+  let is_barrier i =
+    match body.(i) with
+    | Instr.Call _ -> true
+    | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+    | Instr.Store _ | Instr.Nop ->
+      false
+  in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      let def_i = Instr.def body.(i) in
+      let def_j = Instr.def body.(j) in
+      let uses_i = Instr.uses body.(i) in
+      let uses_j = Instr.uses body.(j) in
+      let raw =
+        match def_i with
+        | Some d -> List.exists (Var.equal d) uses_j
+        | None -> false
+      in
+      let war =
+        match def_j with
+        | Some d -> List.exists (Var.equal d) uses_i
+        | None -> false
+      in
+      let waw =
+        match (def_i, def_j) with
+        | Some a, Some b -> Var.equal a b
+        | Some _, None | None, Some _ | None, None -> false
+      in
+      let mem = (is_store i && is_mem j) || (is_mem i && is_store j) in
+      let barrier = is_barrier i || is_barrier j in
+      if raw || war || waw || mem || barrier then add_edge i j
+    done
+  done;
+  preds
+
+let is_topological body order =
+  let n = Array.length body in
+  if List.length order <> n then false
+  else begin
+    let position = Array.make n (-1) in
+    List.iteri (fun pos idx -> if idx >= 0 && idx < n then position.(idx) <- pos) order;
+    if Array.exists (fun p -> p < 0) position then false
+    else begin
+      let preds = block_preds body in
+      let ok = ref true in
+      Array.iteri
+        (fun j ps ->
+          List.iter (fun i -> if position.(i) > position.(j) then ok := false) ps)
+        preds;
+      !ok
+    end
+  end

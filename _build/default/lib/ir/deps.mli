@@ -1,0 +1,10 @@
+(** Intra-block data-dependence DAG, shared by the scalar scheduler and
+    the VLIW bundler. Conservative: RAW/WAR/WAW on variables, stores and
+    calls order memory, calls order everything. *)
+
+val block_preds : Instr.t array -> int list array
+(** [preds.(j)] lists the earlier indices that must execute before [j].
+    A valid schedule is any topological order. *)
+
+val is_topological : Instr.t array -> int list -> bool
+(** Whether the permutation (a list of indices) respects the DAG. *)

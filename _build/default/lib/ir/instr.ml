@@ -1,0 +1,143 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Slt
+  | Sle
+  | Seq
+  | Sne
+
+type unop = Neg | Not | Mov
+
+type t =
+  | Const of Var.t * int
+  | Unop of unop * Var.t * Var.t
+  | Binop of binop * Var.t * Var.t * Var.t
+  | Load of Var.t * Var.t * int
+  | Store of Var.t * Var.t * int
+  | Call of Var.t option * string * Var.t list
+  | Nop
+
+let def = function
+  | Const (d, _) | Unop (_, d, _) | Binop (_, d, _, _) | Load (d, _, _) -> Some d
+  | Call (d, _, _) -> d
+  | Store (_, _, _) | Nop -> None
+
+let uses = function
+  | Const (_, _) | Nop -> []
+  | Unop (_, _, s) -> [ s ]
+  | Binop (_, _, s1, s2) -> [ s1; s2 ]
+  | Load (_, base, _) -> [ base ]
+  | Store (v, base, _) -> [ v; base ]
+  | Call (_, _, args) -> args
+
+let accessed i =
+  match def i with None -> uses i | Some d -> uses i @ [ d ]
+
+let map_uses f = function
+  | Const (d, k) -> Const (d, k)
+  | Unop (op, d, s) -> Unop (op, d, f s)
+  | Binop (op, d, s1, s2) -> Binop (op, d, f s1, f s2)
+  | Load (d, base, off) -> Load (d, f base, off)
+  | Store (v, base, off) -> Store (f v, f base, off)
+  | Call (d, name, args) -> Call (d, name, List.map f args)
+  | Nop -> Nop
+
+let map_def f = function
+  | Const (d, k) -> Const (f d, k)
+  | Unop (op, d, s) -> Unop (op, f d, s)
+  | Binop (op, d, s1, s2) -> Binop (op, f d, s1, s2)
+  | Load (d, base, off) -> Load (f d, base, off)
+  | Store (v, base, off) -> Store (v, base, off)
+  | Call (d, name, args) -> Call (Option.map f d, name, args)
+  | Nop -> Nop
+
+let map_vars f i = map_def f (map_uses f i)
+
+let accesses_memory = function
+  | Load (_, _, _) | Store (_, _, _) -> true
+  | Const _ | Unop _ | Binop _ | Call _ | Nop -> false
+
+let is_pure = function
+  | Const _ | Unop _ | Binop _ -> true
+  | Load _ | Store _ | Call _ | Nop -> false
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Rem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a lsr (b land 63)
+  | Slt -> if a < b then 1 else 0
+  | Sle -> if a <= b then 1 else 0
+  | Seq -> if a = b then 1 else 0
+  | Sne -> if a <> b then 1 else 0
+
+let eval_unop op a =
+  match op with Neg -> -a | Not -> lnot a | Mov -> a
+
+let binop_table =
+  [
+    (Add, "add");
+    (Sub, "sub");
+    (Mul, "mul");
+    (Div, "div");
+    (Rem, "rem");
+    (And, "and");
+    (Or, "or");
+    (Xor, "xor");
+    (Shl, "shl");
+    (Shr, "shr");
+    (Slt, "slt");
+    (Sle, "sle");
+    (Seq, "seq");
+    (Sne, "sne");
+  ]
+
+let string_of_binop op = List.assoc op binop_table
+
+let binop_of_string s =
+  List.find_map (fun (op, name) -> if String.equal name s then Some op else None) binop_table
+
+let unop_table = [ (Neg, "neg"); (Not, "not"); (Mov, "mov") ]
+let string_of_unop op = List.assoc op unop_table
+
+let unop_of_string s =
+  List.find_map (fun (op, name) -> if String.equal name s then Some op else None) unop_table
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf i =
+  match i with
+  | Const (d, k) -> Format.fprintf ppf "%a = const %d" Var.pp d k
+  | Unop (op, d, s) ->
+    Format.fprintf ppf "%a = %s %a" Var.pp d (string_of_unop op) Var.pp s
+  | Binop (op, d, s1, s2) ->
+    Format.fprintf ppf "%a = %s %a, %a" Var.pp d (string_of_binop op) Var.pp s1 Var.pp s2
+  | Load (d, base, off) -> Format.fprintf ppf "%a = load %a, %d" Var.pp d Var.pp base off
+  | Store (v, base, off) -> Format.fprintf ppf "store %a, %a, %d" Var.pp v Var.pp base off
+  | Call (d, name, args) ->
+    let pp_args ppf args =
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+        Var.pp ppf args
+    in
+    (match d with
+     | Some d -> Format.fprintf ppf "%a = call @%s(%a)" Var.pp d name pp_args args
+     | None -> Format.fprintf ppf "call @%s(%a)" name pp_args args)
+  | Nop -> Format.fprintf ppf "nop"
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,79 @@
+(** Three-address instructions of the RISC-like IR.
+
+    Every instruction defines at most one variable and uses a small set of
+    variables; this is exactly the information the data-flow framework and
+    the thermal analysis need. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Slt  (** set if less-than (signed) *)
+  | Sle  (** set if less-or-equal *)
+  | Seq  (** set if equal *)
+  | Sne  (** set if not-equal *)
+
+type unop =
+  | Neg
+  | Not
+  | Mov  (** register-to-register copy *)
+
+type t =
+  | Const of Var.t * int  (** [Const (d, k)] : [d <- k] *)
+  | Unop of unop * Var.t * Var.t  (** [Unop (op, d, s)] : [d <- op s] *)
+  | Binop of binop * Var.t * Var.t * Var.t
+      (** [Binop (op, d, s1, s2)] : [d <- s1 op s2] *)
+  | Load of Var.t * Var.t * int
+      (** [Load (d, base, off)] : [d <- mem\[base + off\]] *)
+  | Store of Var.t * Var.t * int
+      (** [Store (v, base, off)] : [mem\[base + off\] <- v] *)
+  | Call of Var.t option * string * Var.t list
+      (** direct call; the result, if any, is bound to the first variable *)
+  | Nop  (** no operation — used by the cooling pass *)
+
+val def : t -> Var.t option
+(** The variable defined (written) by the instruction, if any. *)
+
+val uses : t -> Var.t list
+(** The variables read by the instruction, in operand order (duplicates
+    preserved — a register read twice is accessed twice). *)
+
+val accessed : t -> Var.t list
+(** All register-file accesses, reads then write; this drives the thermal
+    model. *)
+
+val map_uses : (Var.t -> Var.t) -> t -> t
+(** Rename the used (read) variables, leaving the definition in place. *)
+
+val map_def : (Var.t -> Var.t) -> t -> t
+(** Rename the defined variable, leaving the uses in place. *)
+
+val map_vars : (Var.t -> Var.t) -> t -> t
+
+val accesses_memory : t -> bool
+val is_pure : t -> bool
+(** [is_pure i] holds when [i] has no side effect besides its definition;
+    such instructions may be reordered by the scheduler subject to
+    data dependences. *)
+
+val eval_binop : binop -> int -> int -> int
+(** Integer semantics used by the interpreter. Division and remainder by
+    zero evaluate to 0 (the interpreter is total). *)
+
+val eval_unop : unop -> int -> int
+
+val string_of_binop : binop -> string
+val binop_of_string : string -> binop option
+val string_of_unop : unop -> string
+val unop_of_string : string -> unop option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

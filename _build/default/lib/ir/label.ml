@@ -1,0 +1,21 @@
+type t = string
+
+let of_string s =
+  assert (String.length s > 0);
+  s
+
+let to_string l = l
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

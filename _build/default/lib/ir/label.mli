@@ -1,0 +1,16 @@
+(** Basic-block labels. *)
+
+type t
+
+val of_string : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the bare label name. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,25 @@
+(** Parser for the textual IR produced by {!Printer}.
+
+    Grammar (comments run from [#] to end of line):
+    {v
+      program  ::= func...
+      func     ::= "func" "@" id "(" vars ")" "{" block... "}"
+      vars     ::= empty | var | var "," vars
+      block    ::= id ":" instr... term
+      instr    ::= var "=" "const" int
+                 | var "=" unop var
+                 | var "=" binop var "," var
+                 | var "=" "load" var "," int
+                 | "store" var "," var "," int
+                 | [var "="] "call" "@" id "(" vars ")"
+                 | "nop"
+      term     ::= "jmp" id | "br" var "," id "," id | "ret" [var]
+      var      ::= "%" id
+    v} *)
+
+exception Error of string
+(** Raised with a message mentioning the offending line. *)
+
+val parse_program : string -> Program.t
+val parse_func : string -> Func.t
+(** Parses a source containing exactly one function. *)

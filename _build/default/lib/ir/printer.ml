@@ -1,0 +1,2 @@
+let func_to_string f = Format.asprintf "%a" Func.pp f
+let program_to_string p = Format.asprintf "%a" Program.pp p

@@ -1,0 +1,4 @@
+(** Textual rendering of the IR; the inverse of {!Parser}. *)
+
+val func_to_string : Func.t -> string
+val program_to_string : Program.t -> string

@@ -1,0 +1,27 @@
+type t = { funcs : Func.t list }
+
+let of_funcs funcs =
+  if funcs = [] then invalid_arg "Program.of_funcs: empty";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Func.t) ->
+      if Hashtbl.mem seen f.Func.name then
+        invalid_arg ("Program.of_funcs: duplicate function " ^ f.Func.name);
+      Hashtbl.add seen f.Func.name ())
+    funcs;
+  { funcs }
+
+let funcs p = p.funcs
+
+let find p name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.Func.name name) p.funcs
+
+let main p =
+  match find p "main" with
+  | Some f -> f
+  | None -> ( match p.funcs with f :: _ -> f | [] -> assert false)
+
+let pp ppf p =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@\n@\n")
+    Func.pp ppf p.funcs

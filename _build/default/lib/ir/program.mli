@@ -1,0 +1,14 @@
+(** Whole programs: a set of functions, looked up by name at call sites. *)
+
+type t
+
+val of_funcs : Func.t list -> t
+(** Raises [Invalid_argument] on duplicate function names or an empty
+    list. *)
+
+val funcs : t -> Func.t list
+val find : t -> string -> Func.t option
+val main : t -> Func.t
+(** The function named ["main"] when present, otherwise the first one. *)
+
+val pp : Format.formatter -> t -> unit

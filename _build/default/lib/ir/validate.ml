@@ -1,0 +1,42 @@
+let errors (f : Func.t) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let defined = Func.defined_vars f in
+  (* Branch targets must exist. *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun l ->
+          if not (Func.mem_block f l) then
+            err "block %s: branch target %s does not exist"
+              (Label.to_string b.Block.label) (Label.to_string l))
+        (Block.successors b.Block.term))
+    f.Func.blocks;
+  (* Every used variable must be defined somewhere or be a parameter. *)
+  let check_use where v =
+    if not (Var.Set.mem v defined) then
+      err "%s: variable %s is never defined" where (Var.to_string v)
+  in
+  Func.iter_instrs
+    (fun l i instr ->
+      let where = Printf.sprintf "block %s, instr %d" (Label.to_string l) i in
+      List.iter (check_use where) (Instr.uses instr))
+    f;
+  List.iter
+    (fun (b : Block.t) ->
+      let where = Printf.sprintf "block %s, terminator" (Label.to_string b.Block.label) in
+      List.iter (check_use where) (Block.term_uses b.Block.term))
+    f.Func.blocks;
+  (* Unreachable blocks are suspicious (dead code from a pass bug). *)
+  let reach = Func.reachable f in
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Label.Set.mem b.Block.label reach) then
+        err "block %s is unreachable from entry" (Label.to_string b.Block.label))
+    f.Func.blocks;
+  List.rev !errs
+
+let check f =
+  match errors f with
+  | [] -> Ok ()
+  | es -> Error (String.concat "\n" es)

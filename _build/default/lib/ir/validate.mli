@@ -1,0 +1,12 @@
+(** Structural well-formedness checks, used by tests and the CLI before
+    running any analysis. *)
+
+val errors : Func.t -> string list
+(** All violations found: branch targets that do not exist, variables used
+    without any reaching definition site (conservatively: not a parameter
+    and never defined anywhere), unreachable blocks. An empty list means
+    the function is well-formed. *)
+
+val check : Func.t -> (unit, string) result
+(** [Ok ()] when {!errors} is empty, otherwise [Error] with the messages
+    joined by newlines. *)

@@ -1,0 +1,24 @@
+(** Virtual registers (program variables).
+
+    Variables are identified by name; the {!Builder} guarantees freshness
+    within a function. Physical registers only appear after register
+    allocation, as an {!Tdfa_regalloc.Assignment} from variables to
+    register-file cell indices. *)
+
+type t
+
+val of_string : string -> t
+(** [of_string s] is the variable named [s]. [s] must be non-empty. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [%name]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/lang/front.ml: List Lower Parser Printf Tdfa_ir

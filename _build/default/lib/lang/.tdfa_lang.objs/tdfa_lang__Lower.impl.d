@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Ast Builder Hashtbl Instr List Option Printf Program Tdfa_ir Validate Var

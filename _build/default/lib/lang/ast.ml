@@ -1,0 +1,45 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land
+  | Lor
+
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mem of expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr option
+  | Assign of string * expr
+  | Mem_store of expr * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr * stmt option * block
+  | Return of expr option
+  | Expr of expr
+
+and block = stmt list
+
+type func = { name : string; params : string list; body : block }
+
+type program = func list

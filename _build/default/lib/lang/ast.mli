@@ -1,0 +1,50 @@
+(** Abstract syntax of TC ("thermal C"), the small C-like source language
+    that lowers onto the IR — so kernels can be written as text instead
+    of via the builder. See {!Parser} for the grammar. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And  (** bitwise [&] *)
+  | Or  (** bitwise [|] *)
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land  (** logical [&&], eager, 0/1-valued *)
+  | Lor  (** logical [||], eager, 0/1-valued *)
+
+type unop = Neg | Not  (** [!]: logical negation, 0/1-valued *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Mem of expr  (** [mem\[e\]] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr option  (** [var x;] or [var x = e;] *)
+  | Assign of string * expr
+  | Mem_store of expr * expr  (** [mem\[e1\] = e2;] *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr * stmt option * block
+      (** init and step restricted to [Decl]/[Assign]/[Mem_store] *)
+  | Return of expr option
+  | Expr of expr  (** expression statement — calls *)
+
+and block = stmt list
+
+type func = { name : string; params : string list; body : block }
+
+type program = func list

@@ -1,0 +1,13 @@
+exception Error of string
+
+let compile_string src =
+  match Lower.lower_program (Parser.parse_program src) with
+  | p -> p
+  | exception Parser.Error m -> raise (Error m)
+  | exception Lower.Error m -> raise (Error m)
+
+let compile_func_string src =
+  let p = compile_string src in
+  match Tdfa_ir.Program.funcs p with
+  | [ f ] -> f
+  | fs -> raise (Error (Printf.sprintf "expected one function, found %d" (List.length fs)))

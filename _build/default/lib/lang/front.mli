@@ -1,0 +1,8 @@
+(** One-call front end: TC source text to IR. *)
+
+exception Error of string
+(** Wraps lexer, parser and lowering errors. *)
+
+val compile_string : string -> Tdfa_ir.Program.t
+val compile_func_string : string -> Tdfa_ir.Func.t
+(** The source must contain exactly one function. *)

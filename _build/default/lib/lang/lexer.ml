@@ -1,0 +1,70 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | OP of string
+  | EOF
+
+type spanned = { token : token; line : int }
+
+exception Error of string
+
+let keywords = [ "fn"; "var"; "if"; "else"; "while"; "for"; "return"; "mem" ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Two-character operators first, then single characters. *)
+let two_char_ops = [ "<="; ">="; "=="; "!="; "<<"; ">>"; "&&"; "||" ]
+let one_char_ops = "+-*/%&|^<>=!(){}[],;"
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let push t = out := { token = t; line = !line } :: !out in
+  let rec scan i =
+    if i >= n then push EOF
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        scan (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then scan (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip i)
+      end
+      else if is_digit c then begin
+        let rec stop j = if j < n && is_digit src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        (match int_of_string_opt (String.sub src i (j - i)) with
+         | Some k -> push (INT k)
+         | None -> raise (Error (Printf.sprintf "line %d: bad integer" !line)));
+        scan j
+      end
+      else if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.sub src i (j - i) in
+        push (if List.mem word keywords then KW word else IDENT word);
+        scan j
+      end
+      else if i + 1 < n && List.mem (String.sub src i 2) two_char_ops then begin
+        push (OP (String.sub src i 2));
+        scan (i + 2)
+      end
+      else if String.contains one_char_ops c then begin
+        push (OP (String.make 1 c));
+        scan (i + 1)
+      end
+      else
+        raise (Error (Printf.sprintf "line %d: unexpected character '%c'" !line c))
+  in
+  scan 0;
+  List.rev !out

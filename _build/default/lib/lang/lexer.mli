@@ -1,0 +1,16 @@
+(** Tokenizer for TC. Comments run from [//] to end of line. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** fn var if else while for return mem *)
+  | OP of string  (** operators and punctuation *)
+  | EOF
+
+type spanned = { token : token; line : int }
+
+exception Error of string
+(** Message includes the line number. *)
+
+val tokenize : string -> spanned list
+(** Ends with an [EOF] token. *)

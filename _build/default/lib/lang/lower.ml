@@ -1,0 +1,221 @@
+open Tdfa_ir
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type env = {
+  builder : Builder.t;
+  vars : (string, Var.t) Hashtbl.t;
+}
+
+let lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> v
+  | None -> fail "variable %s used before declaration" name
+
+let declare env name =
+  if Hashtbl.mem env.vars name then fail "variable %s redeclared" name;
+  let v = Var.of_string ("u_" ^ name) in
+  Hashtbl.replace env.vars name v;
+  v
+
+let ir_binop = function
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> Instr.Div
+  | Ast.Rem -> Instr.Rem
+  | Ast.And -> Instr.And
+  | Ast.Or -> Instr.Or
+  | Ast.Xor -> Instr.Xor
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> Instr.Shr
+  | Ast.Lt -> Instr.Slt
+  | Ast.Le -> Instr.Sle
+  | Ast.Eq -> Instr.Seq
+  | Ast.Ne -> Instr.Sne
+  | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor -> assert false
+
+let rec lower_expr env (e : Ast.expr) : Var.t =
+  let b = env.builder in
+  match e with
+  | Ast.Int k -> Builder.const b k
+  | Ast.Var x -> lookup env x
+  | Ast.Mem addr ->
+    let base = lower_expr env addr in
+    Builder.load b ~base 0
+  | Ast.Unary (Ast.Neg, e1) -> Builder.unop b Instr.Neg (lower_expr env e1)
+  | Ast.Unary (Ast.Not, e1) ->
+    let v = lower_expr env e1 in
+    let zero = Builder.const b 0 in
+    Builder.binop b Instr.Seq v zero
+  | Ast.Binary (Ast.Gt, e1, e2) ->
+    (* a > b  ==  b < a *)
+    let v1 = lower_expr env e1 in
+    let v2 = lower_expr env e2 in
+    Builder.binop b Instr.Slt v2 v1
+  | Ast.Binary (Ast.Ge, e1, e2) ->
+    let v1 = lower_expr env e1 in
+    let v2 = lower_expr env e2 in
+    Builder.binop b Instr.Sle v2 v1
+  | Ast.Binary (Ast.Land, e1, e2) ->
+    let v1 = boolean env e1 in
+    let v2 = boolean env e2 in
+    Builder.binop b Instr.And v1 v2
+  | Ast.Binary (Ast.Lor, e1, e2) ->
+    let v1 = boolean env e1 in
+    let v2 = boolean env e2 in
+    Builder.binop b Instr.Or v1 v2
+  | Ast.Binary (op, e1, e2) ->
+    let v1 = lower_expr env e1 in
+    let v2 = lower_expr env e2 in
+    Builder.binop b (ir_binop op) v1 v2
+  | Ast.Call (name, args) ->
+    let vs = List.map (lower_expr env) args in
+    Builder.call b name vs
+
+(* Normalise to 0/1 (logical operators are eager in TC). *)
+and boolean env e =
+  let v = lower_expr env e in
+  let zero = Builder.const env.builder 0 in
+  Builder.binop env.builder Instr.Sne v zero
+
+(* Compile an expression *into* a destination variable, so accumulator
+   updates produce [op d, d, s] directly. *)
+let lower_into env dst (e : Ast.expr) =
+  let b = env.builder in
+  match e with
+  | Ast.Int k -> Builder.emit b (Instr.Const (dst, k))
+  | Ast.Var x -> Builder.emit b (Instr.Unop (Instr.Mov, dst, lookup env x))
+  | Ast.Mem addr ->
+    let base = lower_expr env addr in
+    Builder.emit b (Instr.Load (dst, base, 0))
+  | Ast.Unary (Ast.Neg, e1) ->
+    Builder.emit b (Instr.Unop (Instr.Neg, dst, lower_expr env e1))
+  | Ast.Unary (Ast.Not, _)
+  | Ast.Binary ((Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor), _, _) ->
+    let v = lower_expr env e in
+    Builder.emit b (Instr.Unop (Instr.Mov, dst, v))
+  | Ast.Binary (op, e1, e2) ->
+    let v1 = lower_expr env e1 in
+    let v2 = lower_expr env e2 in
+    Builder.emit b (Instr.Binop (ir_binop op, dst, v1, v2))
+  | Ast.Call (name, args) ->
+    let vs = List.map (lower_expr env) args in
+    Builder.emit b (Instr.Call (Some dst, name, vs))
+
+(* Statements; returns true when the statement always terminates the
+   current block with a return. *)
+let rec lower_stmt env (s : Ast.stmt) : bool =
+  let b = env.builder in
+  match s with
+  | Ast.Decl (x, init) ->
+    let v = declare env x in
+    (match init with
+     | Some e -> lower_into env v e
+     | None -> Builder.emit b (Instr.Const (v, 0)));
+    false
+  | Ast.Assign (x, e) ->
+    lower_into env (lookup env x) e;
+    false
+  | Ast.Mem_store (addr, value) ->
+    let v = lower_expr env value in
+    let base = lower_expr env addr in
+    Builder.store b ~value:v ~base 0;
+    false
+  | Ast.Expr (Ast.Call (name, args)) ->
+    let vs = List.map (lower_expr env) args in
+    Builder.call_void b name vs;
+    false
+  | Ast.Expr e ->
+    let (_ : Var.t) = lower_expr env e in
+    false
+  | Ast.Return value ->
+    let v = Option.map (lower_expr env) value in
+    Builder.ret b v;
+    true
+  | Ast.If (cond, then_, else_) -> lower_if env cond then_ else_
+  | Ast.While (cond, body) ->
+    lower_loop env ~cond ~step:None body;
+    false
+  | Ast.For (init, cond, step, body) ->
+    (match init with
+     | Some s0 -> ignore (lower_stmt env s0)
+     | None -> ());
+    lower_loop env ~cond ~step body;
+    false
+
+and lower_if env cond then_ else_ =
+  let b = env.builder in
+  let c = lower_expr env cond in
+  let l_then = Builder.fresh_label b "then" in
+  let l_else = Builder.fresh_label b "else" in
+  let l_join = Builder.fresh_label b "join" in
+  (match else_ with
+   | Some _ -> Builder.branch b c l_then l_else
+   | None -> Builder.branch b c l_then l_join);
+  Builder.start_block b l_then;
+  let t_term = lower_block env then_ in
+  if not t_term then Builder.jump b l_join;
+  let e_term =
+    match else_ with
+    | Some body ->
+      Builder.start_block b l_else;
+      let term = lower_block env body in
+      if not term then Builder.jump b l_join;
+      term
+    | None -> false
+  in
+  if t_term && e_term then true
+  else begin
+    Builder.start_block b l_join;
+    false
+  end
+
+and lower_loop env ~cond ~step body =
+  let b = env.builder in
+  let l_header = Builder.fresh_label b "hdr" in
+  let l_body = Builder.fresh_label b "body" in
+  let l_exit = Builder.fresh_label b "exit" in
+  Builder.jump b l_header;
+  Builder.start_block b l_header;
+  let c = lower_expr env cond in
+  Builder.branch b c l_body l_exit;
+  Builder.start_block b l_body;
+  let terminated = lower_block env body in
+  if not terminated then begin
+    (match step with
+     | Some s -> ignore (lower_stmt env s)
+     | None -> ());
+    Builder.jump b l_header
+  end;
+  Builder.start_block b l_exit
+
+and lower_block env stmts =
+  match stmts with
+  | [] -> false
+  | s :: rest ->
+    let terminated = lower_stmt env s in
+    if terminated && rest <> [] then fail "unreachable code after return";
+    if terminated then true else lower_block env rest
+
+let lower_func (f : Ast.func) =
+  let builder =
+    Builder.create ~name:f.Ast.name
+      ~params:(List.map (fun p -> "u_" ^ p) f.Ast.params)
+  in
+  let env = { builder; vars = Hashtbl.create 16 } in
+  List.iteri
+    (fun i p ->
+      if Hashtbl.mem env.vars p then fail "parameter %s duplicated" p;
+      Hashtbl.replace env.vars p (Builder.param builder i))
+    f.Ast.params;
+  let terminated = lower_block env f.Ast.body in
+  if not terminated then Builder.ret builder None;
+  let func = Builder.finish builder in
+  match Validate.check func with
+  | Ok () -> func
+  | Error msg -> fail "internal lowering error:\n%s" msg
+
+let lower_program fns = Program.of_funcs (List.map lower_func fns)

@@ -1,0 +1,15 @@
+(** Lowering from the TC AST onto the IR.
+
+    Design points that matter downstream:
+    - assignments compile {e into} their destination ([x = x + 1] becomes
+      [add x, x, one]), so canonical [for] loops produce exactly the
+      counted-loop idiom the trip-count estimator recognises;
+    - user variables are prefixed [u_] to keep them disjoint from
+      compiler temporaries;
+    - variables have function scope; redeclaration and use-before-
+      declaration are errors, as is unreachable code after [return]. *)
+
+exception Error of string
+
+val lower_func : Ast.func -> Tdfa_ir.Func.t
+val lower_program : Ast.program -> Tdfa_ir.Program.t

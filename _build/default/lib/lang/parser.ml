@@ -1,0 +1,286 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.spanned list }
+
+let fail line msg = raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.token = Lexer.EOF; line = 0 }
+  | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let describe = function
+  | Lexer.INT k -> string_of_int k
+  | Lexer.IDENT s -> s
+  | Lexer.KW s -> s
+  | Lexer.OP s -> "'" ^ s ^ "'"
+  | Lexer.EOF -> "end of input"
+
+let expect_op st op =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.OP o when o = op -> ()
+  | other -> fail t.Lexer.line (Printf.sprintf "expected '%s', found %s" op (describe other))
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | other -> fail t.Lexer.line ("expected identifier, found " ^ describe other)
+
+let at_op st op =
+  match (peek st).Lexer.token with Lexer.OP o -> o = op | _ -> false
+
+let at_kw st kw =
+  match (peek st).Lexer.token with Lexer.KW k -> k = kw | _ -> false
+
+(* Binary operator precedence: higher binds tighter. *)
+let binop_of = function
+  | "||" -> Some (Ast.Lor, 1)
+  | "&&" -> Some (Ast.Land, 2)
+  | "|" -> Some (Ast.Or, 3)
+  | "^" -> Some (Ast.Xor, 4)
+  | "&" -> Some (Ast.And, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Rem, 10)
+  | _ -> None
+
+let rec parse_expression st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and climb st lhs min_prec =
+  match (peek st).Lexer.token with
+  | Lexer.OP o -> (
+    match binop_of o with
+    | Some (op, prec) when prec >= min_prec ->
+      let (_ : Lexer.spanned) = next st in
+      (* Left-associative: the right operand binds one level tighter. *)
+      let rhs = parse_expression st (prec + 1) in
+      climb st (Ast.Binary (op, lhs, rhs)) min_prec
+    | Some _ | None -> lhs)
+  | Lexer.INT _ | Lexer.IDENT _ | Lexer.KW _ | Lexer.EOF -> lhs
+
+and parse_unary st =
+  if at_op st "-" then begin
+    let (_ : Lexer.spanned) = next st in
+    Ast.Unary (Ast.Neg, parse_unary st)
+  end
+  else if at_op st "!" then begin
+    let (_ : Lexer.spanned) = next st in
+    Ast.Unary (Ast.Not, parse_unary st)
+  end
+  else parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.INT k -> Ast.Int k
+  | Lexer.IDENT name ->
+    if at_op st "(" then begin
+      let (_ : Lexer.spanned) = next st in
+      let args = parse_args st in
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | Lexer.KW "mem" ->
+    expect_op st "[";
+    let e = parse_expression st 1 in
+    expect_op st "]";
+    Ast.Mem e
+  | Lexer.OP "(" ->
+    let e = parse_expression st 1 in
+    expect_op st ")";
+    e
+  | other -> fail t.Lexer.line ("expected expression, found " ^ describe other)
+
+and parse_args st =
+  if at_op st ")" then begin
+    let (_ : Lexer.spanned) = next st in
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expression st 1 in
+      if at_op st "," then begin
+        let (_ : Lexer.spanned) = next st in
+        loop (e :: acc)
+      end
+      else begin
+        expect_op st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+(* Simple statements usable as for-init / for-step (no trailing ';'). *)
+let rec parse_simple st =
+  if at_kw st "var" then begin
+    let (_ : Lexer.spanned) = next st in
+    let name = expect_ident st in
+    expect_op st "=";
+    Ast.Decl (name, Some (parse_expression st 1))
+  end
+  else if at_kw st "mem" then begin
+    let (_ : Lexer.spanned) = next st in
+    expect_op st "[";
+    let addr = parse_expression st 1 in
+    expect_op st "]";
+    expect_op st "=";
+    Ast.Mem_store (addr, parse_expression st 1)
+  end
+  else begin
+    let name = expect_ident st in
+    expect_op st "=";
+    Ast.Assign (name, parse_expression st 1)
+  end
+
+and parse_stmt st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.KW "var" ->
+    let (_ : Lexer.spanned) = next st in
+    let name = expect_ident st in
+    let init =
+      if at_op st "=" then begin
+        let (_ : Lexer.spanned) = next st in
+        Some (parse_expression st 1)
+      end
+      else None
+    in
+    expect_op st ";";
+    Ast.Decl (name, init)
+  | Lexer.KW "mem" ->
+    let s = parse_simple st in
+    expect_op st ";";
+    s
+  | Lexer.KW "if" ->
+    let (_ : Lexer.spanned) = next st in
+    expect_op st "(";
+    let cond = parse_expression st 1 in
+    expect_op st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if at_kw st "else" then begin
+        let (_ : Lexer.spanned) = next st in
+        Some (parse_block st)
+      end
+      else None
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW "while" ->
+    let (_ : Lexer.spanned) = next st in
+    expect_op st "(";
+    let cond = parse_expression st 1 in
+    expect_op st ")";
+    Ast.While (cond, parse_block st)
+  | Lexer.KW "for" ->
+    let (_ : Lexer.spanned) = next st in
+    expect_op st "(";
+    let init = if at_op st ";" then None else Some (parse_simple st) in
+    expect_op st ";";
+    let cond = parse_expression st 1 in
+    expect_op st ";";
+    let step = if at_op st ")" then None else Some (parse_simple st) in
+    expect_op st ")";
+    Ast.For (init, cond, step, parse_block st)
+  | Lexer.KW "return" ->
+    let (_ : Lexer.spanned) = next st in
+    let value =
+      if at_op st ";" then None else Some (parse_expression st 1)
+    in
+    expect_op st ";";
+    Ast.Return value
+  | Lexer.IDENT name ->
+    (* Assignment or expression statement (call). *)
+    let (_ : Lexer.spanned) = next st in
+    if at_op st "=" then begin
+      let (_ : Lexer.spanned) = next st in
+      let e = parse_expression st 1 in
+      expect_op st ";";
+      Ast.Assign (name, e)
+    end
+    else if at_op st "(" then begin
+      let (_ : Lexer.spanned) = next st in
+      let args = parse_args st in
+      expect_op st ";";
+      Ast.Expr (Ast.Call (name, args))
+    end
+    else fail t.Lexer.line "expected '=' or '(' after identifier"
+  | other -> fail t.Lexer.line ("expected statement, found " ^ describe other)
+
+and parse_block st =
+  expect_op st "{";
+  let rec loop acc =
+    if at_op st "}" then begin
+      let (_ : Lexer.spanned) = next st in
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_fn st =
+  let t = next st in
+  (match t.Lexer.token with
+   | Lexer.KW "fn" -> ()
+   | other -> fail t.Lexer.line ("expected 'fn', found " ^ describe other));
+  let name = expect_ident st in
+  expect_op st "(";
+  let params =
+    if at_op st ")" then begin
+      let (_ : Lexer.spanned) = next st in
+      []
+    end
+    else begin
+      let rec loop acc =
+        let p = expect_ident st in
+        if at_op st "," then begin
+          let (_ : Lexer.spanned) = next st in
+          loop (p :: acc)
+        end
+        else begin
+          expect_op st ")";
+          List.rev (p :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  { Ast.name; params; body = parse_block st }
+
+let parse_program src =
+  let st = { toks = (try Lexer.tokenize src with Lexer.Error m -> raise (Error m)) } in
+  let rec loop acc =
+    match (peek st).Lexer.token with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.INT _ | Lexer.IDENT _ | Lexer.KW _ | Lexer.OP _ ->
+      loop (parse_fn st :: acc)
+  in
+  let fns = loop [] in
+  if fns = [] then raise (Error "no functions in input");
+  fns
+
+let parse_expr src =
+  let st = { toks = (try Lexer.tokenize src with Lexer.Error m -> raise (Error m)) } in
+  let e = parse_expression st 1 in
+  match (peek st).Lexer.token with
+  | Lexer.EOF -> e
+  | other -> fail (peek st).Lexer.line ("trailing input: " ^ describe other)

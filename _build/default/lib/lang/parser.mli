@@ -1,0 +1,29 @@
+(** Recursive-descent parser for TC.
+
+    {v
+      program := fn...
+      fn      := "fn" ident "(" [ident {"," ident}] ")" block
+      block   := "{" stmt... "}"
+      stmt    := "var" ident ["=" expr] ";"
+               | ident "=" expr ";"
+               | "mem" "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "while" "(" expr ")" block
+               | "for" "(" [simple] ";" expr ";" [simple] ")" block
+               | "return" [expr] ";"
+               | expr ";"
+      simple  := "var" ident "=" expr | ident "=" expr
+               | "mem" "[" expr "]" "=" expr
+      expr    := precedence climbing over
+                 "||" ; "&&" ; "|" ; "^" ; "&" ; "=="/"!=" ;
+                 "<"/"<="/">"/">=" ; "<<"/">>" ; "+"/"-" ; "*"/"/"/"%"
+      unary   := "-" | "!"
+      primary := int | ident | ident "(" args ")" | "mem" "[" expr "]"
+               | "(" expr ")"
+    v} *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+val parse_expr : string -> Ast.expr
+(** For tests. *)

@@ -1,0 +1,127 @@
+let fib =
+  {|
+// Iterative Fibonacci; result also stored for inspection.
+fn fib() {
+  var x = 0;
+  var y = 1;
+  for (var i = 0; i < 30; i = i + 1) {
+    var t = x + y;
+    x = y;
+    y = t;
+  }
+  mem[5000] = x;
+  return x;
+}
+|}
+
+let dotprod =
+  {|
+fn dotprod() {
+  var acc = 0;
+  for (var i = 0; i < 64; i = i + 1) {
+    acc = acc + mem[0 + i] * mem[1000 + i];
+  }
+  mem[5000] = acc;
+  return acc;
+}
+|}
+
+let vecadd =
+  {|
+fn vecadd() {
+  for (var i = 0; i < 64; i = i + 1) {
+    mem[2000 + i] = mem[0 + i] + mem[1000 + i];
+  }
+}
+|}
+
+let scale =
+  {|
+// The scale factor is naively reloaded every iteration - the promotion
+// pass hoists it.
+fn scale() {
+  for (var i = 0; i < 64; i = i + 1) {
+    mem[4000 + i] = mem[0 + i] * mem[3000];
+  }
+}
+|}
+
+let matmul =
+  {|
+// Dense 8x8 matrix multiply: C = A * B with A at 0, B at 1000, C at 2000.
+fn matmul() {
+  for (var i = 0; i < 8; i = i + 1) {
+    for (var j = 0; j < 8; j = j + 1) {
+      var acc = 0;
+      for (var k = 0; k < 8; k = k + 1) {
+        acc = acc + mem[i * 8 + k] * mem[1000 + k * 8 + j];
+      }
+      mem[2000 + i * 8 + j] = acc;
+    }
+  }
+}
+|}
+
+let max_reduce =
+  {|
+fn max_reduce() {
+  var best = -1;
+  for (var i = 0; i < 64; i = i + 1) {
+    if (best < mem[i]) {
+      best = mem[i];
+    }
+  }
+  mem[5000] = best;
+  return best;
+}
+|}
+
+let crc =
+  {|
+// Bitwise CRC over 32 bytes, branchless inner step (poly 0xA001).
+fn crc() {
+  var c = 65535;
+  for (var i = 0; i < 32; i = i + 1) {
+    c = c ^ mem[i];
+    for (var k = 0; k < 8; k = k + 1) {
+      c = (c >> 1) ^ 40961 * (c & 1);
+    }
+  }
+  mem[5000] = c;
+  return c;
+}
+|}
+
+let stencil =
+  {|
+// 5-point stencil over the interior of an 8x8 grid.
+fn stencil() {
+  for (var i0 = 0; i0 < 6; i0 = i0 + 1) {
+    for (var j0 = 0; j0 < 6; j0 = j0 + 1) {
+      var idx = (i0 + 1) * 8 + j0 + 1;
+      var sum = mem[idx] + mem[idx - 8] + mem[idx + 8] + mem[idx - 1]
+              + mem[idx + 1];
+      mem[2000 + idx] = sum / 5;
+    }
+  }
+}
+|}
+
+let all =
+  [
+    ("fib", fib);
+    ("dotprod", dotprod);
+    ("vecadd", vecadd);
+    ("scale", scale);
+    ("matmul", matmul);
+    ("max_reduce", max_reduce);
+    ("crc", crc);
+    ("stencil", stencil);
+  ]
+
+let find name = List.assoc_opt name all
+
+let compile name =
+  match find name with
+  | Some src -> Front.compile_func_string src
+  | None -> raise Not_found

@@ -1,0 +1,11 @@
+(** TC source renditions of several built-in kernels, kept observably
+    equivalent to their {!Tdfa_workload.Kernels} builder versions (same
+    memory map, same results) — both living documentation of the language
+    and a differential test bed for the front end. *)
+
+val all : (string * string) list
+(** (name, source) pairs; names match the corresponding kernels. *)
+
+val find : string -> string option
+val compile : string -> Tdfa_ir.Func.t
+(** @raise Not_found for an unknown name. *)

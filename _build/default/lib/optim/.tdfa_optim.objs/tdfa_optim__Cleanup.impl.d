@@ -1,0 +1,1 @@
+lib/optim/cleanup.ml: Array Block Const_prop Func Instr Label List Liveness Strength Tdfa_dataflow Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/optim/cleanup.mli: Func Tdfa_ir

@@ -1,0 +1,1 @@
+lib/optim/compile.mli: Analysis Assignment Func Layout Pipeline Policy Tdfa_core Tdfa_floorplan Tdfa_ir Tdfa_regalloc Var

@@ -1,0 +1,1 @@
+lib/optim/nop_insert.ml: Array Block Func Instr List Tdfa_ir

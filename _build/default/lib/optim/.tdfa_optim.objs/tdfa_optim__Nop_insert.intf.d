@@ -1,0 +1,1 @@
+lib/optim/nop_insert.mli: Func Label Tdfa_ir

@@ -1,0 +1,1 @@
+lib/optim/pipeline.ml: Block Func List Loops Tdfa_dataflow Tdfa_ir

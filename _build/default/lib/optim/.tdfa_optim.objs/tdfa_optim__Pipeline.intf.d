@@ -1,0 +1,1 @@
+lib/optim/pipeline.mli: Func Tdfa_ir

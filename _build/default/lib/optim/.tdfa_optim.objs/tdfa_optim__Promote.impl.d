@@ -1,0 +1,1 @@
+lib/optim/promote.ml: Array Block Func Instr Label List Loops Printf Tdfa_dataflow Tdfa_ir Var

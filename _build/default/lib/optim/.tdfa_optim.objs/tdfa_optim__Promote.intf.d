@@ -1,0 +1,1 @@
+lib/optim/promote.mli: Func Tdfa_ir

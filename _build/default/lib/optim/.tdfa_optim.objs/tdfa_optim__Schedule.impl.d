@@ -1,0 +1,1 @@
+lib/optim/schedule.ml: Array Block Deps Fun Func Instr Int List Tdfa_ir

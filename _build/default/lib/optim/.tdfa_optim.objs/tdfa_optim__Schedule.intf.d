@@ -1,0 +1,1 @@
+lib/optim/schedule.mli: Func Tdfa_ir Var

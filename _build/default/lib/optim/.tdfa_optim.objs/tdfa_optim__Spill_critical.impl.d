@@ -1,0 +1,1 @@
+lib/optim/spill_critical.ml: Func List Spill Tdfa_ir Tdfa_regalloc Var

@@ -1,0 +1,1 @@
+lib/optim/spill_critical.mli: Func Tdfa_ir Var

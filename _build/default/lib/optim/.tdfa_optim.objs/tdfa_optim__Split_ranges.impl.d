@@ -1,0 +1,1 @@
+lib/optim/split_ranges.ml: Array Block Func Instr Label List Printf Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/optim/split_ranges.mli: Func Label Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/optim/strength.ml: Array Block Const_prop Func Instr List Printf Tdfa_dataflow Tdfa_ir Var

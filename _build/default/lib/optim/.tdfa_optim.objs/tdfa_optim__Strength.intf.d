@@ -1,0 +1,1 @@
+lib/optim/strength.mli: Func Tdfa_ir

@@ -1,0 +1,1 @@
+lib/optim/unroll.ml: Array Block Func Label List Loops Tdfa_dataflow Tdfa_ir

@@ -1,0 +1,1 @@
+lib/optim/unroll.mli: Func Tdfa_ir

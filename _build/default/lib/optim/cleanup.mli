@@ -1,0 +1,34 @@
+(** Classic scalar clean-up passes. They run after the thermal transforms
+    (splitting and promotion leave dead moves behind) and demonstrate the
+    data-flow framework on its textbook clients. All passes preserve
+    observable semantics. *)
+
+open Tdfa_ir
+
+val dead_code_elimination : Func.t -> Func.t * int
+(** Iteratively remove pure instructions whose definition is never live;
+    returns the rewritten function and the number of removed
+    instructions. *)
+
+val copy_propagation : Func.t -> Func.t * int
+(** Block-local copy propagation: after [d <- mov s], uses of [d] read [s]
+    directly until either side is redefined. Returns the number of
+    rewritten uses. *)
+
+val constant_folding : Func.t -> Func.t * int
+(** Replace instructions whose result is a compile-time constant (per
+    {!Tdfa_dataflow.Const_prop}) with [const] definitions, and turn
+    branches on constant conditions into jumps. Unreachable blocks are
+    dropped. Returns the number of folded instructions. *)
+
+val local_value_numbering : Func.t -> Func.t * int
+(** Block-local common-subexpression elimination: a pure instruction
+    recomputing a value already held by a live variable becomes a move
+    from it. Returns the number of replaced instructions. *)
+
+val remove_unreachable : Func.t -> Func.t
+(** Drop blocks not reachable from the entry. *)
+
+val run_all : Func.t -> Func.t
+(** Fixpoint of folding, strength reduction ({!Strength}), value
+    numbering, copy propagation and DCE. *)

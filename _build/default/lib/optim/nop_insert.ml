@@ -1,0 +1,23 @@
+open Tdfa_ir
+
+type report = { nops_inserted : int }
+
+let apply (func : Func.t) ~hot_after ~nops =
+  assert (nops >= 0);
+  let inserted = ref 0 in
+  let rewrite (b : Block.t) =
+    let body_rev = ref [] in
+    Array.iteri
+      (fun index i ->
+        body_rev := i :: !body_rev;
+        if hot_after b.Block.label index then begin
+          inserted := !inserted + nops;
+          for _ = 1 to nops do
+            body_rev := Instr.Nop :: !body_rev
+          done
+        end)
+      b.Block.body;
+    Block.make b.Block.label (List.rev !body_rev) b.Block.term
+  in
+  let func' = Func.map_blocks rewrite func in
+  (func', { nops_inserted = !inserted })

@@ -1,0 +1,13 @@
+(** §4: "the insertion of NOP instructions gives the RF a chance to cool
+    down between accesses in extremely hot situations, although it can
+    affect overall system performance and should be applied only if no
+    other option ... is feasible." *)
+
+open Tdfa_ir
+
+type report = { nops_inserted : int }
+
+val apply :
+  Func.t -> hot_after:(Label.t -> int -> bool) -> nops:int -> Func.t * report
+(** Insert [nops] NOPs after every instruction flagged hot by
+    [hot_after label index]. *)

@@ -1,0 +1,32 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+type step = { pass : string; detail : string; cycles_after : float }
+
+type t = { func : Func.t; steps : step list }
+
+let static_cycles func =
+  let loops = Loops.analyze func in
+  List.fold_left
+    (fun acc (b : Block.t) ->
+      acc
+      +. (Loops.frequency loops b.Block.label
+          *. float_of_int (Block.num_instrs b + 1)))
+    0.0 func.Func.blocks
+
+let start func =
+  { func; steps = [ { pass = "original"; detail = ""; cycles_after = static_cycles func } ] }
+
+let apply t ~name ~detail f =
+  let func = f t.func in
+  {
+    func;
+    steps = t.steps @ [ { pass = name; detail; cycles_after = static_cycles func } ];
+  }
+
+let overhead_percent t =
+  match t.steps with
+  | [] -> 0.0
+  | { cycles_after = first; _ } :: _ ->
+    let last = static_cycles t.func in
+    (last -. first) /. first *. 100.0

@@ -1,0 +1,19 @@
+(** Composition of thermal-aware passes with cost accounting: every pass
+    trades cycles (performance) for temperature, and the compromise is
+    exactly what §4 says must "be explored at the compiler level". *)
+
+open Tdfa_ir
+
+type step = { pass : string; detail : string; cycles_after : float }
+
+type t = { func : Func.t; steps : step list }
+
+val start : Func.t -> t
+val apply : t -> name:string -> detail:string -> (Func.t -> Func.t) -> t
+
+val static_cycles : Func.t -> float
+(** Loop-frequency-weighted cycle estimate (1 cycle per instruction and
+    terminator) — the performance-cost metric of the reports. *)
+
+val overhead_percent : t -> float
+(** Relative cycle increase of the final function over the original. *)

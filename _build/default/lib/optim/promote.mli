@@ -1,0 +1,18 @@
+(** §4: register promotion — "promoting some memory-resident variables
+    into registers, which would help ... by making more uniform the use of
+    registers in time".
+
+    Conservative scope: a load from a statically-known address inside a
+    loop is hoisted into the loop's unique external predecessor when the
+    loop body contains no call and no store that could alias the address.
+    Aliasing follows the workloads' memory-map convention (one array per
+    1000-word region, see {!Tdfa_workload.Kernels}): a store blocks a load
+    when it may write the load's region, and a store whose region cannot
+    be resolved blocks everything. In-loop occurrences become register
+    moves. *)
+
+open Tdfa_ir
+
+type report = { promoted_addresses : int; loads_rewritten : int }
+
+val apply : Func.t -> Func.t * report

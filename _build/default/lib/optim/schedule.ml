@@ -1,0 +1,91 @@
+open Tdfa_ir
+
+type report = {
+  blocks_changed : int;
+  back_to_back_before : int;
+  back_to_back_after : int;
+}
+
+let cells_of_instr ~cell_of_var i =
+  List.sort_uniq Int.compare
+    (List.filter_map cell_of_var (Instr.accessed i))
+
+let count_back_to_back (func : Func.t) ~cell_of_var =
+  let count = ref 0 in
+  List.iter
+    (fun (b : Block.t) ->
+      let body = b.Block.body in
+      for i = 0 to Array.length body - 2 do
+        let c1 = cells_of_instr ~cell_of_var body.(i) in
+        let c2 = cells_of_instr ~cell_of_var body.(i + 1) in
+        if List.exists (fun c -> List.mem c c2) c1 then incr count
+      done)
+    func.Func.blocks;
+  !count
+
+let schedule_block ~cell_of_var ~is_hot_cell (b : Block.t) =
+  let body = b.Block.body in
+  let n = Array.length body in
+  if n <= 2 then b
+  else begin
+    let preds = Deps.block_preds body in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let last_cells = ref [] in
+    let ready () =
+      List.filter
+        (fun j ->
+          (not scheduled.(j))
+          && List.for_all (fun i -> scheduled.(i)) preds.(j))
+        (List.init n Fun.id)
+    in
+    for _ = 1 to n do
+      match ready () with
+      | [] -> assert false
+      | candidates ->
+        let cost j =
+          let cells = cells_of_instr ~cell_of_var body.(j) in
+          let clash =
+            if List.exists (fun c -> List.mem c !last_cells) cells then 2
+            else 0
+          in
+          let hot = if List.exists is_hot_cell cells then 1 else 0 in
+          clash + hot
+        in
+        let best =
+          List.fold_left
+            (fun acc j ->
+              match acc with
+              | None -> Some j
+              | Some i -> if cost j < cost i then Some j else acc)
+            None candidates
+        in
+        (match best with
+         | Some j ->
+           scheduled.(j) <- true;
+           last_cells := cells_of_instr ~cell_of_var body.(j);
+           order := j :: !order
+         | None -> assert false)
+    done;
+    let order = List.rev !order in
+    Block.with_body b (List.map (fun j -> body.(j)) order)
+  end
+
+let apply func ~cell_of_var ~is_hot_cell =
+  let before = count_back_to_back func ~cell_of_var in
+  let changed = ref 0 in
+  let func' =
+    Func.map_blocks
+      (fun b ->
+        let b' = schedule_block ~cell_of_var ~is_hot_cell b in
+        if b'.Block.body <> b.Block.body then incr changed;
+        b')
+      func
+  in
+  let after = count_back_to_back func' ~cell_of_var in
+  ( func',
+    {
+      blocks_changed = !changed;
+      back_to_back_before = before;
+      back_to_back_after = after;
+    } )

@@ -1,0 +1,24 @@
+(** §4: thermal-aware instruction scheduling — "spreading accesses to
+    registers in time ... to avoid consecutive accesses to already hot
+    registers".
+
+    Each block's body is list-scheduled over its data-dependence DAG
+    (RAW/WAR/WAW on variables, conservative ordering through memory and
+    calls). Among ready instructions the scheduler picks the one that
+    avoids touching a cell accessed by the previously issued instruction
+    and avoids predicted-hot cells; ties fall back to source order, so the
+    pass is deterministic and is the identity when no choice exists. *)
+
+open Tdfa_ir
+
+type report = { blocks_changed : int; back_to_back_before : int; back_to_back_after : int }
+
+val apply :
+  Func.t ->
+  cell_of_var:(Var.t -> int option) ->
+  is_hot_cell:(int -> bool) ->
+  Func.t * report
+
+val count_back_to_back : Func.t -> cell_of_var:(Var.t -> int option) -> int
+(** Number of adjacent instruction pairs sharing an accessed cell —
+    the metric the pass minimises. *)

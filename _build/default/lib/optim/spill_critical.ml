@@ -1,0 +1,15 @@
+open Tdfa_ir
+open Tdfa_regalloc
+
+type report = { spilled : Var.t list; added_instrs : int }
+
+let apply func ~critical ~max_spills =
+  let eligible =
+    List.filter
+      (fun v -> not (List.exists (Var.equal v) func.Func.params))
+      critical
+  in
+  let chosen = List.filteri (fun i _ -> i < max_spills) eligible in
+  let before = Func.instr_count func in
+  let func' = Spill.rewrite func (Var.Set.of_list chosen) in
+  (func', { spilled = chosen; added_instrs = Func.instr_count func' - before })

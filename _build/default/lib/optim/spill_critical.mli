@@ -1,0 +1,12 @@
+(** §4: "the greatest benefit will be achieved by spilling these
+    'critical' variables to memory". Wraps {!Tdfa_regalloc.Spill} with the
+    criticality ranking: the hottest variables are evicted from the
+    register file so their accesses stop feeding the hot spot. *)
+
+open Tdfa_ir
+
+type report = { spilled : Var.t list; added_instrs : int }
+
+val apply : Func.t -> critical:Var.t list -> max_spills:int -> Func.t * report
+(** Spills at most [max_spills] of the given variables (hottest first).
+    Parameters of the function are kept in registers. *)

@@ -1,0 +1,49 @@
+open Tdfa_ir
+
+type report = { split : Var.t list; copies_inserted : int }
+
+let apply ?(skip_blocks = Label.Set.empty) (func : Func.t) ~vars =
+  let counter = ref 0 in
+  let copies = ref 0 in
+  let split_done = ref [] in
+  let split_one func v =
+    let defines_v (b : Block.t) =
+      Array.exists
+        (fun i ->
+          match Instr.def i with Some d -> Var.equal d v | None -> false)
+        b.Block.body
+    in
+    let uses_v (b : Block.t) =
+      Array.exists (fun i -> List.exists (Var.equal v) (Instr.uses i)) b.Block.body
+    in
+    let changed = ref false in
+    let rewrite (b : Block.t) =
+      if
+        Label.Set.mem b.Block.label skip_blocks
+        || defines_v b
+        || not (uses_v b)
+      then b
+      else begin
+        let copy =
+          Var.of_string
+            (Printf.sprintf "spt_%s_%d" (Var.to_string v) !counter)
+        in
+        incr counter;
+        incr copies;
+        changed := true;
+        let subst u = if Var.equal u v then copy else u in
+        let body =
+          Instr.Unop (Instr.Mov, copy, v)
+          :: (Array.to_list b.Block.body |> List.map (Instr.map_uses subst))
+        in
+        (* Terminator reads keep the original variable: the copy's live
+           range then ends inside the block. *)
+        Block.make b.Block.label body b.Block.term
+      end
+    in
+    let func = Func.map_blocks rewrite func in
+    if !changed then split_done := v :: !split_done;
+    func
+  in
+  let func = List.fold_left split_one func vars in
+  (func, { split = List.rev !split_done; copies_inserted = !copies })

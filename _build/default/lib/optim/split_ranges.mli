@@ -1,0 +1,19 @@
+(** §4: live-range splitting — "splitting them (via copy insertion) to
+    spread their accesses across a multitude of registers".
+
+    For each selected variable, every block that only *reads* it gets a
+    private copy ([c <- mov v] at block entry) and its in-block reads are
+    redirected to the copy. The copies are distinct variables, so the
+    allocator places them in different cells and the read traffic
+    spreads. Semantics are preserved: the copy is a snapshot of a value
+    the block never changes. *)
+
+open Tdfa_ir
+
+type report = { split : Var.t list; copies_inserted : int }
+
+val apply :
+  ?skip_blocks:Label.Set.t -> Func.t -> vars:Var.t list -> Func.t * report
+(** [skip_blocks] are left untouched — callers exempt loop headers so the
+    induction comparison keeps reading the original variable and
+    trip-count recovery still works. *)

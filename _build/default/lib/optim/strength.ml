@@ -1,0 +1,98 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+let log2_exact k =
+  if k <= 0 then None
+  else
+    let rec go p e = if p = k then Some e else if p > k then None else go (p * 2) (e + 1) in
+    go 1 0
+
+let apply (func : Func.t) =
+  let cp = Const_prop.analyze func in
+  let changed = ref 0 in
+  (* Fresh shift-amount constants need names that cannot collide. *)
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Var.of_string (Printf.sprintf "str_%d" !counter)
+  in
+  let rewrite (b : Block.t) =
+    let env = ref Var.Map.empty in
+    let lookup v =
+      match Var.Map.find_opt v !env with
+      | Some x -> x
+      | None -> Const_prop.value_in cp b.Block.label v
+    in
+    let const_of v =
+      match lookup v with Const_prop.Value.Const k -> Some k | _ -> None
+    in
+    (* Multiplication: annihilator, identity, then power-of-two. *)
+    let simplify_mul d s1 s2 k1 k2 =
+      let with_const src = function
+        | 0 -> Some [ Instr.Const (d, 0) ]
+        | 1 -> Some [ Instr.Unop (Instr.Mov, d, src) ]
+        | k -> (
+          match log2_exact k with
+          | Some e ->
+            let sh = fresh () in
+            Some [ Instr.Const (sh, e); Instr.Binop (Instr.Shl, d, src, sh) ]
+          | None -> None)
+      in
+      match (k1, k2) with
+      | _, Some k -> with_const s1 k
+      | Some k, None -> with_const s2 k
+      | None, None -> None
+    in
+    let simplify i =
+      match i with
+      | Instr.Binop (Instr.Mul, d, s1, s2) ->
+        simplify_mul d s1 s2 (const_of s1) (const_of s2)
+      | Instr.Binop (op, d, s1, s2) -> (
+        let k1 = const_of s1 and k2 = const_of s2 in
+        match (op, k1, k2) with
+        (* Identities. *)
+        | Instr.Add, _, Some 0 | Instr.Sub, _, Some 0 | Instr.Shl, _, Some 0
+        | Instr.Shr, _, Some 0 | Instr.Xor, _, Some 0 | Instr.Or, _, Some 0
+        | Instr.Div, _, Some 1 ->
+          Some [ Instr.Unop (Instr.Mov, d, s1) ]
+        | Instr.Add, Some 0, _ | Instr.Or, Some 0, _ | Instr.Xor, Some 0, _ ->
+          Some [ Instr.Unop (Instr.Mov, d, s2) ]
+        (* Annihilators. *)
+        | Instr.And, _, Some 0 | Instr.And, Some 0, _ ->
+          Some [ Instr.Const (d, 0) ]
+        (* x - x = 0, x ^ x = 0 (no constant knowledge needed). *)
+        | (Instr.Sub | Instr.Xor), _, _ when Var.equal s1 s2 ->
+          Some [ Instr.Const (d, 0) ]
+        | ( ( Instr.Add | Instr.Sub | Instr.Mul | Instr.Div | Instr.Rem
+            | Instr.And | Instr.Or | Instr.Xor | Instr.Shl | Instr.Shr
+            | Instr.Slt | Instr.Sle | Instr.Seq | Instr.Sne ),
+            _, _ ) ->
+          None)
+      | Instr.Const _ | Instr.Unop _ | Instr.Load _ | Instr.Store _
+      | Instr.Call _ | Instr.Nop ->
+        None
+    in
+    let body =
+      Array.to_list b.Block.body
+      |> List.concat_map (fun i ->
+             let replacement = simplify i in
+             let out =
+               match replacement with
+               | Some instrs ->
+                 incr changed;
+                 instrs
+               | None -> [ i ]
+             in
+             (* Track block-local constant knowledge as we go. *)
+             List.iter
+               (fun i' ->
+                 match (Instr.def i', Const_prop.eval_instr i' lookup) with
+                 | Some d, Some value -> env := Var.Map.add d value !env
+                 | (Some _ | None), (Some _ | None) -> ())
+               out;
+             out)
+    in
+    Block.with_body b body
+  in
+  let func = Func.map_blocks rewrite func in
+  (func, !changed)

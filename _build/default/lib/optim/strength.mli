@@ -1,0 +1,10 @@
+(** Strength reduction and algebraic simplification: multiplications by
+    powers of two become shifts, identities ([x + 0], [x * 1], [x ^ x],
+    ...) collapse. Cheaper operations also switch less logic — the
+    energy-per-instruction knob behind the thermal model's coefficients. *)
+
+open Tdfa_ir
+
+val apply : Func.t -> Func.t * int
+(** Returns the rewritten function and the number of simplified
+    instructions. Semantics-preserving. *)

@@ -1,0 +1,45 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+type report = { unrolled_loops : int; factor : int }
+
+(* Eligible: loop body = {header, latch}; latch is a straight-line block
+   jumping back to the header; the trip count is known exactly (the
+   estimator returns default_trip when it failed to recover the bound, so
+   eligibility re-derives the idiom the same way and only trusts counts
+   for loops matching it). *)
+let eligible func (loops : Loops.t) (loop : Loops.loop) ~factor =
+  let body_labels = Label.Set.elements loop.Loops.body in
+  match body_labels with
+  | [ a; b ] ->
+    let latch_label = if Label.equal a loop.Loops.header then b else a in
+    let latch = Func.find_block func latch_label in
+    (match latch.Block.term with
+     | Block.Jump target when Label.equal target loop.Loops.header -> (
+       match Loops.exact_trip_count loops loop.Loops.header with
+       | Some trip when trip mod factor = 0 && trip > 0 -> Some (latch, trip)
+       | Some _ | None -> None)
+     | Block.Jump _ | Block.Branch _ | Block.Return _ -> None)
+  | _ -> None
+
+let apply (func : Func.t) ~factor =
+  if factor < 1 then invalid_arg "Unroll.apply: factor < 1";
+  if factor = 1 then (func, { unrolled_loops = 0; factor })
+  else begin
+    let loops = Loops.analyze func in
+    let unrolled = ref 0 in
+    let func =
+      List.fold_left
+        (fun func (loop : Loops.loop) ->
+          match eligible func loops loop ~factor with
+          | None -> func
+          | Some (latch, _trip) ->
+            incr unrolled;
+            let body = Array.to_list latch.Block.body in
+            let replicated = List.concat (List.init factor (fun _ -> body)) in
+            Func.replace_block func
+              (Block.make latch.Block.label replicated latch.Block.term))
+        func (Loops.loops loops)
+    in
+    (func, { unrolled_loops = !unrolled; factor })
+  end

@@ -1,0 +1,17 @@
+(** Loop unrolling — the high-level transformation whose thermal impact
+    §5 wants to understand: unrolling removes loop overhead (faster) but
+    raises the access density on the loop's registers (hotter).
+
+    Conservative scope: only two-block counted loops (header + single
+    latch, the {!Tdfa_workload.Kernels.counted_loop} scaffold) whose
+    statically-recovered trip count is divisible by the factor, so the
+    exit test stays exact without an epilogue. *)
+
+open Tdfa_ir
+
+type report = { unrolled_loops : int; factor : int }
+
+val apply : Func.t -> factor:int -> Func.t * report
+(** Replicate each eligible latch body [factor] times (including the
+    induction update). [factor = 1] is the identity.
+    @raise Invalid_argument when [factor < 1]. *)

@@ -1,0 +1,1 @@
+lib/regalloc/alloc.ml: Assignment Coloring Func Interference Liveness Loops Printf Spill Tdfa_dataflow Tdfa_ir Use_def Var

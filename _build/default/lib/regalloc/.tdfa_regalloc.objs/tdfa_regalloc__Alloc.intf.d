@@ -1,0 +1,1 @@
+lib/regalloc/alloc.mli: Assignment Func Layout Policy Tdfa_floorplan Tdfa_ir Var

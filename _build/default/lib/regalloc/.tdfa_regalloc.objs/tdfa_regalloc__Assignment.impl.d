@@ -1,0 +1,1 @@
+lib/regalloc/assignment.ml: Format Int List Tdfa_ir Var

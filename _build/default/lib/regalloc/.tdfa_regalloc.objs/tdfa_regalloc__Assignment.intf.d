@@ -1,0 +1,1 @@
+lib/regalloc/assignment.mli: Format Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/regalloc/coloring.ml: Assignment Interference Layout List Policy Tdfa_floorplan Tdfa_ir Var

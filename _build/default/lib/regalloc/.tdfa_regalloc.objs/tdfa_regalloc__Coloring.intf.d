@@ -1,0 +1,1 @@
+lib/regalloc/coloring.mli: Assignment Interference Layout Policy Tdfa_floorplan Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/regalloc/interference.ml: Array Block Func Instr List Liveness Tdfa_dataflow Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/regalloc/interference.mli: Func Liveness Tdfa_dataflow Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/regalloc/policy.ml: Array Float Int Layout List Option Random Set Tdfa_floorplan

@@ -1,0 +1,1 @@
+lib/regalloc/policy.mli: Layout Set Tdfa_floorplan

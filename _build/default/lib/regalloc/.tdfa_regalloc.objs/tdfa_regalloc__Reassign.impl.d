@@ -1,0 +1,1 @@
+lib/regalloc/reassign.ml: Array Assignment Layout List Random Tdfa_floorplan

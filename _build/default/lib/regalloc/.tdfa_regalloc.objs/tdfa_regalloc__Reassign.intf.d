@@ -1,0 +1,1 @@
+lib/regalloc/reassign.mli: Assignment Layout Tdfa_floorplan Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/regalloc/spill.ml: Array Block Func Instr Label List Printf Tdfa_ir Var

@@ -1,0 +1,47 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+type result = {
+  func : Func.t;
+  assignment : Assignment.t;
+  spilled : Var.Set.t;
+  rounds : int;
+  max_pressure : int;
+}
+
+let default_weights func =
+  let ud = Use_def.build func in
+  let loops = Loops.analyze func in
+  fun v -> Use_def.weighted_access_count ud loops v
+
+let allocate ?(max_rounds = 16) ?weights func layout ~policy =
+  let rec attempt func all_spilled round =
+    if round > max_rounds then
+      failwith
+        (Printf.sprintf "Alloc.allocate: no colouring after %d spill rounds"
+           max_rounds);
+    let weights =
+      match weights with Some w -> w | None -> default_weights func
+    in
+    let liveness = Liveness.analyze func in
+    let graph = Interference.build func liveness in
+    let outcome = Coloring.run graph layout ~policy ~weights in
+    if Var.Set.is_empty outcome.Coloring.spilled then
+      {
+        func;
+        assignment = outcome.Coloring.assignment;
+        spilled = all_spilled;
+        rounds = round;
+        max_pressure = Liveness.max_pressure liveness;
+      }
+    else
+      let func =
+        Spill.rewrite
+          ~slot_base:(Var.Set.cardinal all_spilled)
+          func outcome.Coloring.spilled
+      in
+      attempt func (Var.Set.union all_spilled outcome.Coloring.spilled) (round + 1)
+  in
+  attempt func Var.Set.empty 1
+
+let cell_of_var result v = Assignment.cell_of_var result.assignment v

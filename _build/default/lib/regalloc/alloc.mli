@@ -1,0 +1,31 @@
+(** Top-level register allocation: colouring with iterated spilling until
+    everything fits the register file. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+
+type result = {
+  func : Func.t;  (** possibly rewritten with spill code *)
+  assignment : Assignment.t;
+  spilled : Var.Set.t;  (** union over all spill rounds *)
+  rounds : int;  (** colouring attempts (1 = no spilling needed) *)
+  max_pressure : int;  (** of the final function *)
+}
+
+val default_weights : Func.t -> Var.t -> float
+(** Loop-frequency-weighted access count (see
+    {!Use_def.weighted_access_count}). *)
+
+val allocate :
+  ?max_rounds:int ->
+  ?weights:(Var.t -> float) ->
+  Func.t ->
+  Layout.t ->
+  policy:Policy.t ->
+  result
+(** @raise Failure when spilling does not reach a colouring within
+    [max_rounds] (default 16) — in practice only possible if the register
+    file is degenerately small. *)
+
+val cell_of_var : result -> Var.t -> int option
+(** Lookup into the final assignment (spill temporaries included). *)

@@ -1,0 +1,22 @@
+open Tdfa_ir
+
+type t = int Var.Map.t
+
+let empty = Var.Map.empty
+let add t v c = Var.Map.add v c t
+let cell_of_var t v = Var.Map.find_opt v t
+let bindings t = Var.Map.bindings t
+let of_bindings l = List.fold_left (fun acc (v, c) -> Var.Map.add v c acc) empty l
+
+let cells_in_use t =
+  Var.Map.fold (fun _ c acc -> c :: acc) t []
+  |> List.sort_uniq Int.compare
+
+let size = Var.Map.cardinal
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (v, c) -> Format.fprintf ppf "%a -> r%d@ " Var.pp v c)
+    (bindings t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,17 @@
+(** Register assignment: a finite map from variables to register-file cell
+    indices, as produced by the allocator. *)
+
+open Tdfa_ir
+
+type t
+
+val empty : t
+val add : t -> Var.t -> int -> t
+val cell_of_var : t -> Var.t -> int option
+val bindings : t -> (Var.t * int) list
+val of_bindings : (Var.t * int) list -> t
+val cells_in_use : t -> int list
+(** Distinct cells, ascending. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+open Tdfa_ir
+open Tdfa_dataflow
+
+type t = { adj : Var.Set.t Var.Tbl.t }
+
+let add_node t v =
+  if not (Var.Tbl.mem t.adj v) then Var.Tbl.replace t.adj v Var.Set.empty
+
+let add_edge t a b =
+  if not (Var.equal a b) then begin
+    add_node t a;
+    add_node t b;
+    Var.Tbl.replace t.adj a (Var.Set.add b (Var.Tbl.find t.adj a));
+    Var.Tbl.replace t.adj b (Var.Set.add a (Var.Tbl.find t.adj b))
+  end
+
+let build (func : Func.t) liveness =
+  let t = { adj = Var.Tbl.create 64 } in
+  Var.Set.iter (fun v -> add_node t v) (Func.defined_vars func);
+  (* Definition points: the defined variable interferes with everything
+     live afterwards, except the source of a move (coalescable pair). *)
+  List.iter
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      Array.iteri
+        (fun i instr ->
+          match Instr.def instr with
+          | None -> ()
+          | Some d ->
+            let live = Liveness.live_after_instr liveness l i in
+            let exempt =
+              match instr with
+              | Instr.Unop (Instr.Mov, _, s) -> Some s
+              | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Load _
+              | Instr.Store _ | Instr.Call _ | Instr.Nop ->
+                None
+            in
+            Var.Set.iter
+              (fun v ->
+                let skip =
+                  match exempt with Some s -> Var.equal v s | None -> false
+                in
+                if not skip then add_edge t d v)
+              live)
+        b.Block.body)
+    func.Func.blocks;
+  (* Parameters are "defined" on entry: they interfere with each other and
+     with everything live into the entry block. *)
+  let entry_live = Liveness.live_in liveness (Func.entry_label func) in
+  List.iteri
+    (fun i p ->
+      Var.Set.iter (fun v -> add_edge t p v) entry_live;
+      List.iteri (fun j q -> if i < j then add_edge t p q) func.Func.params)
+    func.Func.params;
+  t
+
+let vars t =
+  List.sort Var.compare (Var.Tbl.fold (fun v _ acc -> v :: acc) t.adj [])
+
+let neighbors t v =
+  match Var.Tbl.find_opt t.adj v with Some s -> s | None -> Var.Set.empty
+
+let degree t v = Var.Set.cardinal (neighbors t v)
+let interferes t a b = Var.Set.mem b (neighbors t a)
+
+let num_edges t =
+  let total = Var.Tbl.fold (fun _ s acc -> acc + Var.Set.cardinal s) t.adj 0 in
+  total / 2

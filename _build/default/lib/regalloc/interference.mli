@@ -1,0 +1,17 @@
+(** Interference graph: an edge joins two variables whose live ranges
+    overlap (§2 — such variables cannot share a register). Move-related
+    pairs ([d <- mov s]) are not made to interfere by the move itself. *)
+
+open Tdfa_ir
+open Tdfa_dataflow
+
+type t
+
+val build : Func.t -> Liveness.t -> t
+val vars : t -> Var.t list
+(** All nodes, sorted by name for determinism. *)
+
+val neighbors : t -> Var.t -> Var.Set.t
+val degree : t -> Var.t -> int
+val interferes : t -> Var.t -> Var.t -> bool
+val num_edges : t -> int

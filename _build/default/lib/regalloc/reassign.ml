@@ -1,0 +1,92 @@
+open Tdfa_floorplan
+
+(* Per-cell accumulated access weight under an assignment. *)
+let cell_loads layout ~weights assignment =
+  let loads = Array.make (Layout.num_cells layout) 0.0 in
+  List.iter
+    (fun (v, c) -> loads.(c) <- loads.(c) +. weights v)
+    (Assignment.bindings assignment);
+  loads
+
+let cost_of_loads layout loads =
+  (* Self term: power density on the cell; interaction term: hot
+     neighbourhoods. Mirrors how the RC network superposes sources. *)
+  let n = Array.length loads in
+  let total = ref 0.0 in
+  for c = 0 to n - 1 do
+    if loads.(c) > 0.0 then begin
+      total := !total +. (loads.(c) *. loads.(c));
+      for d = c + 1 to n - 1 do
+        if loads.(d) > 0.0 then
+          total :=
+            !total
+            +. (2.0 *. loads.(c) *. loads.(d)
+                /. (1.0 +. float_of_int (Layout.manhattan layout c d)))
+      done
+    end
+  done;
+  !total
+
+let cost layout ~weights assignment =
+  cost_of_loads layout (cell_loads layout ~weights assignment)
+
+let improve ?(iterations = 2000) ?(seed = 1) layout ~weights assignment =
+  let rng = Random.State.make [| seed |] in
+  let bindings = Array.of_list (Assignment.bindings assignment) in
+  let n_vars = Array.length bindings in
+  if n_vars = 0 then assignment
+  else begin
+    let num_cells = Layout.num_cells layout in
+    let loads = cell_loads layout ~weights assignment in
+    let occupied = Array.make num_cells false in
+    Array.iter (fun (_, c) -> occupied.(c) <- true) bindings;
+    let current = ref (cost_of_loads layout loads) in
+    (* Apply a tentative load delta and return the new cost. *)
+    let try_change changes =
+      List.iter (fun (c, dw) -> loads.(c) <- loads.(c) +. dw) changes;
+      let fresh = cost_of_loads layout loads in
+      if fresh < !current -. 1e-9 then begin
+        current := fresh;
+        true
+      end
+      else begin
+        List.iter (fun (c, dw) -> loads.(c) <- loads.(c) -. dw) changes;
+        false
+      end
+    in
+    for _ = 1 to iterations do
+      if Random.State.bool rng && n_vars >= 2 then begin
+        (* Swap the cells of two variables. *)
+        let i = Random.State.int rng n_vars in
+        let j = Random.State.int rng n_vars in
+        let vi, ci = bindings.(i) and vj, cj = bindings.(j) in
+        if ci <> cj then begin
+          let wi = weights vi and wj = weights vj in
+          let changes =
+            [ (ci, wj -. wi); (cj, wi -. wj) ]
+          in
+          if try_change changes then begin
+            bindings.(i) <- (vi, cj);
+            bindings.(j) <- (vj, ci)
+          end
+        end
+      end
+      else begin
+        (* Move one variable to a globally free cell. *)
+        let i = Random.State.int rng n_vars in
+        let vi, ci = bindings.(i) in
+        let target = Random.State.int rng num_cells in
+        if not occupied.(target) then begin
+          let wi = weights vi in
+          if try_change [ (ci, -.wi); (target, wi) ] then begin
+            bindings.(i) <- (vi, target);
+            occupied.(target) <- true;
+            (* The old cell may still host other variables. *)
+            occupied.(ci) <-
+              Array.exists (fun (_, c) -> c = ci) bindings
+          end
+        end
+      end
+    done;
+    Assignment.of_bindings (Array.to_list bindings)
+  end

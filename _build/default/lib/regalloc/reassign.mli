@@ -1,0 +1,24 @@
+(** Post-hoc thermal register re-assignment, after the paper's reference
+    [3] (Zhou et al., DAC 2008): keep the compiled code fixed and only
+    permute which physical register each variable occupies, minimising a
+    power-density surrogate. Re-assignment never changes validity — cell
+    swaps preserve the distinct-cells-for-interfering-variables invariant,
+    and moves target globally free cells. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+
+val cost : Layout.t -> weights:(Var.t -> float) -> Assignment.t -> float
+(** The surrogate objective: proximity-weighted interaction of per-cell
+    access loads (hot neighbours are expensive, spread loads are cheap). *)
+
+val improve :
+  ?iterations:int ->
+  ?seed:int ->
+  Layout.t ->
+  weights:(Var.t -> float) ->
+  Assignment.t ->
+  Assignment.t
+(** Seeded local search (default 2000 proposals): random swaps of two
+    variables' cells and random moves to free cells, accepting strict
+    improvements. Deterministic for a given seed. *)

@@ -1,0 +1,52 @@
+type t = { headers : string list; mutable rows_rev : string list list }
+
+let create ~headers = { headers; rows_rev = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows_rev <- row :: t.rows_rev
+
+let rows t = List.rev t.rows_rev
+
+let to_string t =
+  let all = t.headers :: rows t in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row =
+    String.concat "  " (List.mapi (fun c cell -> pad cell (List.nth widths c)) row)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let fk v = Printf.sprintf "%.2f" v
+let f2 = fk
+let f3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" v
+
+let csv t =
+  let escape cell =
+    if String.contains cell ',' then "\"" ^ cell ^ "\"" else cell
+  in
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line t.headers :: List.map line (rows t)) ^ "\n"

@@ -1,0 +1,26 @@
+(** Fixed-width ASCII tables for the experiment reports printed by the
+    bench harness and the CLI. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch with the headers. *)
+
+val to_string : t -> string
+(** Columns are padded to their widest entry; a rule separates the
+    header. *)
+
+val print : t -> unit
+
+(** {2 Cell formatting helpers} *)
+
+val fk : float -> string
+(** Temperature in kelvin, 2 decimals. *)
+
+val f2 : float -> string
+val f3 : float -> string
+val pct : float -> string
+
+val csv : t -> string
+(** The same table as comma-separated values. *)

@@ -1,0 +1,1 @@
+lib/thermal/dtm.ml: Array Float List Simulator

@@ -1,0 +1,1 @@
+lib/thermal/dtm.mli: Rc_model

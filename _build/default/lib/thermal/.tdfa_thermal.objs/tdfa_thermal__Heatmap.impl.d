@@ -1,0 +1,1 @@
+lib/thermal/heatmap.ml: Array Buffer Float Layout List Printf String Tdfa_floorplan

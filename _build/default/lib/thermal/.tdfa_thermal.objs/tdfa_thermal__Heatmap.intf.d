@@ -1,0 +1,1 @@
+lib/thermal/heatmap.mli: Layout Tdfa_floorplan

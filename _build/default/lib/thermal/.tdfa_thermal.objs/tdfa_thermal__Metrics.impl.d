@@ -1,0 +1,1 @@
+lib/thermal/metrics.ml: Array Float Format Layout List Tdfa_floorplan

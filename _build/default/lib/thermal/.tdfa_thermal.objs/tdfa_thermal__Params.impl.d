@@ -1,0 +1,1 @@
+lib/thermal/params.ml: Format

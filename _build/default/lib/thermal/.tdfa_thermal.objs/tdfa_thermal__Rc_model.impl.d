@@ -1,0 +1,1 @@
+lib/thermal/rc_model.ml: Array Float Layout Params Tdfa_floorplan

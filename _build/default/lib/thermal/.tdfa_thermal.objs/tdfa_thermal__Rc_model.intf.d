@@ -1,0 +1,1 @@
+lib/thermal/rc_model.mli: Layout Params Tdfa_floorplan

@@ -1,0 +1,1 @@
+lib/thermal/reliability.ml: Array Float Format Layout List Params Tdfa_floorplan

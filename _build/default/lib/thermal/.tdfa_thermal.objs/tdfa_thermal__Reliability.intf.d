@@ -1,0 +1,1 @@
+lib/thermal/reliability.mli: Format Layout Tdfa_floorplan

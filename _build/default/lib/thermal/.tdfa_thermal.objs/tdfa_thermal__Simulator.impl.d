@@ -1,0 +1,1 @@
+lib/thermal/simulator.ml: Array Float List Params Rc_model

@@ -1,0 +1,1 @@
+lib/thermal/simulator.mli: Rc_model

@@ -1,0 +1,68 @@
+type policy = { trigger_k : float; throttle_factor : float }
+
+type result = {
+  final_temps : float array;
+  peak_k : float;
+  throttled_windows : int;
+  total_windows : int;
+  slowdown : float;
+}
+
+let array_max a = Array.fold_left Float.max neg_infinity a
+
+(* Shared engine: [factor_for] maps the current peak to a speed factor in
+   (0, 1]. *)
+let run_with model ~factor_for ~power_of_window ~windows ~window_s =
+  let sim = Simulator.create model in
+  let throttled = ref 0 in
+  let time = ref 0.0 in
+  let peak = ref neg_infinity in
+  for w = 0 to windows - 1 do
+    let power = power_of_window w in
+    let f = factor_for (array_max (Simulator.temps sim)) in
+    if f < 1.0 then begin
+      (* Same energy over a longer window: power scales down, wall-clock
+         time scales up. *)
+      incr throttled;
+      let scaled = Array.map (fun p -> p *. f) power in
+      Simulator.step sim ~power:scaled ~dt:(window_s /. f);
+      time := !time +. (window_s /. f)
+    end
+    else begin
+      Simulator.step sim ~power ~dt:window_s;
+      time := !time +. window_s
+    end;
+    peak := Float.max !peak (array_max (Simulator.temps sim))
+  done;
+  {
+    final_temps = Simulator.temps sim;
+    peak_k = !peak;
+    throttled_windows = !throttled;
+    total_windows = windows;
+    slowdown = !time /. (float_of_int windows *. window_s);
+  }
+
+let run model policy ~power_of_window ~windows ~window_s =
+  if policy.throttle_factor <= 0.0 || policy.throttle_factor > 1.0 then
+    invalid_arg "Dtm.run: throttle_factor must be in (0, 1]";
+  let factor_for peak =
+    if peak > policy.trigger_k then policy.throttle_factor else 1.0
+  in
+  run_with model ~factor_for ~power_of_window ~windows ~window_s
+
+let run_multilevel model ~levels ~power_of_window ~windows ~window_s =
+  if levels = [] then invalid_arg "Dtm.run_multilevel: no levels";
+  List.iter
+    (fun (_, f) ->
+      if f <= 0.0 || f > 1.0 then
+        invalid_arg "Dtm.run_multilevel: factor must be in (0, 1]")
+    levels;
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) levels
+  in
+  let factor_for peak =
+    List.fold_left
+      (fun acc (trigger, f) -> if peak > trigger then f else acc)
+      1.0 sorted
+  in
+  run_with model ~factor_for ~power_of_window ~windows ~window_s

@@ -1,0 +1,45 @@
+(** Reactive dynamic thermal management (DTM) baseline — the runtime
+    mechanism (after Srinivasan et al., the paper's ref [1]) that
+    compile-time thermal awareness tries to make unnecessary.
+
+    The policy watches the simulated peak temperature; while it exceeds
+    the trigger, execution is throttled: the same work is spread over
+    [1 / throttle_factor] more wall-clock time, scaling dynamic power by
+    [throttle_factor]. *)
+
+type policy = {
+  trigger_k : float;
+  throttle_factor : float;  (** in (0, 1]; 1.0 disables throttling *)
+}
+
+type result = {
+  final_temps : float array;
+  peak_k : float;  (** highest peak seen over the whole run *)
+  throttled_windows : int;
+  total_windows : int;
+  slowdown : float;
+      (** wall-clock time relative to unthrottled execution (>= 1.0) *)
+}
+
+val run :
+  Rc_model.t ->
+  policy ->
+  power_of_window:(int -> float array) ->
+  windows:int ->
+  window_s:float ->
+  result
+(** @raise Invalid_argument when [throttle_factor] is outside (0, 1]. *)
+
+val run_multilevel :
+  Rc_model.t ->
+  levels:(float * float) list ->
+  power_of_window:(int -> float array) ->
+  windows:int ->
+  window_s:float ->
+  result
+(** DVFS-style graded throttling: [levels] are (trigger, factor) pairs;
+    each window runs at the factor of the deepest level whose trigger the
+    current peak exceeds (1.0 when below all triggers). [throttled_windows]
+    counts windows run below full speed.
+    @raise Invalid_argument when a factor is outside (0, 1] or levels is
+    empty. *)

@@ -1,0 +1,58 @@
+open Tdfa_floorplan
+
+let default_ramp = ".:-=+*#%@"
+
+let char_for ramp lo hi v =
+  let n = String.length ramp in
+  if hi -. lo < 1e-9 then ramp.[0]
+  else
+    let x = (v -. lo) /. (hi -. lo) in
+    let idx = int_of_float (x *. float_of_int (n - 1) +. 0.5) in
+    ramp.[max 0 (min (n - 1) idx)]
+
+let render_normalized ?(ramp = default_ramp) ~lo ~hi layout temps =
+  let buf = Buffer.create 256 in
+  for row = 0 to layout.Layout.rows - 1 do
+    for col = 0 to layout.Layout.cols - 1 do
+      let v = temps.(Layout.index layout ~row ~col) in
+      Buffer.add_char buf (char_for ramp lo hi v)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "min=%.2fK max=%.2fK\n" lo hi);
+  Buffer.contents buf
+
+let render ?ramp layout temps =
+  let lo = Array.fold_left Float.min infinity temps in
+  let hi = Array.fold_left Float.max neg_infinity temps in
+  render_normalized ?ramp ~lo ~hi layout temps
+
+let side_by_side ~titles maps =
+  let columns = List.map (String.split_on_char '\n') maps in
+  let widths =
+    List.map
+      (fun lines -> List.fold_left (fun w l -> max w (String.length l)) 0 lines)
+      columns
+  in
+  let height = List.fold_left (fun h lines -> max h (List.length lines)) 0 columns in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let row_of lines i = match List.nth_opt lines i with Some l -> l | None -> "" in
+  let buf = Buffer.create 512 in
+  (* Title row. *)
+  List.iteri
+    (fun k title ->
+      let w = List.nth widths k in
+      if k > 0 then Buffer.add_string buf "   ";
+      Buffer.add_string buf (pad title w))
+    titles;
+  Buffer.add_char buf '\n';
+  for i = 0 to height - 1 do
+    List.iteri
+      (fun k lines ->
+        let w = List.nth widths k in
+        if k > 0 then Buffer.add_string buf "   ";
+        Buffer.add_string buf (pad (row_of lines i) w))
+      columns;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** ASCII rendering of temperature fields — the textual stand-in for the
+    colour thermal maps of Fig. 1. *)
+
+open Tdfa_floorplan
+
+val render : ?ramp:string -> Layout.t -> float array -> string
+(** One character per cell, row per line, normalised to the field's own
+    min..max, followed by a min/max legend. The default ramp runs from
+    cold ['.'] to hot ['@']. *)
+
+val render_normalized : ?ramp:string -> lo:float -> hi:float -> Layout.t -> float array -> string
+(** Like {!render} but against a fixed scale, so several maps can be
+    compared side by side (as in Fig. 1). *)
+
+val side_by_side : titles:string list -> string list -> string
+(** Join several rendered maps horizontally under their titles. *)

@@ -1,0 +1,57 @@
+open Tdfa_floorplan
+
+type summary = {
+  peak_k : float;
+  mean_k : float;
+  min_k : float;
+  range_k : float;
+  stddev_k : float;
+  max_neighbor_gradient_k : float;
+  hotspot_cells : int;
+}
+
+let hotspot_margin_k = 2.0
+
+let summarize layout temps =
+  let n = Array.length temps in
+  assert (n = Layout.num_cells layout && n > 0);
+  let peak = Array.fold_left Float.max neg_infinity temps in
+  let low = Array.fold_left Float.min infinity temps in
+  let mean = Array.fold_left ( +. ) 0.0 temps /. float_of_int n in
+  let variance =
+    Array.fold_left (fun acc t -> acc +. ((t -. mean) ** 2.0)) 0.0 temps
+    /. float_of_int n
+  in
+  let max_gradient = ref 0.0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          max_gradient := Float.max !max_gradient (Float.abs (temps.(i) -. temps.(j))))
+        (Layout.neighbors layout i))
+    (Layout.cells layout);
+  let hotspots =
+    Array.fold_left
+      (fun acc t -> if t > mean +. hotspot_margin_k then acc + 1 else acc)
+      0 temps
+  in
+  {
+    peak_k = peak;
+    mean_k = mean;
+    min_k = low;
+    range_k = peak -. low;
+    stddev_k = sqrt variance;
+    max_neighbor_gradient_k = !max_gradient;
+    hotspot_cells = hotspots;
+  }
+
+let peak_cell temps =
+  let best = ref 0 in
+  Array.iteri (fun i t -> if t > temps.(!best) then best := i) temps;
+  !best
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "peak=%.2fK mean=%.2fK range=%.2fK stddev=%.2fK grad=%.2fK hotspots=%d"
+    s.peak_k s.mean_k s.range_k s.stddev_k s.max_neighbor_gradient_k
+    s.hotspot_cells

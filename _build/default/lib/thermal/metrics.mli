@@ -1,0 +1,24 @@
+(** Summary statistics of a temperature field — the quantities Fig. 1
+    compares across register assignment policies. *)
+
+open Tdfa_floorplan
+
+type summary = {
+  peak_k : float;
+  mean_k : float;
+  min_k : float;
+  range_k : float;  (** peak - min: the global thermal gradient *)
+  stddev_k : float;
+  max_neighbor_gradient_k : float;
+      (** steepest cell-to-cell step — the local gradient that damages
+          reliability *)
+  hotspot_cells : int;  (** cells more than {!hotspot_margin_k} above mean *)
+}
+
+val hotspot_margin_k : float
+
+val summarize : Layout.t -> float array -> summary
+val peak_cell : float array -> int
+(** Index of the hottest cell (first of equals). *)
+
+val pp_summary : Format.formatter -> summary -> unit

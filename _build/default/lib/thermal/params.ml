@@ -1,0 +1,38 @@
+type t = {
+  ambient_k : float;
+  clock_hz : float;
+  read_energy_j : float;
+  write_energy_j : float;
+  lateral_conductance_w_per_k : float;
+  vertical_conductance_w_per_k : float;
+  cell_capacitance_j_per_k : float;
+  leakage_w : float;
+  leakage_temp_coeff : float;
+}
+
+let default =
+  {
+    ambient_k = 318.0;
+    clock_hz = 1.0e9;
+    read_energy_j = 6.0e-12;
+    write_energy_j = 8.0e-12;
+    lateral_conductance_w_per_k = 5.0e-4;
+    vertical_conductance_w_per_k = 4.0e-5;
+    cell_capacitance_j_per_k = 1.2e-8;
+    leakage_w = 3.0e-5;
+    leakage_temp_coeff = 0.012;
+  }
+
+let max_stable_dt p =
+  let g_total =
+    (4.0 *. p.lateral_conductance_w_per_k) +. p.vertical_conductance_w_per_k
+  in
+  p.cell_capacitance_j_per_k /. g_total /. 2.0
+
+let pp ppf p =
+  Format.fprintf ppf
+    "ambient=%.1fK clock=%.2eHz Eread=%.2eJ Ewrite=%.2eJ glat=%.2e gvert=%.2e \
+     C=%.2e leak=%.2eW/cell (+%.3f/K)"
+    p.ambient_k p.clock_hz p.read_energy_j p.write_energy_j
+    p.lateral_conductance_w_per_k p.vertical_conductance_w_per_k
+    p.cell_capacitance_j_per_k p.leakage_w p.leakage_temp_coeff

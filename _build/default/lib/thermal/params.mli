@@ -1,0 +1,29 @@
+(** Technology coefficients of the thermal model (§4: "the technology
+    coefficients of logic activity and peak power found in the thermal
+    models"). Defaults approximate a 90 nm-class register file clocked at
+    1 GHz; they are deliberately ordinary so that experiments exercise the
+    *shape* of the paper's claims rather than absolute temperatures. *)
+
+type t = {
+  ambient_k : float;  (** heat-sink / package reference temperature *)
+  clock_hz : float;
+  read_energy_j : float;  (** dynamic energy per register read *)
+  write_energy_j : float;  (** dynamic energy per register write *)
+  lateral_conductance_w_per_k : float;
+      (** effective conductance between adjacent cells *)
+  vertical_conductance_w_per_k : float;
+      (** per-cell conductance towards the sink (package + spreading) *)
+  cell_capacitance_j_per_k : float;
+  leakage_w : float;  (** per-cell leakage power at ambient *)
+  leakage_temp_coeff : float;
+      (** linearised leakage increase per kelvin above ambient *)
+}
+
+val default : t
+
+val max_stable_dt : t -> float
+(** Largest forward-Euler step for which the explicit integration of the
+    RC network is numerically stable ([C / sum of conductances], with a
+    safety factor of 2). *)
+
+val pp : Format.formatter -> t -> unit

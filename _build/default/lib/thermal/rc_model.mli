@@ -1,0 +1,24 @@
+(** Equivalent RC network of the register-file floorplan: one thermal node
+    per cell, lateral resistances between grid neighbours, a vertical
+    resistance from each cell to the sink (at ambient). This is the
+    ground-truth model the compile-time analysis approximates. *)
+
+open Tdfa_floorplan
+
+type t
+
+val build : Layout.t -> Params.t -> t
+val layout : t -> Layout.t
+val params : t -> Params.t
+val num_nodes : t -> int
+
+val derivative : t -> temps:float array -> power:float array -> float array
+(** [dT/dt] per node for the given temperatures and injected power
+    (leakage excluded — callers add it to [power]). *)
+
+val steady_state : ?tol:float -> ?max_sweeps:int -> t -> power:float array -> float array
+(** Solve [G T = P + G_v T_amb] by Gauss–Seidel; leakage is folded in by
+    the caller. Defaults: [tol = 1e-6] K, [max_sweeps = 10_000]. *)
+
+val leakage_power : t -> temps:float array -> float array
+(** Temperature-dependent leakage per cell (linearised). *)

@@ -1,0 +1,92 @@
+open Tdfa_floorplan
+
+let activation_energy_ev = 0.7
+let boltzmann_ev_per_k = 8.617e-5
+
+let acceleration_factor ~t_ref_k t =
+  exp (activation_energy_ev /. boltzmann_ev_per_k *. ((1.0 /. t_ref_k) -. (1.0 /. t)))
+
+type assessment = {
+  mttf_rel_min : float;
+  mttf_rel_mean : float;
+  weakest_cell : int;
+  gradient_stress : float;
+}
+
+let assess ?t_ref_k layout temps =
+  let t_ref_k =
+    match t_ref_k with Some t -> t | None -> Params.default.Params.ambient_k
+  in
+  let n = Array.length temps in
+  assert (n = Layout.num_cells layout && n > 0);
+  let mttf t = 1.0 /. acceleration_factor ~t_ref_k t in
+  let weakest = ref 0 in
+  let sum = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      sum := !sum +. mttf t;
+      if t > temps.(!weakest) then weakest := i)
+    temps;
+  let gradient_sum = ref 0.0 in
+  let gradient_count = ref 0 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if j > i then begin
+            gradient_sum := !gradient_sum +. Float.abs (temps.(i) -. temps.(j));
+            incr gradient_count
+          end)
+        (Layout.neighbors layout i))
+    (Layout.cells layout);
+  {
+    mttf_rel_min = mttf temps.(!weakest);
+    mttf_rel_mean = !sum /. float_of_int n;
+    weakest_cell = !weakest;
+    gradient_stress =
+      (if !gradient_count = 0 then 0.0
+       else !gradient_sum /. float_of_int !gradient_count);
+  }
+
+let pp ppf a =
+  Format.fprintf ppf "mttf_min=%.3fx mttf_mean=%.3fx weakest=r%d grad_stress=%.3fK"
+    a.mttf_rel_min a.mttf_rel_mean a.weakest_cell a.gradient_stress
+
+type cycling = {
+  half_cycles : int;
+  max_swing_k : float;
+  damage_index : float;
+}
+
+let coffin_manson_exponent = 3.5
+
+(* Local extrema: keep samples where the slope changes sign (plateaus
+   collapse to one point). *)
+let turning_points history =
+  match history with
+  | [] | [ _ ] -> history
+  | first :: rest ->
+    let rec walk acc prev trend = function
+      | [] -> List.rev (prev :: acc)
+      | x :: tl ->
+        let dir = Float.compare x prev in
+        if dir = 0 then walk acc prev trend tl
+        else if trend = 0 || dir = trend then walk acc x dir tl
+        else walk (prev :: acc) x dir tl
+    in
+    first :: walk [] first 0 rest
+
+let cycling ?(min_swing_k = 0.5) ?(exponent = coffin_manson_exponent) history =
+  let points = turning_points history in
+  let rec swings acc = function
+    | a :: (b :: _ as rest) ->
+      let swing = Float.abs (b -. a) in
+      swings (if swing >= min_swing_k then swing :: acc else acc) rest
+    | [ _ ] | [] -> acc
+  in
+  let all = swings [] points in
+  {
+    half_cycles = List.length all;
+    max_swing_k = List.fold_left Float.max 0.0 all;
+    damage_index = List.fold_left (fun acc s -> acc +. (s ** exponent)) 0.0 all;
+  }

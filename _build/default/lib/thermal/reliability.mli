@@ -1,0 +1,59 @@
+(** Temperature-driven reliability assessment (§1: steep thermal gradients
+    "significantly reduce the reliability of silicon systems").
+
+    Electromigration-style lifetime follows Black's equation: mean time to
+    failure scales as [exp (Ea / (k T))]. We report lifetimes *relative*
+    to operation at the reference temperature, so policies can be compared
+    without committing to absolute constants, plus a gradient-stress
+    factor that penalises steep spatial gradients. *)
+
+open Tdfa_floorplan
+
+val activation_energy_ev : float
+(** 0.7 eV — a standard electromigration activation energy. *)
+
+val boltzmann_ev_per_k : float
+
+val acceleration_factor : t_ref_k:float -> float -> float
+(** [acceleration_factor ~t_ref_k t] is how much faster the cell ages at
+    temperature [t] than at [t_ref_k]; 1.0 at the reference, > 1 when
+    hotter. *)
+
+type assessment = {
+  mttf_rel_min : float;
+      (** lifetime of the weakest (hottest) cell, relative to uniform
+          operation at the reference temperature *)
+  mttf_rel_mean : float;
+  weakest_cell : int;
+  gradient_stress : float;
+      (** mean neighbour gradient in kelvin — the thermo-mechanical
+          stress proxy *)
+}
+
+val assess : ?t_ref_k:float -> Layout.t -> float array -> assessment
+(** Default reference: the ambient of {!Params.default}. *)
+
+val pp : Format.formatter -> assessment -> unit
+
+(** {2 Thermal cycling}
+
+    Repeated heat-up/cool-down swings fatigue interconnect
+    (Coffin–Manson): cycles to failure scale as [delta_T ^ -q]. The
+    damage index below sums [swing ^ q] over the half-cycles of a peak
+    temperature history, so policies can be compared on transient
+    behaviour, not just the steady map. *)
+
+type cycling = {
+  half_cycles : int;  (** swings of at least the threshold *)
+  max_swing_k : float;
+  damage_index : float;  (** sum of swing^q, arbitrary units *)
+}
+
+val coffin_manson_exponent : float
+(** q = 3.5, a typical solder/interconnect fatigue exponent. *)
+
+val turning_points : float list -> float list
+(** Local extrema of the history (first and last samples included). *)
+
+val cycling : ?min_swing_k:float -> ?exponent:float -> float list -> cycling
+(** Swings smaller than [min_swing_k] (default 0.5 K) are ignored. *)

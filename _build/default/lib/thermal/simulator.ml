@@ -1,0 +1,39 @@
+type t = {
+  model : Rc_model.t;
+  mutable temps : float array;
+  mutable peaks_rev : float list;
+}
+
+let create model =
+  let n = Rc_model.num_nodes model in
+  let ambient = (Rc_model.params model).Params.ambient_k in
+  { model; temps = Array.make n ambient; peaks_rev = [] }
+
+let temps t = Array.copy t.temps
+
+let reset t =
+  let ambient = (Rc_model.params t.model).Params.ambient_k in
+  Array.fill t.temps 0 (Array.length t.temps) ambient;
+  t.peaks_rev <- []
+
+let array_max a = Array.fold_left Float.max neg_infinity a
+
+let step t ~power ~dt =
+  let p = Rc_model.params t.model in
+  let dt_max = Params.max_stable_dt p in
+  let substeps = max 1 (int_of_float (Float.ceil (dt /. dt_max))) in
+  let h = dt /. float_of_int substeps in
+  for _ = 1 to substeps do
+    let leak = Rc_model.leakage_power t.model ~temps:t.temps in
+    let total = Array.mapi (fun i pw -> pw +. leak.(i)) power in
+    let deriv = Rc_model.derivative t.model ~temps:t.temps ~power:total in
+    Array.iteri (fun i d -> t.temps.(i) <- t.temps.(i) +. (h *. d)) deriv
+  done;
+  t.peaks_rev <- array_max t.temps :: t.peaks_rev
+
+let run_windows t power_of_window ~windows ~window_s =
+  for w = 0 to windows - 1 do
+    step t ~power:(power_of_window w) ~dt:window_s
+  done
+
+let peak_history t = List.rev t.peaks_rev

@@ -1,0 +1,24 @@
+(** Transient thermal simulator: forward-Euler integration of the RC
+    network with automatic sub-stepping for stability, plus the
+    temperature-dependent leakage feedback loop. *)
+
+type t
+
+val create : Rc_model.t -> t
+(** All nodes start at ambient. *)
+
+val temps : t -> float array
+(** Current temperatures (a copy). *)
+
+val reset : t -> unit
+
+val step : t -> power:float array -> dt:float -> unit
+(** Advance by [dt] seconds with the given dynamic power per cell;
+    leakage is added internally. Sub-steps as needed for stability. *)
+
+val run_windows : t -> (int -> float array) -> windows:int -> window_s:float -> unit
+(** [run_windows t power_of_window ~windows ~window_s] integrates
+    [windows] consecutive windows, asking for the dynamic power of each. *)
+
+val peak_history : t -> float list
+(** Peak temperature recorded after each {!step}/window, oldest first. *)

@@ -1,0 +1,1 @@
+lib/vliw/binding.ml: Array Int List Machine

@@ -1,0 +1,1 @@
+lib/vliw/binding.mli: Instr Label Machine Tdfa_ir

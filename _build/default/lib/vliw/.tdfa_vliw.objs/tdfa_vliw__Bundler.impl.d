@@ -1,0 +1,1 @@
+lib/vliw/bundler.ml: Array Block Deps Fun Func List Tdfa_ir

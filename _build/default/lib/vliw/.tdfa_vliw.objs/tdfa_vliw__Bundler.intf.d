@@ -1,0 +1,1 @@
+lib/vliw/bundler.mli: Block Func Instr Label Tdfa_ir

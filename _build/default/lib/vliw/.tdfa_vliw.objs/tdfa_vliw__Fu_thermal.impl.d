@@ -1,0 +1,1 @@
+lib/vliw/fu_thermal.ml: Array Binding Bundler Float List Loops Machine Metrics Params Rc_model Tdfa_dataflow Tdfa_thermal

@@ -1,0 +1,1 @@
+lib/vliw/fu_thermal.mli: Binding Func Instr Label Machine Tdfa_ir Tdfa_thermal

@@ -1,0 +1,1 @@
+lib/vliw/machine.ml: Layout Params Rc_model Tdfa_floorplan Tdfa_thermal

@@ -1,0 +1,1 @@
+lib/vliw/machine.mli: Layout Params Rc_model Tdfa_floorplan Tdfa_thermal

@@ -1,0 +1,56 @@
+
+type policy = Fixed | Round_robin | Coolest
+
+let name = function
+  | Fixed -> "fixed"
+  | Round_robin -> "round-robin"
+  | Coolest -> "coolest"
+
+let all = [ Fixed; Round_robin; Coolest ]
+
+let bind (m : Machine.t) policy ~block_weight scheduled =
+  let width = m.Machine.width in
+  let rotation = ref 0 in
+  let accumulated = Array.make width 0.0 in
+  let bind_bundle weight ops =
+    let k = List.length ops in
+    assert (k <= width);
+    match policy with
+    | Fixed -> List.mapi (fun i op -> (op, i)) ops
+    | Round_robin ->
+      let start = !rotation in
+      rotation := (!rotation + k) mod width;
+      List.mapi (fun i op -> (op, (start + i) mod width)) ops
+    | Coolest ->
+      let used = Array.make width false in
+      List.map
+        (fun op ->
+          (* Coolest free FU; deterministic tie-break on the index. *)
+          let best = ref (-1) in
+          for fu = width - 1 downto 0 do
+            if
+              (not used.(fu))
+              && (!best < 0 || accumulated.(fu) <= accumulated.(!best))
+            then best := fu
+          done;
+          used.(!best) <- true;
+          accumulated.(!best) <-
+            accumulated.(!best) +. (weight *. m.Machine.op_energy_j);
+          (op, !best))
+        ops
+  in
+  List.map
+    (fun (label, bundles) ->
+      (label, List.map (bind_bundle (block_weight label)) bundles))
+    scheduled
+
+let valid (m : Machine.t) bound =
+  List.for_all
+    (fun (_, bundles) ->
+      List.for_all
+        (fun bundle ->
+          let fus = List.map snd bundle in
+          List.length fus = List.length (List.sort_uniq Int.compare fus)
+          && List.for_all (fun fu -> fu >= 0 && fu < m.Machine.width) fus)
+        bundles)
+    bound

@@ -1,0 +1,29 @@
+(** Binding of bundle operations to functional units — the knob of the
+    paper's reference [4]. All policies respect the slot constraint (one
+    op per FU per bundle); they differ only in *which* FU runs each op,
+    which is invisible to performance but decisive for the FU thermal
+    map. *)
+
+open Tdfa_ir
+
+type policy =
+  | Fixed  (** fill FU 0, 1, 2, ... every bundle — the hot-spot baseline *)
+  | Round_robin  (** rotate the starting FU between bundles *)
+  | Coolest
+      (** assign each op to the FU with the least accumulated (frequency-
+          weighted) energy — the temperature-aware binder *)
+
+val name : policy -> string
+val all : policy list
+
+val bind :
+  Machine.t ->
+  policy ->
+  block_weight:(Label.t -> float) ->
+  (Label.t * Instr.t list list) list ->
+  (Label.t * (Instr.t * int) list list) list
+(** Decorate every operation with its FU index (0 .. width-1); within a
+    bundle all FU indices are distinct. *)
+
+val valid : Machine.t -> (Label.t * (Instr.t * int) list list) list -> bool
+(** Slot-constraint check, for tests. *)

@@ -1,0 +1,48 @@
+open Tdfa_ir
+
+let bundles_of_block ~width (b : Block.t) =
+  assert (width >= 1);
+  let body = b.Block.body in
+  let n = Array.length body in
+  if n = 0 then []
+  else begin
+    let preds = Deps.block_preds body in
+    let issued = Array.make n false in
+    let bundles = ref [] in
+    let remaining = ref n in
+    while !remaining > 0 do
+      (* Ready: all predecessors issued in *earlier* bundles. *)
+      let ready =
+        List.filter
+          (fun j ->
+            (not issued.(j)) && List.for_all (fun i -> issued.(i)) preds.(j))
+          (List.init n Fun.id)
+      in
+      (match ready with
+       | [] -> assert false  (* the DAG is acyclic *)
+       | _ :: _ ->
+         let take = List.filteri (fun k _ -> k < width) ready in
+         List.iter (fun j -> issued.(j) <- true) take;
+         remaining := !remaining - List.length take;
+         bundles := List.map (fun j -> body.(j)) take :: !bundles)
+    done;
+    List.rev !bundles
+  end
+
+let schedule_func ~width (f : Func.t) =
+  List.map
+    (fun (b : Block.t) -> (b.Block.label, bundles_of_block ~width b))
+    f.Func.blocks
+
+let bundle_count scheduled =
+  List.fold_left (fun acc (_, bs) -> acc + List.length bs) 0 scheduled
+
+let utilization ~width scheduled =
+  let slots = width * bundle_count scheduled in
+  let filled =
+    List.fold_left
+      (fun acc (_, bs) ->
+        acc + List.fold_left (fun a b -> a + List.length b) 0 bs)
+      0 scheduled
+  in
+  if slots = 0 then 1.0 else float_of_int filled /. float_of_int slots

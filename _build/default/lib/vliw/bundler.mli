@@ -1,0 +1,17 @@
+(** Greedy list scheduling of block bodies into VLIW bundles of at most
+    [width] operations, respecting intra-block data dependences. NOPs are
+    implicit (a bundle may be partially filled). *)
+
+open Tdfa_ir
+
+val bundles_of_block : width:int -> Block.t -> Instr.t list list
+(** Bundles in issue order; each holds 1..width instructions whose
+    dependences are satisfied by earlier bundles. Concatenating the
+    bundles is a valid sequential schedule of the block. *)
+
+val schedule_func : width:int -> Func.t -> (Label.t * Instr.t list list) list
+(** Bundle every block, in block order. *)
+
+val bundle_count : (Label.t * Instr.t list list) list -> int
+val utilization : width:int -> (Label.t * Instr.t list list) list -> float
+(** Filled slots over issued slots, in (0, 1]. *)

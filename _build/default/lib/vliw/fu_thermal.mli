@@ -1,0 +1,27 @@
+(** Thermal evaluation of a bound VLIW schedule: frequency-weighted
+    per-FU average power, solved to a steady-state temperature map of the
+    FU array. *)
+
+open Tdfa_ir
+
+val fu_power :
+  Machine.t ->
+  block_weight:(Label.t -> float) ->
+  (Label.t * (Instr.t * int) list list) list ->
+  float array
+(** Average dynamic power per FU over one estimated program run
+    (1 cycle per bundle). *)
+
+val steady_map :
+  Machine.t ->
+  block_weight:(Label.t -> float) ->
+  (Label.t * (Instr.t * int) list list) list ->
+  float array
+(** Steady FU temperatures (leakage feedback included). *)
+
+val evaluate :
+  Machine.t ->
+  Func.t ->
+  Binding.policy ->
+  float array * Tdfa_thermal.Metrics.summary
+(** Bundle, bind and thermally evaluate a whole function in one call. *)

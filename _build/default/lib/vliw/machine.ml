@@ -1,0 +1,33 @@
+open Tdfa_floorplan
+open Tdfa_thermal
+
+type t = {
+  width : int;
+  fu_layout : Layout.t;
+  op_energy_j : float;
+  params : Params.t;
+}
+
+(* FU tiles are ~100 um on a side: conductances and capacitance scale
+   with the tile footprint relative to a register cell. *)
+let fu_params =
+  {
+    Params.default with
+    Params.lateral_conductance_w_per_k = 2.0e-3;
+    vertical_conductance_w_per_k = 5.0e-3;
+    cell_capacitance_j_per_k = 1.5e-6;
+    leakage_w = 2.0e-3;
+  }
+
+let make ?(op_energy_j = 25.0e-12) ?(params = fu_params) ~width () =
+  if width < 1 then invalid_arg "Machine.make: width < 1";
+  {
+    width;
+    fu_layout =
+      Layout.make ~cell_width_um:100.0 ~cell_height_um:100.0 ~rows:1
+        ~cols:width ();
+    op_energy_j;
+    params;
+  }
+
+let model t = Rc_model.build t.fu_layout t.params

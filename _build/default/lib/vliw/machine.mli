@@ -1,0 +1,22 @@
+(** VLIW machine model: [width] identical functional units (FUs) laid out
+    in a row, each an RC thermal node. This reproduces the substrate of
+    the paper's reference [4] (Schafer et al., temperature-aware
+    compilation for VLIW processors): thermal gradients across the FU
+    array driven by how the compiler binds operations to slots. *)
+
+open Tdfa_floorplan
+open Tdfa_thermal
+
+type t = private {
+  width : int;
+  fu_layout : Layout.t;  (** 1 x width grid of FU tiles *)
+  op_energy_j : float;  (** dynamic energy per operation issue *)
+  params : Params.t;  (** RC parameters of an FU tile *)
+}
+
+val make : ?op_energy_j:float -> ?params:Params.t -> width:int -> unit -> t
+(** Defaults: 25 pJ per operation; FU-scale RC parameters (tiles are two
+    orders of magnitude larger than register cells).
+    @raise Invalid_argument when [width < 1]. *)
+
+val model : t -> Rc_model.t

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Builder Func Instr Kernels List Printf Program Random Tdfa_ir Var

@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Array Block Builder Func Instr List Program Tdfa_ir Var

@@ -1,0 +1,107 @@
+open Tdfa_ir
+module B = Builder
+
+type params = {
+  seed : int;
+  pool : int;
+  depth : int;
+  length : int;
+  mem_ratio : float;
+  max_trip : int;
+}
+
+let default =
+  { seed = 1; pool = 12; depth = 2; length = 8; mem_ratio = 0.2; max_trip = 8 }
+
+let generate p =
+  assert (p.pool >= 2 && p.length >= 1 && p.max_trip >= 2);
+  let rng = Random.State.make [| p.seed; p.pool; p.depth; p.length |] in
+  let b = B.create ~name:(Printf.sprintf "gen_s%d_p%d" p.seed p.pool) ~params:[] in
+  let pool = Array.init p.pool (fun k -> B.const b (k + 1)) in
+  let base = B.const b 0 in
+  let pick () = pool.(Random.State.int rng p.pool) in
+  let random_binop () =
+    match Random.State.int rng 6 with
+    | 0 -> Instr.Add
+    | 1 -> Instr.Sub
+    | 2 -> Instr.Mul
+    | 3 -> Instr.Xor
+    | 4 -> Instr.And
+    | _ -> Instr.Or
+  in
+  (* One statement: arithmetic into a pool variable, or a load/store. *)
+  let statement () =
+    if Random.State.float rng 1.0 < p.mem_ratio then begin
+      if Random.State.bool rng then begin
+        let addr = B.binop b Instr.Add base (pick ()) in
+        let v = B.load b ~base:addr 0 in
+        B.emit b (Instr.Binop (Instr.Add, pick (), pick (), v))
+      end
+      else begin
+        let addr = B.binop b Instr.Add base (pick ()) in
+        B.store b ~value:(pick ()) ~base:addr 0
+      end
+    end
+    else begin
+      let dst = pick () in
+      B.emit b (Instr.Binop (random_binop (), dst, pick (), pick ()))
+    end
+  in
+  let rec sequence depth =
+    let items = 1 + Random.State.int rng p.length in
+    for _ = 1 to items do
+      if depth > 0 && Random.State.int rng 4 = 0 then loop depth
+      else if depth > 0 && Random.State.int rng 5 = 0 then diamond depth
+      else statement ()
+    done
+  and loop depth =
+    let count = 2 + Random.State.int rng (p.max_trip - 1) in
+    let (_ : Var.t) =
+      Kernels.counted_loop b ~count (fun _ -> sequence (depth - 1))
+    in
+    ()
+  and diamond depth =
+    let cond = pick () in
+    let l_then = B.fresh_label b "then" in
+    let l_else = B.fresh_label b "else" in
+    let l_join = B.fresh_label b "join" in
+    B.branch b cond l_then l_else;
+    B.start_block b l_then;
+    sequence (depth - 1);
+    B.jump b l_join;
+    B.start_block b l_else;
+    sequence (depth - 1);
+    B.jump b l_join;
+    B.start_block b l_join
+  in
+  sequence p.depth;
+  (* Keep the whole pool live to the end. *)
+  let acc = B.const b 0 in
+  Array.iter (fun v -> B.emit b (Instr.Binop (Instr.Add, acc, acc, v))) pool;
+  let out = B.const b 5000 in
+  B.store b ~value:acc ~base:out 0;
+  B.ret b (Some acc);
+  B.finish b
+
+let pressure_sweep ?(base = default) pools =
+  List.map (fun pool -> (pool, generate { base with pool })) pools
+
+let generate_program ?(funcs = 2) p =
+  assert (funcs >= 1);
+  let leaves =
+    List.init funcs (fun k ->
+        Kernels.rename_with_prefix
+          (generate { p with seed = p.seed + (7919 * (k + 1)) })
+          ~name:(Printf.sprintf "leaf%d" k)
+          ~prefix:(Printf.sprintf "l%d_" k))
+  in
+  let b = B.create ~name:"main" ~params:[] in
+  let trips = 2 + (abs p.seed mod 3) in
+  let (_ : Var.t) =
+    Kernels.counted_loop b ~count:trips (fun _ ->
+        List.iteri
+          (fun k (_ : Func.t) -> B.call_void b (Printf.sprintf "leaf%d" k) [])
+          leaves)
+  in
+  B.ret b None;
+  Program.of_funcs (B.finish b :: leaves)

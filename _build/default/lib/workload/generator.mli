@@ -1,0 +1,34 @@
+(** Seeded random program generator. Programs are built from structured,
+    always-terminating constructs (counted loops, if/else diamonds,
+    straight-line arithmetic over a variable pool), so every generated
+    function can be both analysed and executed.
+
+    Register pressure is controlled through [pool]: all pool variables are
+    initialised on entry and summed at the end, keeping them live across
+    the whole body. *)
+
+open Tdfa_ir
+
+type params = {
+  seed : int;
+  pool : int;  (** number of long-lived variables (pressure knob) *)
+  depth : int;  (** maximum nesting of loops/diamonds *)
+  length : int;  (** approximate statements per sequence *)
+  mem_ratio : float;  (** fraction of load/store statements, 0..1 *)
+  max_trip : int;  (** loop trip counts drawn from 2..max_trip *)
+}
+
+val default : params
+
+val generate : params -> Func.t
+(** Deterministic for a given [params]. *)
+
+val pressure_sweep : ?base:params -> int list -> (int * Func.t) list
+(** One program per requested pool size, same seed/base shape — the
+    workload set of experiment E3. *)
+
+val generate_program : ?funcs:int -> params -> Program.t
+(** A random multi-function program: [funcs] independently generated leaf
+    functions (default 2, variables prefixed per function) called from a
+    looping [main]. Acyclic by construction, so the interprocedural
+    analysis accepts it. *)

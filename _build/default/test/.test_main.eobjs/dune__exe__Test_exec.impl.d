@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Block Builder Driver Func Hashtbl Instr Interp Label List Program Tdfa_exec Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_thermal Tdfa_workload Trace Var

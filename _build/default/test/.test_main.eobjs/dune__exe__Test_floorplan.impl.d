@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Fun Layout List QCheck2 QCheck_alcotest Region Tdfa_floorplan

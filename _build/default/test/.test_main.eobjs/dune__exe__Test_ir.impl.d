@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Format Fun Func Instr Label List Option Parser Printer Program QCheck2 QCheck_alcotest String Tdfa_ir Tdfa_workload Validate Var

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest String Table Tdfa_report

@@ -1,0 +1,1 @@
+test/test_thermal.ml: Alcotest Array Dtm Format Heatmap Layout List Metrics Params Rc_model Reliability Simulator String Tdfa_floorplan Tdfa_thermal

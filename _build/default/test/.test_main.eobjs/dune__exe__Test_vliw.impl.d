@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Array Binding Block Builder Bundler Deps Fu_thermal Func Instr Int Kernels Label List Machine Tdfa_dataflow Tdfa_floorplan Tdfa_ir Tdfa_thermal Tdfa_vliw Tdfa_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Func Generator Kernels List Printer Printexc Printf String Tdfa_core Tdfa_exec Tdfa_floorplan Tdfa_ir Tdfa_regalloc Tdfa_workload Validate

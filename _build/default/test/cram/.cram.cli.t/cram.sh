@@ -1,0 +1,14 @@
+  $ ../../bin/tdfa_cli.exe list-kernels | head -4
+  $ ../../bin/tdfa_cli.exe show -k fib > fib.tir
+  $ head -3 fib.tir
+  $ ../../bin/tdfa_cli.exe analyze -f fib.tir | head -1
+  $ cat > sum.tc <<'EOF'
+  > fn main() {
+  >   var s = 0;
+  >   for (var i = 0; i < 16; i = i + 1) { s = s + mem[i]; }
+  >   mem[5000] = s;
+  >   return s;
+  > }
+  > EOF
+  $ ../../bin/tdfa_cli.exe simulate -f sum.tc -p chessboard | head -1
+  $ ../../bin/tdfa_cli.exe show -k nonsense

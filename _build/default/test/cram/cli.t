@@ -1,0 +1,36 @@
+The CLI lists its built-in kernels:
+
+  $ ../../bin/tdfa_cli.exe list-kernels | head -4
+  matmul           34 instrs  10 blocks
+  fir              44 instrs   4 blocks
+  idct_row         61 instrs   4 blocks
+  crc              24 instrs   7 blocks
+
+The textual IR printer and parser round-trip through a file:
+
+  $ ../../bin/tdfa_cli.exe show -k fib > fib.tir
+  $ head -3 fib.tir
+  func @fib() {
+  entry:
+    %t0 = const 0
+  $ ../../bin/tdfa_cli.exe analyze -f fib.tir | head -1
+  kernel fib, post-RA, policy first-fit: analysis converged after 40 iterations (last delta 0.0498 K)
+
+TC source files are compiled by the front end:
+
+  $ cat > sum.tc <<'EOF'
+  > fn main() {
+  >   var s = 0;
+  >   for (var i = 0; i < 16; i = i + 1) { s = s + mem[i]; }
+  >   mem[5000] = s;
+  >   return s;
+  > }
+  > EOF
+  $ ../../bin/tdfa_cli.exe simulate -f sum.tc -p chessboard | head -1
+  kernel main, policy chessboard: 154 cycles, pressure 3, 0 spills
+
+Unknown kernels are reported:
+
+  $ ../../bin/tdfa_cli.exe show -k nonsense
+  tdfa: unknown kernel nonsense (try list-kernels)
+  [1]

@@ -1,0 +1,362 @@
+(* Tests of the TC front end: lexer, parser, lowering and end-to-end
+   execution of source programs through the whole stack. *)
+
+open Tdfa_ir
+open Tdfa_lang
+
+let run_src ?args src =
+  let f = Front.compile_func_string src in
+  (Tdfa_exec.Interp.run_func ?args f).Tdfa_exec.Interp.return_value
+
+let check_value ?args name expected src =
+  Alcotest.(check (option int)) name (Some expected) (run_src ?args src)
+
+(* --- Lexer ------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "fn f() { return 1 <= 2; } // comment" in
+  let kinds =
+    List.map (fun (s : Lexer.spanned) -> s.Lexer.token) toks
+  in
+  Alcotest.(check bool) "ends with EOF" true
+    (List.exists (fun t -> t = Lexer.EOF) kinds);
+  Alcotest.(check bool) "<= is one token" true
+    (List.exists (fun t -> t = Lexer.OP "<=") kinds);
+  Alcotest.(check bool) "comment skipped" true
+    (not (List.exists (fun t -> t = Lexer.IDENT "comment") kinds))
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "fn\nf\n(" in
+  match toks with
+  | [ a; b; c; _eof ] ->
+    Alcotest.(check int) "line 1" 1 a.Lexer.line;
+    Alcotest.(check int) "line 2" 2 b.Lexer.line;
+    Alcotest.(check int) "line 3" 3 c.Lexer.line
+  | _ -> Alcotest.fail "unexpected token count"
+
+let test_lexer_rejects_garbage () =
+  Alcotest.(check bool) "error raised" true
+    (match Lexer.tokenize "fn f() { @ }" with
+     | (_ : Lexer.spanned list) -> false
+     | exception Lexer.Error _ -> true)
+
+(* --- Parser ------------------------------------------------------------ *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3). *)
+  match Parser.parse_expr "1 + 2 * 3" with
+  | Ast.Binary (Ast.Add, Ast.Int 1, Ast.Binary (Ast.Mul, Ast.Int 2, Ast.Int 3)) ->
+    ()
+  | _ -> Alcotest.fail "wrong precedence"
+
+let test_parser_left_associativity () =
+  match Parser.parse_expr "10 - 3 - 2" with
+  | Ast.Binary (Ast.Sub, Ast.Binary (Ast.Sub, Ast.Int 10, Ast.Int 3), Ast.Int 2)
+    -> ()
+  | _ -> Alcotest.fail "wrong associativity"
+
+let test_parser_parentheses () =
+  match Parser.parse_expr "(1 + 2) * 3" with
+  | Ast.Binary (Ast.Mul, Ast.Binary (Ast.Add, _, _), Ast.Int 3) -> ()
+  | _ -> Alcotest.fail "parentheses ignored"
+
+let test_parser_comparison_chain () =
+  match Parser.parse_expr "a < b && c >= d" with
+  | Ast.Binary (Ast.Land, Ast.Binary (Ast.Lt, _, _), Ast.Binary (Ast.Ge, _, _))
+    -> ()
+  | _ -> Alcotest.fail "wrong logical structure"
+
+let test_parser_errors () =
+  let expect_error src =
+    match Parser.parse_program src with
+    | (_ : Ast.program) -> Alcotest.failf "expected parse error on %S" src
+    | exception Parser.Error _ -> ()
+  in
+  expect_error "fn f() { return 1 }";  (* missing ';' *)
+  expect_error "fn f( { }";
+  expect_error "fn f() { var; }";
+  expect_error "";
+  expect_error "fn f() { x 5; }"
+
+(* --- Lowering + execution ----------------------------------------------- *)
+
+let test_arith () =
+  check_value "arith" 17 "fn main() { return 3 + 2 * 7; }";
+  check_value "division" 4 "fn main() { return 9 / 2; }";
+  check_value "precedence with parens" 35 "fn main() { return (3 + 2) * 7; }";
+  check_value "unary minus" (-5) "fn main() { return -5; }";
+  check_value "modulo" 2 "fn main() { return 17 % 5; }"
+
+let test_comparisons () =
+  check_value "lt true" 1 "fn main() { return 1 < 2; }";
+  check_value "gt" 1 "fn main() { return 5 > 2; }";
+  check_value "ge equal" 1 "fn main() { return 2 >= 2; }";
+  check_value "ne" 0 "fn main() { return 3 != 3; }";
+  check_value "not" 1 "fn main() { return !0; }";
+  check_value "and" 1 "fn main() { return 1 && 2; }";
+  check_value "or of zeros" 0 "fn main() { return 0 || 0; }"
+
+let test_variables_and_params () =
+  check_value "locals" 42 "fn main() { var x = 40; var y = 2; return x + y; }";
+  check_value "uninitialised is zero" 0 "fn main() { var x; return x; }";
+  check_value ~args:[ 20; 22 ] "params" 42 "fn main(a, b) { return a + b; }"
+
+let test_if_else () =
+  check_value "then branch" 1 "fn main() { if (1 < 2) { return 1; } return 0; }";
+  check_value "else branch" 7
+    "fn main() { var r; if (2 < 1) { r = 3; } else { r = 7; } return r; }";
+  check_value "both return" 9
+    "fn main() { if (0) { return 1; } else { return 9; } }"
+
+let test_while_loop () =
+  check_value "sum 0..9" 45
+    "fn main() { var s = 0; var i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+
+let test_for_loop () =
+  check_value "factorial" 120
+    "fn main() { var f = 1; for (var i = 1; i <= 5; i = i + 1) { f = f * i; } return f; }"
+
+let test_nested_loops () =
+  check_value "multiplication table sum" 2025
+    "fn main() { var s = 0;\n\
+     for (var i = 1; i <= 9; i = i + 1) {\n\
+     for (var j = 1; j <= 9; j = j + 1) { s = s + i * j; }\n\
+     } return s; }"
+
+let test_memory () =
+  check_value "store/load" 99
+    "fn main() { mem[100] = 99; return mem[100]; }";
+  check_value "indexed" 30
+    "fn main() { mem[10] = 10; mem[11] = 20; var i = 10; return mem[i] + mem[i + 1]; }"
+
+let test_calls () =
+  let src =
+    "fn double(x) { return x * 2; }\n\
+     fn main() { return double(double(10)); }"
+  in
+  let p = Front.compile_string src in
+  let o = Tdfa_exec.Interp.run p "main" in
+  Alcotest.(check (option int)) "nested calls" (Some 40)
+    o.Tdfa_exec.Interp.return_value
+
+let test_fib_source_matches_kernel () =
+  let src =
+    "fn main(n) {\n\
+     var x = 0; var y = 1;\n\
+     for (var i = 0; i < n; i = i + 1) { var t = x + y; x = y; y = t; }\n\
+     return x; }"
+  in
+  (* The builder kernel and the compiled source agree. *)
+  let expected =
+    (Tdfa_exec.Interp.run_func (Tdfa_workload.Kernels.fib ~n:20 ()))
+      .Tdfa_exec.Interp.return_value
+  in
+  Alcotest.(check (option int)) "fib(20)" expected
+    (run_src ~args:[ 20 ] src)
+
+let test_redeclaration_rejected () =
+  Alcotest.(check bool) "redeclaration" true
+    (match Front.compile_func_string "fn f() { var x; var x; return 0; }" with
+     | (_ : Func.t) -> false
+     | exception Front.Error _ -> true)
+
+let test_undeclared_rejected () =
+  Alcotest.(check bool) "undeclared" true
+    (match Front.compile_func_string "fn f() { return ghost; }" with
+     | (_ : Func.t) -> false
+     | exception Front.Error _ -> true)
+
+let test_unreachable_rejected () =
+  Alcotest.(check bool) "unreachable code" true
+    (match
+       Front.compile_func_string "fn f() { return 1; var x; return x; }"
+     with
+     | (_ : Func.t) -> false
+     | exception Front.Error _ -> true)
+
+(* --- Integration with the analysis stack ---------------------------------- *)
+
+let test_source_kernel_through_pipeline () =
+  let src =
+    "fn main() {\n\
+     var acc = 0;\n\
+     for (var i = 0; i < 32; i = i + 1) { acc = acc + mem[i] * mem[1000 + i]; }\n\
+     mem[5000] = acc;\n\
+     return acc; }"
+  in
+  let f = Front.compile_func_string src in
+  let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 () in
+  let r = Tdfa_optim.Compile.run ~layout f in
+  Alcotest.(check bool) "compiles and converges" true
+    (Tdfa_core.Analysis.converged r.Tdfa_optim.Compile.analysis);
+  (* Semantics preserved through the full thermal pipeline. *)
+  let v g = (Tdfa_exec.Interp.run_func g).Tdfa_exec.Interp.return_value in
+  Alcotest.(check (option int)) "value" (v f) (v r.Tdfa_optim.Compile.func)
+
+let test_for_loop_trip_count_recovered () =
+  (* Canonical for loops lower to the counted-loop idiom. *)
+  let f =
+    Front.compile_func_string
+      "fn main() { var s = 0; for (var i = 0; i < 12; i = i + 1) { s = s + i; } return s; }"
+  in
+  let loops = Tdfa_dataflow.Loops.analyze f in
+  match Tdfa_dataflow.Loops.loops loops with
+  | [ l ] ->
+    Alcotest.(check (option int)) "trip 12" (Some 12)
+      (Tdfa_dataflow.Loops.exact_trip_count loops l.Tdfa_dataflow.Loops.header)
+  | _ -> Alcotest.fail "expected one loop"
+
+(* --- Samples: TC renditions match the builder kernels --------------------- *)
+
+let test_samples_equivalent_to_kernels () =
+  List.iter
+    (fun (name, _) ->
+      let tc_func = Samples.compile name in
+      let kernel =
+        match Tdfa_workload.Kernels.find name with
+        | Some f -> f
+        | None -> Alcotest.failf "no kernel counterpart for %s" name
+      in
+      let observe f =
+        let o = Tdfa_exec.Interp.run_func f in
+        (o.Tdfa_exec.Interp.return_value, o.Tdfa_exec.Interp.memory)
+      in
+      let v_tc, m_tc = observe tc_func in
+      let v_k, m_k = observe kernel in
+      Alcotest.(check (option int)) (name ^ " value") v_k v_tc;
+      Alcotest.(check bool) (name ^ " memory") true (m_tc = m_k))
+    Samples.all
+
+let test_samples_validate_and_analyze () =
+  let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 () in
+  List.iter
+    (fun (name, _) ->
+      let f = Samples.compile name in
+      (match Validate.check f with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%s invalid:\n%s" name e);
+      let alloc =
+        Tdfa_regalloc.Alloc.allocate f layout
+          ~policy:Tdfa_regalloc.Policy.First_fit
+      in
+      let outcome =
+        Tdfa_core.Setup.run_post_ra ~layout alloc.Tdfa_regalloc.Alloc.func
+          alloc.Tdfa_regalloc.Alloc.assignment
+      in
+      Alcotest.(check bool) (name ^ " converges") true
+        (Tdfa_core.Analysis.converged outcome))
+    Samples.all
+
+(* --- Differential property: compiled expressions match a reference
+   evaluator ----------------------------------------------------------- *)
+
+let rec eval_ref (e : Ast.expr) =
+  let bool_of x = if x <> 0 then 1 else 0 in
+  match e with
+  | Ast.Int k -> k
+  | Ast.Var _ | Ast.Mem _ | Ast.Call _ -> assert false
+  | Ast.Unary (Ast.Neg, e1) -> -eval_ref e1
+  | Ast.Unary (Ast.Not, e1) -> if eval_ref e1 = 0 then 1 else 0
+  | Ast.Binary (op, e1, e2) -> (
+    let a = eval_ref e1 and b = eval_ref e2 in
+    match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div -> if b = 0 then 0 else a / b
+    | Ast.Rem -> if b = 0 then 0 else a mod b
+    | Ast.And -> a land b
+    | Ast.Or -> a lor b
+    | Ast.Xor -> a lxor b
+    | Ast.Shl -> a lsl (b land 63)
+    | Ast.Shr -> a lsr (b land 63)
+    | Ast.Lt -> if a < b then 1 else 0
+    | Ast.Le -> if a <= b then 1 else 0
+    | Ast.Gt -> if a > b then 1 else 0
+    | Ast.Ge -> if a >= b then 1 else 0
+    | Ast.Eq -> if a = b then 1 else 0
+    | Ast.Ne -> if a <> b then 1 else 0
+    | Ast.Land -> bool_of a land bool_of b
+    | Ast.Lor -> bool_of a lor bool_of b)
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf = map (fun k -> Ast.Int k) (int_range (-50) 50) in
+  let binops =
+    Ast.
+      [
+        Add; Sub; Mul; Div; Rem; And; Or; Xor; Lt; Le; Gt; Ge; Eq; Ne; Land;
+        Lor;
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (1, leaf);
+            (1, map (fun e -> Ast.Unary (Ast.Neg, e)) (self (depth - 1)));
+            (1, map (fun e -> Ast.Unary (Ast.Not, e)) (self (depth - 1)));
+            ( 4,
+              map3
+                (fun op a b -> Ast.Binary (op, a, b))
+                (oneofl binops) (self (depth - 1)) (self (depth - 1)) );
+          ])
+    4
+
+let qcheck_compiled_expr_matches_reference =
+  QCheck2.Test.make ~name:"compiled expressions match reference evaluator"
+    ~count:300 gen_expr (fun e ->
+      let f =
+        Lower.lower_func
+          { Ast.name = "main"; params = []; body = [ Ast.Return (Some e) ] }
+      in
+      (Tdfa_exec.Interp.run_func f).Tdfa_exec.Interp.return_value
+      = Some (eval_ref e))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "lang.lexer",
+      [
+        tc "tokens" `Quick test_lexer_tokens;
+        tc "line numbers" `Quick test_lexer_line_numbers;
+        tc "rejects garbage" `Quick test_lexer_rejects_garbage;
+      ] );
+    ( "lang.parser",
+      [
+        tc "precedence" `Quick test_parser_precedence;
+        tc "left associativity" `Quick test_parser_left_associativity;
+        tc "parentheses" `Quick test_parser_parentheses;
+        tc "logical structure" `Quick test_parser_comparison_chain;
+        tc "errors" `Quick test_parser_errors;
+      ] );
+    ( "lang.semantics",
+      [
+        tc "arithmetic" `Quick test_arith;
+        tc "comparisons" `Quick test_comparisons;
+        tc "variables and params" `Quick test_variables_and_params;
+        tc "if/else" `Quick test_if_else;
+        tc "while" `Quick test_while_loop;
+        tc "for" `Quick test_for_loop;
+        tc "nested loops" `Quick test_nested_loops;
+        tc "memory" `Quick test_memory;
+        tc "calls" `Quick test_calls;
+        tc "fib matches kernel" `Quick test_fib_source_matches_kernel;
+      ] );
+    ( "lang.errors",
+      [
+        tc "redeclaration" `Quick test_redeclaration_rejected;
+        tc "undeclared" `Quick test_undeclared_rejected;
+        tc "unreachable" `Quick test_unreachable_rejected;
+      ] );
+    ( "lang.integration",
+      [
+        tc "full pipeline" `Quick test_source_kernel_through_pipeline;
+        tc "trip count recovered" `Quick test_for_loop_trip_count_recovered;
+        tc "samples equal kernels" `Quick test_samples_equivalent_to_kernels;
+        tc "samples analyze" `Quick test_samples_validate_and_analyze;
+        QCheck_alcotest.to_alcotest qcheck_compiled_expr_matches_reference;
+      ] );
+  ]

@@ -1,0 +1,10 @@
+(* Aggregates all suites; run with `dune runtest`. *)
+
+let () =
+  Alcotest.run "tdfa"
+    (Test_ir.suite @ Test_dataflow.suite @ Test_floorplan.suite
+   @ Test_thermal.suite @ Test_exec.suite @ Test_regalloc.suite
+   @ Test_core.suite @ Test_interproc.suite @ Test_optim.suite
+   @ Test_vliw.suite @ Test_workload.suite @ Test_lang.suite
+   @ Test_report.suite @ Test_misc.suite @ Test_properties.suite
+   @ Test_experiments.suite)

@@ -1,0 +1,428 @@
+(* Tests of the register allocator: interference construction, colouring
+   validity under every policy, policy behaviour and spill-code
+   correctness. *)
+
+open Tdfa_ir
+open Tdfa_dataflow
+open Tdfa_floorplan
+open Tdfa_regalloc
+
+let var = Var.of_string
+let lbl = Label.of_string
+let layout = Layout.make ~rows:8 ~cols:8 ()
+
+(* --- Interference --------------------------------------------------------- *)
+
+let straight () =
+  Func.make ~name:"s" ~params:[]
+    [
+      Block.make (lbl "entry")
+        [
+          Instr.Const (var "a", 1);
+          Instr.Const (var "b", 2);
+          Instr.Binop (Instr.Add, var "c", var "a", var "b");
+        ]
+        (Block.Return (Some (var "c")));
+    ]
+
+let test_interference_basic () =
+  let f = straight () in
+  let g = Interference.build f (Liveness.analyze f) in
+  Alcotest.(check bool) "a-b interfere" true (Interference.interferes g (var "a") (var "b"));
+  Alcotest.(check bool) "a-c do not" false (Interference.interferes g (var "a") (var "c"));
+  Alcotest.(check bool) "symmetric" true (Interference.interferes g (var "b") (var "a"))
+
+let test_interference_move_exempt () =
+  let f =
+    Func.make ~name:"mv" ~params:[ var "a" ]
+      [
+        Block.make (lbl "entry")
+          [ Instr.Unop (Instr.Mov, var "b", var "a") ]
+          (Block.Return (Some (var "b")));
+      ]
+  in
+  let g = Interference.build f (Liveness.analyze f) in
+  Alcotest.(check bool) "move pair does not interfere" false
+    (Interference.interferes g (var "a") (var "b"))
+
+let test_interference_params () =
+  let f =
+    Func.make ~name:"p" ~params:[ var "x"; var "y" ]
+      [
+        Block.make (lbl "entry")
+          [ Instr.Binop (Instr.Add, var "z", var "x", var "y") ]
+          (Block.Return (Some (var "z")));
+      ]
+  in
+  let g = Interference.build f (Liveness.analyze f) in
+  Alcotest.(check bool) "params interfere" true
+    (Interference.interferes g (var "x") (var "y"))
+
+let test_interference_edge_count () =
+  let f = straight () in
+  let g = Interference.build f (Liveness.analyze f) in
+  Alcotest.(check int) "one edge" 1 (Interference.num_edges g);
+  Alcotest.(check int) "degree of a" 1 (Interference.degree g (var "a"))
+
+(* --- Allocation validity: the fundamental property ------------------------- *)
+
+(* Any two simultaneously-live variables must get different cells. *)
+let assert_valid_allocation name (result : Alloc.result) =
+  let func = result.Alloc.func in
+  let live = Liveness.analyze func in
+  let cell v = Assignment.cell_of_var result.Alloc.assignment v in
+  let check_set s =
+    let cells =
+      Var.Set.elements s
+      |> List.filter_map cell
+    in
+    let distinct = List.sort_uniq Int.compare cells in
+    if List.length cells <> List.length distinct then
+      Alcotest.failf "%s: overlapping lives share a cell" name
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      let l = b.Block.label in
+      check_set (Liveness.live_in live l);
+      Array.iteri (fun i _ -> check_set (Liveness.live_after_instr live l i)) b.Block.body)
+    func.Func.blocks;
+  (* Every variable of the rewritten function is assigned. *)
+  Var.Set.iter
+    (fun v ->
+      if cell v = None then
+        Alcotest.failf "%s: %s unassigned" name (Var.to_string v))
+    (Func.all_vars func);
+  ignore func
+
+let test_allocation_valid_all_kernels_all_policies () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun policy ->
+          let r = Alloc.allocate f layout ~policy in
+          assert_valid_allocation
+            (Printf.sprintf "%s/%s" name (Policy.name policy))
+            r)
+        Policy.all)
+    Tdfa_workload.Kernels.all
+
+let test_allocation_preserves_semantics () =
+  (* Allocation itself never rewrites code unless spilling. With an ample
+     RF no kernel spills, and the allocated function is the input. *)
+  List.iter
+    (fun (name, f) ->
+      let r = Alloc.allocate f layout ~policy:Policy.First_fit in
+      Alcotest.(check int) (name ^ " no spills") 0
+        (Var.Set.cardinal r.Alloc.spilled);
+      Alcotest.(check int) (name ^ " one round") 1 r.Alloc.rounds)
+    Tdfa_workload.Kernels.all
+
+(* --- Policies --------------------------------------------------------------- *)
+
+let test_first_fit_prefers_low_cells () =
+  let c = Policy.make_chooser Policy.First_fit layout in
+  Alcotest.(check (option int)) "first free" (Some 0)
+    (Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0);
+  Alcotest.(check (option int)) "skips forbidden" (Some 2)
+    (Policy.choose c ~forbidden:(Policy.Int_set.of_list [ 0; 1 ]) ~weight:1.0)
+
+let test_round_robin_advances () =
+  let c = Policy.make_chooser Policy.Round_robin layout in
+  let pick () = Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0 in
+  Alcotest.(check (option int)) "first" (Some 0) (pick ());
+  Alcotest.(check (option int)) "second" (Some 1) (pick ());
+  Alcotest.(check (option int)) "third" (Some 2) (pick ())
+
+let test_random_seeded_deterministic () =
+  let picks seed =
+    let c = Policy.make_chooser (Policy.Random seed) layout in
+    List.init 10 (fun _ ->
+        Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0)
+  in
+  Alcotest.(check bool) "same seed same picks" true (picks 1 = picks 1);
+  Alcotest.(check bool) "different seeds differ" true (picks 1 <> picks 2)
+
+let test_chessboard_black_first () =
+  let c = Policy.make_chooser Policy.Chessboard layout in
+  (* The first 32 picks (with previous picks forbidden) are all black. *)
+  let forbidden = ref Policy.Int_set.empty in
+  for k = 1 to 32 do
+    match Policy.choose c ~forbidden:!forbidden ~weight:1.0 with
+    | Some cell ->
+      Alcotest.(check int)
+        (Printf.sprintf "pick %d black" k)
+        0
+        (Layout.chessboard_color layout cell);
+      forbidden := Policy.Int_set.add cell !forbidden
+    | None -> Alcotest.fail "ran out of cells early"
+  done;
+  (* The 33rd pick must be white. *)
+  match Policy.choose c ~forbidden:!forbidden ~weight:1.0 with
+  | Some cell ->
+    Alcotest.(check int) "overflow goes white" 1 (Layout.chessboard_color layout cell)
+  | None -> Alcotest.fail "no cell"
+
+let test_thermal_spread_separates_hot_vars () =
+  let c = Policy.make_chooser Policy.Thermal_spread layout in
+  (* Two heavy variables should land far apart. *)
+  let p1 = Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1000.0 in
+  let p2 = Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1000.0 in
+  match (p1, p2) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "far apart" true (Layout.manhattan layout a b >= 7)
+  | _, _ -> Alcotest.fail "no picks"
+
+let test_bank_pack_fills_bank_first () =
+  let c = Policy.make_chooser (Policy.Bank_pack 4) layout in
+  (* The first 16 picks all land in bank 0 (columns 0-1). *)
+  let forbidden = ref Policy.Int_set.empty in
+  for k = 1 to 16 do
+    match Policy.choose c ~forbidden:!forbidden ~weight:1.0 with
+    | Some cell ->
+      Alcotest.(check int)
+        (Printf.sprintf "pick %d in bank 0" k)
+        0
+        (Policy.bank_of_cell layout ~banks:4 cell);
+      forbidden := Policy.Int_set.add cell !forbidden
+    | None -> Alcotest.fail "ran out of cells"
+  done;
+  (* The 17th pick spills into bank 1. *)
+  match Policy.choose c ~forbidden:!forbidden ~weight:1.0 with
+  | Some cell ->
+    Alcotest.(check int) "overflow to bank 1" 1
+      (Policy.bank_of_cell layout ~banks:4 cell)
+  | None -> Alcotest.fail "no cell"
+
+let test_measured_policy_avoids_hot_cells () =
+  (* One measured-hot corner: the next assignment round avoids it. *)
+  let temps = Array.make 64 320.0 in
+  temps.(0) <- 360.0;
+  temps.(1) <- 355.0;
+  temps.(8) <- 355.0;
+  let c = Policy.make_chooser (Policy.Measured temps) layout in
+  match Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0 with
+  | Some cell ->
+    Alcotest.(check bool) "first pick far from the hot corner" true
+      (Layout.manhattan layout cell 0 > 3)
+  | None -> Alcotest.fail "no cell"
+
+let test_measured_policy_spreads_within_round () =
+  let temps = Array.make 64 320.0 in
+  let c = Policy.make_chooser (Policy.Measured temps) layout in
+  let p1 = Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0 in
+  let p2 = Policy.choose c ~forbidden:Policy.Int_set.empty ~weight:1.0 in
+  match (p1, p2) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "second pick keeps distance" true
+      (Layout.manhattan layout a b >= 4)
+  | _, _ -> Alcotest.fail "no picks"
+
+let test_bank_of_cell () =
+  Alcotest.(check int) "col 0 -> bank 0" 0 (Policy.bank_of_cell layout ~banks:4 0);
+  Alcotest.(check int) "col 7 -> bank 3" 3 (Policy.bank_of_cell layout ~banks:4 7);
+  Alcotest.(check int) "col 3 -> bank 1" 1 (Policy.bank_of_cell layout ~banks:4 3)
+
+let test_choose_none_when_all_forbidden () =
+  let all = Policy.Int_set.of_list (Layout.cells layout) in
+  List.iter
+    (fun p ->
+      let c = Policy.make_chooser p layout in
+      Alcotest.(check (option int))
+        (Policy.name p ^ " returns None")
+        None
+        (Policy.choose c ~forbidden:all ~weight:1.0))
+    Policy.all
+
+(* --- Assignment -------------------------------------------------------------- *)
+
+let test_assignment_basics () =
+  let a = Assignment.add (Assignment.add Assignment.empty (var "x") 3) (var "y") 3 in
+  Alcotest.(check (option int)) "lookup" (Some 3) (Assignment.cell_of_var a (var "x"));
+  Alcotest.(check (option int)) "missing" None (Assignment.cell_of_var a (var "z"));
+  Alcotest.(check (list int)) "cells dedup" [ 3 ] (Assignment.cells_in_use a);
+  Alcotest.(check int) "size" 2 (Assignment.size a)
+
+(* --- Spilling ------------------------------------------------------------------ *)
+
+let run_value f = (Tdfa_exec.Interp.run_func f).Tdfa_exec.Interp.return_value
+
+let low_memory o =
+  List.filter (fun (a, _) -> a < Spill.base_address) o.Tdfa_exec.Interp.memory
+
+let test_spill_preserves_semantics () =
+  List.iter
+    (fun (name, f) ->
+      (* Spill the two most-used variables. *)
+      let ud = Use_def.build f in
+      let by_use =
+        Var.Set.elements (Func.defined_vars f)
+        |> List.filter (fun v -> not (List.exists (Var.equal v) f.Func.params))
+        |> List.sort (fun a b ->
+               Int.compare (Use_def.static_use_count ud b)
+                 (Use_def.static_use_count ud a))
+      in
+      let chosen = List.filteri (fun i _ -> i < 2) by_use in
+      let f' = Spill.rewrite f (Var.Set.of_list chosen) in
+      (match Validate.check f' with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%s: invalid after spill:\n%s" name e);
+      let o0 = Tdfa_exec.Interp.run_func f in
+      let o1 = Tdfa_exec.Interp.run_func f' in
+      Alcotest.(check (option int))
+        (name ^ " return value") o0.Tdfa_exec.Interp.return_value
+        o1.Tdfa_exec.Interp.return_value;
+      Alcotest.(check bool)
+        (name ^ " memory below spill area") true
+        (low_memory o0 = low_memory o1))
+    Tdfa_workload.Kernels.all
+
+let test_spill_empty_set_is_identity () =
+  let f = straight () in
+  let f' = Spill.rewrite f Var.Set.empty in
+  Alcotest.(check string) "identity" (Printer.func_to_string f)
+    (Printer.func_to_string f')
+
+let test_spill_removes_long_range () =
+  let f = Tdfa_workload.Kernels.fib () in
+  let live0 = Liveness.analyze f in
+  ignore live0;
+  (* Spilling a loop-carried variable adds loads/stores. *)
+  let f' = Spill.rewrite f (Var.Set.singleton (var "t0")) in
+  Alcotest.(check bool) "more instructions" true
+    (Func.instr_count f' > Func.instr_count f);
+  Alcotest.(check (option int)) "fib value unchanged" (run_value f) (run_value f')
+
+let test_spill_param () =
+  let b = Builder.create ~name:"pf" ~params:[ "x" ] in
+  let x = Builder.param b 0 in
+  let one = Builder.const b 1 in
+  let r = Builder.binop b Instr.Add x one in
+  Builder.ret b (Some r);
+  let f = Builder.finish b in
+  let f' = Spill.rewrite f (Var.Set.singleton (var "x")) in
+  (match Validate.check f' with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let o = Tdfa_exec.Interp.run_func ~args:[ 41 ] f' in
+  Alcotest.(check (option int)) "param spilled, value kept" (Some 42)
+    o.Tdfa_exec.Interp.return_value
+
+let test_forced_spilling_small_rf () =
+  (* A 2x2 register file cannot hold high_pressure's 24 live variables:
+     the allocator must spill and still produce a valid, semantics-
+     preserving result. *)
+  let tiny = Layout.make ~rows:2 ~cols:2 () in
+  let f = Tdfa_workload.Kernels.high_pressure ~live:8 ~iters:8 () in
+  let r = Alloc.allocate f tiny ~policy:Policy.First_fit in
+  Alcotest.(check bool) "spilled something" true
+    (not (Var.Set.is_empty r.Alloc.spilled));
+  assert_valid_allocation "tiny-rf" r;
+  Alcotest.(check (option int)) "semantics preserved" (run_value f)
+    (run_value r.Alloc.func)
+
+(* --- Re-assignment (ref [3]) ------------------------------------------------ *)
+
+let weights_table weights v =
+  match List.assoc_opt (Var.to_string v) weights with
+  | Some w -> w
+  | None -> 1.0
+
+let test_reassign_never_worsens_cost () =
+  List.iter
+    (fun (name, f) ->
+      let r = Alloc.allocate f layout ~policy:Policy.First_fit in
+      let weights = Alloc.default_weights r.Alloc.func in
+      let before = Reassign.cost layout ~weights r.Alloc.assignment in
+      let improved = Reassign.improve layout ~weights r.Alloc.assignment in
+      let after = Reassign.cost layout ~weights improved in
+      if after > before +. 1e-9 then
+        Alcotest.failf "%s: reassignment worsened the cost" name)
+    Tdfa_workload.Kernels.all
+
+let test_reassign_spreads_clustered_assignment () =
+  (* Two hot variables packed into adjacent cells should be pulled
+     apart. *)
+  let a = Assignment.of_bindings [ (var "h1", 0); (var "h2", 1) ] in
+  let weights = weights_table [ ("h1", 100.0); ("h2", 100.0) ] in
+  let improved = Reassign.improve layout ~weights a in
+  match
+    ( Assignment.cell_of_var improved (var "h1"),
+      Assignment.cell_of_var improved (var "h2") )
+  with
+  | Some c1, Some c2 ->
+    Alcotest.(check bool) "pulled apart" true (Layout.manhattan layout c1 c2 > 4)
+  | _, _ -> Alcotest.fail "variables lost"
+
+let test_reassign_preserves_validity () =
+  let f = Tdfa_workload.Kernels.horner () in
+  let r = Alloc.allocate f layout ~policy:Policy.First_fit in
+  let weights = Alloc.default_weights r.Alloc.func in
+  let improved = Reassign.improve layout ~weights r.Alloc.assignment in
+  (* All variables still assigned; interfering variables still distinct. *)
+  assert_valid_allocation "reassigned"
+    { r with Alloc.assignment = improved }
+
+let test_reassign_deterministic () =
+  let f = Tdfa_workload.Kernels.fir () in
+  let r = Alloc.allocate f layout ~policy:Policy.First_fit in
+  let weights = Alloc.default_weights r.Alloc.func in
+  let a1 = Reassign.improve ~seed:7 layout ~weights r.Alloc.assignment in
+  let a2 = Reassign.improve ~seed:7 layout ~weights r.Alloc.assignment in
+  Alcotest.(check bool) "same result" true
+    (Assignment.bindings a1 = Assignment.bindings a2)
+
+let test_allocation_deterministic () =
+  let f = Tdfa_workload.Kernels.matmul () in
+  let a1 = Alloc.allocate f layout ~policy:Policy.Thermal_spread in
+  let a2 = Alloc.allocate f layout ~policy:Policy.Thermal_spread in
+  Alcotest.(check bool) "same assignment" true
+    (Assignment.bindings a1.Alloc.assignment = Assignment.bindings a2.Alloc.assignment)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "regalloc.interference",
+      [
+        tc "basic edges" `Quick test_interference_basic;
+        tc "move exempt" `Quick test_interference_move_exempt;
+        tc "params interfere" `Quick test_interference_params;
+        tc "edge count" `Quick test_interference_edge_count;
+      ] );
+    ( "regalloc.validity",
+      [
+        tc "all kernels x all policies" `Quick
+          test_allocation_valid_all_kernels_all_policies;
+        tc "no spurious spills" `Quick test_allocation_preserves_semantics;
+        tc "deterministic" `Quick test_allocation_deterministic;
+      ] );
+    ( "regalloc.policy",
+      [
+        tc "first-fit low cells" `Quick test_first_fit_prefers_low_cells;
+        tc "round-robin advances" `Quick test_round_robin_advances;
+        tc "random seeded" `Quick test_random_seeded_deterministic;
+        tc "chessboard black first" `Quick test_chessboard_black_first;
+        tc "thermal-spread separates" `Quick test_thermal_spread_separates_hot_vars;
+        tc "bank-pack fills bank first" `Quick test_bank_pack_fills_bank_first;
+        tc "measured avoids hot cells" `Quick test_measured_policy_avoids_hot_cells;
+        tc "measured spreads in round" `Quick test_measured_policy_spreads_within_round;
+        tc "bank of cell" `Quick test_bank_of_cell;
+        tc "none when full" `Quick test_choose_none_when_all_forbidden;
+      ] );
+    ( "regalloc.assignment",
+      [ tc "basics" `Quick test_assignment_basics ] );
+    ( "regalloc.reassign",
+      [
+        tc "never worsens cost" `Quick test_reassign_never_worsens_cost;
+        tc "spreads clustered" `Quick test_reassign_spreads_clustered_assignment;
+        tc "preserves validity" `Quick test_reassign_preserves_validity;
+        tc "deterministic" `Quick test_reassign_deterministic;
+      ] );
+    ( "regalloc.spill",
+      [
+        tc "semantics preserved (all kernels)" `Quick test_spill_preserves_semantics;
+        tc "empty set identity" `Quick test_spill_empty_set_is_identity;
+        tc "loop-carried spill" `Quick test_spill_removes_long_range;
+        tc "spilled parameter" `Quick test_spill_param;
+        tc "forced spilling on tiny RF" `Quick test_forced_spilling_small_rf;
+      ] );
+  ]

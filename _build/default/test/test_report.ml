@@ -1,0 +1,46 @@
+(* Tests of the report tables. *)
+
+open Tdfa_report
+
+let test_table_alignment () =
+  let t = Table.create ~headers:[ "a"; "long-header" ] in
+  Table.add_row t [ "xxxxxx"; "1" ];
+  Table.add_row t [ "y"; "2" ];
+  let s = Table.to_string t in
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: rule :: row1 :: row2 :: _ ->
+    Alcotest.(check int) "rows same width" (String.length row1) (String.length row2);
+    Alcotest.(check int) "rule matches header" (String.length header)
+      (String.length rule)
+  | _ -> Alcotest.fail "unexpected table shape"
+
+let test_table_arity_mismatch () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.(check bool) "arity checked" true
+    (match Table.add_row t [ "only-one" ] with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_table_csv () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "with,comma"; "2" ];
+  Alcotest.(check string) "csv" "name,value\nx,1\n\"with,comma\",2\n" (Table.csv t)
+
+let test_formatters () =
+  Alcotest.(check string) "fk" "321.46" (Table.fk 321.456);
+  Alcotest.(check string) "f3" "0.124" (Table.f3 0.1239);
+  Alcotest.(check string) "pct" "12.5%" (Table.pct 12.49)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "report.table",
+      [
+        tc "alignment" `Quick test_table_alignment;
+        tc "arity mismatch" `Quick test_table_arity_mismatch;
+        tc "csv" `Quick test_table_csv;
+        tc "formatters" `Quick test_formatters;
+      ] );
+  ]

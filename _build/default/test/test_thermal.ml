@@ -1,0 +1,394 @@
+(* Tests of the thermal substrate: RC model, steady-state solver,
+   transient simulator, metrics and the heatmap renderer. *)
+
+open Tdfa_floorplan
+open Tdfa_thermal
+
+let layout = Layout.make ~rows:4 ~cols:4 ()
+let params = Params.default
+let model = Rc_model.build layout params
+let n = Layout.num_cells layout
+
+let test_stability_bound_positive () =
+  Alcotest.(check bool) "dt_max > 0" true (Params.max_stable_dt params > 0.0)
+
+let test_steady_zero_power_is_ambient () =
+  let temps = Rc_model.steady_state model ~power:(Array.make n 0.0) in
+  Array.iter
+    (fun t ->
+      Alcotest.(check (float 1e-3)) "ambient" params.Params.ambient_k t)
+    temps
+
+let test_steady_uniform_power_uniform_temp () =
+  let temps = Rc_model.steady_state model ~power:(Array.make n 1.0e-4) in
+  let first = temps.(0) in
+  Array.iter
+    (fun t -> Alcotest.(check (float 1e-3)) "uniform" first t)
+    temps;
+  (* And the level matches P/g_v exactly (no net lateral flow). *)
+  let expected =
+    params.Params.ambient_k
+    +. (1.0e-4 /. params.Params.vertical_conductance_w_per_k)
+  in
+  Alcotest.(check (float 0.01)) "P over g_v" expected first
+
+let test_steady_point_source_decays () =
+  let power = Array.make n 0.0 in
+  power.(5) <- 1.0e-3;
+  let temps = Rc_model.steady_state model ~power in
+  Alcotest.(check bool) "source hottest" true
+    (Array.for_all (fun t -> t <= temps.(5)) temps);
+  (* Monotone decay with distance from the source (sampled). *)
+  Alcotest.(check bool) "neighbour hotter than far corner" true
+    (temps.(6) > temps.(15))
+
+let test_steady_superposition () =
+  (* The steady solve is linear in power. *)
+  let p1 = Array.make n 0.0 and p2 = Array.make n 0.0 in
+  p1.(0) <- 2.0e-4;
+  p2.(10) <- 3.0e-4;
+  let t1 = Rc_model.steady_state model ~power:p1 in
+  let t2 = Rc_model.steady_state model ~power:p2 in
+  let sum = Array.mapi (fun i p -> p +. p2.(i)) p1 in
+  let t12 = Rc_model.steady_state model ~power:sum in
+  let amb = params.Params.ambient_k in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 0.01)) "superposition"
+        (t1.(i) -. amb +. (t2.(i) -. amb))
+        (t -. amb))
+    t12
+
+let test_derivative_signs () =
+  let temps = Array.make n params.Params.ambient_k in
+  let power = Array.make n 0.0 in
+  power.(3) <- 1.0e-3;
+  let d = Rc_model.derivative model ~temps ~power in
+  Alcotest.(check bool) "powered node heats" true (d.(3) > 0.0);
+  Alcotest.(check (float 1e-12)) "unpowered equilibrium" 0.0 d.(12)
+
+let test_leakage_increases_with_temp () =
+  let cold = Array.make n params.Params.ambient_k in
+  let hot = Array.make n (params.Params.ambient_k +. 20.0) in
+  let lc = Rc_model.leakage_power model ~temps:cold in
+  let lh = Rc_model.leakage_power model ~temps:hot in
+  Alcotest.(check bool) "leakage grows" true (lh.(0) > lc.(0));
+  Alcotest.(check (float 1e-9)) "baseline leakage" params.Params.leakage_w lc.(0)
+
+let test_simulator_converges_to_steady () =
+  let sim = Simulator.create model in
+  let power = Array.make n 0.0 in
+  power.(7) <- 5.0e-4;
+  (* Long transient (with leakage feedback) vs steady solve with the
+     final leakage folded in. *)
+  for _ = 1 to 400 do
+    Simulator.step sim ~power ~dt:1.0e-5
+  done;
+  let transient = Simulator.temps sim in
+  let leak = Rc_model.leakage_power model ~temps:transient in
+  let total = Array.mapi (fun i p -> p +. leak.(i)) power in
+  let steady = Rc_model.steady_state model ~power:total in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 0.1)) "transient reaches steady" steady.(i) t)
+    transient
+
+let test_simulator_reset () =
+  let sim = Simulator.create model in
+  let power = Array.make n 1.0e-4 in
+  Simulator.step sim ~power ~dt:1.0e-4;
+  Simulator.reset sim;
+  Array.iter
+    (fun t -> Alcotest.(check (float 1e-9)) "ambient" params.Params.ambient_k t)
+    (Simulator.temps sim);
+  Alcotest.(check int) "history cleared" 0 (List.length (Simulator.peak_history sim))
+
+let test_simulator_peak_history_monotone_under_constant_power () =
+  let sim = Simulator.create model in
+  let power = Array.make n 1.0e-4 in
+  Simulator.run_windows sim (fun _ -> power) ~windows:10 ~window_s:1.0e-5;
+  let peaks = Simulator.peak_history sim in
+  Alcotest.(check int) "ten samples" 10 (List.length peaks);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "heating monotone" true (monotone peaks)
+
+let test_metrics_known_field () =
+  let temps = Array.make n 320.0 in
+  temps.(0) <- 330.0;
+  let s = Metrics.summarize layout temps in
+  Alcotest.(check (float 1e-9)) "peak" 330.0 s.Metrics.peak_k;
+  Alcotest.(check (float 1e-9)) "min" 320.0 s.Metrics.min_k;
+  Alcotest.(check (float 1e-9)) "range" 10.0 s.Metrics.range_k;
+  Alcotest.(check (float 1e-9)) "gradient at hotspot" 10.0
+    s.Metrics.max_neighbor_gradient_k;
+  Alcotest.(check int) "one hotspot" 1 s.Metrics.hotspot_cells;
+  Alcotest.(check int) "peak cell" 0 (Metrics.peak_cell temps)
+
+let test_metrics_uniform_field () =
+  let temps = Array.make n 321.5 in
+  let s = Metrics.summarize layout temps in
+  Alcotest.(check (float 1e-9)) "stddev 0" 0.0 s.Metrics.stddev_k;
+  Alcotest.(check (float 1e-9)) "gradient 0" 0.0 s.Metrics.max_neighbor_gradient_k;
+  Alcotest.(check int) "no hotspots" 0 s.Metrics.hotspot_cells
+
+let test_heatmap_render () =
+  let temps = Array.make n 320.0 in
+  temps.(0) <- 330.0;
+  let s = Heatmap.render layout temps in
+  let lines = String.split_on_char '\n' s in
+  (* 4 rows + legend + trailing empty. *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  (match lines with
+   | first :: _ ->
+     Alcotest.(check int) "row width" 4 (String.length first);
+     Alcotest.(check char) "hot corner is @" '@' first.[0]
+   | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "legend present" true
+    (String.length s > 0
+     && List.exists
+          (fun l -> String.length l >= 3 && String.sub l 0 3 = "min")
+          lines)
+
+let test_heatmap_flat_field () =
+  let temps = Array.make n 320.0 in
+  let s = Heatmap.render layout temps in
+  (* All cells rendered with the coldest ramp character. *)
+  let first_line = List.nth (String.split_on_char '\n' s) 0 in
+  String.iter (fun c -> Alcotest.(check char) "cold char" '.' c) first_line
+
+let test_heatmap_side_by_side () =
+  let temps = Array.make n 320.0 in
+  let m = Heatmap.render layout temps in
+  let joined = Heatmap.side_by_side ~titles:[ "a"; "b" ] [ m; m ] in
+  let lines = String.split_on_char '\n' joined in
+  (match lines with
+   | title :: _ ->
+     Alcotest.(check bool) "titles present" true
+       (String.length title > 0 && title.[0] = 'a')
+   | [] -> Alcotest.fail "no output");
+  Alcotest.(check bool) "wider than single" true
+    (String.length (List.nth lines 1) > 4)
+
+let test_params_pp () =
+  let s = Format.asprintf "%a" Params.pp params in
+  Alcotest.(check bool) "mentions ambient" true (String.length s > 10)
+
+(* --- Reliability --------------------------------------------------------- *)
+
+let test_acceleration_factor () =
+  let t_ref = 318.0 in
+  Alcotest.(check (float 1e-9)) "unity at reference" 1.0
+    (Reliability.acceleration_factor ~t_ref_k:t_ref t_ref);
+  Alcotest.(check bool) "hotter ages faster" true
+    (Reliability.acceleration_factor ~t_ref_k:t_ref 338.0 > 1.0);
+  Alcotest.(check bool) "colder ages slower" true
+    (Reliability.acceleration_factor ~t_ref_k:t_ref 308.0 < 1.0);
+  (* +20 K roughly quadruples electromigration ageing at these
+     temperatures. *)
+  let af = Reliability.acceleration_factor ~t_ref_k:t_ref 338.0 in
+  Alcotest.(check bool) "plausible magnitude" true (af > 2.0 && af < 10.0)
+
+let test_reliability_assess () =
+  let temps = Array.make n 318.0 in
+  temps.(3) <- 348.0;
+  let a = Reliability.assess layout temps in
+  Alcotest.(check int) "weakest cell" 3 a.Reliability.weakest_cell;
+  Alcotest.(check bool) "min below mean" true
+    (a.Reliability.mttf_rel_min < a.Reliability.mttf_rel_mean);
+  Alcotest.(check bool) "hot cell shortens life" true
+    (a.Reliability.mttf_rel_min < 1.0);
+  Alcotest.(check bool) "gradient stress positive" true
+    (a.Reliability.gradient_stress > 0.0)
+
+let test_reliability_uniform_map_is_reference () =
+  let temps = Array.make n 318.0 in
+  let a = Reliability.assess layout temps in
+  Alcotest.(check (float 1e-9)) "uniform ambient = 1x" 1.0
+    a.Reliability.mttf_rel_min;
+  Alcotest.(check (float 1e-9)) "no stress" 0.0 a.Reliability.gradient_stress
+
+let test_reliability_prefers_homogeneous () =
+  (* Same total heat, spread vs concentrated: the spread map lives
+     longer. *)
+  let concentrated = Array.make n 318.0 in
+  concentrated.(0) <- 318.0 +. 32.0;
+  let spread = Array.make n (318.0 +. 2.0) in
+  let ac = Reliability.assess layout concentrated in
+  let asp = Reliability.assess layout spread in
+  Alcotest.(check bool) "spread lives longer" true
+    (asp.Reliability.mttf_rel_min > ac.Reliability.mttf_rel_min)
+
+let test_turning_points () =
+  Alcotest.(check (list (float 1e-9))) "extrema extracted"
+    [ 1.0; 5.0; 2.0; 7.0 ]
+    (Reliability.turning_points [ 1.0; 3.0; 5.0; 4.0; 2.0; 6.0; 7.0 ]);
+  Alcotest.(check (list (float 1e-9))) "monotone collapses to ends"
+    [ 1.0; 4.0 ]
+    (Reliability.turning_points [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (list (float 1e-9))) "plateau ignored" [ 2.0; 2.0 ]
+    (Reliability.turning_points [ 2.0; 2.0; 2.0 ])
+
+let test_cycling_counts_swings () =
+  (* Two full heat/cool cycles of 10 K. *)
+  let history = [ 320.0; 330.0; 320.0; 330.0; 320.0 ] in
+  let c = Reliability.cycling history in
+  Alcotest.(check int) "four half-cycles" 4 c.Reliability.half_cycles;
+  Alcotest.(check (float 1e-9)) "swing amplitude" 10.0 c.Reliability.max_swing_k;
+  (* Damage of a 10 K swing at q=3.5 is 10^3.5 per half cycle. *)
+  Alcotest.(check (float 1.0)) "damage" (4.0 *. (10.0 ** 3.5))
+    c.Reliability.damage_index
+
+let test_cycling_threshold_filters_ripple () =
+  let history = [ 320.0; 320.3; 320.0; 320.3; 320.0 ] in
+  let c = Reliability.cycling ~min_swing_k:0.5 history in
+  Alcotest.(check int) "ripple ignored" 0 c.Reliability.half_cycles;
+  Alcotest.(check (float 1e-9)) "no damage" 0.0 c.Reliability.damage_index
+
+let test_cycling_bigger_swings_more_damage () =
+  let small = Reliability.cycling [ 320.0; 325.0; 320.0 ] in
+  let large = Reliability.cycling [ 320.0; 330.0; 320.0 ] in
+  (* Coffin-Manson: doubling the swing multiplies damage by 2^3.5 ~ 11. *)
+  Alcotest.(check bool) "superlinear damage" true
+    (large.Reliability.damage_index > 10.0 *. small.Reliability.damage_index)
+
+(* --- DTM ------------------------------------------------------------------ *)
+
+let hot_power = Array.make n 2.0e-3
+
+let test_dtm_no_throttle_when_cool () =
+  let r =
+    Dtm.run model
+      { Dtm.trigger_k = 1000.0; throttle_factor = 0.5 }
+      ~power_of_window:(fun _ -> hot_power)
+      ~windows:20 ~window_s:1.0e-5
+  in
+  Alcotest.(check int) "never throttled" 0 r.Dtm.throttled_windows;
+  Alcotest.(check (float 1e-9)) "no slowdown" 1.0 r.Dtm.slowdown
+
+let test_dtm_throttles_when_hot () =
+  let r =
+    Dtm.run model
+      { Dtm.trigger_k = 320.0; throttle_factor = 0.5 }
+      ~power_of_window:(fun _ -> hot_power)
+      ~windows:200 ~window_s:1.0e-5
+  in
+  Alcotest.(check bool) "throttled" true (r.Dtm.throttled_windows > 0);
+  Alcotest.(check bool) "slowdown > 1" true (r.Dtm.slowdown > 1.0);
+  (* The throttled run stays close to the trigger. *)
+  let unthrottled =
+    Dtm.run model
+      { Dtm.trigger_k = 1000.0; throttle_factor = 0.5 }
+      ~power_of_window:(fun _ -> hot_power)
+      ~windows:200 ~window_s:1.0e-5
+  in
+  Alcotest.(check bool) "cooler than unthrottled" true
+    (r.Dtm.peak_k < unthrottled.Dtm.peak_k)
+
+let test_dtm_factor_one_disables () =
+  let r =
+    Dtm.run model
+      { Dtm.trigger_k = 300.0; throttle_factor = 1.0 }
+      ~power_of_window:(fun _ -> hot_power)
+      ~windows:20 ~window_s:1.0e-5
+  in
+  Alcotest.(check (float 1e-9)) "factor 1 = no slowdown" 1.0 r.Dtm.slowdown
+
+let test_dtm_multilevel_grades_throttling () =
+  let run levels =
+    Dtm.run_multilevel model ~levels
+      ~power_of_window:(fun _ -> hot_power)
+      ~windows:200 ~window_s:1.0e-5
+  in
+  let single = run [ (322.0, 0.5) ] in
+  let graded = run [ (320.0, 0.8); (322.0, 0.5) ] in
+  Alcotest.(check bool) "graded throttles" true
+    (graded.Dtm.throttled_windows > 0);
+  (* The graded policy starts braking earlier and ends cooler or equal. *)
+  Alcotest.(check bool) "graded at least as cool" true
+    (graded.Dtm.peak_k <= single.Dtm.peak_k +. 0.2)
+
+let test_dtm_multilevel_validation () =
+  Alcotest.(check bool) "empty levels rejected" true
+    (match
+       Dtm.run_multilevel model ~levels:[]
+         ~power_of_window:(fun _ -> hot_power)
+         ~windows:1 ~window_s:1.0e-5
+     with
+     | (_ : Dtm.result) -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad factor rejected" true
+    (match
+       Dtm.run_multilevel model
+         ~levels:[ (320.0, 1.5) ]
+         ~power_of_window:(fun _ -> hot_power)
+         ~windows:1 ~window_s:1.0e-5
+     with
+     | (_ : Dtm.result) -> false
+     | exception Invalid_argument _ -> true)
+
+let test_dtm_invalid_factor () =
+  Alcotest.(check bool) "factor 0 rejected" true
+    (match
+       Dtm.run model
+         { Dtm.trigger_k = 320.0; throttle_factor = 0.0 }
+         ~power_of_window:(fun _ -> hot_power)
+         ~windows:1 ~window_s:1.0e-5
+     with
+     | (_ : Dtm.result) -> false
+     | exception Invalid_argument _ -> true)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "thermal.rc-model",
+      [
+        tc "stability bound" `Quick test_stability_bound_positive;
+        tc "zero power = ambient" `Quick test_steady_zero_power_is_ambient;
+        tc "uniform power = uniform temp" `Quick test_steady_uniform_power_uniform_temp;
+        tc "point source decays" `Quick test_steady_point_source_decays;
+        tc "superposition" `Quick test_steady_superposition;
+        tc "derivative signs" `Quick test_derivative_signs;
+        tc "leakage vs temperature" `Quick test_leakage_increases_with_temp;
+      ] );
+    ( "thermal.simulator",
+      [
+        tc "transient reaches steady state" `Quick test_simulator_converges_to_steady;
+        tc "reset" `Quick test_simulator_reset;
+        tc "peak history" `Quick test_simulator_peak_history_monotone_under_constant_power;
+      ] );
+    ( "thermal.metrics",
+      [
+        tc "known field" `Quick test_metrics_known_field;
+        tc "uniform field" `Quick test_metrics_uniform_field;
+      ] );
+    ( "thermal.heatmap",
+      [
+        tc "render" `Quick test_heatmap_render;
+        tc "flat field" `Quick test_heatmap_flat_field;
+        tc "side by side" `Quick test_heatmap_side_by_side;
+        tc "params pp" `Quick test_params_pp;
+      ] );
+    ( "thermal.reliability",
+      [
+        tc "acceleration factor" `Quick test_acceleration_factor;
+        tc "assessment" `Quick test_reliability_assess;
+        tc "uniform reference" `Quick test_reliability_uniform_map_is_reference;
+        tc "prefers homogeneous" `Quick test_reliability_prefers_homogeneous;
+        tc "turning points" `Quick test_turning_points;
+        tc "cycling counts swings" `Quick test_cycling_counts_swings;
+        tc "cycling threshold" `Quick test_cycling_threshold_filters_ripple;
+        tc "cycling superlinear" `Quick test_cycling_bigger_swings_more_damage;
+      ] );
+    ( "thermal.dtm",
+      [
+        tc "no throttle when cool" `Quick test_dtm_no_throttle_when_cool;
+        tc "throttles when hot" `Quick test_dtm_throttles_when_hot;
+        tc "factor 1 disables" `Quick test_dtm_factor_one_disables;
+        tc "invalid factor" `Quick test_dtm_invalid_factor;
+        tc "multilevel grades" `Quick test_dtm_multilevel_grades_throttling;
+        tc "multilevel validation" `Quick test_dtm_multilevel_validation;
+      ] );
+  ]

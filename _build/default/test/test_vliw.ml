@@ -1,0 +1,216 @@
+(* Tests of the VLIW subsystem: bundling correctness, binding policies
+   and the FU thermal evaluation. *)
+
+open Tdfa_ir
+open Tdfa_workload
+open Tdfa_vliw
+
+let machine = Machine.make ~width:4 ()
+
+(* --- Machine ------------------------------------------------------------ *)
+
+let test_machine_validation () =
+  Alcotest.(check bool) "width 0 rejected" true
+    (match Machine.make ~width:0 () with
+     | (_ : Machine.t) -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check int) "fu layout matches width" 4
+    (Tdfa_floorplan.Layout.num_cells machine.Machine.fu_layout)
+
+(* --- Bundler -------------------------------------------------------------- *)
+
+let test_bundles_respect_width () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun bundle ->
+              if List.length bundle > 4 then
+                Alcotest.failf "%s: bundle wider than 4" name;
+              if bundle = [] then Alcotest.failf "%s: empty bundle" name)
+            (Bundler.bundles_of_block ~width:4 b))
+        f.Func.blocks)
+    Kernels.all
+
+let test_bundles_preserve_instructions () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (b : Block.t) ->
+          let bundles = Bundler.bundles_of_block ~width:4 b in
+          let flattened = List.concat bundles in
+          let sorted l = List.sort compare l in
+          if sorted flattened <> sorted (Array.to_list b.Block.body) then
+            Alcotest.failf "%s: bundles lost or duplicated instructions" name)
+        f.Func.blocks)
+    Kernels.all
+
+let test_bundles_are_topological () =
+  List.iter
+    (fun (name, f) ->
+      List.iter
+        (fun (b : Block.t) ->
+          let bundles = Bundler.bundles_of_block ~width:4 b in
+          (* Recover the index permutation: instructions are not unique in
+             general, so match greedily by physical equality order. *)
+          let body = Array.to_list b.Block.body in
+          let used = Array.make (List.length body) false in
+          let index_of instr =
+            let rec find i = function
+              | [] -> Alcotest.failf "%s: instruction not found" name
+              | x :: rest ->
+                if (not used.(i)) && x = instr then begin
+                  used.(i) <- true;
+                  i
+                end
+                else find (i + 1) rest
+            in
+            find 0 body
+          in
+          let order = List.map index_of (List.concat bundles) in
+          if not (Deps.is_topological b.Block.body order) then
+            Alcotest.failf "%s: bundle order violates dependences" name)
+        f.Func.blocks)
+    Kernels.all
+
+let test_width_one_is_sequential () =
+  let f = Kernels.idct_row () in
+  List.iter
+    (fun (b : Block.t) ->
+      let bundles = Bundler.bundles_of_block ~width:1 b in
+      Alcotest.(check int) "one instr per bundle" (Block.num_instrs b)
+        (List.length bundles))
+    f.Func.blocks
+
+let test_utilization_bounds () =
+  let scheduled = Bundler.schedule_func ~width:4 (Kernels.idct_row ()) in
+  let u = Bundler.utilization ~width:4 scheduled in
+  Alcotest.(check bool) "0 < u <= 1" true (u > 0.0 && u <= 1.0);
+  (* The butterfly kernel has real ILP: fewer bundles than instructions. *)
+  Alcotest.(check bool) "speedup over sequential" true
+    (Bundler.bundle_count scheduled
+     < Func.instr_count (Kernels.idct_row ()))
+
+let test_ilp_kernel_faster_than_serial_chain () =
+  (* A pure dependence chain cannot be packed. *)
+  let b = Builder.create ~name:"chain" ~params:[] in
+  let x0 = Builder.const b 1 in
+  let rec chain v n = if n = 0 then v else chain (Builder.binop b Instr.Add v v) (n - 1) in
+  let last = chain x0 10 in
+  Builder.ret b (Some last);
+  let f = Builder.finish b in
+  let scheduled = Bundler.schedule_func ~width:4 f in
+  Alcotest.(check int) "chain stays sequential" (Func.instr_count f)
+    (Bundler.bundle_count scheduled)
+
+(* --- Binding --------------------------------------------------------------- *)
+
+let block_weight_one (_ : Label.t) = 1.0
+
+let test_binding_valid_all_policies () =
+  List.iter
+    (fun (name, f) ->
+      let scheduled = Bundler.schedule_func ~width:4 f in
+      List.iter
+        (fun policy ->
+          let bound =
+            Binding.bind machine policy ~block_weight:block_weight_one scheduled
+          in
+          if not (Binding.valid machine bound) then
+            Alcotest.failf "%s/%s: invalid binding" name (Binding.name policy))
+        Binding.all)
+    Kernels.all
+
+let test_fixed_binding_uses_low_fus () =
+  let scheduled = Bundler.schedule_func ~width:4 (Kernels.fir ()) in
+  let bound =
+    Binding.bind machine Binding.Fixed ~block_weight:block_weight_one scheduled
+  in
+  List.iter
+    (fun (_, bundles) ->
+      List.iter
+        (fun bundle ->
+          List.iteri
+            (fun i (_, fu) -> Alcotest.(check int) "slot i -> FU i" i fu)
+            bundle)
+        bundles)
+    bound
+
+let test_round_robin_rotates () =
+  let scheduled = Bundler.schedule_func ~width:4 (Kernels.fir ()) in
+  let bound =
+    Binding.bind machine Binding.Round_robin ~block_weight:block_weight_one
+      scheduled
+  in
+  (* Not all bundles start at FU 0. *)
+  let starts =
+    List.concat_map
+      (fun (_, bundles) ->
+        List.filter_map
+          (fun bundle -> match bundle with (_, fu) :: _ -> Some fu | [] -> None)
+          bundles)
+      bound
+  in
+  Alcotest.(check bool) "varied start FUs" true
+    (List.length (List.sort_uniq Int.compare starts) > 1)
+
+(* --- FU thermal --------------------------------------------------------------- *)
+
+let test_fu_power_conservation () =
+  (* Total FU power is independent of the binding policy. *)
+  let f = Kernels.idct_row () in
+  let loops = Tdfa_dataflow.Loops.analyze f in
+  let w l = Tdfa_dataflow.Loops.frequency loops l in
+  let scheduled = Bundler.schedule_func ~width:4 f in
+  let total policy =
+    let bound = Binding.bind machine policy ~block_weight:w scheduled in
+    Array.fold_left ( +. ) 0.0 (Fu_thermal.fu_power machine ~block_weight:w bound)
+  in
+  let base = total Binding.Fixed in
+  List.iter
+    (fun policy ->
+      Alcotest.(check (float 1e-9))
+        (Binding.name policy ^ " conserves power")
+        base (total policy))
+    Binding.all
+
+let test_fixed_binding_hottest () =
+  let f = Kernels.idct_row () in
+  let _, fixed = Fu_thermal.evaluate machine f Binding.Fixed in
+  let _, rr = Fu_thermal.evaluate machine f Binding.Round_robin in
+  let _, coolest = Fu_thermal.evaluate machine f Binding.Coolest in
+  Alcotest.(check bool) "fixed peak >= round-robin" true
+    (fixed.Tdfa_thermal.Metrics.peak_k >= rr.Tdfa_thermal.Metrics.peak_k);
+  Alcotest.(check bool) "fixed range > coolest range" true
+    (fixed.Tdfa_thermal.Metrics.range_k
+     > coolest.Tdfa_thermal.Metrics.range_k);
+  Alcotest.(check bool) "fixed FU0 is the hot one" true
+    (let temps, _ = Fu_thermal.evaluate machine f Binding.Fixed in
+     Tdfa_thermal.Metrics.peak_cell temps = 0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "vliw.machine", [ tc "validation" `Quick test_machine_validation ] );
+    ( "vliw.bundler",
+      [
+        tc "width respected" `Quick test_bundles_respect_width;
+        tc "instructions preserved" `Quick test_bundles_preserve_instructions;
+        tc "topological" `Quick test_bundles_are_topological;
+        tc "width 1 sequential" `Quick test_width_one_is_sequential;
+        tc "utilization" `Quick test_utilization_bounds;
+        tc "dependence chain" `Quick test_ilp_kernel_faster_than_serial_chain;
+      ] );
+    ( "vliw.binding",
+      [
+        tc "valid bindings" `Quick test_binding_valid_all_policies;
+        tc "fixed uses low FUs" `Quick test_fixed_binding_uses_low_fus;
+        tc "round-robin rotates" `Quick test_round_robin_rotates;
+      ] );
+    ( "vliw.thermal",
+      [
+        tc "power conservation" `Quick test_fu_power_conservation;
+        tc "fixed binding hottest" `Quick test_fixed_binding_hottest;
+      ] );
+  ]

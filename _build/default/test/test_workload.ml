@@ -1,0 +1,211 @@
+(* Tests of the workload library: every kernel is well-formed and
+   executable; the random generator is deterministic, valid and respects
+   its pressure knob. *)
+
+open Tdfa_ir
+open Tdfa_workload
+
+let test_all_kernels_valid () =
+  List.iter
+    (fun (name, f) ->
+      match Validate.check f with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid:\n%s" name e)
+    Kernels.all
+
+let test_all_kernels_execute () =
+  List.iter
+    (fun (name, f) ->
+      match Tdfa_exec.Interp.run_func f with
+      | o ->
+        Alcotest.(check bool) (name ^ " produced cycles") true
+          (o.Tdfa_exec.Interp.cycles > 0)
+      | exception e ->
+        Alcotest.failf "%s raised %s" name (Printexc.to_string e))
+    Kernels.all
+
+let test_kernel_names_unique () =
+  let names = List.map fst Kernels.all in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_find () =
+  Alcotest.(check bool) "find matmul" true (Kernels.find "matmul" <> None);
+  Alcotest.(check bool) "find nothing" true (Kernels.find "nope" = None)
+
+let test_kernel_sizes_scale () =
+  let small = Func.instr_count (Kernels.matmul ~n:2 ()) in
+  let big = Func.instr_count (Kernels.matmul ~n:8 ()) in
+  (* Static size is the same (loops), but execution scales. *)
+  Alcotest.(check int) "static size independent of n" small big;
+  let cycles n = (Tdfa_exec.Interp.run_func (Kernels.matmul ~n ())).Tdfa_exec.Interp.cycles in
+  Alcotest.(check bool) "dynamic cost scales" true (cycles 8 > 8 * cycles 2)
+
+let test_high_pressure_knob () =
+  let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 () in
+  let pressure live =
+    let r =
+      Tdfa_regalloc.Alloc.allocate
+        (Kernels.high_pressure ~live ~iters:4 ())
+        layout ~policy:Tdfa_regalloc.Policy.First_fit
+    in
+    r.Tdfa_regalloc.Alloc.max_pressure
+  in
+  Alcotest.(check bool) "pressure tracks live" true
+    (pressure 8 < pressure 24 && pressure 24 < pressure 48);
+  (* The knob is close to the requested value. *)
+  Alcotest.(check bool) "approximately live+overhead" true
+    (abs (pressure 24 - 24) <= 6)
+
+let test_fib_matches_reference () =
+  let rec fib_ref n = if n < 2 then n else fib_ref (n - 1) + fib_ref (n - 2) in
+  List.iter
+    (fun n ->
+      let o = Tdfa_exec.Interp.run_func (Kernels.fib ~n ()) in
+      Alcotest.(check (option int))
+        (Printf.sprintf "fib %d" n)
+        (Some (fib_ref n))
+        o.Tdfa_exec.Interp.return_value)
+    [ 0; 1; 2; 5; 15 ]
+
+(* Mirror of the interpreter's deterministic memory pattern. *)
+let memory_pattern addr = (addr * 2654435761) land 0xFFFF
+
+let test_max_reduce_matches_reference () =
+  let n = 32 in
+  let expected =
+    List.fold_left max min_int (List.init n memory_pattern)
+  in
+  let o = Tdfa_exec.Interp.run_func (Kernels.max_reduce ~n ()) in
+  Alcotest.(check (option int)) "max over pattern" (Some expected)
+    o.Tdfa_exec.Interp.return_value
+
+let test_histogram_bins_sum_to_n () =
+  let n = 48 and bins = 8 in
+  let o = Tdfa_exec.Interp.run_func (Kernels.histogram ~n ~bins ()) in
+  (* Bin counters live at 2000..2000+bins-1; initial contents follow the
+     memory pattern, so subtract them. *)
+  let total =
+    List.fold_left
+      (fun acc (addr, v) ->
+        if addr >= 2000 && addr < 2000 + bins then
+          acc + v - memory_pattern addr
+        else acc)
+      0 o.Tdfa_exec.Interp.memory
+  in
+  Alcotest.(check int) "increments equal samples" n total
+
+let test_transpose_involution () =
+  (* transpose(in) at 2000; a second transpose would restore: check one
+     element directly instead. out[j*n+i] = in[i*n+j]. *)
+  let n = 8 in
+  let o = Tdfa_exec.Interp.run_func (Kernels.transpose ~n ()) in
+  let mem = o.Tdfa_exec.Interp.memory in
+  let lookup addr =
+    match List.assoc_opt addr mem with
+    | Some v -> v
+    | None -> memory_pattern addr
+  in
+  List.iter
+    (fun (i, j) ->
+      Alcotest.(check int)
+        (Printf.sprintf "out[%d][%d] = in[%d][%d]" j i i j)
+        (lookup ((i * n) + j))
+        (lookup (2000 + (j * n) + i)))
+    [ (0, 0); (1, 3); (7, 2); (5, 5) ]
+
+let test_crc_deterministic () =
+  let v1 = (Tdfa_exec.Interp.run_func (Kernels.crc ())).Tdfa_exec.Interp.return_value in
+  let v2 = (Tdfa_exec.Interp.run_func (Kernels.crc ())).Tdfa_exec.Interp.return_value in
+  Alcotest.(check bool) "same value" true (v1 = v2 && v1 <> None)
+
+let test_generator_valid_and_deterministic () =
+  List.iter
+    (fun seed ->
+      let p = { Generator.default with Generator.seed } in
+      let f1 = Generator.generate p in
+      let f2 = Generator.generate p in
+      (match Validate.check f1 with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "seed %d invalid:\n%s" seed e);
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d deterministic" seed)
+        (Printer.func_to_string f1)
+        (Printer.func_to_string f2))
+    [ 1; 2; 3; 17; 99 ]
+
+let test_generator_seeds_differ () =
+  let f1 = Generator.generate { Generator.default with Generator.seed = 1 } in
+  let f2 = Generator.generate { Generator.default with Generator.seed = 2 } in
+  Alcotest.(check bool) "different programs" true
+    (Printer.func_to_string f1 <> Printer.func_to_string f2)
+
+let test_generator_executes () =
+  List.iter
+    (fun seed ->
+      let f = Generator.generate { Generator.default with Generator.seed } in
+      match Tdfa_exec.Interp.run_func ~fuel:5_000_000 f with
+      | (_ : Tdfa_exec.Interp.outcome) -> ()
+      | exception e ->
+        Alcotest.failf "seed %d raised %s" seed (Printexc.to_string e))
+    [ 1; 5; 23; 42 ]
+
+let test_generator_pressure_sweep () =
+  let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 () in
+  let sweep = Generator.pressure_sweep [ 4; 12; 24 ] in
+  Alcotest.(check int) "three programs" 3 (List.length sweep);
+  let pressures =
+    List.map
+      (fun (_, f) ->
+        let r =
+          Tdfa_regalloc.Alloc.allocate f layout
+            ~policy:Tdfa_regalloc.Policy.First_fit
+        in
+        r.Tdfa_regalloc.Alloc.max_pressure)
+      sweep
+  in
+  match pressures with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "monotone-ish pressure" true (a < b && b < c)
+  | _ -> Alcotest.fail "wrong arity"
+
+let test_generator_analyzable () =
+  (* Generated programs flow through the whole pipeline. *)
+  let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 () in
+  let f = Generator.generate Generator.default in
+  let alloc =
+    Tdfa_regalloc.Alloc.allocate f layout ~policy:Tdfa_regalloc.Policy.First_fit
+  in
+  let outcome =
+    Tdfa_core.Setup.run_post_ra ~layout alloc.Tdfa_regalloc.Alloc.func
+      alloc.Tdfa_regalloc.Alloc.assignment
+  in
+  Alcotest.(check bool) "analysis terminates" true
+    ((Tdfa_core.Analysis.info outcome).Tdfa_core.Analysis.iterations > 0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "workload.kernels",
+      [
+        tc "all valid" `Quick test_all_kernels_valid;
+        tc "all execute" `Quick test_all_kernels_execute;
+        tc "names unique" `Quick test_kernel_names_unique;
+        tc "find" `Quick test_find;
+        tc "sizes scale dynamically" `Quick test_kernel_sizes_scale;
+        tc "pressure knob" `Quick test_high_pressure_knob;
+        tc "fib reference" `Quick test_fib_matches_reference;
+        tc "max_reduce reference" `Quick test_max_reduce_matches_reference;
+        tc "histogram conservation" `Quick test_histogram_bins_sum_to_n;
+        tc "transpose elements" `Quick test_transpose_involution;
+        tc "crc deterministic" `Quick test_crc_deterministic;
+      ] );
+    ( "workload.generator",
+      [
+        tc "valid + deterministic" `Quick test_generator_valid_and_deterministic;
+        tc "seeds differ" `Quick test_generator_seeds_differ;
+        tc "executes" `Quick test_generator_executes;
+        tc "pressure sweep" `Quick test_generator_pressure_sweep;
+        tc "analyzable" `Quick test_generator_analyzable;
+      ] );
+  ]

@@ -83,6 +83,77 @@ let with_func kernel file k =
     Printf.eprintf "tdfa: %s\n" msg;
     exit 1
 
+(* Structured one-line errors instead of uncaught-exception backtraces on
+   the execution and analysis paths. *)
+let guard k =
+  try k () with
+  | Tdfa_exec.Interp.Runtime_error msg ->
+    Printf.eprintf "tdfa: runtime error: %s\n" msg;
+    exit 1
+  | Tdfa_exec.Interp.Out_of_fuel cycles ->
+    Printf.eprintf "tdfa: execution exceeded the fuel budget (%d cycles)\n"
+      cycles;
+    exit 1
+  | Not_found ->
+    Printf.eprintf
+      "tdfa: internal error: no analysis state at the requested program \
+       point\n";
+    exit 1
+  | Tdfa_optim.Pipeline.Verification_failed { pass; diagnostics } ->
+    Printf.eprintf "tdfa: verification failed after pass %s (%d violations)\n"
+      pass (List.length diagnostics);
+    List.iter
+      (fun d -> Printf.eprintf "  %s\n" (Tdfa_verify.Check.to_string d))
+      diagnostics;
+    exit 1
+
+let checked_arg =
+  Arg.(value & flag
+       & info [ "checked" ]
+           ~doc:
+             "Verify every pass's output with the IR verifier and apply \
+              the $(b,--on-violation) policy.")
+
+let on_violation_conv =
+  let parse = function
+    | "fail" -> Ok Tdfa_optim.Pipeline.Fail
+    | "warn" -> Ok Tdfa_optim.Pipeline.Warn
+    | "degrade" -> Ok Tdfa_optim.Pipeline.Degrade
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Tdfa_optim.Pipeline.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let on_violation_arg =
+  Arg.(value & opt on_violation_conv Tdfa_optim.Pipeline.Degrade
+       & info [ "on-violation" ] ~docv:"POLICY"
+           ~doc:
+             "What a verification violation means under $(b,--checked): \
+              fail (abort), warn (keep the pass), or degrade (discard the \
+              pass and continue).")
+
+let checks_of checked on_violation =
+  if checked then Some (Tdfa_optim.Pipeline.checks on_violation) else None
+
+let print_steps steps =
+  List.iter
+    (fun (s : Tdfa_optim.Pipeline.step) ->
+      let status =
+        match s.Tdfa_optim.Pipeline.status with
+        | Tdfa_optim.Pipeline.Applied -> ""
+        | Tdfa_optim.Pipeline.Warned -> "  [WARNED]"
+        | Tdfa_optim.Pipeline.Skipped -> "  [SKIPPED: pass discarded]"
+      in
+      Printf.printf "  %-14s %-24s %10.0f est. cycles%s\n"
+        s.Tdfa_optim.Pipeline.pass s.Tdfa_optim.Pipeline.detail
+        s.Tdfa_optim.Pipeline.cycles_after status;
+      List.iter
+        (fun d -> Printf.printf "      %s\n" (Tdfa_verify.Check.to_string d))
+        s.Tdfa_optim.Pipeline.diagnostics)
+    steps
+
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -97,8 +168,33 @@ let list_kernels () =
 let show kernel file =
   with_func kernel file (fun f -> print_endline (Printer.func_to_string f))
 
+let verify kernel file policy post_ra =
+  with_func kernel file (fun f ->
+      guard (fun () ->
+          let diags =
+            if post_ra then begin
+              let alloc = Alloc.allocate f Common.standard_layout ~policy in
+              Tdfa_verify.Check.all ~layout:Common.standard_layout
+                ~assignment:alloc.Alloc.assignment alloc.Alloc.func
+            end
+            else Tdfa_verify.Check.func f
+          in
+          match diags with
+          | [] ->
+            Printf.printf "%s: verification clean (%d instrs, %d blocks)\n"
+              f.Func.name (Func.instr_count f)
+              (List.length f.Func.blocks)
+          | ds ->
+            Printf.printf "%s: %d violation(s)\n" f.Func.name (List.length ds);
+            List.iter
+              (fun d ->
+                Printf.printf "  %s\n" (Tdfa_verify.Check.to_string d))
+              ds;
+            exit 1))
+
 let simulate kernel file policy =
   with_func kernel file (fun f ->
+    guard (fun () ->
       let name = f.Func.name in
       let run = Common.run_policy ~name f policy in
       Printf.printf "kernel %s, policy %s: %d cycles, pressure %d, %d spills\n\n"
@@ -106,10 +202,11 @@ let simulate kernel file policy =
         run.Common.alloc.Alloc.max_pressure
         (Tdfa_ir.Var.Set.cardinal run.Common.alloc.Alloc.spilled);
       print_string (Heatmap.render Common.standard_layout run.Common.measured);
-      Format.printf "@\n%a@\n" Metrics.pp_summary run.Common.metrics)
+      Format.printf "@\n%a@\n" Metrics.pp_summary run.Common.metrics))
 
-let analyze kernel file policy granularity delta pre_ra =
+let analyze kernel file policy granularity delta pre_ra recover =
   with_func kernel file (fun f ->
+    guard (fun () ->
       let name = f.Func.name in
       let settings =
         { Analysis.default_settings with Analysis.delta_k = delta }
@@ -126,8 +223,28 @@ let analyze kernel file policy granularity delta pre_ra =
         end
       in
       let outcome =
-        Setup.run_post_ra ~granularity ~settings ~layout:Common.standard_layout
-          func assignment
+        if recover then begin
+          let r =
+            Setup.run_post_ra_with_recovery ~granularity ~settings
+              ~layout:Common.standard_layout func assignment
+          in
+          if List.length r.Analysis.attempts > 1 then begin
+            Printf.printf "divergence-recovery ladder:\n";
+            List.iter
+              (fun (a : Analysis.attempt) ->
+                Printf.printf "  %-16s %s after %d iterations\n"
+                  (Analysis.fallback_name a.Analysis.fallback)
+                  (if a.Analysis.converged then "converged" else "diverged")
+                  a.Analysis.iterations)
+              r.Analysis.attempts;
+            Printf.printf "using %s\n\n"
+              (Analysis.fallback_name r.Analysis.used)
+          end;
+          r.Analysis.outcome
+        end
+        else
+          Setup.run_post_ra ~granularity ~settings
+            ~layout:Common.standard_layout func assignment
       in
       let info = Analysis.info outcome in
       Printf.printf "kernel %s, %s: analysis %s after %d iterations \
@@ -152,7 +269,7 @@ let analyze kernel file policy granularity delta pre_ra =
             Printf.printf "  %-12s score %10.1f  hottest point %.2f K\n"
               (Var.to_string r.Criticality.var)
               r.Criticality.score r.Criticality.hottest_point_k)
-        ranked)
+        ranked))
 
 let policies kernel file =
   with_func kernel file (fun f ->
@@ -176,8 +293,9 @@ let policies kernel file =
         Policy.all;
       Tdfa_report.Table.print table)
 
-let optimize kernel file =
+let optimize kernel file checked on_violation =
   with_func kernel file (fun f ->
+    guard (fun () ->
       let name = f.Func.name in
       let base = Common.run_policy ~name f Policy.First_fit in
       let info = Analysis.info (Common.analyze_run base) in
@@ -189,43 +307,66 @@ let optimize kernel file =
         Criticality.critical_vars cfg info base.Common.alloc.Alloc.func
           base.Common.alloc.Alloc.assignment
       in
-      let promoted, prom_report = Tdfa_optim.Promote.apply f in
-      let split, split_report =
-        Tdfa_optim.Split_ranges.apply promoted ~vars:critical
+      let checks = checks_of checked on_violation in
+      let promoted_count = ref 0 and copies_count = ref 0 in
+      let t = Tdfa_optim.Pipeline.start f in
+      let t =
+        Tdfa_optim.Pipeline.apply ?checks t ~name:"promote"
+          ~detail:"loop-invariant loads" (fun f ->
+            let f', r = Tdfa_optim.Promote.apply f in
+            promoted_count := r.Tdfa_optim.Promote.promoted_addresses;
+            f')
       in
-      let after = Common.run_policy ~name split Policy.Thermal_spread in
+      let t =
+        Tdfa_optim.Pipeline.apply ?checks t ~name:"split"
+          ~detail:(Printf.sprintf "%d critical vars" (List.length critical))
+          (fun f ->
+            let f', r = Tdfa_optim.Split_ranges.apply f ~vars:critical in
+            copies_count := r.Tdfa_optim.Split_ranges.copies_inserted;
+            f')
+      in
+      let after = Common.run_policy ~name t.Tdfa_optim.Pipeline.func
+          Policy.Thermal_spread in
       Printf.printf
         "thermal-aware pipeline on %s: %d loads promoted, %d copies inserted\n\n"
-        name prom_report.Tdfa_optim.Promote.promoted_addresses
-        split_report.Tdfa_optim.Split_ranges.copies_inserted;
+        name !promoted_count !copies_count;
+      if checked then begin
+        print_steps t.Tdfa_optim.Pipeline.steps;
+        (match Tdfa_optim.Pipeline.skipped_passes t with
+         | [] -> ()
+         | skipped ->
+           Printf.printf "degraded: skipped %s\n" (String.concat ", " skipped));
+        print_newline ()
+      end;
       let m0 = base.Common.metrics and m1 = after.Common.metrics in
       Printf.printf "             %10s %10s\n" "before" "after";
       Printf.printf "peak (K)     %10.2f %10.2f\n" m0.Metrics.peak_k m1.Metrics.peak_k;
       Printf.printf "range (K)    %10.2f %10.2f\n" m0.Metrics.range_k m1.Metrics.range_k;
       Printf.printf "maxgrad (K)  %10.2f %10.2f\n"
         m0.Metrics.max_neighbor_gradient_k m1.Metrics.max_neighbor_gradient_k;
-      Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles)
+      Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles))
 
-let compile kernel file policy granularity =
+let compile kernel file policy granularity checked on_violation =
   with_func kernel file (fun f ->
+    guard (fun () ->
       let name = f.Func.name in
       let options =
         { Tdfa_optim.Compile.default_options with
           Tdfa_optim.Compile.policy;
           granularity;
+          checks = checks_of checked on_violation;
         }
       in
       let result =
         Tdfa_optim.Compile.run ~options ~layout:Common.standard_layout f
       in
-      Printf.printf "thermal-aware compilation of %s (policy %s):\n\n" name
-        (Policy.name policy);
-      List.iter
-        (fun (s : Tdfa_optim.Pipeline.step) ->
-          Printf.printf "  %-14s %-24s %10.0f est. cycles\n"
-            s.Tdfa_optim.Pipeline.pass s.Tdfa_optim.Pipeline.detail
-            s.Tdfa_optim.Pipeline.cycles_after)
-        result.Tdfa_optim.Compile.steps;
+      Printf.printf "thermal-aware compilation of %s (policy %s%s):\n\n" name
+        (Policy.name policy)
+        (if checked then
+           Printf.sprintf ", checked, on-violation=%s"
+             (Tdfa_optim.Pipeline.policy_name on_violation)
+         else "");
+      print_steps result.Tdfa_optim.Compile.steps;
       let info = Analysis.info result.Tdfa_optim.Compile.analysis in
       let peak = Analysis.peak_map info in
       Printf.printf
@@ -235,7 +376,7 @@ let compile kernel file policy granularity =
          else "DID NOT converge")
         info.Analysis.iterations (Thermal_state.peak peak);
       print_string
-        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))
+        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak))))
 
 let experiments id =
   let run = function
@@ -288,13 +429,38 @@ let pre_ra_arg =
              "Run the predictive pre-allocation analysis (no register \
               assignment yet; variables placed by the region heuristic).")
 
+let recover_arg =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:
+             "On divergence, climb the recovery ladder: retry with the \
+              Average join, then at coarser granularities, and report \
+              which fallback converged.")
+
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the thermal data-flow analysis (Fig. 2) on a program.")
     Term.(
       const analyze $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
-      $ delta_arg $ pre_ra_arg)
+      $ delta_arg $ pre_ra_arg $ recover_arg)
+
+let post_ra_verify_arg =
+  Arg.(value & flag
+       & info [ "post-ra" ]
+           ~doc:
+             "Also allocate registers (with $(b,--policy)) and check the \
+              post-allocation consistency rules.")
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a program against the IR verifier (CFG integrity, \
+          definite assignment, spill-slot balance); exit 1 on any \
+          violation.")
+    Term.(const verify $ kernel_arg $ file_arg $ policy_arg
+          $ post_ra_verify_arg)
 
 let policies_cmd =
   Cmd.v
@@ -306,7 +472,8 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the thermal-aware pass pipeline and report the effect.")
-    Term.(const optimize $ kernel_arg $ file_arg)
+    Term.(const optimize $ kernel_arg $ file_arg $ checked_arg
+          $ on_violation_arg)
 
 let compile_cmd =
   Cmd.v
@@ -315,7 +482,8 @@ let compile_cmd =
          "Run the full thermal-aware compilation pipeline (cleanup, \
           promotion, splitting, thermal assignment, scheduling) and report \
           the predicted map.")
-    Term.(const compile $ kernel_arg $ file_arg $ policy_arg $ granularity_arg)
+    Term.(const compile $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
+          $ checked_arg $ on_violation_arg)
 
 let experiments_cmd =
   let id_arg =
@@ -332,7 +500,7 @@ let main_cmd =
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; simulate_cmd; analyze_cmd; policies_cmd;
-      optimize_cmd; compile_cmd; experiments_cmd;
+      optimize_cmd; compile_cmd; verify_cmd; experiments_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

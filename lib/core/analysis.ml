@@ -98,6 +98,74 @@ let run ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
   in
   if ok then Converged result else Diverged result
 
+(* ------------------------------------------------------------------ *)
+(* Divergence recovery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type fallback = Primary | Average_join | Coarser of int
+
+let fallback_name = function
+  | Primary -> "primary"
+  | Average_join -> "average-join"
+  | Coarser g -> Printf.sprintf "granularity-%d" g
+
+type attempt = { fallback : fallback; iterations : int; converged : bool }
+
+type recovery = {
+  outcome : outcome;
+  used : fallback;
+  attempts : attempt list;
+}
+
+let run_with_recovery ?(settings = default_settings) ~config_of ~granularity
+    func =
+  (* The paper's escape hatch (§4: nothing guarantees convergence of the
+     thermal lattice) made operational: on divergence, retry with the
+     smoothing Average join, then at coarser thermal granularities —
+     fewer, more aggregated points damp the oscillations of the explicit
+     step. Each rung trades precision for convergence. *)
+  let ladder =
+    Primary
+    :: (if settings.join = Average then [] else [ Average_join ])
+    @ [ Coarser (granularity * 2); Coarser (granularity * 4) ]
+  in
+  let run_rung fb =
+    let settings, granularity =
+      match fb with
+      | Primary -> (settings, granularity)
+      | Average_join -> ({ settings with join = Average }, granularity)
+      | Coarser g -> ({ settings with join = Average }, g)
+    in
+    run ~settings (config_of ~granularity) func
+  in
+  let rec climb attempts = function
+    | [] -> (
+      (* Nothing converged: report the primary outcome (the most precise
+         of the failures) with the full attempt log. *)
+      match List.rev attempts with
+      | [] -> assert false
+      | (primary, _) :: _ as all ->
+        { outcome = primary; used = Primary; attempts = List.map snd all })
+    | fb :: rest ->
+      let outcome = run_rung fb in
+      let i = info outcome in
+      let attempt =
+        {
+          fallback = fb;
+          iterations = i.iterations;
+          converged = converged outcome;
+        }
+      in
+      if converged outcome then
+        {
+          outcome;
+          used = fb;
+          attempts = List.rev_map snd attempts @ [ attempt ];
+        }
+      else climb ((outcome, attempt) :: attempts) rest
+  in
+  climb [] ladder
+
 let state_after info label index =
   match Hashtbl.find_opt info.states_after (label, index) with
   | Some s -> s

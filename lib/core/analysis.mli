@@ -38,6 +38,42 @@ val run : ?settings:settings -> Transfer.config -> Func.t -> outcome
 val info : outcome -> info
 val converged : outcome -> bool
 
+(** {2 Divergence recovery}
+
+    §4 warns that nothing guarantees convergence (the thermal "lattice"
+    is not monotone and the explicit integration can oscillate). The
+    recovery ladder makes the paper's escape hatch operational: on
+    [Diverged], retry with the smoothing [Average] join, then at coarser
+    thermal granularities, reporting which fallback finally converged. *)
+
+type fallback =
+  | Primary  (** the analysis as configured *)
+  | Average_join  (** same granularity, pointwise-mean merge *)
+  | Coarser of int  (** [Average] join at this coarser granularity *)
+
+val fallback_name : fallback -> string
+
+type attempt = { fallback : fallback; iterations : int; converged : bool }
+
+type recovery = {
+  outcome : outcome;  (** of the rung reported in [used] *)
+  used : fallback;
+      (** the rung that converged — or [Primary] when none did, in which
+          case [outcome] is the (diverged) primary outcome *)
+  attempts : attempt list;  (** every rung tried, in order *)
+}
+
+val run_with_recovery :
+  ?settings:settings ->
+  config_of:(granularity:int -> Transfer.config) ->
+  granularity:int ->
+  Func.t ->
+  recovery
+(** Runs the ladder [Primary; Average_join; Coarser 2g; Coarser 4g],
+    stopping at the first converging rung. [config_of] rebuilds the
+    transfer configuration at a requested granularity (see
+    {!Setup.run_post_ra_with_recovery} for the usual wiring). *)
+
 val state_after : info -> Label.t -> int -> Thermal_state.t
 (** @raise Not_found for an unknown program point. *)
 

@@ -31,3 +31,11 @@ let run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout func
       assignment
   in
   Analysis.run ?settings cfg func
+
+let run_post_ra_with_recovery ?params ?(granularity = 1) ?analysis_dt_s
+    ?settings ~layout func assignment =
+  Analysis.run_with_recovery ?settings ~granularity
+    ~config_of:(fun ~granularity ->
+      config_of_assignment ?params ~granularity ?analysis_dt_s ~layout func
+        assignment)
+    func

@@ -32,3 +32,17 @@ val run_post_ra :
   Assignment.t ->
   Analysis.outcome
 (** One-call wrapper: build the config and run the Fig. 2 analysis. *)
+
+val run_post_ra_with_recovery :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  ?settings:Analysis.settings ->
+  layout:Layout.t ->
+  Func.t ->
+  Assignment.t ->
+  Analysis.recovery
+(** {!run_post_ra} under the divergence-recovery ladder
+    ({!Analysis.run_with_recovery}): configs at coarser granularities are
+    rebuilt from the same function and assignment. Default granularity
+    is 1. *)

@@ -12,6 +12,7 @@ type options = {
   policy : Policy.t;
   granularity : int;
   settings : Analysis.settings;
+  checks : Pipeline.checks option;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     policy = Policy.Thermal_spread;
     granularity = 1;
     settings = Analysis.default_settings;
+    checks = None;
   }
 
 type result = {
@@ -41,22 +43,25 @@ let analyze_with opts ~layout func assignment =
 
 let run ?(options = default_options) ~layout func =
   let opts = options in
+  (* Under [opts.checks] every pass's output is verified and the policy
+     decides whether a violating pass aborts, warns or degrades. *)
+  let apply t = Pipeline.apply ?checks:opts.checks t in
   let t = Pipeline.start func in
   let t =
     if opts.cleanup then
-      Pipeline.apply t ~name:"cleanup" ~detail:"fold/cse/copy/dce" Cleanup.run_all
+      apply t ~name:"cleanup" ~detail:"fold/cse/copy/dce" Cleanup.run_all
     else t
   in
   let t =
     if opts.unroll_factor > 1 then
-      Pipeline.apply t ~name:"unroll"
+      apply t ~name:"unroll"
         ~detail:(Printf.sprintf "factor %d" opts.unroll_factor)
         (fun f -> fst (Unroll.apply f ~factor:opts.unroll_factor))
     else t
   in
   let t =
     if opts.promote then
-      Pipeline.apply t ~name:"promote" ~detail:"loop-invariant loads" (fun f ->
+      apply t ~name:"promote" ~detail:"loop-invariant loads" (fun f ->
           fst (Promote.apply f))
     else t
   in
@@ -81,7 +86,7 @@ let run ?(options = default_options) ~layout func =
      optimization metrics" in pass-ordering form. *)
   let t =
     if opts.split_critical && critical <> [] then
-      Pipeline.apply t ~name:"split"
+      apply t ~name:"split"
         ~detail:(Printf.sprintf "%d critical vars" (List.length critical))
         (fun f ->
           (* Loop headers are exempt so the induction comparison keeps
@@ -111,7 +116,7 @@ let run ?(options = default_options) ~layout func =
         Thermal_state.get peak (Thermal_state.point_of_cell peak c)
         > mean +. 1.0
       in
-      Pipeline.apply t ~name:"schedule" ~detail:"separate hot accesses"
+      apply t ~name:"schedule" ~detail:"separate hot accesses"
         (fun f ->
           fst
             (Schedule.apply f
@@ -131,7 +136,7 @@ let run ?(options = default_options) ~layout func =
         | s -> Thermal_state.peak s > mean +. 1.0
         | exception Not_found -> false
       in
-      Pipeline.apply t ~name:"cooling-nops"
+      apply t ~name:"cooling-nops"
         ~detail:(Printf.sprintf "%d per hot instr" opts.cooling_nops)
         (fun f -> fst (Nop_insert.apply f ~hot_after ~nops:opts.cooling_nops))
     end

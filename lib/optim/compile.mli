@@ -20,11 +20,13 @@ type options = {
   policy : Policy.t;
   granularity : int;
   settings : Analysis.settings;
+  checks : Pipeline.checks option;
+      (** when set, every pass runs checked under the given policy *)
 }
 
 val default_options : options
 (** The recommended pipeline: cleanup, promotion, splitting, scheduling,
-    thermal-spread assignment; no unrolling, no NOPs. *)
+    thermal-spread assignment; no unrolling, no NOPs, unchecked. *)
 
 type result = {
   func : Func.t;  (** compiled and allocated body *)

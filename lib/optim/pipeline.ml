@@ -1,7 +1,44 @@
 open Tdfa_ir
 open Tdfa_dataflow
 
-type step = { pass : string; detail : string; cycles_after : float }
+type violation_policy = Fail | Warn | Degrade
+
+let policy_name = function
+  | Fail -> "fail"
+  | Warn -> "warn"
+  | Degrade -> "degrade"
+
+type checks = {
+  policy : violation_policy;
+  verify : Func.t -> Tdfa_verify.Check.diagnostic list;
+}
+
+let checks ?(verify = Tdfa_verify.Check.func) policy = { policy; verify }
+
+exception
+  Verification_failed of {
+    pass : string;
+    diagnostics : Tdfa_verify.Check.diagnostic list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Verification_failed { pass; diagnostics } ->
+      Some
+        (Printf.sprintf "Pipeline.Verification_failed(%s: %s)" pass
+           (String.concat "; "
+              (List.map Tdfa_verify.Check.to_string diagnostics)))
+    | _ -> None)
+
+type status = Applied | Warned | Skipped
+
+type step = {
+  pass : string;
+  detail : string;
+  cycles_after : float;
+  status : status;
+  diagnostics : Tdfa_verify.Check.diagnostic list;
+}
 
 type t = { func : Func.t; steps : step list }
 
@@ -14,15 +51,41 @@ let static_cycles func =
           *. float_of_int (Block.num_instrs b + 1)))
     0.0 func.Func.blocks
 
-let start func =
-  { func; steps = [ { pass = "original"; detail = ""; cycles_after = static_cycles func } ] }
+let step ?(status = Applied) ?(diagnostics = []) ~pass ~detail func =
+  { pass; detail; cycles_after = static_cycles func; status; diagnostics }
 
-let apply t ~name ~detail f =
+let start func = { func; steps = [ step ~pass:"original" ~detail:"" func ] }
+
+let apply ?checks t ~name ~detail f =
   let func = f t.func in
-  {
-    func;
-    steps = t.steps @ [ { pass = name; detail; cycles_after = static_cycles func } ];
-  }
+  match checks with
+  | None -> { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+  | Some { policy; verify } -> (
+    match verify func with
+    | [] -> { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+    | diagnostics -> (
+      match policy with
+      | Fail -> raise (Verification_failed { pass = name; diagnostics })
+      | Warn ->
+        {
+          func;
+          steps =
+            t.steps @ [ step ~status:Warned ~diagnostics ~pass:name ~detail func ];
+        }
+      | Degrade ->
+        (* Discard the pass: continue from the pre-pass IR, keeping the
+           skip (and why) in the step log. *)
+        {
+          func = t.func;
+          steps =
+            t.steps
+            @ [ step ~status:Skipped ~diagnostics ~pass:name ~detail t.func ];
+        }))
+
+let skipped_passes t =
+  List.filter_map
+    (fun s -> if s.status = Skipped then Some s.pass else None)
+    t.steps
 
 let overhead_percent t =
   match t.steps with

@@ -141,11 +141,19 @@ let apply (func : Func.t) =
                 (addr, (v, base, off)))
               loads
           in
-          (* Hoist the loads into the preheader, before its terminator. *)
+          (* Hoist the loads into the preheader, before its terminator.
+             The base variable's own (unique const) definition may sit
+             inside the loop, where it does not reach the preheader, so
+             re-materialise the known address instead of reusing it. *)
           let pre = Func.find_block func pre_label in
           let hoisted =
-            List.map
-              (fun (_, (v, base, off)) -> Instr.Load (v, base, off))
+            List.concat_map
+              (fun (addr, (v, _base, _off)) ->
+                let b =
+                  Var.of_string (Printf.sprintf "prm_b_%d_%d" addr !counter)
+                in
+                incr counter;
+                [ Instr.Const (b, addr); Instr.Load (v, b, 0) ])
               promoted_vars
           in
           let pre' =

@@ -1,0 +1,80 @@
+(** Structural and data-flow IR verifier.
+
+    Optimization passes are only trustworthy if every one of them
+    preserves well-formedness, and the classic failure modes — a dangling
+    branch target, a read of a variable no longer defined on every path,
+    two live variables sharing a register after a botched reassignment —
+    are exactly the bugs that {!Tdfa_ir.Validate} (which only knows
+    whether a variable is defined {e somewhere}) cannot see. The checks
+    here return structured diagnostics instead of raising, so the checked
+    pipeline ({!Tdfa_optim.Pipeline}) can decide policy: fail, warn or
+    degrade. *)
+
+open Tdfa_ir
+
+type diagnostic = {
+  rule : string;  (** which verifier rule fired, e.g. ["use-undef"] *)
+  label : Label.t option;  (** offending block, when attributable *)
+  index : int option;
+      (** offending instruction index within the block; [None] for the
+          terminator or a block-level violation *)
+  violation : string;  (** human-readable description *)
+}
+
+val to_string : diagnostic -> string
+(** One line: ["[rule] block L, instr N: violation"]. *)
+
+val pp : Format.formatter -> diagnostic -> unit
+
+val cfg : Func.t -> diagnostic list
+(** CFG integrity: every branch/jump target names an existing block, and
+    every block is reachable from the entry. (Blocks always carry a
+    terminator by construction, so there is no fallthrough to check.) *)
+
+val defs_dominate_uses : Func.t -> diagnostic list
+(** Definite assignment: on {e every} path from the entry, each use of a
+    variable is preceded by a definition (or the variable is a
+    parameter). Computed as a forward all-paths data-flow fixpoint; the
+    message distinguishes a variable that is never defined at all from
+    one whose reaching definitions (per {!Tdfa_dataflow.Reaching_defs})
+    only cover some of the incoming paths. Unreachable blocks are skipped
+    — {!cfg} already reports them. *)
+
+val spill_slots : Func.t -> diagnostic list
+(** Spill-slot balance: every spill slot read through the spill base
+    address ({!Tdfa_regalloc.Spill.base_address}) must also be written
+    somewhere in the function; an unbalanced slot means a store was lost
+    by a pass. *)
+
+val func : Func.t -> diagnostic list
+(** [cfg @ defs_dominate_uses @ spill_slots] — the pre-allocation rules. *)
+
+val allocation :
+  layout:Tdfa_floorplan.Layout.t -> Func.t -> Tdfa_regalloc.Assignment.t ->
+  diagnostic list
+(** Post-allocation consistency: no two simultaneously-live variables
+    share a register cell, no definition clobbers another variable that
+    is live after it and shares its cell (caught even when the defined
+    variable itself is dead), parameters do not collide with each other
+    or with anything live at entry, and every assigned cell exists in
+    the layout. Coalesced moves (destination sharing the source's cell)
+    are exempt at their definition point. *)
+
+val bundles :
+  width:int -> Func.t -> (Label.t * Instr.t list list) list -> diagnostic list
+(** VLIW bundle legality for a schedule such as the one produced by
+    {!Tdfa_vliw.Bundler.schedule_func}: each block's bundles cover its
+    body exactly, no bundle exceeds [width], no two instructions in the
+    same bundle depend on each other, and dependences only point to
+    earlier bundles. *)
+
+val thermal_state : Tdfa_core.Thermal_state.t -> diagnostic list
+(** Every thermal point must be finite and positive (in kelvin); a NaN or
+    infinity means an unstable integration step escaped the solver. *)
+
+val all :
+  ?layout:Tdfa_floorplan.Layout.t ->
+  ?assignment:Tdfa_regalloc.Assignment.t ->
+  Func.t -> diagnostic list
+(** {!func}, plus {!allocation} when both [layout] and [assignment] are
+    given. *)

@@ -1,0 +1,55 @@
+(** Seeded, deterministic fault injection.
+
+    Each injector applies one representative pass-bug to an IR function
+    (or to a register assignment, or to a thermal state) and is targeted
+    so that the resulting mutant violates a {!Check} rule by
+    construction: dropping the sole definition of a live variable breaks
+    definite assignment, retargeting a branch to a fresh label breaks CFG
+    integrity, clobbering a register assignment makes two live variables
+    collide, and transposing a def with a use operand makes the
+    instruction read its own not-yet-assigned destination. Injection
+    returns [None] when the function offers no applicable site (e.g. no
+    branches to retarget).
+
+    The point is falsification of the verifier itself: a rule that no
+    injected fault can trigger is a rule that proves nothing. *)
+
+open Tdfa_ir
+
+type kind =
+  | Drop_def  (** replace the sole definition of a used variable by [nop] *)
+  | Retarget_branch  (** point one branch/jump edge at a nonexistent label *)
+  | Clobber_register
+      (** reassign a variable's cell onto an interfering variable's cell *)
+  | Swap_operands
+      (** transpose the destination with a source operand of a [binop],
+          so the instruction reads its own (undefined) destination *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+
+type t = {
+  kind : kind;
+  description : string;  (** what was mutated, for logs *)
+  func : Func.t;  (** the mutant *)
+  assignment : Tdfa_regalloc.Assignment.t option;
+      (** the clobbered assignment ([Clobber_register] only) *)
+}
+
+val inject :
+  seed:int -> kind:kind -> ?assignment:Tdfa_regalloc.Assignment.t ->
+  Func.t -> t option
+(** Deterministic in [seed]. [Clobber_register] requires [assignment] and
+    returns [None] without it (or when no two assigned variables
+    interfere). *)
+
+val inject_all :
+  seed:int -> ?assignment:Tdfa_regalloc.Assignment.t -> Func.t -> t list
+(** One mutant per applicable kind. *)
+
+type thermal_kind = Nan | Inf
+
+val inject_state :
+  seed:int -> kind:thermal_kind -> Tdfa_core.Thermal_state.t ->
+  Tdfa_core.Thermal_state.t * int
+(** Returns a corrupted copy and the poisoned point index. *)

@@ -34,3 +34,27 @@ Unknown kernels are reported:
   $ ../../bin/tdfa_cli.exe show -k nonsense
   tdfa: unknown kernel nonsense (try list-kernels)
   [1]
+
+The verifier passes a well-formed kernel (also after register allocation):
+
+  $ ../../bin/tdfa_cli.exe verify -k fib
+  fib: verification clean (12 instrs, 4 blocks)
+  $ ../../bin/tdfa_cli.exe verify -k fib --post-ra
+  fib: verification clean (12 instrs, 4 blocks)
+
+and reports structured diagnostics (with a nonzero exit) on corrupt IR:
+
+  $ ../../bin/tdfa_cli.exe verify -f corrupt.tdfa
+  broken: 2 violation(s)
+    [cfg] block entry: branch target missing does not exist
+    [use-undef] block entry, instr 1: read of c which is never defined
+  [1]
+
+A checked optimization run logs every pass and completes under degrade:
+
+  $ ../../bin/tdfa_cli.exe optimize -k fib --checked --on-violation=degrade | head -4
+  thermal-aware pipeline on fib: 0 loads promoted, 4 copies inserted
+  
+    original                                       219 est. cycles
+    promote        loop-invariant loads            219 est. cycles
+

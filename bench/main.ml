@@ -54,8 +54,34 @@ let bechamel_tests () =
              (Alloc.allocate (Kernels.matmul ()) Common.standard_layout
                 ~policy:Policy.First_fit)))
   in
+  (* E18 companion: batch-engine throughput over the whole kernel suite,
+     cold versus behind a warm content-addressed cache (every run after
+     the first hits on all 16 kernels). *)
+  let engine_suite =
+    List.map
+      (fun (name, f) -> { Tdfa_engine.Engine.job_name = name; func = f })
+      Kernels.all
+  in
+  let engine_cold =
+    Test.make ~name:"engine batch suite (cold)"
+      (Staged.stage (fun () ->
+           ignore
+             (Tdfa_engine.Engine.run_batch ~jobs:1
+                ~layout:Common.standard_layout
+                Tdfa_engine.Engine.default_spec engine_suite)))
+  in
+  let warm_cache = Tdfa_engine.Engine.Cache.in_memory () in
+  let engine_warm =
+    Test.make ~name:"engine batch suite (warm cache)"
+      (Staged.stage (fun () ->
+           ignore
+             (Tdfa_engine.Engine.run_batch ~jobs:1 ~cache:warm_cache
+                ~layout:Common.standard_layout
+                Tdfa_engine.Engine.default_spec engine_suite)))
+  in
   Test.make_grouped ~name:"tdfa"
-    (granularity_tests @ size_tests @ [ solver_test; alloc_test ])
+    (granularity_tests @ size_tests
+    @ [ solver_test; alloc_test; engine_cold; engine_warm ])
 
 let run_bechamel () =
   let open Bechamel in

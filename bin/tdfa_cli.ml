@@ -378,6 +378,87 @@ let compile kernel file policy granularity checked on_violation =
       print_string
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak))))
 
+let batch files kernels jobs cache_dir policy granularity delta recover stats
+    =
+  let settings = { Analysis.default_settings with Analysis.delta_k = delta } in
+  let spec =
+    {
+      Tdfa_engine.Engine.default_spec with
+      Tdfa_engine.Engine.policy;
+      granularity;
+      settings;
+      recover;
+    }
+  in
+  (* Files in the given order, then (optionally) the whole kernel suite.
+     A file that fails to load is reported like a failed job instead of
+     aborting the rest of the batch. *)
+  let loaded =
+    List.map
+      (fun path ->
+        match load_func ~kernel:None ~file:(Some path) with
+        | Ok f ->
+          Ok { Tdfa_engine.Engine.job_name = f.Func.name; func = f }
+        | Error msg -> Error (path, msg))
+      files
+  in
+  let suite =
+    if kernels then
+      List.map
+        (fun (name, f) -> { Tdfa_engine.Engine.job_name = name; func = f })
+        Kernels.all
+    else []
+  in
+  let job_list =
+    List.filter_map (function Ok j -> Some j | Error _ -> None) loaded
+    @ suite
+  in
+  let load_failures =
+    List.filter_map (function Ok _ -> None | Error e -> Some e) loaded
+  in
+  if job_list = [] && load_failures = [] then begin
+    Printf.eprintf "tdfa: batch: no inputs (pass files and/or --kernels)\n";
+    exit 2
+  end;
+  let cache =
+    Option.map (fun dir -> Tdfa_engine.Engine.Cache.on_disk ~dir) cache_dir
+  in
+  let b =
+    Tdfa_engine.Engine.run_batch ~jobs ?cache ~layout:Common.standard_layout
+      spec job_list
+  in
+  (* stdout carries only the deterministic per-function reports, so two
+     runs at different --jobs (or a cached re-run) compare byte-equal;
+     provenance and timing go to stderr. *)
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok (r : Tdfa_engine.Engine.report) ->
+        Printf.printf
+          "%-14s %-9s %4d iter  peak %7.2f K  mean %7.2f K  pressure %2d  \
+           spilled %2d  %s%s\n"
+          name
+          (if r.Tdfa_engine.Engine.converged then "converged" else "DIVERGED")
+          r.Tdfa_engine.Engine.iterations r.Tdfa_engine.Engine.peak_k
+          r.Tdfa_engine.Engine.mean_k r.Tdfa_engine.Engine.max_pressure
+          r.Tdfa_engine.Engine.spilled
+          (String.sub r.Tdfa_engine.Engine.fingerprint 0 12)
+          (if r.Tdfa_engine.Engine.rung = "primary" then ""
+           else Printf.sprintf "  [%s]" r.Tdfa_engine.Engine.rung)
+      | Error msg -> Printf.eprintf "tdfa: batch: %s: %s\n" name msg)
+    b.Tdfa_engine.Engine.results;
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "tdfa: batch: %s: %s\n" path msg)
+    load_failures;
+  if cache <> None then
+    Printf.eprintf "cache: %d hits, %d misses\n" b.Tdfa_engine.Engine.hits
+      b.Tdfa_engine.Engine.misses;
+  if stats then
+    Printf.eprintf "batch: %d jobs on %d domains in %.0f ms\n"
+      (List.length job_list) b.Tdfa_engine.Engine.domains
+      b.Tdfa_engine.Engine.wall_ms;
+  if b.Tdfa_engine.Engine.failed > 0 || load_failures <> [] then exit 1
+
 let experiments id =
   let run = function
     | "fig1" -> ignore (Experiments.fig1 ())
@@ -396,10 +477,11 @@ let experiments id =
     | "e15" -> ignore (Experiments.e15 ())
     | "e16" -> ignore (Experiments.e16 ())
     | "e17" -> ignore (Experiments.e17 ())
+    | "e18" -> ignore (Experiments.e18 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e17, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e18, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -485,10 +567,50 @@ let compile_cmd =
     Term.(const compile $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
           $ checked_arg $ on_violation_arg)
 
+let batch_files_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILES"
+         ~doc:
+           "Input files: textual IR, or TC source when the name ends in \
+            .tc.")
+
+let batch_kernels_arg =
+  Arg.(value & flag
+       & info [ "kernels" ]
+           ~doc:"Also analyze the whole built-in kernel suite.")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Size of the analysis domain pool (parallel workers).")
+
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:
+           "Content-addressed result cache directory: re-runs over \
+            unchanged inputs return the stored report instead of \
+            re-running the fixpoint.")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print pool size and wall time to stderr.")
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many programs at once on a parallel domain pool, with \
+          an optional content-addressed result cache. Reports (stdout) \
+          are deterministic: byte-identical across $(b,--jobs) settings \
+          and cached re-runs.")
+    Term.(
+      const batch $ batch_files_arg $ batch_kernels_arg $ jobs_arg
+      $ cache_arg $ policy_arg $ granularity_arg $ delta_arg $ recover_arg
+      $ stats_arg)
+
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e14 or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e18 or all.")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -499,8 +621,8 @@ let main_cmd =
   let doc = "thermal-aware data flow analysis (Ayala/Atienza/Brisk, DAC'09)" in
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
     [
-      list_cmd; show_cmd; simulate_cmd; analyze_cmd; policies_cmd;
-      optimize_cmd; compile_cmd; verify_cmd; experiments_cmd;
+      list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd;
+      policies_cmd; optimize_cmd; compile_cmd; verify_cmd; experiments_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

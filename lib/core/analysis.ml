@@ -171,6 +171,13 @@ let state_after info label index =
   | Some s -> s
   | None -> raise Not_found
 
+let sorted_states info =
+  Hashtbl.fold (fun k s acc -> (k, s) :: acc) info.states_after []
+  |> List.sort (fun ((l1, i1), _) ((l2, i2), _) ->
+         match Label.compare l1 l2 with
+         | 0 -> Int.compare i1 i2
+         | c -> c)
+
 let fold_states info f init =
   Hashtbl.fold (fun _ s acc -> f acc s) info.states_after init
 

@@ -77,6 +77,11 @@ val run_with_recovery :
 val state_after : info -> Label.t -> int -> Thermal_state.t
 (** @raise Not_found for an unknown program point. *)
 
+val sorted_states : info -> ((Label.t * int) * Thermal_state.t) list
+(** [states_after] as a list ordered by (label, instruction index) — a
+    deterministic view of the full analysis output, independent of hash
+    iteration order, for digesting or diffing two runs. *)
+
 val peak_map : info -> Thermal_state.t
 (** Pointwise maximum over all per-instruction states — the predicted
     worst-case map. *)

@@ -39,3 +39,22 @@ let run_post_ra_with_recovery ?params ?(granularity = 1) ?analysis_dt_s
       config_of_assignment ?params ~granularity ?analysis_dt_s ~layout func
         assignment)
     func
+
+let allocate_and_run ?params ?granularity ?analysis_dt_s ?settings ~layout
+    ~policy func =
+  let alloc = Tdfa_regalloc.Alloc.allocate func layout ~policy in
+  let outcome =
+    run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout
+      alloc.Tdfa_regalloc.Alloc.func alloc.Tdfa_regalloc.Alloc.assignment
+  in
+  (alloc, outcome)
+
+let allocate_and_run_with_recovery ?params ?granularity ?analysis_dt_s
+    ?settings ~layout ~policy func =
+  let alloc = Tdfa_regalloc.Alloc.allocate func layout ~policy in
+  let recovery =
+    run_post_ra_with_recovery ?params ?granularity ?analysis_dt_s ?settings
+      ~layout alloc.Tdfa_regalloc.Alloc.func
+      alloc.Tdfa_regalloc.Alloc.assignment
+  in
+  (alloc, recovery)

@@ -33,6 +33,32 @@ val run_post_ra :
   Analysis.outcome
 (** One-call wrapper: build the config and run the Fig. 2 analysis. *)
 
+val allocate_and_run :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  ?settings:Analysis.settings ->
+  layout:Layout.t ->
+  policy:Policy.t ->
+  Func.t ->
+  Alloc.result * Analysis.outcome
+(** The one-shot batch entry point: allocate registers with [policy],
+    then {!run_post_ra} on the rewritten function. Pure — every knob is
+    an argument, nothing is read from global state — so independent calls
+    can run on separate domains and a call is reproducible from its
+    arguments alone. *)
+
+val allocate_and_run_with_recovery :
+  ?params:Params.t ->
+  ?granularity:int ->
+  ?analysis_dt_s:float ->
+  ?settings:Analysis.settings ->
+  layout:Layout.t ->
+  policy:Policy.t ->
+  Func.t ->
+  Alloc.result * Analysis.recovery
+(** {!allocate_and_run} under the divergence-recovery ladder. *)
+
 val run_post_ra_with_recovery :
   ?params:Params.t ->
   ?granularity:int ->

@@ -1,0 +1,304 @@
+open Tdfa_ir
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_regalloc
+open Tdfa_core
+
+type spec = {
+  policy : Policy.t;
+  granularity : int;
+  settings : Analysis.settings;
+  params : Params.t;
+  analysis_dt_s : float option;
+  recover : bool;
+}
+
+let default_spec =
+  {
+    policy = Policy.First_fit;
+    granularity = 1;
+    settings = Analysis.default_settings;
+    params = Params.default;
+    analysis_dt_s = None;
+    recover = false;
+  }
+
+type job = { job_name : string; func : Func.t }
+type source = Computed | Cache_hit
+
+type report = {
+  name : string;
+  key : string;
+  instrs : int;
+  blocks : int;
+  spilled : int;
+  max_pressure : int;
+  converged : bool;
+  iterations : int;
+  final_delta_k : float;
+  peak_k : float;
+  mean_k : float;
+  rung : string;
+  fingerprint : string;
+  source : source;
+  wall_ms : float;
+}
+
+let same_result a b =
+  { a with source = Computed; wall_ms = 0.0 }
+  = { b with source = Computed; wall_ms = 0.0 }
+
+type batch = {
+  results : (string * (report, string) result) list;
+  hits : int;
+  misses : int;
+  failed : int;
+  domains : int;
+  wall_ms : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Content addressing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Policies print their parameters too (Policy.name does not), so two
+   specs differing only in a seed or bank count get different keys. *)
+let policy_signature = function
+  | Policy.First_fit -> "first-fit"
+  | Policy.Round_robin -> "round-robin"
+  | Policy.Random seed -> Printf.sprintf "random:%d" seed
+  | Policy.Chessboard -> "chessboard"
+  | Policy.Thermal_spread -> "thermal-spread"
+  | Policy.Bank_pack n -> Printf.sprintf "bank-pack:%d" n
+  | Policy.Measured cells ->
+    "measured:"
+    ^ String.concat ","
+        (List.map (Printf.sprintf "%h") (Array.to_list cells))
+
+let digest_key ~layout spec func =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "ir\x00%s\x00" (Printer.func_to_string func);
+  add "layout\x00%dx%d:%h:%h\x00" layout.Layout.rows layout.Layout.cols
+    layout.Layout.cell_width_um layout.Layout.cell_height_um;
+  add "granularity\x00%d\x00" spec.granularity;
+  add "join\x00%s\x00"
+    (match spec.settings.Analysis.join with
+     | Analysis.Max -> "max"
+     | Analysis.Average -> "average");
+  add "delta\x00%h\x00maxiter\x00%d\x00" spec.settings.Analysis.delta_k
+    spec.settings.Analysis.max_iterations;
+  add "policy\x00%s\x00" (policy_signature spec.policy);
+  add "dt\x00%s\x00"
+    (match spec.analysis_dt_s with
+     | None -> "default"
+     | Some dt -> Printf.sprintf "%h" dt);
+  add "recover\x00%b\x00" spec.recover;
+  let p = spec.params in
+  add "params\x00%h:%h:%h:%h:%h:%h:%h:%h:%h\x00" p.Params.ambient_k
+    p.Params.clock_hz p.Params.read_energy_j p.Params.write_energy_j
+    p.Params.lateral_conductance_w_per_k p.Params.vertical_conductance_w_per_k
+    p.Params.cell_capacitance_j_per_k p.Params.leakage_w
+    p.Params.leakage_temp_coeff;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let fingerprint outcome =
+  let info = Analysis.info outcome in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (if Analysis.converged outcome then "C" else "D");
+  Buffer.add_string buf (string_of_int info.Analysis.iterations);
+  Buffer.add_string buf (Printf.sprintf "%h" info.Analysis.final_delta_k);
+  List.iter
+    (fun ((label, index), state) ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Label.to_string label);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int index);
+      for p = 0 to Tdfa_core.Thermal_state.num_points state - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf ";%h" (Tdfa_core.Thermal_state.get state p))
+      done)
+    (Analysis.sorted_states info);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* One job                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let analyze_keyed ~layout ~key spec job =
+  let t0 = now_ms () in
+  (match Tdfa_verify.Check.func job.func with
+   | [] -> ()
+   | d :: _ as ds ->
+     failwith
+       (Printf.sprintf "IR verification failed (%d violations), first: %s"
+          (List.length ds)
+          (Tdfa_verify.Check.to_string d)));
+  let alloc, outcome, rung =
+    if spec.recover then begin
+      let alloc, r =
+        Setup.allocate_and_run_with_recovery ~params:spec.params
+          ~granularity:spec.granularity ?analysis_dt_s:spec.analysis_dt_s
+          ~settings:spec.settings ~layout ~policy:spec.policy job.func
+      in
+      (alloc, r.Analysis.outcome, Analysis.fallback_name r.Analysis.used)
+    end
+    else begin
+      let alloc, outcome =
+        Setup.allocate_and_run ~params:spec.params
+          ~granularity:spec.granularity ?analysis_dt_s:spec.analysis_dt_s
+          ~settings:spec.settings ~layout ~policy:spec.policy job.func
+      in
+      (alloc, outcome, Analysis.fallback_name Analysis.Primary)
+    end
+  in
+  let info = Analysis.info outcome in
+  {
+    name = job.job_name;
+    key;
+    instrs = Func.instr_count job.func;
+    blocks = List.length job.func.Func.blocks;
+    spilled = Var.Set.cardinal alloc.Alloc.spilled;
+    max_pressure = alloc.Alloc.max_pressure;
+    converged = Analysis.converged outcome;
+    iterations = info.Analysis.iterations;
+    final_delta_k = info.Analysis.final_delta_k;
+    peak_k = Tdfa_core.Thermal_state.peak (Analysis.peak_map info);
+    mean_k = Tdfa_core.Thermal_state.mean (Analysis.mean_map info);
+    rung;
+    fingerprint = fingerprint outcome;
+    source = Computed;
+    wall_ms = now_ms () -. t0;
+  }
+
+let analyze_job ~layout spec job =
+  analyze_keyed ~layout ~key:(digest_key ~layout spec job.func) spec job
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  (* Bump on any change to the [report] type: old entries then fail the
+     magic check and read as misses instead of unmarshalling garbage. *)
+  let magic = "tdfa-engine-cache-1"
+
+  type backend = Memory of (string, report) Hashtbl.t | Disk of string
+  type t = { mutex : Mutex.t; backend : backend }
+
+  let in_memory () =
+    { mutex = Mutex.create (); backend = Memory (Hashtbl.create 64) }
+
+  let on_disk ~dir =
+    (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+     with Sys_error _ -> ());
+    { mutex = Mutex.create (); backend = Disk dir }
+
+  let path_of dir key = Filename.concat dir (key ^ ".report")
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let find t key =
+    locked t (fun () ->
+        match t.backend with
+        | Memory tbl -> Hashtbl.find_opt tbl key
+        | Disk dir -> (
+          let path = path_of dir key in
+          if not (Sys.file_exists path) then None
+          else
+            try
+              In_channel.with_open_bin path (fun ic ->
+                  let m, (r : report) = Marshal.from_channel ic in
+                  if String.equal m magic then Some r else None)
+            with _ -> None))
+
+  let store t key r =
+    let r = { r with source = Computed } in
+    locked t (fun () ->
+        match t.backend with
+        | Memory tbl -> Hashtbl.replace tbl key r
+        | Disk dir -> (
+          try
+            let tmp =
+              Filename.temp_file ~temp_dir:dir "report" ".tmp"
+            in
+            Out_channel.with_open_bin tmp (fun oc ->
+                Marshal.to_channel oc (magic, r) []);
+            Sys.rename tmp (path_of dir key)
+          with Sys_error _ -> ()))
+end
+
+(* ------------------------------------------------------------------ *)
+(* The pool                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_cached ?cache ~layout spec job =
+  let key = digest_key ~layout spec job.func in
+  match Option.bind cache (fun c -> Cache.find c key) with
+  | Some r -> { r with name = job.job_name; source = Cache_hit; wall_ms = 0.0 }
+  | None ->
+    let r = analyze_keyed ~layout ~key spec job in
+    Option.iter (fun c -> Cache.store c key r) cache;
+    r
+
+let run_batch ?(jobs = 1) ?cache ~layout spec job_list =
+  let t0 = now_ms () in
+  let queue = Array.of_list job_list in
+  let n = Array.length queue in
+  let results = Array.make n (Error "not run") in
+  let run i =
+    let job = queue.(i) in
+    results.(i) <-
+      (match run_cached ?cache ~layout spec job with
+       | r -> Ok r
+       | exception Failure msg -> Error msg
+       | exception e -> Error (Printexc.to_string e))
+  in
+  (* Work queue: workers claim the next unclaimed index until drained.
+     Every job is independent and deterministic, so the claim order
+     (which *is* scheduling-dependent) never shows in the reports. *)
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains = max 1 (min jobs (max 1 n)) in
+  if domains = 1 then worker ()
+  else begin
+    (* The calling domain is part of the pool: [jobs = 4] computes on
+       four domains, not five. *)
+    let spawned =
+      List.init (domains - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  let hits = ref 0 and misses = ref 0 and failed = ref 0 in
+  let results =
+    List.mapi
+      (fun i job ->
+        (match results.(i) with
+         | Ok { source = Cache_hit; _ } -> incr hits
+         | Ok { source = Computed; _ } -> incr misses
+         | Error _ -> incr failed);
+        (job.job_name, results.(i)))
+      job_list
+  in
+  {
+    results;
+    hits = !hits;
+    misses = !misses;
+    failed = !failed;
+    domains;
+    wall_ms = now_ms () -. t0;
+  }

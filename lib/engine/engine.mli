@@ -1,0 +1,134 @@
+(** Parallel batch analysis engine.
+
+    The paper's central cost warning (§3: fidelity scales with
+    thermal-state granularity at a steep compute price) becomes an
+    engineering problem as soon as many procedures must be analysed:
+    the CLI and the harness used to run one fixpoint at a time,
+    single-threaded, from scratch. This engine runs a batch of
+    functions through the post-RA analysis on a fixed-size pool of
+    OCaml domains and memoises results in a content-addressed cache,
+    so repeated or incrementally-edited inputs skip the fixpoint
+    entirely.
+
+    Two invariants make the engine trustworthy (and testable):
+
+    + {b determinism} — a job's report depends only on its content key
+      (function IR, floorplan, granularity, join policy, allocation
+      policy, thermal parameters). Reports are returned in submission
+      order, and a run with [jobs = n] is byte-identical to [jobs = 1].
+    + {b exactness of the cache} — a cache hit returns exactly the
+      report a fresh computation would produce; the differential
+      property suite pins both invariants down.
+
+    Every job is verified with {!Tdfa_verify.Check.func} before it is
+    analysed; structurally broken IR fails that job (with the first
+    diagnostic in the message) without disturbing the rest of the
+    batch. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_regalloc
+open Tdfa_core
+
+(** {1 Job specification} *)
+
+type spec = {
+  policy : Policy.t;  (** register-assignment policy *)
+  granularity : int;  (** thermal-state granularity *)
+  settings : Analysis.settings;
+  params : Params.t;  (** technology/thermal coefficients *)
+  analysis_dt_s : float option;  (** [None] = solver default *)
+  recover : bool;  (** climb the divergence-recovery ladder *)
+}
+
+val default_spec : spec
+(** First-fit, granularity 1, {!Analysis.default_settings},
+    {!Params.default}, default dt, no recovery. *)
+
+type job = { job_name : string; func : Func.t }
+
+(** {1 Reports} *)
+
+type source = Computed | Cache_hit
+
+type report = {
+  name : string;
+  key : string;  (** content address of the job (hex digest) *)
+  instrs : int;
+  blocks : int;
+  spilled : int;
+  max_pressure : int;
+  converged : bool;
+  iterations : int;
+  final_delta_k : float;
+  peak_k : float;  (** peak of the predicted worst-case map *)
+  mean_k : float;  (** mean of the predicted steady map *)
+  rung : string;  (** recovery-ladder rung used ("primary" otherwise) *)
+  fingerprint : string;
+      (** digest of the complete per-point analysis output — two runs
+          agree on every thermal point iff their fingerprints match *)
+  source : source;
+  wall_ms : float;
+}
+
+val same_result : report -> report -> bool
+(** Field-wise equality ignoring provenance ([source], [wall_ms]) — the
+    relation the cache and the parallel scheduler must preserve. *)
+
+type batch = {
+  results : (string * (report, string) result) list;
+      (** per job, in submission order; [Error] carries the failure *)
+  hits : int;
+  misses : int;  (** jobs actually computed *)
+  failed : int;
+  domains : int;  (** pool size used *)
+  wall_ms : float;
+}
+
+(** {1 Content addressing} *)
+
+val digest_key : layout:Layout.t -> spec -> Func.t -> string
+(** Hex digest of every input the analysis result depends on: the
+    printed function IR, the floorplan dimensions, and all [spec]
+    knobs. Any differing component yields a different key, so cache
+    invalidation is structural — a stale entry can never be addressed
+    again. *)
+
+val fingerprint : Analysis.outcome -> string
+(** Hex digest over the convergence status, iteration count and every
+    per-instruction thermal point (via {!Analysis.sorted_states}),
+    rendered in exact hexadecimal floating point. *)
+
+(** {1 Result cache} *)
+
+module Cache : sig
+  type t
+
+  val in_memory : unit -> t
+  (** Mutex-protected table, shared by the pool within one process. *)
+
+  val on_disk : dir:string -> t
+  (** Persistent cache: one marshalled report per key under [dir]
+      (created if missing). Entries from an incompatible format version
+      are treated as misses. Writes are atomic (temp file + rename), so
+      concurrent batches sharing a directory never observe a torn
+      entry. *)
+
+  val find : t -> string -> report option
+  val store : t -> string -> report -> unit
+end
+
+(** {1 Running} *)
+
+val analyze_job : layout:Layout.t -> spec -> job -> report
+(** Verify, allocate and analyse one job on the calling domain, no
+    cache. @raise Failure when the IR fails verification. *)
+
+val run_batch :
+  ?jobs:int -> ?cache:Cache.t -> layout:Layout.t -> spec -> job list -> batch
+(** Run every job and collect reports in submission order. [jobs]
+    (default 1) bounds the domain-pool size; it is clamped to the batch
+    length. Jobs are drained from a shared queue, each job is looked up
+    in [cache] first, and a failing job (verifier rejection, allocator
+    failure) is reported in place without aborting the batch. *)

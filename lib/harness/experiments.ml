@@ -1177,6 +1177,106 @@ let e17 ?(quiet = false) () =
   end;
   rows
 
+type e18_scaling_row = { jobs : int; wall_ms : float; speedup : float }
+
+type e18_cache_row = {
+  repeat : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate_pct : float;
+}
+
+let e18 ?(quiet = false) ?(jobs_sweep = [ 1; 2; 4 ])
+    ?(repeat_sweep = [ 1; 2; 4 ]) () =
+  if not quiet then
+    section
+      "E18 - batch engine scaling: domains vs wall time, cache hit rate \
+       vs repeat factor";
+  let open Tdfa_engine in
+  let layout = Common.standard_layout in
+  let spec = Engine.default_spec in
+  let suite =
+    List.map
+      (fun (name, f) -> { Engine.job_name = name; func = f })
+      Kernels.all
+  in
+  (* Speedup vs pool size over the whole kernel suite. On a single-core
+     host OCaml's stop-the-world minor collections make extra domains a
+     cost, not a gain — the measured numbers say so rather than assuming
+     a speedup. *)
+  let base_ms = ref 0.0 in
+  let scaling =
+    List.map
+      (fun jobs ->
+        let b = Engine.run_batch ~jobs ~layout spec suite in
+        if !base_ms = 0.0 then base_ms := b.Engine.wall_ms;
+        {
+          jobs;
+          wall_ms = b.Engine.wall_ms;
+          speedup = !base_ms /. Float.max b.Engine.wall_ms 1e-6;
+        })
+      jobs_sweep
+  in
+  (* Hit rate vs repeat factor: the suite submitted [repeat] times into
+     one batch behind a fresh content-addressed cache. Sequential, so the
+     hit count is exact: every copy after the first hits. *)
+  let cache_rows =
+    List.map
+      (fun repeat ->
+        let cache = Engine.Cache.in_memory () in
+        let js =
+          List.concat
+            (List.init repeat (fun k ->
+                 List.map
+                   (fun j ->
+                     {
+                       j with
+                       Engine.job_name =
+                         Printf.sprintf "%s#%d" j.Engine.job_name k;
+                     })
+                   suite))
+        in
+        let b = Engine.run_batch ~jobs:1 ~cache ~layout spec js in
+        {
+          repeat;
+          cache_hits = b.Engine.hits;
+          cache_misses = b.Engine.misses;
+          hit_rate_pct =
+            100.0 *. float_of_int b.Engine.hits
+            /. float_of_int (max 1 (List.length js));
+        })
+      repeat_sweep
+  in
+  if not quiet then begin
+    let t1 = Table.create ~headers:[ "domains"; "wall(ms)"; "speedup" ] in
+    List.iter
+      (fun r ->
+        Table.add_row t1
+          [
+            string_of_int r.jobs;
+            Printf.sprintf "%.1f" r.wall_ms;
+            Printf.sprintf "%.2fx" r.speedup;
+          ])
+      scaling;
+    Table.print t1;
+    Printf.printf "\n";
+    let t2 =
+      Table.create ~headers:[ "repeat"; "hits"; "misses"; "hit-rate" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t2
+          [
+            string_of_int r.repeat;
+            string_of_int r.cache_hits;
+            string_of_int r.cache_misses;
+            Printf.sprintf "%.0f%%" r.hit_rate_pct;
+          ])
+      cache_rows;
+    Table.print t2
+  end;
+  (scaling, cache_rows)
+
 let run_all () =
   let (_ : fig1_result) = fig1 () in
   let (_ : fig2_row list) = fig2 () in
@@ -1194,4 +1294,5 @@ let run_all () =
   let (_ : e15_row list) = e15 () in
   let (_ : e16_row list) = e16 () in
   let (_ : e17_row list) = e17 () in
+  let (_ : e18_scaling_row list * e18_cache_row list) = e18 () in
   ()

@@ -185,5 +185,25 @@ val e17 : ?quiet:bool -> unit -> e17_row list
     permuting physical registers under a fixed instruction stream
     recovers most of the thermal-spread benefit. *)
 
+type e18_scaling_row = { jobs : int; wall_ms : float; speedup : float }
+
+type e18_cache_row = {
+  repeat : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_rate_pct : float;
+}
+
+val e18 :
+  ?quiet:bool ->
+  ?jobs_sweep:int list ->
+  ?repeat_sweep:int list ->
+  unit ->
+  e18_scaling_row list * e18_cache_row list
+(** Batch-engine scaling: wall time of the whole kernel suite versus the
+    domain-pool size, and content-cache hit rate versus the suite repeat
+    factor (the engine of {!Tdfa_engine.Engine}). Speedups are measured,
+    not asserted — on a single-core host extra domains cost time. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

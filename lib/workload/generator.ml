@@ -52,6 +52,7 @@ let generate p =
     for _ = 1 to items do
       if depth > 0 && Random.State.int rng 4 = 0 then loop depth
       else if depth > 0 && Random.State.int rng 5 = 0 then diamond depth
+      else if depth > 0 && Random.State.int rng 6 = 0 then chain depth
       else statement ()
     done
   and loop depth =
@@ -73,6 +74,29 @@ let generate p =
     sequence (depth - 1);
     B.jump b l_join;
     B.start_block b l_join
+  and chain depth =
+    (* if/else-if cascade: 2-3 conditional arms plus a default, all
+       meeting at one join — the ladder-shaped CFG a diamond can't make. *)
+    let arms = 2 + Random.State.int rng 2 in
+    let l_join = B.fresh_label b "cjoin" in
+    let rec arm k =
+      if k = arms then begin
+        sequence (depth - 1);
+        B.jump b l_join
+      end
+      else begin
+        let l_arm = B.fresh_label b "arm" in
+        let l_next = B.fresh_label b "elif" in
+        B.branch b (pick ()) l_arm l_next;
+        B.start_block b l_arm;
+        sequence (depth - 1);
+        B.jump b l_join;
+        B.start_block b l_next;
+        arm (k + 1)
+      end
+    in
+    arm 0;
+    B.start_block b l_join
   in
   sequence p.depth;
   (* Keep the whole pool live to the end. *)
@@ -85,6 +109,26 @@ let generate p =
 
 let pressure_sweep ?(base = default) pools =
   List.map (fun pool -> (pool, generate { base with pool })) pools
+
+(* ------------------------------------------------------------------ *)
+(* QCheck integration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_params ?(max_pool = 16) ?(max_depth = 2) ?(max_length = 8)
+    ?(max_trip = 6) ?(mem = true) () =
+  let open QCheck2.Gen in
+  let* pool = int_range 2 (max 2 max_pool) in
+  let* depth = int_range 0 (max 0 max_depth) in
+  let* length = int_range 1 (max 1 max_length) in
+  let* max_trip = int_range 2 (max 2 max_trip) in
+  let* mem_pct = if mem then int_range 0 40 else return 0 in
+  let+ seed = int_range 1 1_000_000 in
+  { seed; pool; depth; length; mem_ratio = float_of_int mem_pct /. 100.0;
+    max_trip }
+
+let gen_func ?max_pool ?max_depth ?max_length ?max_trip ?mem () =
+  QCheck2.Gen.map generate
+    (gen_params ?max_pool ?max_depth ?max_length ?max_trip ?mem ())
 
 let generate_program ?(funcs = 2) p =
   assert (funcs >= 1);

@@ -32,3 +32,34 @@ val generate_program : ?funcs:int -> params -> Program.t
     functions (default 2, variables prefixed per function) called from a
     looping [main]. Acyclic by construction, so the interprocedural
     analysis accepts it. *)
+
+(** {2 QCheck integration}
+
+    Shared by every property suite: shrinking is integrated (QCheck2
+    shrinks each knob towards its lower bound — fewer pool variables,
+    shallower nesting, shorter bodies), so counterexamples arrive as the
+    smallest structured program still failing, never as mangled IR. *)
+
+val gen_params :
+  ?max_pool:int ->
+  ?max_depth:int ->
+  ?max_length:int ->
+  ?max_trip:int ->
+  ?mem:bool ->
+  unit ->
+  params QCheck2.Gen.t
+(** Random generator knobs. [max_pool] bounds the register-pressure knob
+    (default 16), [max_depth] the loop/diamond/chain nesting (default 2),
+    [mem = false] disables load/store statements. *)
+
+val gen_func :
+  ?max_pool:int ->
+  ?max_depth:int ->
+  ?max_length:int ->
+  ?max_trip:int ->
+  ?mem:bool ->
+  unit ->
+  Func.t QCheck2.Gen.t
+(** [generate] over {!gen_params}: every drawn function is well-formed,
+    terminating, executable and analysable, with arbitrary CFG shapes
+    (counted loops, if/else diamonds, else-if chains, nested mixes). *)

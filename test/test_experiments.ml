@@ -341,6 +341,31 @@ let test_e17_reassignment_recovers_benefit () =
         (re.Experiments.peak_k < ts.Experiments.peak_k +. 1.0))
     kernels
 
+let test_e18_batch_engine_shape () =
+  let scaling, cache =
+    Experiments.e18 ~quiet:true ~jobs_sweep:[ 1; 2 ] ~repeat_sweep:[ 1; 2 ] ()
+  in
+  let suite_size = List.length Tdfa_workload.Kernels.all in
+  Alcotest.(check (list int)) "jobs sweep" [ 1; 2 ]
+    (List.map (fun (r : Experiments.e18_scaling_row) -> r.Experiments.jobs)
+       scaling);
+  List.iter
+    (fun (r : Experiments.e18_scaling_row) ->
+      Alcotest.(check bool) "positive wall time" true (r.Experiments.wall_ms > 0.0);
+      Alcotest.(check bool) "positive speedup" true (r.Experiments.speedup > 0.0))
+    scaling;
+  (* Cache hits are exact: everything after the first pass over the suite. *)
+  List.iter
+    (fun (r : Experiments.e18_cache_row) ->
+      Alcotest.(check int)
+        (Printf.sprintf "repeat=%d misses" r.Experiments.repeat)
+        suite_size r.Experiments.cache_misses;
+      Alcotest.(check int)
+        (Printf.sprintf "repeat=%d hits" r.Experiments.repeat)
+        ((r.Experiments.repeat - 1) * suite_size)
+        r.Experiments.cache_hits)
+    cache
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -362,5 +387,6 @@ let suite =
         tc "E15 cycling fatigue" `Slow test_e15_cycling_fatigue;
         tc "E16 RF size sweep" `Slow test_e16_rf_size_sweep;
         tc "E17 re-assignment" `Slow test_e17_reassignment_recovers_benefit;
+        tc "E18 batch engine" `Slow test_e18_batch_engine_shape;
       ] );
   ]

@@ -18,11 +18,35 @@ let analysis_bench ~granularity func =
   in
   fun () ->
     ignore
-      (Setup.run_post_ra ~granularity ~layout:Common.standard_layout
+      (Common.analyze_assigned ~granularity ~layout:Common.standard_layout
          alloc.Alloc.func alloc.Alloc.assignment)
+
+(* Observability overhead: the same facade run with tracing disabled
+   (Obs.null — must be indistinguishable from the plain analysis, the
+   <2% budget of DESIGN.md §9) and with a metrics registry attached. *)
+let obs_bench sink func =
+  let alloc =
+    Alloc.allocate func Common.standard_layout ~policy:Policy.First_fit
+  in
+  let cfg =
+    { (Driver.default ~layout:Common.standard_layout) with Driver.obs = sink }
+  in
+  fun () ->
+    ignore
+      (Driver.run cfg
+         (Driver.Assigned (alloc.Alloc.func, alloc.Alloc.assignment)))
 
 let bechamel_tests () =
   let open Bechamel in
+  let obs_tests =
+    [
+      Test.make ~name:"analysis matmul obs=null"
+        (Staged.stage (obs_bench Tdfa_obs.Obs.null (Kernels.matmul ())));
+      Test.make ~name:"analysis matmul obs=metrics"
+        (Staged.stage
+           (obs_bench (Tdfa_obs.Obs.metrics_only ()) (Kernels.matmul ())));
+    ]
+  in
   let granularity_tests =
     List.map
       (fun g ->
@@ -80,7 +104,7 @@ let bechamel_tests () =
                 Tdfa_engine.Engine.default_spec engine_suite)))
   in
   Test.make_grouped ~name:"tdfa"
-    (granularity_tests @ size_tests
+    (granularity_tests @ size_tests @ obs_tests
     @ [ solver_test; alloc_test; engine_cold; engine_warm ])
 
 let run_bechamel () =

@@ -1,0 +1,224 @@
+(* Shared flag vocabulary of the tdfa CLI: every subcommand that loads a
+   program, picks a policy or emits observability data goes through the
+   definitions here, so analyze / batch / verify (and friends) accept
+   the same spellings with the same semantics and the same docs. *)
+
+open Cmdliner
+open Tdfa_ir
+open Tdfa_regalloc
+open Tdfa_workload
+
+(* ------------------------------------------------------------------ *)
+(* Program input                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let load_func ~kernel ~file =
+  match (kernel, file) with
+  | Some name, None -> (
+    match Kernels.find name with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %s (try list-kernels)" name))
+  | None, Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | source ->
+      if Filename.check_suffix path ".tc" then (
+        (* TC source: run the front end. *)
+        match Tdfa_lang.Front.compile_func_string source with
+        | f -> Ok f
+        | exception Tdfa_lang.Front.Error msg -> Error ("tc error: " ^ msg))
+      else (
+        match Parser.parse_func source with
+        | f -> Ok f
+        | exception Parser.Error msg -> Error ("parse error: " ^ msg))
+    | exception Sys_error msg -> Error msg)
+  | Some _, Some _ -> Error "--kernel and --file are mutually exclusive"
+  | None, None -> Error "one of --kernel or --file is required"
+
+let kernel_arg =
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME"
+         ~doc:"Built-in kernel to operate on (see $(b,list-kernels)).")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:
+           "File to operate on: textual IR, or TC source when the name \
+            ends in .tc.")
+
+let with_func kernel file k =
+  match load_func ~kernel ~file with
+  | Ok f -> k f
+  | Error msg ->
+    Printf.eprintf "tdfa: %s\n" msg;
+    exit 1
+
+(* Structured one-line errors instead of uncaught-exception backtraces on
+   the execution and analysis paths. *)
+let guard k =
+  try k () with
+  | Tdfa_exec.Interp.Runtime_error msg ->
+    Printf.eprintf "tdfa: runtime error: %s\n" msg;
+    exit 1
+  | Tdfa_exec.Interp.Out_of_fuel cycles ->
+    Printf.eprintf "tdfa: execution exceeded the fuel budget (%d cycles)\n"
+      cycles;
+    exit 1
+  | Not_found ->
+    Printf.eprintf
+      "tdfa: internal error: no analysis state at the requested program \
+       point\n";
+    exit 1
+  | Tdfa_optim.Pipeline.Verification_failed { pass; diagnostics } ->
+    Printf.eprintf "tdfa: verification failed after pass %s (%d violations)\n"
+      pass (List.length diagnostics);
+    List.iter
+      (fun d -> Printf.eprintf "  %s\n" (Tdfa_verify.Check.to_string d))
+      diagnostics;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Analysis knobs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let policy_conv =
+  let parse s =
+    match s with
+    | "first-fit" -> Ok Policy.First_fit
+    | "round-robin" -> Ok Policy.Round_robin
+    | "random" -> Ok (Policy.Random 42)
+    | "chessboard" -> Ok Policy.Chessboard
+    | "thermal-spread" -> Ok Policy.Thermal_spread
+    | "bank-pack" -> Ok (Policy.Bank_pack 4)
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
+  in
+  let print ppf p = Format.pp_print_string ppf (Policy.name p) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(value & opt policy_conv Policy.First_fit
+       & info [ "p"; "policy" ] ~docv:"POLICY"
+           ~doc:
+             "Register assignment policy: first-fit, round-robin, random, \
+              chessboard, thermal-spread or bank-pack.")
+
+let granularity_arg =
+  Arg.(value & opt int 1 & info [ "g"; "granularity" ] ~docv:"G"
+         ~doc:"Thermal-state granularity (cells per point edge).")
+
+let delta_arg =
+  Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~docv:"K"
+         ~doc:"Convergence threshold of the analysis, in kelvin.")
+
+let recover_arg =
+  Arg.(value & flag
+       & info [ "recover" ]
+           ~doc:
+             "On divergence, climb the recovery ladder: retry with the \
+              Average join, then at coarser granularities, and report \
+              which fallback converged.")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Size of the analysis domain pool (parallel workers).")
+
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:
+           "Content-addressed result cache directory: re-runs over \
+            unchanged inputs return the stored report instead of \
+            re-running the fixpoint.")
+
+(* ------------------------------------------------------------------ *)
+(* Checked-pipeline policy                                              *)
+(* ------------------------------------------------------------------ *)
+
+let checked_arg =
+  Arg.(value & flag
+       & info [ "checked" ]
+           ~doc:
+             "Verify every pass's output with the IR verifier and apply \
+              the $(b,--on-violation) policy.")
+
+let on_violation_conv =
+  let parse = function
+    | "fail" -> Ok Tdfa_optim.Pipeline.Fail
+    | "warn" -> Ok Tdfa_optim.Pipeline.Warn
+    | "degrade" -> Ok Tdfa_optim.Pipeline.Degrade
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Tdfa_optim.Pipeline.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let on_violation_arg =
+  Arg.(value & opt on_violation_conv Tdfa_optim.Pipeline.Degrade
+       & info [ "on-violation" ] ~docv:"POLICY"
+           ~doc:
+             "What a verification violation means under $(b,--checked): \
+              fail (abort), warn (keep the pass), or degrade (discard the \
+              pass and continue).")
+
+let checks_of checked on_violation =
+  if checked then Some (Tdfa_optim.Pipeline.checks on_violation) else None
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type trace_format = Json_lines | Chrome
+
+type obs_request = {
+  trace : string option;
+  format : trace_format;
+  metrics : bool;
+}
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:
+           "Write a structured trace of the run (spans, fixpoint \
+            telemetry, cache and pool decisions) to $(docv), in the \
+            format selected by $(b,--trace-format).")
+
+let trace_format_arg =
+  let fmt_conv =
+    Arg.enum [ ("json", Json_lines); ("chrome", Chrome) ]
+  in
+  Arg.(value & opt fmt_conv Json_lines
+       & info [ "trace-format" ] ~docv:"FORMAT"
+           ~doc:
+             "Trace encoding: $(b,json) (one JSON object per event, one \
+              per line) or $(b,chrome) (a chrome://tracing-loadable \
+              trace_event array).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:
+             "Print an end-of-run metrics table (counters, gauges, \
+              histograms, sorted by name) to stderr.")
+
+let obs_term =
+  let make trace format metrics = { trace; format; metrics } in
+  Term.(const make $ trace_arg $ trace_format_arg $ metrics_arg)
+
+(* Build the sink a request asks for, hand it to [k], and tear it down
+   afterwards: metrics table first (stderr), then flush/terminate the
+   trace file. Commands must return (not [exit]) for teardown to run —
+   compute the exit code inside and [exit] after. *)
+let with_obs req k =
+  let sink =
+    match req.trace with
+    | Some path -> (
+      match req.format with
+      | Json_lines -> Tdfa.Obs.json_file ~path
+      | Chrome -> Tdfa.Obs.chrome_trace ~path)
+    | None -> if req.metrics then Tdfa.Obs.metrics_only () else Tdfa.Obs.null
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if req.metrics then Tdfa.Obs.print_metrics sink;
+      Tdfa.Obs.close sink)
+    (fun () -> k sink)

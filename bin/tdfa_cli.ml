@@ -1,5 +1,6 @@
 (* Command-line front end: analyze / simulate / policies / optimize /
-   show / list-kernels over the built-in kernels or a textual IR file. *)
+   show / list-kernels over the built-in kernels or a textual IR file.
+   Flag definitions shared across subcommands live in [Cli_args]. *)
 
 open Cmdliner
 open Tdfa_ir
@@ -8,134 +9,6 @@ open Tdfa_regalloc
 open Tdfa_core
 open Tdfa_workload
 open Tdfa_harness
-
-(* ------------------------------------------------------------------ *)
-(* Shared arguments                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let load_func ~kernel ~file =
-  match (kernel, file) with
-  | Some name, None -> (
-    match Kernels.find name with
-    | Some f -> Ok f
-    | None ->
-      Error
-        (Printf.sprintf "unknown kernel %s (try list-kernels)" name))
-  | None, Some path -> (
-    match In_channel.with_open_text path In_channel.input_all with
-    | source ->
-      if Filename.check_suffix path ".tc" then (
-        (* TC source: run the front end. *)
-        match Tdfa_lang.Front.compile_func_string source with
-        | f -> Ok f
-        | exception Tdfa_lang.Front.Error msg -> Error ("tc error: " ^ msg))
-      else (
-        match Parser.parse_func source with
-        | f -> Ok f
-        | exception Parser.Error msg -> Error ("parse error: " ^ msg))
-    | exception Sys_error msg -> Error msg)
-  | Some _, Some _ -> Error "--kernel and --file are mutually exclusive"
-  | None, None -> Error "one of --kernel or --file is required"
-
-let kernel_arg =
-  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"NAME"
-         ~doc:"Built-in kernel to operate on (see $(b,list-kernels)).")
-
-let file_arg =
-  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE"
-         ~doc:
-           "File to operate on: textual IR, or TC source when the name \
-            ends in .tc.")
-
-let policy_conv =
-  let parse s =
-    match s with
-    | "first-fit" -> Ok Policy.First_fit
-    | "round-robin" -> Ok Policy.Round_robin
-    | "random" -> Ok (Policy.Random 42)
-    | "chessboard" -> Ok Policy.Chessboard
-    | "thermal-spread" -> Ok Policy.Thermal_spread
-    | "bank-pack" -> Ok (Policy.Bank_pack 4)
-    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
-  in
-  let print ppf p = Format.pp_print_string ppf (Policy.name p) in
-  Arg.conv (parse, print)
-
-let policy_arg =
-  Arg.(value & opt policy_conv Policy.First_fit
-       & info [ "p"; "policy" ] ~docv:"POLICY"
-           ~doc:
-             "Register assignment policy: first-fit, round-robin, random, \
-              chessboard, thermal-spread or bank-pack.")
-
-let granularity_arg =
-  Arg.(value & opt int 1 & info [ "g"; "granularity" ] ~docv:"G"
-         ~doc:"Thermal-state granularity (cells per point edge).")
-
-let delta_arg =
-  Arg.(value & opt float 0.05 & info [ "d"; "delta" ] ~docv:"K"
-         ~doc:"Convergence threshold of the analysis, in kelvin.")
-
-let with_func kernel file k =
-  match load_func ~kernel ~file with
-  | Ok f -> k f
-  | Error msg ->
-    Printf.eprintf "tdfa: %s\n" msg;
-    exit 1
-
-(* Structured one-line errors instead of uncaught-exception backtraces on
-   the execution and analysis paths. *)
-let guard k =
-  try k () with
-  | Tdfa_exec.Interp.Runtime_error msg ->
-    Printf.eprintf "tdfa: runtime error: %s\n" msg;
-    exit 1
-  | Tdfa_exec.Interp.Out_of_fuel cycles ->
-    Printf.eprintf "tdfa: execution exceeded the fuel budget (%d cycles)\n"
-      cycles;
-    exit 1
-  | Not_found ->
-    Printf.eprintf
-      "tdfa: internal error: no analysis state at the requested program \
-       point\n";
-    exit 1
-  | Tdfa_optim.Pipeline.Verification_failed { pass; diagnostics } ->
-    Printf.eprintf "tdfa: verification failed after pass %s (%d violations)\n"
-      pass (List.length diagnostics);
-    List.iter
-      (fun d -> Printf.eprintf "  %s\n" (Tdfa_verify.Check.to_string d))
-      diagnostics;
-    exit 1
-
-let checked_arg =
-  Arg.(value & flag
-       & info [ "checked" ]
-           ~doc:
-             "Verify every pass's output with the IR verifier and apply \
-              the $(b,--on-violation) policy.")
-
-let on_violation_conv =
-  let parse = function
-    | "fail" -> Ok Tdfa_optim.Pipeline.Fail
-    | "warn" -> Ok Tdfa_optim.Pipeline.Warn
-    | "degrade" -> Ok Tdfa_optim.Pipeline.Degrade
-    | other -> Error (`Msg (Printf.sprintf "unknown policy %s" other))
-  in
-  let print ppf p =
-    Format.pp_print_string ppf (Tdfa_optim.Pipeline.policy_name p)
-  in
-  Arg.conv (parse, print)
-
-let on_violation_arg =
-  Arg.(value & opt on_violation_conv Tdfa_optim.Pipeline.Degrade
-       & info [ "on-violation" ] ~docv:"POLICY"
-           ~doc:
-             "What a verification violation means under $(b,--checked): \
-              fail (abort), warn (keep the pass), or degrade (discard the \
-              pass and continue).")
-
-let checks_of checked on_violation =
-  if checked then Some (Tdfa_optim.Pipeline.checks on_violation) else None
 
 let print_steps steps =
   List.iter
@@ -166,35 +39,53 @@ let list_kernels () =
     Kernels.all
 
 let show kernel file =
-  with_func kernel file (fun f -> print_endline (Printer.func_to_string f))
+  Cli_args.with_func kernel file (fun f ->
+      print_endline (Printer.func_to_string f))
 
-let verify kernel file policy post_ra =
-  with_func kernel file (fun f ->
-      guard (fun () ->
-          let diags =
-            if post_ra then begin
-              let alloc = Alloc.allocate f Common.standard_layout ~policy in
-              Tdfa_verify.Check.all ~layout:Common.standard_layout
-                ~assignment:alloc.Alloc.assignment alloc.Alloc.func
-            end
-            else Tdfa_verify.Check.func f
-          in
-          match diags with
-          | [] ->
-            Printf.printf "%s: verification clean (%d instrs, %d blocks)\n"
-              f.Func.name (Func.instr_count f)
-              (List.length f.Func.blocks)
-          | ds ->
-            Printf.printf "%s: %d violation(s)\n" f.Func.name (List.length ds);
-            List.iter
-              (fun d ->
-                Printf.printf "  %s\n" (Tdfa_verify.Check.to_string d))
-              ds;
-            exit 1))
+let verify kernel file policy post_ra obs_req =
+  let rc =
+    Cli_args.with_func kernel file (fun f ->
+        Cli_args.guard (fun () ->
+            Cli_args.with_obs obs_req (fun obs ->
+                let diags =
+                  Tdfa.Obs.span obs "verify.check"
+                    ~args:
+                      [
+                        ("func", Tdfa.Obs.Str f.Func.name);
+                        ("post_ra", Tdfa.Obs.Bool post_ra);
+                      ]
+                    (fun () ->
+                      if post_ra then begin
+                        let alloc =
+                          Alloc.allocate ~obs f Common.standard_layout ~policy
+                        in
+                        Tdfa_verify.Check.all ~layout:Common.standard_layout
+                          ~assignment:alloc.Alloc.assignment alloc.Alloc.func
+                      end
+                      else Tdfa_verify.Check.func f)
+                in
+                Tdfa.Obs.incr obs ~by:(List.length diags) "verify.violations";
+                match diags with
+                | [] ->
+                  Printf.printf
+                    "%s: verification clean (%d instrs, %d blocks)\n"
+                    f.Func.name (Func.instr_count f)
+                    (List.length f.Func.blocks);
+                  0
+                | ds ->
+                  Printf.printf "%s: %d violation(s)\n" f.Func.name
+                    (List.length ds);
+                  List.iter
+                    (fun d ->
+                      Printf.printf "  %s\n" (Tdfa_verify.Check.to_string d))
+                    ds;
+                  1)))
+  in
+  if rc <> 0 then exit rc
 
 let simulate kernel file policy =
-  with_func kernel file (fun f ->
-    guard (fun () ->
+  Cli_args.with_func kernel file (fun f ->
+    Cli_args.guard (fun () ->
       let name = f.Func.name in
       let run = Common.run_policy ~name f policy in
       Printf.printf "kernel %s, policy %s: %d cycles, pressure %d, %d spills\n\n"
@@ -204,9 +95,10 @@ let simulate kernel file policy =
       print_string (Heatmap.render Common.standard_layout run.Common.measured);
       Format.printf "@\n%a@\n" Metrics.pp_summary run.Common.metrics))
 
-let analyze kernel file policy granularity delta pre_ra recover =
-  with_func kernel file (fun f ->
-    guard (fun () ->
+let analyze kernel file policy granularity delta pre_ra recover obs_req =
+  Cli_args.with_func kernel file (fun f ->
+    Cli_args.guard (fun () ->
+      Cli_args.with_obs obs_req (fun obs ->
       let name = f.Func.name in
       let settings =
         { Analysis.default_settings with Analysis.delta_k = delta }
@@ -217,35 +109,34 @@ let analyze kernel file policy granularity delta pre_ra recover =
         if pre_ra then
           (f, Placement.predict f Common.standard_layout, "pre-RA (predictive)")
         else begin
-          let alloc = Alloc.allocate f Common.standard_layout ~policy in
+          let alloc = Alloc.allocate ~obs f Common.standard_layout ~policy in
           (alloc.Alloc.func, alloc.Alloc.assignment,
            Printf.sprintf "post-RA, policy %s" (Policy.name policy))
         end
       in
-      let outcome =
-        if recover then begin
-          let r =
-            Setup.run_post_ra_with_recovery ~granularity ~settings
-              ~layout:Common.standard_layout func assignment
-          in
-          if List.length r.Analysis.attempts > 1 then begin
-            Printf.printf "divergence-recovery ladder:\n";
-            List.iter
-              (fun (a : Analysis.attempt) ->
-                Printf.printf "  %-16s %s after %d iterations\n"
-                  (Analysis.fallback_name a.Analysis.fallback)
-                  (if a.Analysis.converged then "converged" else "diverged")
-                  a.Analysis.iterations)
-              r.Analysis.attempts;
-            Printf.printf "using %s\n\n"
-              (Analysis.fallback_name r.Analysis.used)
-          end;
-          r.Analysis.outcome
-        end
-        else
-          Setup.run_post_ra ~granularity ~settings
-            ~layout:Common.standard_layout func assignment
+      let cfg =
+        {
+          (Tdfa.Driver.default ~layout:Common.standard_layout) with
+          Tdfa.Driver.granularity;
+          settings;
+          recover;
+          obs;
+        }
       in
+      let r = Tdfa.Driver.run cfg (Tdfa.Driver.Assigned (func, assignment)) in
+      (match r.Tdfa.Driver.recovery with
+       | Some rec_ when List.length rec_.Analysis.attempts > 1 ->
+         Printf.printf "divergence-recovery ladder:\n";
+         List.iter
+           (fun (a : Analysis.attempt) ->
+             Printf.printf "  %-16s %s after %d iterations\n"
+               (Analysis.fallback_name a.Analysis.fallback)
+               (if a.Analysis.converged then "converged" else "diverged")
+               a.Analysis.iterations)
+           rec_.Analysis.attempts;
+         Printf.printf "using %s\n\n" (Analysis.fallback_name rec_.Analysis.used)
+       | _ -> ());
+      let outcome = r.Tdfa.Driver.outcome in
       let info = Analysis.info outcome in
       Printf.printf "kernel %s, %s: analysis %s after %d iterations \
                      (last delta %.4f K)\n\n"
@@ -257,11 +148,8 @@ let analyze kernel file policy granularity delta pre_ra recover =
         (Thermal_state.peak peak);
       print_string
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak));
-      let cfg =
-        Setup.config_of_assignment ~granularity ~layout:Common.standard_layout
-          func assignment
-      in
-      let ranked = Criticality.rank cfg info func assignment in
+      let tcfg = Tdfa.Driver.transfer_config cfg func assignment in
+      let ranked = Criticality.rank tcfg info func assignment in
       Printf.printf "\nmost critical variables:\n";
       List.iteri
         (fun i (r : Criticality.ranked) ->
@@ -269,10 +157,10 @@ let analyze kernel file policy granularity delta pre_ra recover =
             Printf.printf "  %-12s score %10.1f  hottest point %.2f K\n"
               (Var.to_string r.Criticality.var)
               r.Criticality.score r.Criticality.hottest_point_k)
-        ranked))
+        ranked)))
 
 let policies kernel file =
-  with_func kernel file (fun f ->
+  Cli_args.with_func kernel file (fun f ->
       let name = f.Func.name in
       let table =
         Tdfa_report.Table.create
@@ -294,8 +182,8 @@ let policies kernel file =
       Tdfa_report.Table.print table)
 
 let optimize kernel file checked on_violation =
-  with_func kernel file (fun f ->
-    guard (fun () ->
+  Cli_args.with_func kernel file (fun f ->
+    Cli_args.guard (fun () ->
       let name = f.Func.name in
       let base = Common.run_policy ~name f Policy.First_fit in
       let info = Analysis.info (Common.analyze_run base) in
@@ -307,7 +195,7 @@ let optimize kernel file checked on_violation =
         Criticality.critical_vars cfg info base.Common.alloc.Alloc.func
           base.Common.alloc.Alloc.assignment
       in
-      let checks = checks_of checked on_violation in
+      let checks = Cli_args.checks_of checked on_violation in
       let promoted_count = ref 0 and copies_count = ref 0 in
       let t = Tdfa_optim.Pipeline.start f in
       let t =
@@ -347,14 +235,14 @@ let optimize kernel file checked on_violation =
       Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles))
 
 let compile kernel file policy granularity checked on_violation =
-  with_func kernel file (fun f ->
-    guard (fun () ->
+  Cli_args.with_func kernel file (fun f ->
+    Cli_args.guard (fun () ->
       let name = f.Func.name in
       let options =
         { Tdfa_optim.Compile.default_options with
           Tdfa_optim.Compile.policy;
           granularity;
-          checks = checks_of checked on_violation;
+          checks = Cli_args.checks_of checked on_violation;
         }
       in
       let result =
@@ -379,7 +267,12 @@ let compile kernel file policy granularity checked on_violation =
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak))))
 
 let batch files kernels jobs cache_dir policy granularity delta recover stats
-    =
+    obs_req =
+  (* [--stats] is the legacy spelling of [--metrics]: the ad-hoc stderr
+     summary it used to print is now the metrics table. *)
+  let obs_req =
+    { obs_req with Cli_args.metrics = obs_req.Cli_args.metrics || stats }
+  in
   let settings = { Analysis.default_settings with Analysis.delta_k = delta } in
   let spec =
     {
@@ -396,7 +289,7 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
   let loaded =
     List.map
       (fun path ->
-        match load_func ~kernel:None ~file:(Some path) with
+        match Cli_args.load_func ~kernel:None ~file:(Some path) with
         | Ok f ->
           Ok { Tdfa_engine.Engine.job_name = f.Func.name; func = f }
         | Error msg -> Error (path, msg))
@@ -420,44 +313,46 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
     Printf.eprintf "tdfa: batch: no inputs (pass files and/or --kernels)\n";
     exit 2
   end;
-  let cache =
-    Option.map (fun dir -> Tdfa_engine.Engine.Cache.on_disk ~dir) cache_dir
+  let rc =
+    Cli_args.with_obs obs_req (fun obs ->
+        let cache =
+          Option.map
+            (fun dir -> Tdfa_engine.Engine.Cache.on_disk ~dir)
+            cache_dir
+        in
+        let b =
+          Tdfa_engine.Engine.run_batch ~obs ~jobs ?cache
+            ~layout:Common.standard_layout spec job_list
+        in
+        (* stdout carries only the deterministic per-function reports, so
+           two runs at different --jobs (or a cached re-run) compare
+           byte-equal; provenance, timing and cache traffic are metrics
+           (render with --metrics) or trace events (--trace). *)
+        List.iter
+          (fun (name, result) ->
+            match result with
+            | Ok (r : Tdfa_engine.Engine.report) ->
+              Printf.printf
+                "%-14s %-9s %4d iter  peak %7.2f K  mean %7.2f K  pressure %2d  \
+                 spilled %2d  %s%s\n"
+                name
+                (if r.Tdfa_engine.Engine.converged then "converged"
+                 else "DIVERGED")
+                r.Tdfa_engine.Engine.iterations r.Tdfa_engine.Engine.peak_k
+                r.Tdfa_engine.Engine.mean_k r.Tdfa_engine.Engine.max_pressure
+                r.Tdfa_engine.Engine.spilled
+                (String.sub r.Tdfa_engine.Engine.fingerprint 0 12)
+                (if r.Tdfa_engine.Engine.rung = "primary" then ""
+                 else Printf.sprintf "  [%s]" r.Tdfa_engine.Engine.rung)
+            | Error msg -> Printf.eprintf "tdfa: batch: %s: %s\n" name msg)
+          b.Tdfa_engine.Engine.results;
+        List.iter
+          (fun (path, msg) -> Printf.eprintf "tdfa: batch: %s: %s\n" path msg)
+          load_failures;
+        if b.Tdfa_engine.Engine.failed > 0 || load_failures <> [] then 1
+        else 0)
   in
-  let b =
-    Tdfa_engine.Engine.run_batch ~jobs ?cache ~layout:Common.standard_layout
-      spec job_list
-  in
-  (* stdout carries only the deterministic per-function reports, so two
-     runs at different --jobs (or a cached re-run) compare byte-equal;
-     provenance and timing go to stderr. *)
-  List.iter
-    (fun (name, result) ->
-      match result with
-      | Ok (r : Tdfa_engine.Engine.report) ->
-        Printf.printf
-          "%-14s %-9s %4d iter  peak %7.2f K  mean %7.2f K  pressure %2d  \
-           spilled %2d  %s%s\n"
-          name
-          (if r.Tdfa_engine.Engine.converged then "converged" else "DIVERGED")
-          r.Tdfa_engine.Engine.iterations r.Tdfa_engine.Engine.peak_k
-          r.Tdfa_engine.Engine.mean_k r.Tdfa_engine.Engine.max_pressure
-          r.Tdfa_engine.Engine.spilled
-          (String.sub r.Tdfa_engine.Engine.fingerprint 0 12)
-          (if r.Tdfa_engine.Engine.rung = "primary" then ""
-           else Printf.sprintf "  [%s]" r.Tdfa_engine.Engine.rung)
-      | Error msg -> Printf.eprintf "tdfa: batch: %s: %s\n" name msg)
-    b.Tdfa_engine.Engine.results;
-  List.iter
-    (fun (path, msg) -> Printf.eprintf "tdfa: batch: %s: %s\n" path msg)
-    load_failures;
-  if cache <> None then
-    Printf.eprintf "cache: %d hits, %d misses\n" b.Tdfa_engine.Engine.hits
-      b.Tdfa_engine.Engine.misses;
-  if stats then
-    Printf.eprintf "batch: %d jobs on %d domains in %.0f ms\n"
-      (List.length job_list) b.Tdfa_engine.Engine.domains
-      b.Tdfa_engine.Engine.wall_ms;
-  if b.Tdfa_engine.Engine.failed > 0 || load_failures <> [] then exit 1
+  if rc <> 0 then exit rc
 
 let experiments id =
   let run = function
@@ -496,13 +391,14 @@ let list_cmd =
 
 let show_cmd =
   Cmd.v (Cmd.info "show" ~doc:"Print a kernel or IR file.")
-    Term.(const show $ kernel_arg $ file_arg)
+    Term.(const show $ Cli_args.kernel_arg $ Cli_args.file_arg)
 
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Allocate, execute and thermally simulate a program.")
-    Term.(const simulate $ kernel_arg $ file_arg $ policy_arg)
+    Term.(const simulate $ Cli_args.kernel_arg $ Cli_args.file_arg
+          $ Cli_args.policy_arg)
 
 let pre_ra_arg =
   Arg.(value & flag
@@ -511,21 +407,14 @@ let pre_ra_arg =
              "Run the predictive pre-allocation analysis (no register \
               assignment yet; variables placed by the region heuristic).")
 
-let recover_arg =
-  Arg.(value & flag
-       & info [ "recover" ]
-           ~doc:
-             "On divergence, climb the recovery ladder: retry with the \
-              Average join, then at coarser granularities, and report \
-              which fallback converged.")
-
 let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Run the thermal data-flow analysis (Fig. 2) on a program.")
     Term.(
-      const analyze $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
-      $ delta_arg $ pre_ra_arg $ recover_arg)
+      const analyze $ Cli_args.kernel_arg $ Cli_args.file_arg
+      $ Cli_args.policy_arg $ Cli_args.granularity_arg $ Cli_args.delta_arg
+      $ pre_ra_arg $ Cli_args.recover_arg $ Cli_args.obs_term)
 
 let post_ra_verify_arg =
   Arg.(value & flag
@@ -541,21 +430,21 @@ let verify_cmd =
          "Check a program against the IR verifier (CFG integrity, \
           definite assignment, spill-slot balance); exit 1 on any \
           violation.")
-    Term.(const verify $ kernel_arg $ file_arg $ policy_arg
-          $ post_ra_verify_arg)
+    Term.(const verify $ Cli_args.kernel_arg $ Cli_args.file_arg
+          $ Cli_args.policy_arg $ post_ra_verify_arg $ Cli_args.obs_term)
 
 let policies_cmd =
   Cmd.v
     (Cmd.info "policies"
        ~doc:"Compare register assignment policies thermally (Fig. 1).")
-    Term.(const policies $ kernel_arg $ file_arg)
+    Term.(const policies $ Cli_args.kernel_arg $ Cli_args.file_arg)
 
 let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the thermal-aware pass pipeline and report the effect.")
-    Term.(const optimize $ kernel_arg $ file_arg $ checked_arg
-          $ on_violation_arg)
+    Term.(const optimize $ Cli_args.kernel_arg $ Cli_args.file_arg
+          $ Cli_args.checked_arg $ Cli_args.on_violation_arg)
 
 let compile_cmd =
   Cmd.v
@@ -564,8 +453,9 @@ let compile_cmd =
          "Run the full thermal-aware compilation pipeline (cleanup, \
           promotion, splitting, thermal assignment, scheduling) and report \
           the predicted map.")
-    Term.(const compile $ kernel_arg $ file_arg $ policy_arg $ granularity_arg
-          $ checked_arg $ on_violation_arg)
+    Term.(const compile $ Cli_args.kernel_arg $ Cli_args.file_arg
+          $ Cli_args.policy_arg $ Cli_args.granularity_arg
+          $ Cli_args.checked_arg $ Cli_args.on_violation_arg)
 
 let batch_files_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"FILES"
@@ -578,21 +468,10 @@ let batch_kernels_arg =
        & info [ "kernels" ]
            ~doc:"Also analyze the whole built-in kernel suite.")
 
-let jobs_arg =
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Size of the analysis domain pool (parallel workers).")
-
-let cache_arg =
-  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
-         ~doc:
-           "Content-addressed result cache directory: re-runs over \
-            unchanged inputs return the stored report instead of \
-            re-running the fixpoint.")
-
 let stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
-           ~doc:"Print pool size and wall time to stderr.")
+           ~doc:"Deprecated alias of $(b,--metrics).")
 
 let batch_cmd =
   Cmd.v
@@ -603,9 +482,10 @@ let batch_cmd =
           are deterministic: byte-identical across $(b,--jobs) settings \
           and cached re-runs.")
     Term.(
-      const batch $ batch_files_arg $ batch_kernels_arg $ jobs_arg
-      $ cache_arg $ policy_arg $ granularity_arg $ delta_arg $ recover_arg
-      $ stats_arg)
+      const batch $ batch_files_arg $ batch_kernels_arg $ Cli_args.jobs_arg
+      $ Cli_args.cache_arg $ Cli_args.policy_arg $ Cli_args.granularity_arg
+      $ Cli_args.delta_arg $ Cli_args.recover_arg $ stats_arg
+      $ Cli_args.obs_term)
 
 let experiments_cmd =
   let id_arg =

@@ -25,8 +25,10 @@ let () =
         }
       in
       let outcome =
-        Setup.run_post_ra ~settings ~layout alloc.Alloc.func
-          alloc.Alloc.assignment
+        Driver.outcome
+          (Driver.run
+             { (Driver.default ~layout) with Driver.settings }
+             (Driver.Assigned (alloc.Alloc.func, alloc.Alloc.assignment)))
       in
       let info = Analysis.info outcome in
       Printf.printf "%10g  %10d  %b\n" delta_k info.Analysis.iterations
@@ -40,8 +42,13 @@ let () =
     { Analysis.default_settings with Analysis.max_iterations = 60 }
   in
   let outcome =
-    Setup.run_post_ra ~analysis_dt_s:1.0e-4 ~settings ~layout alloc.Alloc.func
-      alloc.Alloc.assignment
+    Driver.outcome
+      (Driver.run
+         { (Driver.default ~layout) with
+           Driver.settings;
+           analysis_dt_s = Some 1.0e-4;
+         }
+         (Driver.Assigned (alloc.Alloc.func, alloc.Alloc.assignment)))
   in
   let info = Analysis.info outcome in
   Printf.printf

@@ -39,9 +39,12 @@ let () =
     alloc.Alloc.max_pressure
     (List.length (Assignment.cells_in_use alloc.Alloc.assignment));
 
-  (* 3. Run the thermal data-flow analysis of Fig. 2. *)
+  (* 3. Run the thermal data-flow analysis of Fig. 2 through the
+     [Driver] facade (one config record, one entry point). *)
   let outcome =
-    Setup.run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment
+    Driver.outcome
+      (Driver.run (Driver.default ~layout)
+         (Driver.Assigned (alloc.Alloc.func, alloc.Alloc.assignment)))
   in
   let info = Analysis.info outcome in
   Printf.printf "analysis %s after %d iterations\n"

@@ -30,7 +30,7 @@ let model = Rc_model.build layout Params.default
 let measured_peak func assignment =
   let o = Interp.run_func func in
   let temps =
-    Driver.steady_temps model o.Interp.trace ~cell_of_var:(fun v ->
+    Tdfa_exec.Driver.steady_temps model o.Interp.trace ~cell_of_var:(fun v ->
         Assignment.cell_of_var assignment v)
   in
   ((Metrics.summarize layout temps).Metrics.peak_k, o.Interp.cycles)

@@ -21,7 +21,7 @@ let model = Rc_model.build layout Params.default
 let measure func (alloc : Alloc.result) =
   let outcome = Interp.run_func alloc.Alloc.func in
   let temps =
-    Driver.steady_temps model outcome.Interp.trace ~cell_of_var:(fun v ->
+    Tdfa_exec.Driver.steady_temps model outcome.Interp.trace ~cell_of_var:(fun v ->
         Assignment.cell_of_var alloc.Alloc.assignment v)
   in
   ignore func;
@@ -37,7 +37,11 @@ let () =
   (* Step 2: the thermal data-flow analysis predicts the hot spots and
      the variables responsible for them, with no thermal simulation in
      the loop. *)
-  let outcome = Setup.run_post_ra ~layout naive.Alloc.func naive.Alloc.assignment in
+  let outcome =
+    Driver.outcome
+      (Driver.run (Driver.default ~layout)
+         (Driver.Assigned (naive.Alloc.func, naive.Alloc.assignment)))
+  in
   let info = Analysis.info outcome in
   let cfg =
     Setup.config_of_assignment ~layout naive.Alloc.func naive.Alloc.assignment

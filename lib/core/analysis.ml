@@ -1,4 +1,5 @@
 open Tdfa_ir
+open Tdfa_obs
 
 type join_kind = Max | Average
 
@@ -24,7 +25,8 @@ let join_states kind a b =
   | Max -> Thermal_state.join_max a b
   | Average -> Thermal_state.join_average a b
 
-let run ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
+let fixpoint ?(obs = Obs.null) ?(settings = default_settings)
+    (cfg : Transfer.config) (func : Func.t) =
   let order = Func.reverse_postorder func in
   let entry = Func.entry_label func in
   let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
@@ -82,11 +84,34 @@ let run ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
   in
   let rec iterate n =
     let worst, unstable = pass () in
+    if Obs.tracing obs then
+      Obs.Fixpoint.iteration obs ~iteration:n ~max_delta_k:worst
+        ~delta_k:settings.delta_k ~unstable:(List.length unstable);
     if unstable = [] then (n, worst, unstable, true)
-    else if n >= settings.max_iterations then (n, worst, unstable, false)
+    else if n >= settings.max_iterations then begin
+      (* §4's escape hatch: nothing guarantees convergence, so the
+         do-while is bounded by a "reasonable number of iterations". *)
+      Obs.Fixpoint.escape_hatch obs ~iterations:n
+        ~unstable:(List.length unstable);
+      (n, worst, unstable, false)
+    end
     else iterate (n + 1)
   in
-  let iterations, final_delta_k, unstable, ok = iterate 1 in
+  let iterations, final_delta_k, unstable, ok =
+    Obs.span obs "analysis.fixpoint"
+      ~args:
+        [
+          ("func", Obs.Str func.Func.name);
+          ("delta_k", Obs.Float settings.delta_k);
+          ("max_iterations", Obs.Int settings.max_iterations);
+          ("join", Obs.Str (match settings.join with
+                            | Max -> "max"
+                            | Average -> "average"));
+          ("granularity", Obs.Int cfg.Transfer.granularity);
+        ]
+      (fun () -> iterate 1)
+  in
+  Obs.Fixpoint.verdict obs ~converged:ok ~iterations ~final_delta_k;
   let result =
     {
       iterations;
@@ -97,6 +122,8 @@ let run ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
     }
   in
   if ok then Converged result else Diverged result
+
+let run ?settings cfg func = fixpoint ?settings cfg func
 
 (* ------------------------------------------------------------------ *)
 (* Divergence recovery                                                  *)
@@ -117,8 +144,8 @@ type recovery = {
   attempts : attempt list;
 }
 
-let run_with_recovery ?(settings = default_settings) ~config_of ~granularity
-    func =
+let recovery_ladder ?(obs = Obs.null) ?(settings = default_settings)
+    ~config_of ~granularity func =
   (* The paper's escape hatch (§4: nothing guarantees convergence of the
      thermal lattice) made operational: on divergence, retry with the
      smoothing Average join, then at coarser thermal granularities —
@@ -136,7 +163,7 @@ let run_with_recovery ?(settings = default_settings) ~config_of ~granularity
       | Average_join -> ({ settings with join = Average }, granularity)
       | Coarser g -> ({ settings with join = Average }, g)
     in
-    run ~settings (config_of ~granularity) func
+    fixpoint ~obs ~settings (config_of ~granularity) func
   in
   let rec climb attempts = function
     | [] -> (
@@ -156,6 +183,8 @@ let run_with_recovery ?(settings = default_settings) ~config_of ~granularity
           converged = converged outcome;
         }
       in
+      Obs.Fixpoint.rung obs ~fallback:(fallback_name fb)
+        ~converged:(converged outcome) ~iterations:i.iterations;
       if converged outcome then
         {
           outcome;
@@ -165,6 +194,9 @@ let run_with_recovery ?(settings = default_settings) ~config_of ~granularity
       else climb ((outcome, attempt) :: attempts) rest
   in
   climb [] ladder
+
+let run_with_recovery ?settings ~config_of ~granularity func =
+  recovery_ladder ?settings ~config_of ~granularity func
 
 let state_after info label index =
   match Hashtbl.find_opt info.states_after (label, index) with

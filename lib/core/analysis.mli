@@ -6,6 +6,7 @@
     guarantees convergence (§4). *)
 
 open Tdfa_ir
+open Tdfa_obs
 
 type join_kind =
   | Max  (** conservative pointwise maximum at merge points *)
@@ -33,7 +34,21 @@ type info = {
 
 type outcome = Converged of info | Diverged of info
 
+val fixpoint :
+  ?obs:Obs.sink -> ?settings:settings -> Transfer.config -> Func.t -> outcome
+(** The Fig. 2 engine. [obs] (default {!Obs.null}) receives the
+    structured fixpoint telemetry: a span around the whole solve, one
+    [analysis.iteration] event per sweep (iteration number, largest
+    per-instruction change, threshold, unstable count), the
+    [analysis.escape_hatch] event when the iteration bound fires, and
+    the final [analysis.verdict]. Prefer driving it through
+    [Tdfa.Driver.run], which owns the observability wiring. *)
+
 val run : ?settings:settings -> Transfer.config -> Func.t -> outcome
+  [@@deprecated "Use Tdfa.Driver.run (Configured _) — or Analysis.fixpoint."]
+(** Thin wrapper over {!fixpoint} with no telemetry, kept for source
+    compatibility with pre-facade callers.
+    @deprecated Use [Tdfa.Driver.run]. *)
 
 val info : outcome -> info
 val converged : outcome -> bool
@@ -63,7 +78,8 @@ type recovery = {
   attempts : attempt list;  (** every rung tried, in order *)
 }
 
-val run_with_recovery :
+val recovery_ladder :
+  ?obs:Obs.sink ->
   ?settings:settings ->
   config_of:(granularity:int -> Transfer.config) ->
   granularity:int ->
@@ -72,7 +88,19 @@ val run_with_recovery :
 (** Runs the ladder [Primary; Average_join; Coarser 2g; Coarser 4g],
     stopping at the first converging rung. [config_of] rebuilds the
     transfer configuration at a requested granularity (see
-    {!Setup.run_post_ra_with_recovery} for the usual wiring). *)
+    {!Driver.run} for the usual wiring). Every rung reports an
+    [analysis.recovery.rung] event to [obs], and each rung's fixpoint
+    is itself instrumented as in {!fixpoint}. *)
+
+val run_with_recovery :
+  ?settings:settings ->
+  config_of:(granularity:int -> Transfer.config) ->
+  granularity:int ->
+  Func.t ->
+  recovery
+  [@@deprecated "Use Tdfa.Driver.run ~recover:true — or Analysis.recovery_ladder."]
+(** Thin wrapper over {!recovery_ladder} with no telemetry.
+    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)
 
 val state_after : info -> Label.t -> int -> Thermal_state.t
 (** @raise Not_found for an unknown program point. *)

@@ -1,0 +1,125 @@
+open Tdfa_ir
+open Tdfa_dataflow
+open Tdfa_regalloc
+open Tdfa_obs
+
+type checked_policy = Unchecked | Check_fail | Check_warn | Check_degrade
+
+let checked_policy_name = function
+  | Unchecked -> "unchecked"
+  | Check_fail -> "fail"
+  | Check_warn -> "warn"
+  | Check_degrade -> "degrade"
+
+type config = {
+  settings : Analysis.settings;
+  policy : Policy.t;
+  recover : bool;
+  checked : checked_policy;
+  granularity : int;
+  params : Tdfa_thermal.Params.t;
+  analysis_dt_s : float option;
+  layout : Tdfa_floorplan.Layout.t;
+  obs : Obs.sink;
+}
+
+let default ~layout =
+  {
+    settings = Analysis.default_settings;
+    policy = Policy.First_fit;
+    recover = false;
+    checked = Unchecked;
+    granularity = 1;
+    params = Tdfa_thermal.Params.default;
+    analysis_dt_s = None;
+    layout;
+    obs = Obs.null;
+  }
+
+type input =
+  | Unallocated of Func.t
+  | Assigned of Func.t * Assignment.t
+  | Configured of Transfer.config * Func.t
+  | Custom of {
+      config_of : granularity:int -> Transfer.config;
+      func : Func.t;
+    }
+
+type result = {
+  alloc : Alloc.result option;
+  outcome : Analysis.outcome;
+  recovery : Analysis.recovery option;
+}
+
+let transfer_config cfg func assignment =
+  let loops = Loops.analyze func in
+  let max_frequency =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        Float.max acc (Loops.frequency loops b.Block.label))
+      1.0 func.Func.blocks
+  in
+  Transfer.make_config ~params:cfg.params ~granularity:cfg.granularity
+    ?analysis_dt_s:cfg.analysis_dt_s ~max_frequency ~layout:cfg.layout
+    ~block_frequency:(fun l -> Loops.frequency loops l)
+    ~accesses_of_instr:(fun _ _ i -> Access.of_instr assignment i)
+    ~accesses_of_term:(fun _ term -> Access.of_terminator assignment term)
+    ()
+
+let input_mode = function
+  | Unallocated _ -> "unallocated"
+  | Assigned _ -> "assigned"
+  | Configured _ -> "configured"
+  | Custom _ -> "custom"
+
+let run cfg input =
+  let obs = cfg.obs in
+  Obs.span obs "driver.run"
+    ~args:
+      [
+        ("mode", Obs.Str (input_mode input));
+        ("policy", Obs.Str (Policy.name cfg.policy));
+        ("granularity", Obs.Int cfg.granularity);
+        ("recover", Obs.Bool cfg.recover);
+      ]
+    (fun () ->
+      Obs.incr obs "driver.runs";
+      let alloc, func, config_of =
+        match input with
+        | Unallocated f ->
+          let alloc =
+            Obs.span obs "driver.allocate"
+              ~args:[ ("policy", Obs.Str (Policy.name cfg.policy)) ]
+              (fun () ->
+                Alloc.allocate ~obs f cfg.layout ~policy:cfg.policy)
+          in
+          let func = alloc.Alloc.func in
+          let assignment = alloc.Alloc.assignment in
+          ( Some alloc,
+            func,
+            fun ~granularity ->
+              transfer_config { cfg with granularity } func assignment )
+        | Assigned (func, assignment) ->
+          ( None,
+            func,
+            fun ~granularity ->
+              transfer_config { cfg with granularity } func assignment )
+        | Configured (tc, func) -> (None, func, fun ~granularity:_ -> tc)
+        | Custom { config_of; func } -> (None, func, config_of)
+      in
+      if cfg.recover then begin
+        let r =
+          Analysis.recovery_ladder ~obs ~settings:cfg.settings ~config_of
+            ~granularity:cfg.granularity func
+        in
+        { alloc; outcome = r.Analysis.outcome; recovery = Some r }
+      end
+      else
+        let outcome =
+          Analysis.fixpoint ~obs ~settings:cfg.settings
+            (config_of ~granularity:cfg.granularity)
+            func
+        in
+        { alloc; outcome; recovery = None })
+
+let outcome r = r.outcome

@@ -1,0 +1,103 @@
+(** The single entry-point facade of the analysis stack.
+
+    PR 1–2 grew six overlapping ways to run the thermal data-flow
+    analysis ([Analysis.run], [Analysis.run_with_recovery],
+    [Setup.run_post_ra], [Setup.run_post_ra_with_recovery],
+    [Setup.allocate_and_run], [Setup.allocate_and_run_with_recovery]).
+    This module collapses them into one [run] over one {!config}
+    record, so every knob — analysis settings, allocation policy,
+    divergence recovery, checked-pipeline policy, observability sink —
+    is set in exactly one place and threads uniformly through
+    allocation, analysis and recovery. The legacy functions survive as
+    thin deprecated wrappers.
+
+    [run] is pure in the same sense as the batch engine requires:
+    everything it reads is in the {!config} and the {!input}, so
+    independent calls can run on separate domains and a call is
+    reproducible from its arguments alone (the [obs] sink is the one
+    deliberate effect channel).
+
+    The library [tdfa] re-exports this module as [Tdfa.Driver]. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+open Tdfa_thermal
+open Tdfa_regalloc
+open Tdfa_obs
+
+(** What an IR-verification violation means when the optimization
+    pipeline runs checked (mirrors [Tdfa_optim.Pipeline]'s policies
+    without depending on it; [Tdfa_optim.Pipeline.checks_of_checked]
+    converts). *)
+type checked_policy =
+  | Unchecked  (** no per-pass verification *)
+  | Check_fail  (** abort on the first ill-formed pass output *)
+  | Check_warn  (** keep the output, record the diagnostics *)
+  | Check_degrade  (** discard the pass, continue from its input *)
+
+val checked_policy_name : checked_policy -> string
+
+type config = {
+  settings : Analysis.settings;  (** delta, iteration cap, join *)
+  policy : Policy.t;  (** register-assignment policy *)
+  recover : bool;  (** climb the divergence-recovery ladder *)
+  checked : checked_policy;  (** checked-pipeline behaviour *)
+  granularity : int;  (** thermal-state granularity *)
+  params : Params.t;  (** technology/thermal coefficients *)
+  analysis_dt_s : float option;  (** [None] = solver default *)
+  layout : Layout.t;  (** register-file floorplan *)
+  obs : Obs.sink;  (** observability sink, {!Obs.null} by default *)
+}
+
+val default : layout:Layout.t -> config
+(** First-fit policy, granularity 1, {!Analysis.default_settings},
+    [Params.default], default dt, no recovery, unchecked,
+    {!Obs.null}. *)
+
+(** What to analyse — the three shapes the legacy entry points took. *)
+type input =
+  | Unallocated of Func.t
+      (** allocate registers with [config.policy] first, then analyse
+          the rewritten function (ex [Setup.allocate_and_run]) *)
+  | Assigned of Func.t * Assignment.t
+      (** post-RA: registers are known exactly (ex
+          [Setup.run_post_ra]) *)
+  | Configured of Transfer.config * Func.t
+      (** a prebuilt transfer configuration (ex [Analysis.run]); under
+          [recover], coarser ladder rungs reuse this configuration
+          unchanged since its granularity cannot be rebuilt *)
+  | Custom of {
+      config_of : granularity:int -> Transfer.config;
+      func : Func.t;
+    }
+      (** full control of configuration rebuilding across recovery
+          rungs (ex [Analysis.run_with_recovery]) *)
+
+type result = {
+  alloc : Alloc.result option;
+      (** [Some] iff the input was {!Unallocated} *)
+  outcome : Analysis.outcome;
+      (** of the reported rung ([recovery.used] when recovering) *)
+  recovery : Analysis.recovery option;
+      (** [Some] iff [config.recover]; the full attempt log *)
+}
+
+val transfer_config : config -> Func.t -> Assignment.t -> Transfer.config
+(** Wire a function and a register assignment into the per-instruction
+    transfer function: loop-frequency-weighted duty cycling, exact
+    accessed registers (§4: the analysis "makes the most sense if
+    applied after register assignment"). *)
+
+val run : config -> input -> result
+(** The one entry point. Emits, through [config.obs]: a [driver.run]
+    span wrapping everything, a [driver.allocate] span (plus the
+    allocator's phase spans) for {!Unallocated} inputs, the analysis
+    fixpoint telemetry of {!Analysis.fixpoint}, and the
+    [analysis.recovery.rung] events of {!Analysis.recovery_ladder}
+    when [recover] is set.
+
+    @raise Failure if register allocation cannot colour the function
+    (see [Tdfa_regalloc.Alloc.allocate]). *)
+
+val outcome : result -> Analysis.outcome
+(** Convenience projection of {!result.outcome}. *)

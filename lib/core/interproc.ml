@@ -116,7 +116,7 @@ let run ?(params = Params.default) ?granularity ?analysis_dt_s ?settings
             ~accesses_of_term:(fun _ term -> Access.of_terminator assignment term)
             ()
         in
-        let outcome = Analysis.run ?settings cfg func in
+        let outcome = Analysis.fixpoint ?settings cfg func in
         outcomes := (name, outcome) :: !outcomes;
         Hashtbl.replace summaries name
           (summarize ~params ~layout ~callee_summary func assignment))

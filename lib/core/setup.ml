@@ -8,53 +8,69 @@ let estimated_program_cycles (func : Func.t) loops =
       acc +. (freq *. float_of_int (Block.num_instrs b + 1)))
     0.0 func.Func.blocks
 
+(* Every runner below is a thin compatibility wrapper: it folds its
+   optional arguments into a Driver.config and delegates to the facade,
+   so the observability wiring lives in Driver alone. *)
+
+let config_of ?params ?granularity ?analysis_dt_s ?settings ?policy ~layout ()
+    =
+  let d = Driver.default ~layout in
+  {
+    d with
+    Driver.params = Option.value params ~default:d.Driver.params;
+    granularity = Option.value granularity ~default:d.Driver.granularity;
+    analysis_dt_s;
+    settings = Option.value settings ~default:d.Driver.settings;
+    policy = Option.value policy ~default:d.Driver.policy;
+  }
+
 let config_of_assignment ?params ?granularity ?analysis_dt_s ~layout func
     assignment =
-  let loops = Loops.analyze func in
-  let max_frequency =
-    List.fold_left
-      (fun acc (b : Block.t) ->
-        Float.max acc (Loops.frequency loops b.Block.label))
-      1.0 func.Func.blocks
-  in
-  Transfer.make_config ?params ?granularity ?analysis_dt_s ~max_frequency
-    ~layout
-    ~block_frequency:(fun l -> Loops.frequency loops l)
-    ~accesses_of_instr:(fun _ _ i -> Access.of_instr assignment i)
-    ~accesses_of_term:(fun _ term -> Access.of_terminator assignment term)
-    ()
+  Driver.transfer_config
+    (config_of ?params ?granularity ?analysis_dt_s ~layout ())
+    func assignment
 
 let run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout func
     assignment =
-  let cfg =
-    config_of_assignment ?params ?granularity ?analysis_dt_s ~layout func
-      assignment
-  in
-  Analysis.run ?settings cfg func
+  (Driver.run
+     (config_of ?params ?granularity ?analysis_dt_s ?settings ~layout ())
+     (Driver.Assigned (func, assignment)))
+    .Driver.outcome
 
-let run_post_ra_with_recovery ?params ?(granularity = 1) ?analysis_dt_s
-    ?settings ~layout func assignment =
-  Analysis.run_with_recovery ?settings ~granularity
-    ~config_of:(fun ~granularity ->
-      config_of_assignment ?params ~granularity ?analysis_dt_s ~layout func
-        assignment)
-    func
+let run_post_ra_with_recovery ?params ?granularity ?analysis_dt_s ?settings
+    ~layout func assignment =
+  let cfg =
+    config_of ?params ?granularity ?analysis_dt_s ?settings ~layout ()
+  in
+  match
+    (Driver.run
+       { cfg with Driver.recover = true }
+       (Driver.Assigned (func, assignment)))
+      .Driver.recovery
+  with
+  | Some r -> r
+  | None -> assert false
 
 let allocate_and_run ?params ?granularity ?analysis_dt_s ?settings ~layout
     ~policy func =
-  let alloc = Tdfa_regalloc.Alloc.allocate func layout ~policy in
-  let outcome =
-    run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout
-      alloc.Tdfa_regalloc.Alloc.func alloc.Tdfa_regalloc.Alloc.assignment
+  let r =
+    Driver.run
+      (config_of ?params ?granularity ?analysis_dt_s ?settings ~policy ~layout
+         ())
+      (Driver.Unallocated func)
   in
-  (alloc, outcome)
+  match r.Driver.alloc with
+  | Some alloc -> (alloc, r.Driver.outcome)
+  | None -> assert false
 
 let allocate_and_run_with_recovery ?params ?granularity ?analysis_dt_s
     ?settings ~layout ~policy func =
-  let alloc = Tdfa_regalloc.Alloc.allocate func layout ~policy in
-  let recovery =
-    run_post_ra_with_recovery ?params ?granularity ?analysis_dt_s ?settings
-      ~layout alloc.Tdfa_regalloc.Alloc.func
-      alloc.Tdfa_regalloc.Alloc.assignment
+  let cfg =
+    config_of ?params ?granularity ?analysis_dt_s ?settings ~policy ~layout ()
   in
-  (alloc, recovery)
+  let r =
+    Driver.run { cfg with Driver.recover = true } (Driver.Unallocated func)
+  in
+  match (r.Driver.alloc, r.Driver.recovery) with
+  | Some alloc, Some recovery -> (alloc, recovery)
+  | _ -> assert false

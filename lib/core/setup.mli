@@ -1,5 +1,9 @@
 (** Convenience constructors wiring a function and a register assignment
-    (or predictive placement) into a {!Transfer.config}. *)
+    (or predictive placement) into a {!Transfer.config} — plus the
+    pre-facade run entry points, kept as thin deprecated wrappers over
+    {!Driver.run}. New code should build a {!Driver.config} and call
+    the facade directly: that is where the observability wiring
+    (tracing, metrics, fixpoint telemetry) lives. *)
 
 open Tdfa_ir
 open Tdfa_dataflow
@@ -20,7 +24,9 @@ val config_of_assignment :
   Assignment.t ->
   Transfer.config
 (** Post-assignment analysis: the exact accessed registers are known
-    (§4: "makes the most sense if applied after register assignment"). *)
+    (§4: "makes the most sense if applied after register assignment").
+    Alias of {!Driver.transfer_config} with the classic optional-argument
+    spelling. *)
 
 val run_post_ra :
   ?params:Params.t ->
@@ -31,7 +37,9 @@ val run_post_ra :
   Func.t ->
   Assignment.t ->
   Analysis.outcome
-(** One-call wrapper: build the config and run the Fig. 2 analysis. *)
+  [@@deprecated "Use Tdfa.Driver.run (Assigned _)."]
+(** One-call wrapper: build the config and run the Fig. 2 analysis.
+    @deprecated Use [Tdfa.Driver.run] with an [Assigned] input. *)
 
 val allocate_and_run :
   ?params:Params.t ->
@@ -42,11 +50,11 @@ val allocate_and_run :
   policy:Policy.t ->
   Func.t ->
   Alloc.result * Analysis.outcome
+  [@@deprecated "Use Tdfa.Driver.run (Unallocated _)."]
 (** The one-shot batch entry point: allocate registers with [policy],
-    then {!run_post_ra} on the rewritten function. Pure — every knob is
-    an argument, nothing is read from global state — so independent calls
-    can run on separate domains and a call is reproducible from its
-    arguments alone. *)
+    then analyse the rewritten function. Pure — every knob is an
+    argument — so independent calls can run on separate domains.
+    @deprecated Use [Tdfa.Driver.run] with an [Unallocated] input. *)
 
 val allocate_and_run_with_recovery :
   ?params:Params.t ->
@@ -57,7 +65,9 @@ val allocate_and_run_with_recovery :
   policy:Policy.t ->
   Func.t ->
   Alloc.result * Analysis.recovery
-(** {!allocate_and_run} under the divergence-recovery ladder. *)
+  [@@deprecated "Use Tdfa.Driver.run (Unallocated _) with recover = true."]
+(** [allocate_and_run] under the divergence-recovery ladder.
+    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)
 
 val run_post_ra_with_recovery :
   ?params:Params.t ->
@@ -68,7 +78,8 @@ val run_post_ra_with_recovery :
   Func.t ->
   Assignment.t ->
   Analysis.recovery
-(** {!run_post_ra} under the divergence-recovery ladder
-    ({!Analysis.run_with_recovery}): configs at coarser granularities are
-    rebuilt from the same function and assignment. Default granularity
-    is 1. *)
+  [@@deprecated "Use Tdfa.Driver.run (Assigned _) with recover = true."]
+(** [run_post_ra] under the divergence-recovery ladder: configs at
+    coarser granularities are rebuilt from the same function and
+    assignment. Default granularity is 1.
+    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)

@@ -3,6 +3,7 @@ open Tdfa_floorplan
 open Tdfa_thermal
 open Tdfa_regalloc
 open Tdfa_core
+open Tdfa_obs
 
 type spec = {
   policy : Policy.t;
@@ -127,32 +128,50 @@ let fingerprint outcome =
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
-let analyze_keyed ~layout ~key spec job =
+(* The facade owns the run wiring: one config per job, the engine's
+   sink threaded through so allocation and fixpoint telemetry land on
+   the same timeline as the pool's own spans. *)
+let driver_config ~obs ~layout spec =
+  {
+    (Tdfa.Driver.default ~layout) with
+    Tdfa.Driver.settings = spec.settings;
+    policy = spec.policy;
+    recover = spec.recover;
+    granularity = spec.granularity;
+    params = spec.params;
+    analysis_dt_s = spec.analysis_dt_s;
+    obs;
+  }
+
+let analyze_keyed ~obs ~layout ~key spec job =
   let t0 = now_ms () in
-  (match Tdfa_verify.Check.func job.func with
+  (* The verify gate: structurally broken IR fails the job before the
+     allocator or the analysis can trip over it. *)
+  (match
+     Obs.span obs "engine.verify"
+       ~args:[ ("job", Obs.Str job.job_name) ]
+       (fun () -> Tdfa_verify.Check.func job.func)
+   with
    | [] -> ()
    | d :: _ as ds ->
+     Obs.incr obs "engine.verify.rejections";
      failwith
        (Printf.sprintf "IR verification failed (%d violations), first: %s"
           (List.length ds)
           (Tdfa_verify.Check.to_string d)));
-  let alloc, outcome, rung =
-    if spec.recover then begin
-      let alloc, r =
-        Setup.allocate_and_run_with_recovery ~params:spec.params
-          ~granularity:spec.granularity ?analysis_dt_s:spec.analysis_dt_s
-          ~settings:spec.settings ~layout ~policy:spec.policy job.func
-      in
-      (alloc, r.Analysis.outcome, Analysis.fallback_name r.Analysis.used)
-    end
-    else begin
-      let alloc, outcome =
-        Setup.allocate_and_run ~params:spec.params
-          ~granularity:spec.granularity ?analysis_dt_s:spec.analysis_dt_s
-          ~settings:spec.settings ~layout ~policy:spec.policy job.func
-      in
-      (alloc, outcome, Analysis.fallback_name Analysis.Primary)
-    end
+  let r =
+    Tdfa.Driver.run
+      (driver_config ~obs ~layout spec)
+      (Tdfa.Driver.Unallocated job.func)
+  in
+  let alloc =
+    match r.Tdfa.Driver.alloc with Some a -> a | None -> assert false
+  in
+  let outcome = r.Tdfa.Driver.outcome in
+  let rung =
+    match r.Tdfa.Driver.recovery with
+    | Some rec_ -> Analysis.fallback_name rec_.Analysis.used
+    | None -> Analysis.fallback_name Analysis.Primary
   in
   let info = Analysis.info outcome in
   {
@@ -173,8 +192,8 @@ let analyze_keyed ~layout ~key spec job =
     wall_ms = now_ms () -. t0;
   }
 
-let analyze_job ~layout spec job =
-  analyze_keyed ~layout ~key:(digest_key ~layout spec job.func) spec job
+let analyze_job ?(obs = Obs.null) ~layout spec job =
+  analyze_keyed ~obs ~layout ~key:(digest_key ~layout spec job.func) spec job
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
@@ -202,7 +221,7 @@ module Cache = struct
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-  let find t key =
+  let find ?(obs = Obs.null) t key =
     locked t (fun () ->
         match t.backend with
         | Memory tbl -> Hashtbl.find_opt tbl key
@@ -213,10 +232,26 @@ module Cache = struct
             try
               In_channel.with_open_bin path (fun ic ->
                   let m, (r : report) = Marshal.from_channel ic in
-                  if String.equal m magic then Some r else None)
-            with _ -> None))
+                  if String.equal m magic then begin
+                    Obs.instant obs "engine.cache.read"
+                      ~args:[ ("key", Obs.Str key) ];
+                    Some r
+                  end
+                  else begin
+                    (* A different format version reads as a miss. *)
+                    Obs.instant obs "engine.cache.stale"
+                      ~args:[ ("key", Obs.Str key) ];
+                    Obs.incr obs "engine.cache.stale";
+                    None
+                  end)
+            with _ ->
+              (* Unreadable / torn entry: also a miss, never an abort. *)
+              Obs.instant obs "engine.cache.torn"
+                ~args:[ ("key", Obs.Str key) ];
+              Obs.incr obs "engine.cache.torn";
+              None))
 
-  let store t key r =
+  let store ?(obs = Obs.null) t key r =
     let r = { r with source = Computed } in
     locked t (fun () ->
         match t.backend with
@@ -228,7 +263,10 @@ module Cache = struct
             in
             Out_channel.with_open_bin tmp (fun oc ->
                 Marshal.to_channel oc (magic, r) []);
-            Sys.rename tmp (path_of dir key)
+            Sys.rename tmp (path_of dir key);
+            Obs.instant obs "engine.cache.write"
+              ~args:[ ("key", Obs.Str key) ];
+            Obs.incr obs "engine.cache.writes"
           with Sys_error _ -> ()))
 end
 
@@ -236,27 +274,53 @@ end
 (* The pool                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_cached ?cache ~layout spec job =
+let run_cached ?(obs = Obs.null) ?cache ~layout spec job =
   let key = digest_key ~layout spec job.func in
-  match Option.bind cache (fun c -> Cache.find c key) with
-  | Some r -> { r with name = job.job_name; source = Cache_hit; wall_ms = 0.0 }
+  match Option.bind cache (fun c -> Cache.find ~obs c key) with
+  | Some r ->
+    Obs.incr obs "engine.cache.hits";
+    Obs.instant obs "engine.cache.hit"
+      ~args:[ ("job", Obs.Str job.job_name); ("key", Obs.Str key) ];
+    { r with name = job.job_name; source = Cache_hit; wall_ms = 0.0 }
   | None ->
-    let r = analyze_keyed ~layout ~key spec job in
-    Option.iter (fun c -> Cache.store c key r) cache;
+    if cache <> None then begin
+      Obs.incr obs "engine.cache.misses";
+      Obs.instant obs "engine.cache.miss"
+        ~args:[ ("job", Obs.Str job.job_name); ("key", Obs.Str key) ]
+    end;
+    let r = analyze_keyed ~obs ~layout ~key spec job in
+    Option.iter (fun c -> Cache.store ~obs c key r) cache;
     r
 
-let run_batch ?(jobs = 1) ?cache ~layout spec job_list =
+let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ~layout spec job_list =
   let t0 = now_ms () in
+  let batch_t0_us = Obs.now_us obs in
   let queue = Array.of_list job_list in
   let n = Array.length queue in
   let results = Array.make n (Error "not run") in
   let run i =
     let job = queue.(i) in
-    results.(i) <-
-      (match run_cached ?cache ~layout spec job with
-       | r -> Ok r
-       | exception Failure msg -> Error msg
-       | exception e -> Error (Printexc.to_string e))
+    (* Every job was submitted when the batch started; the time until a
+       worker claims it is its queue wait. Recorded retroactively as a
+       Complete span so the trace shows wait and run per job. *)
+    let claimed_us = Obs.now_us obs in
+    if Obs.tracing obs then
+      Obs.complete obs
+        ~args:[ ("job", Obs.Str job.job_name) ]
+        ~name:"engine.job.wait" ~ts_us:batch_t0_us
+        ~dur_us:(claimed_us -. batch_t0_us) ();
+    Obs.observe obs "engine.job.queue_wait_ms"
+      ((claimed_us -. batch_t0_us) /. 1.0e3);
+    Obs.span obs "engine.job"
+      ~args:[ ("job", Obs.Str job.job_name); ("index", Obs.Int i) ]
+      (fun () ->
+        results.(i) <-
+          (match run_cached ~obs ?cache ~layout spec job with
+           | r ->
+             Obs.observe obs "engine.job.wall_ms" r.wall_ms;
+             Ok r
+           | exception Failure msg -> Error msg
+           | exception e -> Error (Printexc.to_string e)))
   in
   (* Work queue: workers claim the next unclaimed index until drained.
      Every job is independent and deterministic, so the claim order
@@ -294,11 +358,18 @@ let run_batch ?(jobs = 1) ?cache ~layout spec job_list =
         (job.job_name, results.(i)))
       job_list
   in
+  let wall_ms = now_ms () -. t0 in
+  (* Batch-level stats live in the metrics registry, not on stderr: a
+     Null sink means a silent run, a metrics sink renders the table. *)
+  Obs.incr obs ~by:n "engine.jobs";
+  Obs.incr obs ~by:!failed "engine.failed";
+  Obs.gauge obs "engine.domains" (float_of_int domains);
+  Obs.observe obs "engine.batch.wall_ms" wall_ms;
   {
     results;
     hits = !hits;
     misses = !misses;
     failed = !failed;
     domains;
-    wall_ms = now_ms () -. t0;
+    wall_ms;
   }

@@ -30,6 +30,7 @@ open Tdfa_floorplan
 open Tdfa_thermal
 open Tdfa_regalloc
 open Tdfa_core
+open Tdfa_obs
 
 (** {1 Job specification} *)
 
@@ -115,20 +116,44 @@ module Cache : sig
       concurrent batches sharing a directory never observe a torn
       entry. *)
 
-  val find : t -> string -> report option
-  val store : t -> string -> report -> unit
+  val find : ?obs:Obs.sink -> t -> string -> report option
+  (** Look up a key. [obs] (default [Obs.null]) receives one
+      [engine.cache.read] instant per on-disk probe, plus
+      [engine.cache.stale] / [engine.cache.torn] instants (and matching
+      counters) when an entry is discarded for a format-version
+      mismatch or a corrupt file. *)
+
+  val store : ?obs:Obs.sink -> t -> string -> report -> unit
+  (** Insert a report. On-disk stores emit one [engine.cache.write]
+      instant (and bump the [engine.cache.writes] counter) through
+      [obs] after the atomic rename. *)
 end
 
 (** {1 Running} *)
 
-val analyze_job : layout:Layout.t -> spec -> job -> report
+val analyze_job : ?obs:Obs.sink -> layout:Layout.t -> spec -> job -> report
 (** Verify, allocate and analyse one job on the calling domain, no
-    cache. @raise Failure when the IR fails verification. *)
+    cache. The verification gate runs inside an [engine.verify] span
+    (rejections count [engine.verify.rejections]); allocation and the
+    fixpoint are delegated to {!Tdfa_core.Driver.run} with the same
+    [obs], so the job's trace nests driver, regalloc and fixpoint
+    spans. @raise Failure when the IR fails verification. *)
 
 val run_batch :
+  ?obs:Obs.sink ->
   ?jobs:int -> ?cache:Cache.t -> layout:Layout.t -> spec -> job list -> batch
 (** Run every job and collect reports in submission order. [jobs]
     (default 1) bounds the domain-pool size; it is clamped to the batch
     length. Jobs are drained from a shared queue, each job is looked up
     in [cache] first, and a failing job (verifier rejection, allocator
-    failure) is reported in place without aborting the batch. *)
+    failure) is reported in place without aborting the batch.
+
+    Scheduling telemetry goes to [obs] (default [Obs.null], i.e.
+    silence): per job one [engine.job.wait] Complete span (submission
+    to claim), one [engine.job] span around the work, and the
+    [engine.cache.hits] / [engine.cache.misses] counters; per batch the
+    [engine.jobs] / [engine.failed] counters, the [engine.domains]
+    gauge and the [engine.job.wall_ms] / [engine.batch.wall_ms]
+    histograms. With a {!Obs.null} sink the batch writes nothing to
+    stderr — stats rendering is the caller's choice via
+    {!Obs.print_metrics}. *)

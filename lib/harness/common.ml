@@ -26,7 +26,7 @@ let run_policy ?(layout = standard_layout) ~name func policy =
   let alloc = Alloc.allocate func layout ~policy in
   let outcome = Interp.run_func alloc.Alloc.func in
   let measured =
-    Driver.steady_temps model outcome.Interp.trace ~cell_of_var:(cell_fn alloc)
+    Tdfa_exec.Driver.steady_temps model outcome.Interp.trace ~cell_of_var:(cell_fn alloc)
   in
   {
     kernel = name;
@@ -37,8 +37,24 @@ let run_policy ?(layout = standard_layout) ~name func policy =
     metrics = Metrics.summarize layout measured;
   }
 
+(* Facade-based equivalent of the retired [Setup.run_post_ra] shape the
+   harness used everywhere: analyse an already-allocated function. *)
+let analyze_assigned ?granularity ?settings ?analysis_dt_s
+    ?(layout = standard_layout) func assignment =
+  let base = Driver.default ~layout in
+  let cfg =
+    {
+      base with
+      Driver.granularity =
+        Option.value granularity ~default:base.Driver.granularity;
+      settings = Option.value settings ~default:base.Driver.settings;
+      analysis_dt_s;
+    }
+  in
+  (Driver.run cfg (Driver.Assigned (func, assignment))).Driver.outcome
+
 let analyze_run ?granularity ?settings ?(layout = standard_layout) run =
-  Setup.run_post_ra ?granularity ?settings ~layout run.alloc.Alloc.func
+  analyze_assigned ?granularity ?settings ~layout run.alloc.Alloc.func
     run.alloc.Alloc.assignment
 
 let predicted_cells info = Thermal_state.to_cell_array (Analysis.mean_map info)

@@ -28,6 +28,17 @@ val run_policy : ?layout:Layout.t -> name:string -> Func.t -> Policy.t -> run
 
 val cell_fn : Alloc.result -> Var.t -> int option
 
+val analyze_assigned :
+  ?granularity:int ->
+  ?settings:Analysis.settings ->
+  ?analysis_dt_s:float ->
+  ?layout:Layout.t ->
+  Func.t ->
+  Assignment.t ->
+  Analysis.outcome
+(** Post-assignment thermal data-flow analysis via the {!Driver}
+    facade (the shape the retired [Setup.run_post_ra] had). *)
+
 val analyze_run :
   ?granularity:int ->
   ?settings:Analysis.settings ->

@@ -133,7 +133,7 @@ let fig2 ?(quiet = false) () =
             { Analysis.default_settings with Analysis.delta_k; max_iterations = 500 }
           in
           let outcome =
-            Setup.run_post_ra ~settings ~layout:Common.standard_layout
+            Common.analyze_assigned ~settings ~layout:Common.standard_layout
               alloc.Alloc.func alloc.Alloc.assignment
           in
           let info = Analysis.info outcome in
@@ -164,7 +164,7 @@ let fig2 ?(quiet = false) () =
     { Analysis.default_settings with Analysis.delta_k = 0.05; max_iterations = 50 }
   in
   let outcome =
-    Setup.run_post_ra ~analysis_dt_s:1.0e-4 ~settings
+    Common.analyze_assigned ~analysis_dt_s:1.0e-4 ~settings
       ~layout:Common.standard_layout alloc.Alloc.func alloc.Alloc.assignment
   in
   let info = Analysis.info outcome in
@@ -363,7 +363,7 @@ type e6_row = {
 let measure_with_assignment func assignment =
   let outcome = Interp.run_func func in
   let measured =
-    Driver.steady_temps Common.standard_model outcome.Interp.trace
+    Tdfa_exec.Driver.steady_temps Common.standard_model outcome.Interp.trace
       ~cell_of_var:(fun v -> Assignment.cell_of_var assignment v)
   in
   (outcome.Interp.cycles, measured, Metrics.summarize Common.standard_layout measured)
@@ -535,7 +535,7 @@ let e7 ?(quiet = false) () =
         (* Pre-allocation prediction: original function, predicted
            placement. *)
         let cfg = Placement.config_pre_ra ~layout:Common.standard_layout func in
-        let pre_info = Analysis.info (Analysis.run cfg func) in
+        let pre_info = Analysis.info (Analysis.fixpoint cfg func) in
         let pre = Common.predicted_cells pre_info in
         let post_rep =
           Accuracy.compare_fields ~predicted:post ~measured:run.Common.measured
@@ -661,7 +661,7 @@ let e10 ?(quiet = false) () =
           Array.init 64 (fun c -> List.mem (bank_of c) active)
         in
         let temps =
-          Driver.steady_temps ~leak_mask:mask Common.standard_model
+          Tdfa_exec.Driver.steady_temps ~leak_mask:mask Common.standard_model
             outcome.Interp.trace
             ~cell_of_var:(fun v -> Assignment.cell_of_var alloc.Alloc.assignment v)
         in
@@ -769,7 +769,7 @@ let e12 ?(quiet = false) () =
     in
     fun i ->
       let reads, writes = w.(i mod Array.length w) in
-      Driver.power_of_counts params ~window_cycles ~reads ~writes
+      Tdfa_exec.Driver.power_of_counts params ~window_cycles ~reads ~writes
   in
   let trigger_k = 328.0 in
   let baseline = Common.run_policy ~name:"fir" (Kernels.fir ()) Policy.First_fit in
@@ -863,13 +863,13 @@ let e13 ?(quiet = false) () =
   in
   let outcome = Interp.run program "main" in
   let measured =
-    Driver.steady_temps Common.standard_model outcome.Interp.trace
+    Tdfa_exec.Driver.steady_temps Common.standard_model outcome.Interp.trace
       ~cell_of_var:(fun v -> Assignment.cell_of_var union v)
   in
   (* Naive: analyse main alone; its calls contribute nothing. *)
   let main_func = Tdfa_ir.Program.main program in
   let naive_outcome =
-    Setup.run_post_ra ~layout:Common.standard_layout main_func
+    Common.analyze_assigned ~layout:Common.standard_layout main_func
       (assignment_of main_func)
   in
   let naive = Common.predicted_cells (Analysis.info naive_outcome) in
@@ -1009,7 +1009,7 @@ let e15 ?(quiet = false) () =
           let phase = w mod period in
           if phase < burst_windows then begin
             let reads, writes = windows.(phase mod Array.length windows) in
-            Driver.power_of_counts params ~window_cycles ~reads ~writes
+            Tdfa_exec.Driver.power_of_counts params ~window_cycles ~reads ~writes
           end
           else Array.make 64 0.0
         in

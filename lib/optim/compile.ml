@@ -13,6 +13,7 @@ type options = {
   granularity : int;
   settings : Analysis.settings;
   checks : Pipeline.checks option;
+  obs : Tdfa_obs.Obs.sink;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     granularity = 1;
     settings = Analysis.default_settings;
     checks = None;
+    obs = Tdfa_obs.Obs.null;
   }
 
 type result = {
@@ -37,15 +39,24 @@ type result = {
   steps : Pipeline.step list;
 }
 
+let driver_config opts ~layout =
+  {
+    (Driver.default ~layout) with
+    Driver.granularity = opts.granularity;
+    settings = opts.settings;
+    policy = opts.policy;
+    obs = opts.obs;
+  }
+
 let analyze_with opts ~layout func assignment =
-  Setup.run_post_ra ~granularity:opts.granularity ~settings:opts.settings
-    ~layout func assignment
+  (Driver.run (driver_config opts ~layout) (Driver.Assigned (func, assignment)))
+    .Driver.outcome
 
 let run ?(options = default_options) ~layout func =
   let opts = options in
   (* Under [opts.checks] every pass's output is verified and the policy
      decides whether a violating pass aborts, warns or degrades. *)
-  let apply t = Pipeline.apply ?checks:opts.checks t in
+  let apply t = Pipeline.apply ~obs:opts.obs ?checks:opts.checks t in
   let t = Pipeline.start func in
   let t =
     if opts.cleanup then
@@ -67,7 +78,10 @@ let run ?(options = default_options) ~layout func =
   in
   (* Scout analysis on a throwaway first-fit allocation: which variables
      feed the predicted hot spots? *)
-  let scout = Alloc.allocate t.Pipeline.func layout ~policy:Policy.First_fit in
+  let scout =
+    Alloc.allocate ~obs:opts.obs t.Pipeline.func layout
+      ~policy:Policy.First_fit
+  in
   let scout_outcome =
     analyze_with opts ~layout scout.Alloc.func scout.Alloc.assignment
   in
@@ -103,7 +117,9 @@ let run ?(options = default_options) ~layout func =
     else t
   in
   (* Final allocation under the thermal policy. *)
-  let alloc = Alloc.allocate t.Pipeline.func layout ~policy:opts.policy in
+  let alloc =
+    Alloc.allocate ~obs:opts.obs t.Pipeline.func layout ~policy:opts.policy
+  in
   let assignment = alloc.Alloc.assignment in
   let t = { t with Pipeline.func = alloc.Alloc.func } in
   (* Thermal-aware scheduling against the real assignment. *)

@@ -22,6 +22,9 @@ type options = {
   settings : Analysis.settings;
   checks : Pipeline.checks option;
       (** when set, every pass runs checked under the given policy *)
+  obs : Tdfa_obs.Obs.sink;
+      (** observability sink threaded through every pass, allocation
+          and analysis (default [Obs.null]) *)
 }
 
 val default_options : options

@@ -1,5 +1,6 @@
 open Tdfa_ir
 open Tdfa_dataflow
+open Tdfa_obs
 
 type violation_policy = Fail | Warn | Degrade
 
@@ -14,6 +15,12 @@ type checks = {
 }
 
 let checks ?(verify = Tdfa_verify.Check.func) policy = { policy; verify }
+
+let checks_of_checked = function
+  | Tdfa_core.Driver.Unchecked -> None
+  | Tdfa_core.Driver.Check_fail -> Some (checks Fail)
+  | Tdfa_core.Driver.Check_warn -> Some (checks Warn)
+  | Tdfa_core.Driver.Check_degrade -> Some (checks Degrade)
 
 exception
   Verification_failed of {
@@ -56,31 +63,69 @@ let step ?(status = Applied) ?(diagnostics = []) ~pass ~detail func =
 
 let start func = { func; steps = [ step ~pass:"original" ~detail:"" func ] }
 
-let apply ?checks t ~name ~detail f =
-  let func = f t.func in
-  match checks with
-  | None -> { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
-  | Some { policy; verify } -> (
-    match verify func with
-    | [] -> { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
-    | diagnostics -> (
-      match policy with
-      | Fail -> raise (Verification_failed { pass = name; diagnostics })
-      | Warn ->
-        {
-          func;
-          steps =
-            t.steps @ [ step ~status:Warned ~diagnostics ~pass:name ~detail func ];
-        }
-      | Degrade ->
-        (* Discard the pass: continue from the pre-pass IR, keeping the
-           skip (and why) in the step log. *)
-        {
-          func = t.func;
-          steps =
-            t.steps
-            @ [ step ~status:Skipped ~diagnostics ~pass:name ~detail t.func ];
-        }))
+let status_name = function
+  | Applied -> "applied"
+  | Warned -> "warned"
+  | Skipped -> "skipped"
+
+let apply ?(obs = Obs.null) ?checks t ~name ~detail f =
+  let finish t' =
+    (* One record per pass boundary: outcome, diagnostics count and the
+       cycle estimate the cost accounting just computed. *)
+    (match t'.steps with
+     | [] -> ()
+     | steps ->
+       let s = List.nth steps (List.length steps - 1) in
+       Obs.incr obs "pipeline.passes";
+       if s.status = Skipped then Obs.incr obs "pipeline.skipped";
+       if Obs.tracing obs then
+         Obs.instant obs "pipeline.pass"
+           ~args:
+             [
+               ("pass", Obs.Str s.pass);
+               ("detail", Obs.Str s.detail);
+               ("status", Obs.Str (status_name s.status));
+               ("violations", Obs.Int (List.length s.diagnostics));
+               ("cycles_after", Obs.Float s.cycles_after);
+             ]);
+    t'
+  in
+  Obs.span obs "pipeline.apply"
+    ~args:[ ("pass", Obs.Str name) ]
+    (fun () ->
+      let func = f t.func in
+      match checks with
+      | None ->
+        finish { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+      | Some { policy; verify } -> (
+        match Obs.span obs "pipeline.verify"
+                ~args:[ ("pass", Obs.Str name) ]
+                (fun () -> verify func)
+        with
+        | [] ->
+          finish { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+        | diagnostics -> (
+          match policy with
+          | Fail -> raise (Verification_failed { pass = name; diagnostics })
+          | Warn ->
+            finish
+              {
+                func;
+                steps =
+                  t.steps
+                  @ [ step ~status:Warned ~diagnostics ~pass:name ~detail func ];
+              }
+          | Degrade ->
+            (* Discard the pass: continue from the pre-pass IR, keeping the
+               skip (and why) in the step log. *)
+            finish
+              {
+                func = t.func;
+                steps =
+                  t.steps
+                  @ [ step ~status:Skipped ~diagnostics ~pass:name ~detail
+                        t.func ];
+              })))
 
 let skipped_passes t =
   List.filter_map

@@ -10,6 +10,7 @@
     into a logged no-op instead of a downstream interpreter crash. *)
 
 open Tdfa_ir
+open Tdfa_obs
 
 type violation_policy =
   | Fail  (** raise {!Verification_failed} on the first bad pass *)
@@ -28,6 +29,11 @@ val checks :
   violation_policy -> checks
 (** Default [verify] is {!Tdfa_verify.Check.func} (CFG integrity,
     definite assignment, spill-slot balance). *)
+
+val checks_of_checked : Tdfa_core.Driver.checked_policy -> checks option
+(** Bridge from the facade's configuration record: [Unchecked] means no
+    per-pass verification, the other constructors map onto
+    {!violation_policy} with the default verifier. *)
 
 exception
   Verification_failed of {
@@ -53,8 +59,15 @@ type t = { func : Func.t; steps : step list }
 
 val start : Func.t -> t
 
-val apply : ?checks:checks -> t -> name:string -> detail:string -> (Func.t -> Func.t) -> t
-(** Without [checks] this is the classic unchecked application.
+val apply :
+  ?obs:Obs.sink ->
+  ?checks:checks ->
+  t -> name:string -> detail:string -> (Func.t -> Func.t) -> t
+(** Without [checks] this is the classic unchecked application. [obs]
+    (default [Obs.null]) receives a [pipeline.apply] span around the
+    pass (and a [pipeline.verify] span around its verification), one
+    [pipeline.pass] event per boundary with the outcome and the cycle
+    estimate, and the [pipeline.passes] / [pipeline.skipped] counters.
     @raise Verification_failed under the [Fail] policy. *)
 
 val skipped_passes : t -> string list

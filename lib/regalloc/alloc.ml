@@ -1,5 +1,6 @@
 open Tdfa_ir
 open Tdfa_dataflow
+open Tdfa_obs
 
 type result = {
   func : Func.t;
@@ -14,7 +15,9 @@ let default_weights func =
   let loops = Loops.analyze func in
   fun v -> Use_def.weighted_access_count ud loops v
 
-let allocate ?(max_rounds = 16) ?weights func layout ~policy =
+let allocate ?(obs = Obs.null) ?(max_rounds = 16) ?weights func layout ~policy
+    =
+  let round_args round = [ ("round", Obs.Int round) ] in
   let rec attempt func all_spilled round =
     if round > max_rounds then
       failwith
@@ -23,10 +26,20 @@ let allocate ?(max_rounds = 16) ?weights func layout ~policy =
     let weights =
       match weights with Some w -> w | None -> default_weights func
     in
-    let liveness = Liveness.analyze func in
-    let graph = Interference.build func liveness in
-    let outcome = Coloring.run graph layout ~policy ~weights in
-    if Var.Set.is_empty outcome.Coloring.spilled then
+    let liveness =
+      Obs.span obs "regalloc.liveness" ~args:(round_args round) (fun () ->
+          Liveness.analyze func)
+    in
+    let graph =
+      Obs.span obs "regalloc.interference" ~args:(round_args round)
+        (fun () -> Interference.build func liveness)
+    in
+    let outcome =
+      Obs.span obs "regalloc.coloring" ~args:(round_args round) (fun () ->
+          Coloring.run graph layout ~policy ~weights)
+    in
+    if Var.Set.is_empty outcome.Coloring.spilled then begin
+      Obs.observe obs "regalloc.rounds" (float_of_int round);
       {
         func;
         assignment = outcome.Coloring.assignment;
@@ -34,13 +47,21 @@ let allocate ?(max_rounds = 16) ?weights func layout ~policy =
         rounds = round;
         max_pressure = Liveness.max_pressure liveness;
       }
-    else
+    end
+    else begin
+      Obs.incr obs
+        ~by:(Var.Set.cardinal outcome.Coloring.spilled)
+        "regalloc.spilled_vars";
       let func =
-        Spill.rewrite
-          ~slot_base:(Var.Set.cardinal all_spilled)
-          func outcome.Coloring.spilled
+        Obs.span obs "regalloc.spill" ~args:(round_args round) (fun () ->
+            Spill.rewrite
+              ~slot_base:(Var.Set.cardinal all_spilled)
+              func outcome.Coloring.spilled)
       in
-      attempt func (Var.Set.union all_spilled outcome.Coloring.spilled) (round + 1)
+      attempt func
+        (Var.Set.union all_spilled outcome.Coloring.spilled)
+        (round + 1)
+    end
   in
   attempt func Var.Set.empty 1
 

@@ -3,6 +3,7 @@
 
 open Tdfa_ir
 open Tdfa_floorplan
+open Tdfa_obs
 
 type result = {
   func : Func.t;  (** possibly rewritten with spill code *)
@@ -17,13 +18,19 @@ val default_weights : Func.t -> Var.t -> float
     {!Use_def.weighted_access_count}). *)
 
 val allocate :
+  ?obs:Obs.sink ->
   ?max_rounds:int ->
   ?weights:(Var.t -> float) ->
   Func.t ->
   Layout.t ->
   policy:Policy.t ->
   result
-(** @raise Failure when spilling does not reach a colouring within
+(** [obs] (default [Obs.null]) receives one span per allocation phase
+    and round — [regalloc.liveness], [regalloc.interference],
+    [regalloc.coloring], [regalloc.spill] — plus the
+    [regalloc.spilled_vars] counter and the [regalloc.rounds]
+    histogram.
+    @raise Failure when spilling does not reach a colouring within
     [max_rounds] (default 16) — in practice only possible if the register
     file is degenerately small. *)
 

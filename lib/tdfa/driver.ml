@@ -1,0 +1,6 @@
+(* The public face of the analysis stack: [Tdfa.Driver.run] over one
+   [Tdfa.Driver.config]. The implementation lives in [Tdfa_core.Driver]
+   (it must sit below [Setup] so the deprecated wrappers can delegate to
+   it); this re-export is the name everything outside the core calls. *)
+
+include Tdfa_core.Driver

@@ -1,0 +1,4 @@
+(* Re-export so facade users write [Tdfa.Obs.chrome_trace] etc. without
+   a second library dependency. *)
+
+include Tdfa_obs.Obs

@@ -24,13 +24,26 @@ analysis results; scheduling and timing go to stderr).
   idct_row       converged   13 iter  peak  335.72 K  mean  324.35 K  pressure 22  spilled  0  b366512200ce
 
 The content-addressed cache turns a repeated run into pure hits, and the
-cached output is byte-identical to the computed one.
+cached output is byte-identical to the computed one. Without --metrics
+the runs are silent on stderr (the old ad-hoc cache chatter is gone);
+cache traffic is observable through the metrics table instead.
 
   $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --cache cdir > cold.out
-  cache: 0 hits, 2 misses
-  $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --cache cdir > warm.out
-  cache: 2 hits, 0 misses
+  $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --cache cdir --metrics \
+  >   > warm.out 2> metrics.err
   $ cmp cold.out warm.out
+  $ grep "engine.cache" metrics.err
+    engine.cache.hits                2
+  $ grep "engine.jobs" metrics.err
+    engine.jobs                      2
+
+--stats is the deprecated alias of --metrics; deterministic counters
+land in the same sorted table.
+
+  $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --stats 2>&1 >/dev/null \
+  >   | grep -E "engine.jobs|analysis.runs"
+    analysis.runs                    2
+    engine.jobs                      2
 
 A corrupt input fails its own job with a verifier diagnostic and a
 nonzero exit, while every other function is still analysed.

@@ -1,0 +1,55 @@
+Observability is opt-in and invisible when off: the default Null sink
+writes nothing to stderr and tracing never changes stdout.
+
+  $ ../../bin/tdfa_cli.exe analyze -k fib > plain.out 2> plain.err
+  $ wc -c < plain.err
+  0
+  $ ../../bin/tdfa_cli.exe analyze -k fib --trace fib.jsonl > traced.out
+  $ cmp plain.out traced.out
+
+The default --trace-format is json: one JSON object per event, one per
+line, carrying explicit span ids and parent links.
+
+  $ jq -s 'length > 0' fib.jsonl
+  true
+
+The fixpoint telemetry is structured: one analysis.iteration event per
+sweep (fib converges in 40, matching the report on stdout), and a
+verdict event with the convergence flag.
+
+  $ grep -c "analysis converged after 40 iterations" traced.out
+  1
+  $ jq -s '[.[] | select(.name == "analysis.iteration")] | length' fib.jsonl
+  40
+  $ jq -s '[.[] | select(.name == "analysis.verdict")][0].args.converged' fib.jsonl
+  true
+
+Spans nest: the analysis fixpoint runs inside the driver.run span.
+
+  $ jq -s '([.[] | select(.name == "driver.run" and .ph == "B")][0].id)
+  >        == ([.[] | select(.name == "analysis.fixpoint" and .ph == "B")][0].parent)' fib.jsonl
+  true
+
+The chrome format is a chrome://tracing-loadable trace_event array. A
+batch over the kernel suite records, per job, the queue wait (a
+retroactive "X" span) and the run (a "B"/"E" pair), plus counter
+samples for the pool totals — and still leaves stdout byte-identical
+and stderr empty.
+
+  $ ../../bin/tdfa_cli.exe batch --kernels --jobs 4 > batch_plain.out
+  $ ../../bin/tdfa_cli.exe batch --kernels --jobs 4 \
+  >   --trace out.json --trace-format chrome > batch_traced.out 2> batch_traced.err
+  $ cmp batch_plain.out batch_traced.out
+  $ wc -c < batch_traced.err
+  0
+  $ jq empty out.json
+  $ jq -r 'type' out.json
+  array
+  $ jq '[.[] | select(.name == "engine.job.wait" and .ph == "X")] | length' out.json
+  16
+  $ jq '[.[] | select(.name == "engine.job" and .ph == "B")] | length' out.json
+  16
+  $ jq '[.[] | select(.name == "analysis.fixpoint" and .ph == "B")] | length' out.json
+  16
+  $ jq '[.[] | select(.name == "engine.jobs" and .ph == "C")] | length' out.json
+  1

@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* Tests of the paper's core contribution: the discretized thermal state,
    the transfer function, the Fig. 2 fixpoint, criticality ranking, the
    predictive placement and the accuracy metrics. *)

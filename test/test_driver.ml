@@ -1,0 +1,179 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   each must be outcome-identical to the corresponding [Driver.run]
+   configuration (the api_redesign contract of DESIGN.md §9). *)
+[@@@alert "-deprecated"]
+
+open Tdfa_workload
+open Tdfa_core
+
+let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 ()
+let gen_small = Generator.gen_func ~max_pool:10 ~max_depth:1 ~max_length:6 ()
+
+(* Coarse + loose settings so a property case costs milliseconds (the
+   cram suite covers the default configuration). *)
+let settings =
+  {
+    Analysis.default_settings with
+    Analysis.delta_k = 0.1;
+    max_iterations = 100;
+  }
+
+let granularity = 2
+
+let base_cfg =
+  {
+    (Driver.default ~layout) with
+    Driver.granularity;
+    settings;
+  }
+
+(* Outcomes compare by the engine's fingerprint: a digest over the
+   convergence status, iteration count and every per-instruction thermal
+   point — two outcomes agree everywhere iff their fingerprints do. *)
+let fp = Tdfa_engine.Engine.fingerprint
+
+let same_recovery (a : Analysis.recovery) (b : Analysis.recovery) =
+  String.equal (fp a.Analysis.outcome) (fp b.Analysis.outcome)
+  && a.Analysis.used = b.Analysis.used
+  && List.length a.Analysis.attempts = List.length b.Analysis.attempts
+  && List.for_all2
+       (fun (x : Analysis.attempt) (y : Analysis.attempt) ->
+         x.Analysis.fallback = y.Analysis.fallback
+         && x.Analysis.iterations = y.Analysis.iterations
+         && x.Analysis.converged = y.Analysis.converged)
+       a.Analysis.attempts b.Analysis.attempts
+
+let assigned f =
+  let alloc = Tdfa_regalloc.Alloc.allocate f layout ~policy:base_cfg.Driver.policy in
+  (alloc.Tdfa_regalloc.Alloc.func, alloc.Tdfa_regalloc.Alloc.assignment)
+
+(* 1. Analysis.run over a prebuilt transfer config. *)
+let prop_analysis_run =
+  QCheck2.Test.make ~name:"facade: Analysis.run == Driver.run (Configured)"
+    ~count:100 gen_small (fun f ->
+      let func, assignment = assigned f in
+      let cfg = Driver.transfer_config base_cfg func assignment in
+      let legacy = Analysis.run ~settings cfg func in
+      let facade = Driver.run base_cfg (Driver.Configured (cfg, func)) in
+      String.equal (fp legacy) (fp facade.Driver.outcome))
+
+(* 2. Analysis.run_with_recovery with a config-rebuilding callback. *)
+let prop_analysis_run_with_recovery =
+  QCheck2.Test.make
+    ~name:"facade: Analysis.run_with_recovery == Driver.run (Custom)"
+    ~count:100 gen_small (fun f ->
+      let func, assignment = assigned f in
+      let config_of ~granularity =
+        Driver.transfer_config
+          { base_cfg with Driver.granularity }
+          func assignment
+      in
+      let legacy =
+        Analysis.run_with_recovery ~settings ~config_of ~granularity func
+      in
+      let facade =
+        Driver.run
+          { base_cfg with Driver.recover = true }
+          (Driver.Custom { config_of; func })
+      in
+      match facade.Driver.recovery with
+      | Some r -> same_recovery legacy r
+      | None -> false)
+
+(* 3. Setup.run_post_ra over an explicit assignment. *)
+let prop_run_post_ra =
+  QCheck2.Test.make ~name:"facade: Setup.run_post_ra == Driver.run (Assigned)"
+    ~count:100 gen_small (fun f ->
+      let func, assignment = assigned f in
+      let legacy =
+        Setup.run_post_ra ~granularity ~settings ~layout func assignment
+      in
+      let facade = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
+      String.equal (fp legacy) (fp facade.Driver.outcome))
+
+(* 4. Setup.run_post_ra_with_recovery. *)
+let prop_run_post_ra_with_recovery =
+  QCheck2.Test.make
+    ~name:"facade: Setup.run_post_ra_with_recovery == recover Assigned"
+    ~count:100 gen_small (fun f ->
+      let func, assignment = assigned f in
+      let legacy =
+        Setup.run_post_ra_with_recovery ~granularity ~settings ~layout func
+          assignment
+      in
+      let facade =
+        Driver.run
+          { base_cfg with Driver.recover = true }
+          (Driver.Assigned (func, assignment))
+      in
+      match facade.Driver.recovery with
+      | Some r -> same_recovery legacy r
+      | None -> false)
+
+(* 5. Setup.allocate_and_run from the raw (unallocated) function. *)
+let prop_allocate_and_run =
+  QCheck2.Test.make
+    ~name:"facade: Setup.allocate_and_run == Driver.run (Unallocated)"
+    ~count:100 gen_small (fun f ->
+      let legacy_alloc, legacy_outcome =
+        Setup.allocate_and_run ~granularity ~settings ~layout
+          ~policy:base_cfg.Driver.policy f
+      in
+      let facade = Driver.run base_cfg (Driver.Unallocated f) in
+      match facade.Driver.alloc with
+      | None -> false
+      | Some alloc ->
+        String.equal (fp legacy_outcome) (fp facade.Driver.outcome)
+        && alloc.Tdfa_regalloc.Alloc.max_pressure
+           = legacy_alloc.Tdfa_regalloc.Alloc.max_pressure
+        && Tdfa_ir.Var.Set.equal alloc.Tdfa_regalloc.Alloc.spilled
+             legacy_alloc.Tdfa_regalloc.Alloc.spilled)
+
+(* 6. Setup.allocate_and_run_with_recovery. *)
+let prop_allocate_and_run_with_recovery =
+  QCheck2.Test.make
+    ~name:"facade: Setup.allocate_and_run_with_recovery == recover Unallocated"
+    ~count:100 gen_small (fun f ->
+      let legacy_alloc, legacy_recovery =
+        Setup.allocate_and_run_with_recovery ~granularity ~settings ~layout
+          ~policy:base_cfg.Driver.policy f
+      in
+      let facade =
+        Driver.run
+          { base_cfg with Driver.recover = true }
+          (Driver.Unallocated f)
+      in
+      match (facade.Driver.alloc, facade.Driver.recovery) with
+      | Some alloc, Some r ->
+        same_recovery legacy_recovery r
+        && alloc.Tdfa_regalloc.Alloc.max_pressure
+           = legacy_alloc.Tdfa_regalloc.Alloc.max_pressure
+      | _ -> false)
+
+(* The facade run is oblivious to the sink: a traced run and a silent
+   run produce identical analyses (observability is write-only). *)
+let prop_obs_transparent =
+  QCheck2.Test.make ~name:"facade: memory-sink run == null-sink run"
+    ~count:100 gen_small (fun f ->
+      let silent = Driver.run base_cfg (Driver.Unallocated f) in
+      let traced =
+        Driver.run
+          { base_cfg with Driver.obs = Tdfa_obs.Obs.memory () }
+          (Driver.Unallocated f)
+      in
+      String.equal (fp silent.Driver.outcome) (fp traced.Driver.outcome))
+
+let suite =
+  [
+    ( "driver.facade",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_analysis_run;
+          prop_analysis_run_with_recovery;
+          prop_run_post_ra;
+          prop_run_post_ra_with_recovery;
+          prop_allocate_and_run;
+          prop_allocate_and_run_with_recovery;
+          prop_obs_transparent;
+        ] );
+  ]

@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* The differential harness for the batch engine: parallel execution and
    the content-addressed cache must be invisible — any [--jobs] and any
    cache state produce exactly the sequential Setup.run_post_ra result.

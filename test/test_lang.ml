@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* Tests of the TC front end: lexer, parser, lowering and end-to-end
    execution of source programs through the whole stack. *)
 

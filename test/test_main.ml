@@ -7,4 +7,5 @@ let () =
    @ Test_core.suite @ Test_interproc.suite @ Test_optim.suite
    @ Test_vliw.suite @ Test_workload.suite @ Test_lang.suite
    @ Test_report.suite @ Test_misc.suite @ Test_properties.suite
-   @ Test_experiments.suite @ Test_verify.suite @ Test_engine.suite)
+   @ Test_experiments.suite @ Test_verify.suite @ Test_engine.suite
+   @ Test_obs.suite @ Test_driver.suite)

@@ -1,0 +1,366 @@
+(* The observability layer's own contract: the Null sink is inert, spans
+   nest with correct parent links, the file backends emit well-formed
+   JSON, the metrics registry renders deterministically, and the
+   fixpoint telemetry agrees with the analysis it narrates. *)
+
+open Tdfa_workload
+open Tdfa_core
+open Tdfa_obs
+
+let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 ()
+
+let fast_settings =
+  {
+    Analysis.default_settings with
+    Analysis.delta_k = 0.1;
+    max_iterations = 100;
+  }
+
+let driver_cfg obs =
+  {
+    (Driver.default ~layout) with
+    Driver.granularity = 2;
+    settings = fast_settings;
+    obs;
+  }
+
+let run_fib obs =
+  Driver.run (driver_cfg obs) (Driver.Unallocated (Kernels.fib ()))
+
+(* Minimal JSON validator — enough of RFC 8259 for what the sinks emit,
+   so the well-formedness tests carry no external dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c ->
+      advance ();
+      true
+    | _ -> false
+  in
+  let literal lit =
+    let m = String.length lit in
+    if !pos + m <= n && String.sub s !pos m = lit then begin
+      pos := !pos + m;
+      true
+    end
+    else false
+  in
+  let digits () =
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' ->
+        advance ();
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ());
+    !pos > start
+  in
+  let rec string_body () =
+    match peek () with
+    | None -> false
+    | Some '"' ->
+      advance ();
+      true
+    | Some '\\' ->
+      advance ();
+      (match peek () with
+       | None -> false
+       | Some _ ->
+         advance ();
+         string_body ())
+    | Some _ ->
+      advance ();
+      string_body ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        true
+      end
+      else members ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        true
+      end
+      else elements ()
+    | Some '"' ->
+      advance ();
+      string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> false
+  and members () =
+    skip_ws ();
+    if not (expect '"') then false
+    else if not (string_body ()) then false
+    else begin
+      skip_ws ();
+      if not (expect ':') then false
+      else if not (value ()) then false
+      else begin
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ()
+        | Some '}' ->
+          advance ();
+          true
+        | _ -> false
+      end
+    end
+  and elements () =
+    if not (value ()) then false
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        elements ()
+      | Some ']' ->
+        advance ();
+        true
+      | _ -> false
+    end
+  in
+  let ok = value () in
+  skip_ws ();
+  ok && !pos = n
+
+let count_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else go (i + 1) (if String.sub s i m = sub then acc + 1 else acc)
+  in
+  go 0 0
+
+let temp_path suffix =
+  Filename.temp_file "tdfa_obs_test" suffix
+
+(* --- Sinks ---------------------------------------------------------------- *)
+
+let test_null_sink_inert () =
+  Alcotest.(check bool) "not tracing" false (Obs.tracing Obs.null);
+  Alcotest.(check bool) "not metering" false (Obs.metering Obs.null);
+  Alcotest.(check int) "span is identity" 42
+    (Obs.span Obs.null "x" (fun () -> 42));
+  Obs.incr Obs.null "c";
+  Obs.gauge Obs.null "g" 1.0;
+  Obs.observe Obs.null "h" 1.0;
+  Obs.instant Obs.null "i";
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events Obs.null));
+  Alcotest.(check int) "no metrics" 0 (List.length (Obs.metrics_rows Obs.null));
+  Obs.close Obs.null;
+  Obs.close Obs.null
+
+let test_span_nesting () =
+  let t = Obs.memory () in
+  let r =
+    Obs.span t "outer" (fun () ->
+        Obs.span t "inner" (fun () ->
+            Obs.instant t "tick";
+            7))
+  in
+  Alcotest.(check int) "value through nested spans" 7 r;
+  let events = Obs.events t in
+  let find name phase =
+    List.find (fun e -> e.Obs.name = name && e.Obs.phase = phase) events
+  in
+  let outer_b = find "outer" Obs.Begin in
+  let inner_b = find "inner" Obs.Begin in
+  let tick = find "tick" Obs.Instant in
+  Alcotest.(check int) "outer is top-level" 0 outer_b.Obs.parent;
+  Alcotest.(check int) "inner nests in outer" outer_b.Obs.id
+    inner_b.Obs.parent;
+  Alcotest.(check int) "instant nests in inner" inner_b.Obs.id
+    tick.Obs.parent;
+  (* Every Begin has its End, with the same span id. *)
+  List.iter
+    (fun name ->
+      let b = find name Obs.Begin and e = find name Obs.End in
+      Alcotest.(check int) (name ^ " end id") b.Obs.id e.Obs.id;
+      Alcotest.(check bool)
+        (name ^ " times ordered")
+        true
+        (e.Obs.ts_us >= b.Obs.ts_us))
+    [ "outer"; "inner" ]
+
+let test_span_end_on_raise () =
+  let t = Obs.memory () in
+  (try
+     Obs.span t "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  let events = Obs.events t in
+  Alcotest.(check bool) "End emitted despite raise" true
+    (List.exists
+       (fun e -> e.Obs.name = "boom" && e.Obs.phase = Obs.End)
+       events)
+
+let test_complete_event () =
+  let t = Obs.memory () in
+  Obs.complete t ~name:"wait" ~ts_us:10.0 ~dur_us:25.0 ();
+  match Obs.events t with
+  | [ e ] ->
+    Alcotest.(check string) "name" "wait" e.Obs.name;
+    (match e.Obs.phase with
+     | Obs.Complete d -> Alcotest.(check (float 1e-9)) "duration" 25.0 d
+     | _ -> Alcotest.fail "not a Complete event");
+    Alcotest.(check (float 1e-9)) "explicit timestamp" 10.0 e.Obs.ts_us
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let t = Obs.metrics_only () in
+  Alcotest.(check bool) "metering" true (Obs.metering t);
+  Alcotest.(check bool) "not tracing" false (Obs.tracing t);
+  Obs.incr t "b.count";
+  Obs.incr t ~by:2 "b.count";
+  Obs.gauge t "a.gauge" 4.5;
+  Obs.observe t "c.hist" 1.0;
+  Obs.observe t "c.hist" 3.0;
+  let rows = Obs.metrics_rows t in
+  Alcotest.(check (list string)) "sorted by name"
+    [ "a.gauge"; "b.count"; "c.hist" ]
+    (List.map fst rows);
+  Alcotest.(check string) "counter total" "3" (List.assoc "b.count" rows);
+  Alcotest.(check string) "gauge value" "4.5" (List.assoc "a.gauge" rows);
+  Alcotest.(check string) "histogram rendering"
+    "count 2  min 1.000  mean 2.000  max 3.000"
+    (List.assoc "c.hist" rows)
+
+(* --- File backends -------------------------------------------------------- *)
+
+let test_chrome_trace_wellformed () =
+  let path = temp_path ".json" in
+  let t = Obs.chrome_trace ~path in
+  let r = run_fib t in
+  Obs.close t;
+  let body = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check bool) "run converged" true
+    (Analysis.converged r.Driver.outcome);
+  Alcotest.(check bool) "valid JSON" true (json_valid body);
+  Alcotest.(check char) "array document" '[' body.[0];
+  Alcotest.(check int) "every B has an E"
+    (count_substring body "\"ph\":\"B\"")
+    (count_substring body "\"ph\":\"E\"");
+  Alcotest.(check bool) "driver span present" true
+    (count_substring body "\"name\":\"driver.run\"" > 0);
+  Alcotest.(check bool) "regalloc span present" true
+    (count_substring body "\"name\":\"regalloc.coloring\"" > 0)
+
+let test_json_lines_wellformed () =
+  let path = temp_path ".jsonl" in
+  let t = Obs.json_file ~path in
+  ignore (run_fib t);
+  Obs.close t;
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty" true (List.length lines > 0);
+  List.iter
+    (fun line ->
+      if not (json_valid line) then
+        Alcotest.failf "invalid JSON line: %s" line)
+    lines
+
+(* --- Fixpoint telemetry --------------------------------------------------- *)
+
+let test_fixpoint_iteration_count () =
+  let t = Obs.memory () in
+  let r = run_fib t in
+  let info = Analysis.info r.Driver.outcome in
+  let events = Obs.events t in
+  let iterations =
+    List.length
+      (List.filter (fun e -> e.Obs.name = "analysis.iteration") events)
+  in
+  Alcotest.(check int) "one iteration event per sweep"
+    info.Analysis.iterations iterations;
+  let verdict =
+    List.find (fun e -> e.Obs.name = "analysis.verdict") events
+  in
+  Alcotest.(check bool) "verdict matches outcome" true
+    (List.assoc "converged" verdict.Obs.args
+     = Obs.Bool (Analysis.converged r.Driver.outcome));
+  Alcotest.(check bool) "iterations histogram recorded" true
+    (List.mem_assoc "analysis.iterations" (Obs.metrics_rows t));
+  Alcotest.(check string) "one analysis run" "1"
+    (List.assoc "analysis.runs" (Obs.metrics_rows t))
+
+let test_recovery_rung_events () =
+  let t = Obs.memory () in
+  let cfg = { (driver_cfg t) with Driver.recover = true } in
+  let r = Driver.run cfg (Driver.Unallocated (Kernels.fib ())) in
+  (match r.Driver.recovery with
+   | Some rec_ ->
+     let rungs =
+       List.length
+         (List.filter
+            (fun e -> e.Obs.name = "analysis.recovery.rung")
+            (Obs.events t))
+     in
+     Alcotest.(check int) "one rung event per attempt"
+       (List.length rec_.Analysis.attempts)
+       rungs
+   | None -> Alcotest.fail "recover = true must produce a recovery log")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "obs",
+      [
+        tc "null sink is inert" `Quick test_null_sink_inert;
+        tc "span nesting and parent links" `Quick test_span_nesting;
+        tc "span End survives a raise" `Quick test_span_end_on_raise;
+        tc "complete (retroactive) events" `Quick test_complete_event;
+        tc "metrics registry renders sorted" `Quick test_metrics_registry;
+        tc "chrome trace is well-formed JSON" `Quick
+          test_chrome_trace_wellformed;
+        tc "json-lines trace is well-formed" `Quick
+          test_json_lines_wellformed;
+        tc "fixpoint telemetry counts iterations" `Quick
+          test_fixpoint_iteration_count;
+        tc "recovery ladder rung events" `Quick test_recovery_rung_events;
+      ] );
+  ]

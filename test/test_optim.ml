@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* Tests of the thermal-aware optimization passes. The central property:
    every pass preserves observable semantics (return value and memory
    below the spill area). *)

@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* The verifier, the fault injector that falsifies it, the checked
    pipeline policies, and the divergence-recovery ladder. *)
 

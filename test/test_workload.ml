@@ -1,3 +1,7 @@
+(* The deprecated pre-facade entry points are exercised on purpose:
+   they must keep working (as wrappers) until removed. *)
+[@@@alert "-deprecated"]
+
 (* Tests of the workload library: every kernel is well-formed and
    executable; the random generator is deterministic, valid and respects
    its pressure knob. *)

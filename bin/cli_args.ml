@@ -78,6 +78,35 @@ let guard k =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Verifier dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The verify and lint subcommands share one question — "allocate first
+   and check the post-RA rules, or check the plain function?" — so the
+   Check.all-vs-Check.func dispatch lives here exactly once. *)
+let allocate_for ~obs ~post_ra ~policy f =
+  if post_ra then begin
+    let alloc =
+      Alloc.allocate ~obs f Tdfa_harness.Common.standard_layout ~policy
+    in
+    (alloc.Alloc.func, Some alloc.Alloc.assignment)
+  end
+  else (f, None)
+
+let check_dispatch ~obs ~post_ra ~policy f =
+  let func, assignment = allocate_for ~obs ~post_ra ~policy f in
+  let diags =
+    match assignment with
+    | Some a ->
+      Tdfa_verify.Check.all ~layout:Tdfa_harness.Common.standard_layout
+        ~assignment:a func
+    | None -> Tdfa_verify.Check.func func
+  in
+  (func, assignment, diags)
+
+let post_ra_arg ~doc = Arg.(value & flag & info [ "post-ra" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
 (* Analysis knobs                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -160,8 +189,79 @@ let on_violation_arg =
               fail (abort), warn (keep the pass), or degrade (discard the \
               pass and continue).")
 
-let checks_of checked on_violation =
-  if checked then Some (Tdfa_optim.Pipeline.checks on_violation) else None
+let lint_gate_arg =
+  Arg.(value & flag
+       & info [ "lint-gate" ]
+           ~doc:
+             "Gate every pass on lint cleanliness as well: the per-pass \
+              verification additionally runs the thermal lint rules and \
+              treats error-severity findings as violations (implies \
+              $(b,--checked)).")
+
+let checks_of ?(lint = false) checked on_violation =
+  if lint then
+    Some
+      (Tdfa_lint.Rules.pipeline_checks
+         ~layout:Tdfa_harness.Common.standard_layout on_violation)
+  else if checked then Some (Tdfa_optim.Pipeline.checks on_violation)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rules_arg =
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"LIST"
+         ~doc:
+           "Comma-separated rule selection: bare ids make the run \
+            exclusive to them, a $(b,-) prefix disables a rule (e.g. \
+            $(b,--rules dead-def,redundant-copy) or $(b,--rules \
+            -foldable-constant)). See $(b,--list-rules).")
+
+let severity_override_arg =
+  Arg.(value & opt_all string [] & info [ "severity" ] ~docv:"RULE=LEVEL"
+         ~doc:
+           "Override a rule's severity (repeatable): \
+            $(b,--severity dead-def=error). Levels: info, warn, error.")
+
+let lint_config_arg =
+  Arg.(value & opt (some string) None & info [ "lint-config" ] ~docv:"FILE"
+         ~doc:
+           "Lint configuration file: one $(b,rule = info|warn|error|off) \
+            binding per line, $(b,#) comments. CLI flags are applied on \
+            top of it.")
+
+type lint_format = Text | Sarif
+
+let lint_format_arg =
+  let format_conv = Arg.enum [ ("text", Text); ("sarif", Sarif) ] in
+  Arg.(value & opt format_conv Text & info [ "format" ] ~docv:"FORMAT"
+         ~doc:
+           "Report format: $(b,text) (deterministic table per input) or \
+            $(b,sarif) (one SARIF 2.1 log for the whole invocation).")
+
+let max_severity_arg =
+  let level_conv =
+    Arg.enum
+      [
+        ("none", None);
+        ("info", Some Tdfa_lint.Lint.Info);
+        ("warn", Some Tdfa_lint.Lint.Warn);
+        ("error", Some Tdfa_lint.Lint.Error);
+      ]
+  in
+  Arg.(value & opt level_conv (Some Tdfa_lint.Lint.Warn)
+       & info [ "max-severity" ] ~docv:"LEVEL"
+           ~doc:
+             "Exit-code mapping: exit 1 when any finding is stricter than \
+              $(docv) (default $(b,warn), i.e. only error findings fail \
+              the run; $(b,none) tolerates no findings at all, $(b,error) \
+              always exits 0).")
+
+let list_rules_arg =
+  Arg.(value & flag
+       & info [ "list-rules" ]
+           ~doc:"List the registered rules with their default severities.")
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                        *)

@@ -55,14 +55,10 @@ let verify kernel file policy post_ra obs_req =
                         ("post_ra", Tdfa.Obs.Bool post_ra);
                       ]
                     (fun () ->
-                      if post_ra then begin
-                        let alloc =
-                          Alloc.allocate ~obs f Common.standard_layout ~policy
-                        in
-                        Tdfa_verify.Check.all ~layout:Common.standard_layout
-                          ~assignment:alloc.Alloc.assignment alloc.Alloc.func
-                      end
-                      else Tdfa_verify.Check.func f)
+                      let _, _, diags =
+                        Cli_args.check_dispatch ~obs ~post_ra ~policy f
+                      in
+                      diags)
                 in
                 Tdfa.Obs.incr obs ~by:(List.length diags) "verify.violations";
                 match diags with
@@ -82,6 +78,130 @@ let verify kernel file policy post_ra obs_req =
                   1)))
   in
   if rc <> 0 then exit rc
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let list_lint_rules () =
+  let table =
+    Tdfa_report.Table.create ~headers:[ "rule"; "severity"; "summary" ]
+  in
+  List.iter
+    (fun (r : Tdfa_lint.Lint.rule) ->
+      Tdfa_report.Table.add_row table
+        [
+          r.Tdfa_lint.Lint.id;
+          Tdfa_lint.Lint.severity_name r.Tdfa_lint.Lint.default_severity;
+          r.Tdfa_lint.Lint.summary;
+        ])
+    Tdfa_lint.Rules.all;
+  Tdfa_report.Table.print table
+
+let lint files kernel kernels rules severities lint_config format max_severity
+    post_ra policy list_rules obs_req =
+  if list_rules then list_lint_rules ()
+  else begin
+    let known = Tdfa_lint.Rules.all in
+    let config =
+      let base =
+        match lint_config with
+        | None -> Ok Tdfa_lint.Lint.default_config
+        | Some path -> Tdfa_lint.Lint.config_of_file ~known path
+      in
+      match
+        Result.bind base (fun base ->
+            Tdfa_lint.Lint.config_of_spec ~base ?rules ~severities ~known ())
+      with
+      | Ok c -> c
+      | Error msg ->
+        Printf.eprintf "tdfa: lint: %s\n" msg;
+        exit 2
+    in
+    (* Inputs in the given order: files first, then -k, then (optionally)
+       the whole built-in suite — same shape as batch. *)
+    let loaded =
+      List.map
+        (fun path ->
+          match Cli_args.load_func ~kernel:None ~file:(Some path) with
+          | Ok f -> Ok (Some path, f)
+          | Error msg -> Error (path, msg))
+        files
+    in
+    let loaded =
+      loaded
+      @ (match kernel with
+         | None -> []
+         | Some name -> (
+           match Cli_args.load_func ~kernel:(Some name) ~file:None with
+           | Ok f -> [ Ok (None, f) ]
+           | Error msg -> [ Error (name, msg) ]))
+      @
+      if kernels then
+        List.map (fun (_, f) -> Ok (None, f)) Tdfa_workload.Kernels.all
+      else []
+    in
+    let load_failures =
+      List.filter_map (function Ok _ -> None | Error e -> Some e) loaded
+    in
+    let inputs =
+      List.filter_map (function Ok i -> Some i | Error _ -> None) loaded
+    in
+    if inputs = [] && load_failures = [] then begin
+      Printf.eprintf
+        "tdfa: lint: no inputs (pass files, --kernel or --kernels)\n";
+      exit 2
+    end;
+    let rc =
+      Cli_args.with_obs obs_req (fun obs ->
+          Cli_args.guard (fun () ->
+              let reports =
+                List.map
+                  (fun (uri, f) ->
+                    let func, assignment =
+                      Cli_args.allocate_for ~obs ~post_ra ~policy f
+                    in
+                    let ctx =
+                      Tdfa_lint.Lint.make_ctx ?assignment
+                        ~layout:Common.standard_layout func
+                    in
+                    (uri, func, Tdfa_lint.Lint.run ~obs ~config known ctx))
+                  inputs
+              in
+              (match format with
+               | Cli_args.Text ->
+                 List.iter
+                   (fun (uri, (func : Func.t), findings) ->
+                     let display =
+                       match uri with
+                       | Some path -> Printf.sprintf "%s (%s)" func.Func.name path
+                       | None -> func.Func.name
+                     in
+                     if findings = [] then
+                       Printf.printf "lint %s: clean\n" display
+                     else begin
+                       Printf.printf "lint %s:\n" display;
+                       print_string (Tdfa_lint.Render.to_string findings)
+                     end)
+                   reports
+               | Cli_args.Sarif ->
+                 print_string
+                   (Tdfa_lint.Sarif.render ~rules:known
+                      (List.map (fun (uri, _, fs) -> (uri, fs)) reports)));
+              List.iter
+                (fun (path, msg) ->
+                  Printf.eprintf "tdfa: lint: %s: %s\n" path msg)
+                load_failures;
+              let all_findings =
+                List.concat_map (fun (_, _, fs) -> fs) reports
+              in
+              if load_failures <> [] then 2
+              else if Tdfa_lint.Lint.exceeds ~max:max_severity all_findings
+              then 1
+              else 0))
+    in
+    if rc <> 0 then exit rc
+  end
 
 let simulate kernel file policy =
   Cli_args.with_func kernel file (fun f ->
@@ -181,7 +301,7 @@ let policies kernel file =
         Policy.all;
       Tdfa_report.Table.print table)
 
-let optimize kernel file checked on_violation =
+let optimize kernel file checked lint_gate on_violation =
   Cli_args.with_func kernel file (fun f ->
     Cli_args.guard (fun () ->
       let name = f.Func.name in
@@ -195,7 +315,7 @@ let optimize kernel file checked on_violation =
         Criticality.critical_vars cfg info base.Common.alloc.Alloc.func
           base.Common.alloc.Alloc.assignment
       in
-      let checks = Cli_args.checks_of checked on_violation in
+      let checks = Cli_args.checks_of ~lint:lint_gate checked on_violation in
       let promoted_count = ref 0 and copies_count = ref 0 in
       let t = Tdfa_optim.Pipeline.start f in
       let t =
@@ -218,7 +338,7 @@ let optimize kernel file checked on_violation =
       Printf.printf
         "thermal-aware pipeline on %s: %d loads promoted, %d copies inserted\n\n"
         name !promoted_count !copies_count;
-      if checked then begin
+      if checked || lint_gate then begin
         print_steps t.Tdfa_optim.Pipeline.steps;
         (match Tdfa_optim.Pipeline.skipped_passes t with
          | [] -> ()
@@ -234,7 +354,7 @@ let optimize kernel file checked on_violation =
         m0.Metrics.max_neighbor_gradient_k m1.Metrics.max_neighbor_gradient_k;
       Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles))
 
-let compile kernel file policy granularity checked on_violation =
+let compile kernel file policy granularity checked lint_gate on_violation =
   Cli_args.with_func kernel file (fun f ->
     Cli_args.guard (fun () ->
       let name = f.Func.name in
@@ -242,7 +362,7 @@ let compile kernel file policy granularity checked on_violation =
         { Tdfa_optim.Compile.default_options with
           Tdfa_optim.Compile.policy;
           granularity;
-          checks = Cli_args.checks_of checked on_violation;
+          checks = Cli_args.checks_of ~lint:lint_gate checked on_violation;
         }
       in
       let result =
@@ -250,8 +370,9 @@ let compile kernel file policy granularity checked on_violation =
       in
       Printf.printf "thermal-aware compilation of %s (policy %s%s):\n\n" name
         (Policy.name policy)
-        (if checked then
-           Printf.sprintf ", checked, on-violation=%s"
+        (if checked || lint_gate then
+           Printf.sprintf ", checked%s, on-violation=%s"
+             (if lint_gate then "+lint" else "")
              (Tdfa_optim.Pipeline.policy_name on_violation)
          else "");
       print_steps result.Tdfa_optim.Compile.steps;
@@ -270,6 +391,8 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
     obs_req =
   (* [--stats] is the legacy spelling of [--metrics]: the ad-hoc stderr
      summary it used to print is now the metrics table. *)
+  if stats then
+    Printf.eprintf "tdfa: batch: --stats is deprecated; use --metrics\n";
   let obs_req =
     { obs_req with Cli_args.metrics = obs_req.Cli_args.metrics || stats }
   in
@@ -373,10 +496,11 @@ let experiments id =
     | "e16" -> ignore (Experiments.e16 ())
     | "e17" -> ignore (Experiments.e17 ())
     | "e18" -> ignore (Experiments.e18 ())
+    | "e19" -> ignore (Experiments.e19 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e18, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e19, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -417,11 +541,10 @@ let analyze_cmd =
       $ pre_ra_arg $ Cli_args.recover_arg $ Cli_args.obs_term)
 
 let post_ra_verify_arg =
-  Arg.(value & flag
-       & info [ "post-ra" ]
-           ~doc:
-             "Also allocate registers (with $(b,--policy)) and check the \
-              post-allocation consistency rules.")
+  Cli_args.post_ra_arg
+    ~doc:
+      "Also allocate registers (with $(b,--policy)) and check the \
+       post-allocation consistency rules."
 
 let verify_cmd =
   Cmd.v
@@ -432,6 +555,42 @@ let verify_cmd =
           violation.")
     Term.(const verify $ Cli_args.kernel_arg $ Cli_args.file_arg
           $ Cli_args.policy_arg $ post_ra_verify_arg $ Cli_args.obs_term)
+
+let lint_files_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILES"
+         ~doc:
+           "Input files: textual IR, or TC source when the name ends in \
+            .tc.")
+
+let lint_kernels_arg =
+  Arg.(value & flag
+       & info [ "kernels" ]
+           ~doc:"Also lint the whole built-in kernel suite.")
+
+let lint_post_ra_arg =
+  Cli_args.post_ra_arg
+    ~doc:
+      "Allocate registers first (with $(b,--policy)) and lint the \
+       rewritten function under its real assignment instead of the \
+       predictive placement."
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static thermal and hygiene rules over programs \
+          without running the thermal fixpoint: a cheap pre-screen \
+          that flags thermally risky code (pressure past the \
+          chessboard breakdown, loop-concentrated access density, \
+          clustered hot assignments) plus IR smells. Exit 0 when every \
+          finding is within $(b,--max-severity), 1 otherwise, 2 on \
+          unusable inputs.")
+    Term.(
+      const lint $ lint_files_arg $ Cli_args.kernel_arg $ lint_kernels_arg
+      $ Cli_args.rules_arg $ Cli_args.severity_override_arg
+      $ Cli_args.lint_config_arg $ Cli_args.lint_format_arg
+      $ Cli_args.max_severity_arg $ lint_post_ra_arg $ Cli_args.policy_arg
+      $ Cli_args.list_rules_arg $ Cli_args.obs_term)
 
 let policies_cmd =
   Cmd.v
@@ -444,7 +603,8 @@ let optimize_cmd =
     (Cmd.info "optimize"
        ~doc:"Apply the thermal-aware pass pipeline and report the effect.")
     Term.(const optimize $ Cli_args.kernel_arg $ Cli_args.file_arg
-          $ Cli_args.checked_arg $ Cli_args.on_violation_arg)
+          $ Cli_args.checked_arg $ Cli_args.lint_gate_arg
+          $ Cli_args.on_violation_arg)
 
 let compile_cmd =
   Cmd.v
@@ -455,7 +615,8 @@ let compile_cmd =
           the predicted map.")
     Term.(const compile $ Cli_args.kernel_arg $ Cli_args.file_arg
           $ Cli_args.policy_arg $ Cli_args.granularity_arg
-          $ Cli_args.checked_arg $ Cli_args.on_violation_arg)
+          $ Cli_args.checked_arg $ Cli_args.lint_gate_arg
+          $ Cli_args.on_violation_arg)
 
 let batch_files_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"FILES"
@@ -490,7 +651,7 @@ let batch_cmd =
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e18 or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e19 or all.")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -501,7 +662,7 @@ let main_cmd =
   let doc = "thermal-aware data flow analysis (Ayala/Atienza/Brisk, DAC'09)" in
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
     [
-      list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd;
+      list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd; lint_cmd;
       policies_cmd; optimize_cmd; compile_cmd; verify_cmd; experiments_cmd;
     ]
 

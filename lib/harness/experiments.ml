@@ -1277,6 +1277,128 @@ let e18 ?(quiet = false) ?(jobs_sweep = [ 1; 2; 4 ])
   end;
   (scaling, cache_rows)
 
+type e19_row = {
+  rule : string;
+  flagged : int;
+  tp : int;
+  fp : int;
+  fn : int;
+  precision : float;
+  recall : float;
+}
+
+type e19_result = {
+  corpus : int;
+  hot : int;  (** functions whose fixpoint peak map concentrates heat *)
+  rows : e19_row list;
+}
+
+(* The lint rules are a predictor: "this function will show a hot spot
+   without ever running the thermal fixpoint". E19 scores that claim.
+   Ground truth comes from the real Fig. 2 analysis of each function
+   after a first-fit allocation (the policy that concentrates accesses,
+   i.e. the paper's pathological baseline): a function is hot when the
+   fixpoint peak map crosses [hot_k] anywhere on the RF. The predictor
+   is the pre-RA lint context (predictive placement), exactly what the
+   [lint] subcommand computes. *)
+let e19 ?(quiet = false) ?(n = 120) ?(hot_k = 336.0) () =
+  if not quiet then
+    section
+      "E19 - lint as hot-spot predictor: precision/recall vs the fixpoint \
+       ground truth";
+  let layout = Common.standard_layout in
+  let corpus =
+    QCheck2.Gen.generate
+      ~rand:(Random.State.make [| 0x319 |])
+      ~n
+      (Generator.gen_func ~max_pool:44 ~max_depth:3 ~max_length:10 ())
+  in
+  let thermal = Tdfa_lint.Rules.thermal_ids in
+  let any_id = "any-thermal-rule" in
+  let scored =
+    List.map
+      (fun func ->
+        let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
+        let info =
+          Analysis.info
+            (Common.analyze_assigned alloc.Alloc.func alloc.Alloc.assignment)
+        in
+        let pm = Analysis.peak_map info in
+        let hot = Thermal_state.peak pm >= hot_k in
+        let findings =
+          Tdfa_lint.Lint.run Tdfa_lint.Rules.all
+            (Tdfa_lint.Lint.make_ctx ~layout func)
+        in
+        let fired id =
+          List.exists (fun f -> f.Tdfa_lint.Lint.rule_id = id) findings
+        in
+        let flagged = List.filter fired thermal in
+        (hot, if flagged = [] then [] else any_id :: flagged))
+      corpus
+  in
+  let hot_total = List.length (List.filter fst scored) in
+  let rows =
+    List.map
+      (fun rule ->
+        let flagged, tp, fp, fn =
+          List.fold_left
+            (fun (flagged, tp, fp, fn) (hot, fired) ->
+              let f = List.mem rule fired in
+              ( (flagged + if f then 1 else 0),
+                (tp + if f && hot then 1 else 0),
+                (fp + if f && not hot then 1 else 0),
+                (fn + if (not f) && hot then 1 else 0) ))
+            (0, 0, 0, 0) scored
+        in
+        let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+        {
+          rule;
+          flagged;
+          tp;
+          fp;
+          fn;
+          precision = ratio tp (tp + fp);
+          recall = ratio tp (tp + fn);
+        })
+      (thermal @ [ any_id ])
+  in
+  let result = { corpus = n; hot = hot_total; rows } in
+  if not quiet then begin
+    Printf.printf
+      "%d generated functions, %d hot under the fixpoint (peak >= %.1f K, \
+       first-fit)\n\n"
+      n hot_total hot_k;
+    let table =
+      Table.create
+        ~headers:
+          [ "rule"; "flagged"; "tp"; "fp"; "fn"; "precision"; "recall" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            r.rule;
+            string_of_int r.flagged;
+            string_of_int r.tp;
+            string_of_int r.fp;
+            string_of_int r.fn;
+            Printf.sprintf "%.2f" r.precision;
+            Printf.sprintf "%.2f" r.recall;
+          ])
+      rows;
+    Table.print table;
+    let best =
+      List.fold_left
+        (fun acc r ->
+          if r.flagged > 0 && r.precision > acc then r.precision else acc)
+        0.0 rows
+    in
+    Printf.printf "\nbest per-rule precision: %.2f %s\n" best
+      (if best >= 0.7 then "(meets the 0.70 target)"
+       else "(below the 0.70 target)")
+  end;
+  result
+
 let run_all () =
   let (_ : fig1_result) = fig1 () in
   let (_ : fig2_row list) = fig2 () in
@@ -1295,4 +1417,5 @@ let run_all () =
   let (_ : e16_row list) = e16 () in
   let (_ : e17_row list) = e17 () in
   let (_ : e18_scaling_row list * e18_cache_row list) = e18 () in
+  let (_ : e19_result) = e19 () in
   ()

@@ -205,5 +205,29 @@ val e18 :
     factor (the engine of {!Tdfa_engine.Engine}). Speedups are measured,
     not asserted — on a single-core host extra domains cost time. *)
 
+type e19_row = {
+  rule : string;
+  flagged : int;  (** corpus functions the rule fired on *)
+  tp : int;
+  fp : int;
+  fn : int;
+  precision : float;
+  recall : float;
+}
+
+type e19_result = {
+  corpus : int;
+  hot : int;  (** functions whose fixpoint peak map concentrates heat *)
+  rows : e19_row list;  (** one per thermal rule plus [any-thermal-rule] *)
+}
+
+val e19 : ?quiet:bool -> ?n:int -> ?hot_k:float -> unit -> e19_result
+(** The lint rules as a static hot-spot predictor, scored against the
+    real thermal fixpoint over [n] generated functions (default 120):
+    ground truth marks a function hot when its post-first-fit fixpoint
+    peak map crosses [hot_k] (default 336 K) anywhere on the RF; the
+    predictor is the pre-allocation lint context of the [lint]
+    subcommand. Reports per-rule precision and recall. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

@@ -1,0 +1,32 @@
+let table findings =
+  let t =
+    Tdfa_report.Table.create
+      ~headers:[ "severity"; "rule"; "location"; "message"; "hint" ]
+  in
+  List.iter
+    (fun (f : Lint.finding) ->
+      Tdfa_report.Table.add_row t
+        [
+          Lint.severity_name f.Lint.severity;
+          f.Lint.rule_id;
+          Lint.location f;
+          f.Lint.message;
+          (match f.Lint.hint with Some h -> h | None -> "");
+        ])
+    findings;
+  t
+
+let summary findings =
+  match findings with
+  | [] -> "clean"
+  | fs ->
+    Printf.sprintf "%d finding(s): %d error(s), %d warning(s), %d info(s)"
+      (List.length fs)
+      (Lint.count Lint.Error fs)
+      (Lint.count Lint.Warn fs)
+      (Lint.count Lint.Info fs)
+
+let to_string findings =
+  match findings with
+  | [] -> summary findings ^ "\n"
+  | fs -> Tdfa_report.Table.to_string (table fs) ^ summary fs ^ "\n"

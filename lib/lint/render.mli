@@ -1,0 +1,12 @@
+(** Deterministic text rendering of lint findings. *)
+
+val table : Lint.finding list -> Tdfa_report.Table.t
+(** One row per finding — severity, rule, location, message, hint — in
+    the order given (the engine already sorts deterministically). *)
+
+val summary : Lint.finding list -> string
+(** ["clean"] or ["N finding(s): E error(s), W warning(s), I info(s)"]. *)
+
+val to_string : Lint.finding list -> string
+(** The table followed by the summary line; just the summary when there
+    are no findings. *)

@@ -1,0 +1,43 @@
+(** The registered lint rules.
+
+    Thermal rules predict, from data-flow facts alone, the hot-spot
+    conditions the full Fig. 2 fixpoint would discover (register
+    pressure past the chessboard breakdown, loop-concentrated access
+    density, clustered hot assignments, unsplit long ranges, missing
+    spills); hygiene rules catch the cheap IR smells
+    ({!Tdfa_verify.Check} vocabulary: dead definitions, redundant
+    copies, foldable constants, unreachable blocks). *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+
+val all : Lint.rule list
+(** Every registered rule, in registry order (thermal first). *)
+
+val find : string -> Lint.rule option
+
+val thermal_ids : string list
+(** Ids of the rules that predict thermal risk — the subset experiment
+    E19 scores against fixpoint ground truth. *)
+
+val gate :
+  ?config:Lint.config ->
+  ?max:Lint.severity ->
+  layout:Layout.t ->
+  unit ->
+  Func.t ->
+  Tdfa_verify.Check.diagnostic list
+(** Lint as a verifier: findings stricter than [max] (default [Warn],
+    i.e. only errors gate) rendered in the {!Tdfa_verify.Check}
+    vocabulary. Plug into {!Tdfa_optim.Pipeline.checks}'s [verify]. *)
+
+val pipeline_checks :
+  ?config:Lint.config ->
+  ?max:Lint.severity ->
+  layout:Layout.t ->
+  Tdfa_optim.Pipeline.violation_policy ->
+  Tdfa_optim.Pipeline.checks
+(** The pipeline lint gate: structural verification
+    ({!Tdfa_verify.Check.func}) {e plus} the lint {!gate}, under the
+    existing fail/warn/degrade policy machinery — optimization passes
+    can thus be gated on lint cleanliness. *)

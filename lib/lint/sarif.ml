@@ -1,0 +1,174 @@
+open Tdfa_ir
+
+let version = "1.0.0"
+
+let level_of_severity = function
+  | Lint.Error -> "error"
+  | Lint.Warn -> "warning"
+  | Lint.Info -> "note"
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter (objects keep insertion order, so the output    *)
+(* is deterministic)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let add_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec add_json buf indent j =
+  let pad n = String.make (2 * n) ' ' in
+  match j with
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Str s -> add_string buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        add_json buf (indent + 1) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 1));
+        add_string buf k;
+        Buffer.add_string buf ": ";
+        add_json buf (indent + 1) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+(* ------------------------------------------------------------------ *)
+(* SARIF                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rule_json (r : Lint.rule) =
+  Obj
+    [
+      ("id", Str r.Lint.id);
+      ("shortDescription", Obj [ ("text", Str r.Lint.summary) ]);
+      ( "defaultConfiguration",
+        Obj [ ("level", Str (level_of_severity r.Lint.default_severity)) ] );
+    ]
+
+let result_json ~rules uri (f : Lint.finding) =
+  let rule_index =
+    let rec go i = function
+      | [] -> None
+      | (r : Lint.rule) :: rest ->
+        if r.Lint.id = f.Lint.rule_id then Some i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let logical =
+    let name =
+      match (f.Lint.label, f.Lint.index) with
+      | Some l, Some i ->
+        Printf.sprintf "%s/%s/%d" f.Lint.func_name (Label.to_string l) i
+      | Some l, None ->
+        Printf.sprintf "%s/%s" f.Lint.func_name (Label.to_string l)
+      | None, _ -> f.Lint.func_name
+    in
+    Obj [ ("fullyQualifiedName", Str name); ("kind", Str "function") ]
+  in
+  let location =
+    match uri with
+    | Some uri ->
+      Obj
+        [
+          ( "physicalLocation",
+            Obj
+              [
+                ("artifactLocation", Obj [ ("uri", Str uri) ]);
+                ("region", Obj [ ("startLine", Int 1) ]);
+              ] );
+          ("logicalLocations", Arr [ logical ]);
+        ]
+    | None -> Obj [ ("logicalLocations", Arr [ logical ]) ]
+  in
+  let base =
+    [
+      ("ruleId", Str f.Lint.rule_id);
+    ]
+    @ (match rule_index with
+       | Some i -> [ ("ruleIndex", Int i) ]
+       | None -> [])
+    @ [
+        ("level", Str (level_of_severity f.Lint.severity));
+        ("message", Obj [ ("text", Str f.Lint.message) ]);
+        ("locations", Arr [ location ]);
+      ]
+    @
+    match f.Lint.hint with
+    | Some h -> [ ("properties", Obj [ ("hint", Str h) ]) ]
+    | None -> []
+  in
+  Obj base
+
+let render ~rules inputs =
+  let results =
+    List.concat_map
+      (fun (uri, findings) -> List.map (result_json ~rules uri) findings)
+      inputs
+  in
+  let log =
+    Obj
+      [
+        ("$schema", Str "https://json.schemastore.org/sarif-2.1.0.json");
+        ("version", Str "2.1.0");
+        ( "runs",
+          Arr
+            [
+              Obj
+                [
+                  ( "tool",
+                    Obj
+                      [
+                        ( "driver",
+                          Obj
+                            [
+                              ("name", Str "tdfa-lint");
+                              ("version", Str version);
+                              ( "informationUri",
+                                Str
+                                  "https://example.org/tdfa/lint" );
+                              ("rules", Arr (List.map rule_json rules));
+                            ] );
+                      ] );
+                  ("results", Arr results);
+                ];
+            ] );
+      ]
+  in
+  let buf = Buffer.create 4096 in
+  add_json buf 0 log;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

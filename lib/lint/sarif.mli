@@ -1,0 +1,27 @@
+(** SARIF 2.1.0 rendering of lint findings.
+
+    SARIF (the OASIS Static Analysis Results Interchange Format) is the
+    lingua franca CI systems ingest — GitHub code scanning, VS Code
+    SARIF viewers, `jq` pipelines. One run per invocation: the tool
+    component carries the full rule registry (id, short description,
+    default level), each result points back into it via [ruleIndex] and
+    locates the finding both logically (function/block/instruction) and
+    physically (the input file, when one is known).
+
+    The output is deterministic: fixed key order, findings in engine
+    order, no timestamps — two identical lint runs render
+    byte-identical SARIF. *)
+
+val version : string
+(** Tool version stamped into the run. *)
+
+val level_of_severity : Lint.severity -> string
+(** SARIF levels: ["error"], ["warning"], ["note"]. *)
+
+val render :
+  rules:Lint.rule list -> (string option * Lint.finding list) list -> string
+(** [render ~rules inputs] is the complete SARIF log (pretty-printed,
+    trailing newline) for the given [(artifact uri, findings)] pairs —
+    the uri is [None] for built-in kernels, which are located only
+    logically. [rules] populates the driver's rule metadata and the
+    [ruleIndex] back-references. *)

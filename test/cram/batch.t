@@ -37,11 +37,13 @@ cache traffic is observable through the metrics table instead.
   $ grep "engine.jobs" metrics.err
     engine.jobs                      2
 
---stats is the deprecated alias of --metrics; deterministic counters
-land in the same sorted table.
+--stats is the deprecated alias of --metrics; it announces its own
+deprecation on stderr, then lands the same deterministic counters in the
+same sorted table.
 
   $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --stats 2>&1 >/dev/null \
-  >   | grep -E "engine.jobs|analysis.runs"
+  >   | grep -E "deprecated|engine.jobs|analysis.runs"
+  tdfa: batch: --stats is deprecated; use --metrics
     analysis.runs                    2
     engine.jobs                      2
 
@@ -52,6 +54,17 @@ nonzero exit, while every other function is still analysed.
   fib            converged   40 iter  peak  333.29 K  mean  320.95 K  pressure  6  spilled  0  179b828a697c
   crc            converged   37 iter  peak  338.44 K  mean  322.36 K  pressure 11  spilled  0  fa8dbdc10c48
   tdfa: batch: broken: IR verification failed (2 violations), first: [cfg] block entry: branch target missing does not exist
+  [1]
+
+An input that does not even parse fails the same way: the job is
+reported, the rest of the batch completes, and the exit is nonzero.
+
+  $ cat > garbage.tdfa <<'EOF'
+  > this is not IR
+  > EOF
+  $ ../../bin/tdfa_cli.exe batch fib.tir garbage.tdfa
+  fib            converged   40 iter  peak  333.29 K  mean  320.95 K  pressure  6  spilled  0  179b828a697c
+  tdfa: batch: garbage.tdfa: parse error: line 1: expected 'func', found 'this'
   [1]
 
 No inputs at all is a usage error.

@@ -1,0 +1,92 @@
+The lint subcommand is the static pre-screen: it composes the existing
+data-flow analyses into thermal and hygiene rules, never running the
+thermal fixpoint. The registry is discoverable:
+
+  $ ../../bin/tdfa_cli.exe lint --list-rules
+  rule                           severity  summary                                                                                             
+  -----------------------------  --------  ----------------------------------------------------------------------------------------------------
+  pressure-exceeds-chessboard    warn      register pressure above 50 % of the RF, the paper's hot-spot breakdown threshold (error above 100 %)
+  hot-loop-access-density        warn      loop-frequency-weighted access count far above the function mean                                    
+  clustered-assignment           warn      two hot, simultaneously-live variables on adjacent register cells                                   
+  long-live-range-no-split       warn      hot variable live across most blocks and never split                                                
+  spill-candidate-never-spilled  warn      pressure past the breakdown threshold with an obvious spill candidate and no spill code             
+  back-to-back-hot-access        info      many adjacent instruction pairs reusing a register inside a loop                                    
+  hot-accumulator                warn      one cell carries most of the instruction stream's accesses, with no time to cool                    
+  dead-def                       warn      pure instruction whose definition is never used                                                     
+  redundant-copy                 info      copy with no effect (self-move, or source and target share a cell)                                  
+  foldable-constant              info      instruction that always computes the same constant                                                  
+  unreachable-block              warn      block unreachable from the entry                                                                    
+
+Findings come as a deterministic table, one per input; the default
+--max-severity warn exit mapping tolerates warnings but fails on
+errors, so a warning-only kernel exits 0:
+
+  $ ../../bin/tdfa_cli.exe lint -k fir
+  lint fir:
+  severity  rule                     location            message                                                                            hint                                                                              
+  --------  -----------------------  ------------------  ---------------------------------------------------------------------------------  ----------------------------------------------------------------------------------
+  warn      hot-loop-access-density  fir/body15/instr 1  t19: 1152 weighted accesses (7.6x the function mean) concentrated at loop depth 1  split the live range across loop iterations or rotate the assignment              
+  info      back-to-back-hot-access  fir/body15          17 back-to-back same-register access pairs at loop depth 1                         interleave independent instructions (schedule) or insert cooling NOPs (nop_insert)
+  2 finding(s): 0 error(s), 1 warning(s), 1 info(s)
+  $ ../../bin/tdfa_cli.exe lint -k fir > run1.out
+  $ ../../bin/tdfa_cli.exe lint -k fir > run2.out
+  $ cmp run1.out run2.out
+
+Rule selection: bare ids make the run exclusive, a - prefix disables a
+rule, and --severity promotes one (here to error, which flips the exit
+code):
+
+  $ ../../bin/tdfa_cli.exe lint -k fir --rules dead-def,unreachable-block
+  lint fir: clean
+  $ ../../bin/tdfa_cli.exe lint -k fir --rules=-hot-loop-access-density,-back-to-back-hot-access
+  lint fir: clean
+  $ ../../bin/tdfa_cli.exe lint -k fir --severity hot-loop-access-density=error > /dev/null
+  [1]
+
+--max-severity none tolerates nothing, not even info findings:
+
+  $ ../../bin/tdfa_cli.exe lint -k fir --max-severity none > /dev/null
+  [1]
+
+A config file carries the same vocabulary (rule = level | off), with
+CLI flags applied on top:
+
+  $ cat > lint.conf <<'EOF'
+  > # project policy
+  > hot-loop-access-density = off
+  > back-to-back-hot-access = off
+  > EOF
+  $ ../../bin/tdfa_cli.exe lint -k fir --lint-config lint.conf
+  lint fir: clean
+
+Unknown rules and malformed configs are usage errors:
+
+  $ ../../bin/tdfa_cli.exe lint -k fir --rules no-such-rule
+  tdfa: lint: unknown lint rule no-such-rule (try --list-rules)
+  [2]
+  $ ../../bin/tdfa_cli.exe lint -k fir --severity dead-def=loud
+  tdfa: lint: unknown severity loud (info, warn or error)
+  [2]
+
+Files work like everywhere else in the CLI, and several inputs lint in
+one run:
+
+  $ ../../bin/tdfa_cli.exe show -k scale > scale.tir
+  $ ../../bin/tdfa_cli.exe show -k fib > fib.tir
+  $ ../../bin/tdfa_cli.exe lint scale.tir fib.tir --rules dead-def
+  lint scale (scale.tir): clean
+  lint fib (fib.tir): clean
+
+The SARIF renderer emits one 2.1 log for the whole invocation, stable
+across runs:
+
+  $ ../../bin/tdfa_cli.exe lint -k fir --format sarif > lint.sarif
+  $ head -3 lint.sarif
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",
+  $ grep -c '"ruleId"' lint.sarif
+  2
+  $ ../../bin/tdfa_cli.exe lint -k fir --format sarif > again.sarif
+  $ cmp lint.sarif again.sarif
+  $ python3 -m json.tool lint.sarif > /dev/null

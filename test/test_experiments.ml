@@ -366,6 +366,34 @@ let test_e18_batch_engine_shape () =
         r.Experiments.cache_hits)
     cache
 
+let test_e19_predictor_shape () =
+  let r = Experiments.e19 ~quiet:true ~n:20 () in
+  Alcotest.(check int) "corpus size recorded" 20 r.Experiments.corpus;
+  (* One row per thermal rule plus the combined any-thermal-rule row. *)
+  Alcotest.(check int)
+    "row per thermal rule plus combined"
+    (List.length Tdfa_lint.Rules.thermal_ids + 1)
+    (List.length r.Experiments.rows);
+  List.iter
+    (fun (row : Experiments.e19_row) ->
+      Alcotest.(check int)
+        (row.Experiments.rule ^ " confusion sums to corpus and hot")
+        r.Experiments.hot
+        (row.Experiments.tp + row.Experiments.fn);
+      Alcotest.(check int)
+        (row.Experiments.rule ^ " flagged = tp + fp")
+        row.Experiments.flagged
+        (row.Experiments.tp + row.Experiments.fp);
+      Alcotest.(check bool)
+        (row.Experiments.rule ^ " precision in range")
+        true
+        (row.Experiments.precision >= 0.0 && row.Experiments.precision <= 1.0);
+      Alcotest.(check bool)
+        (row.Experiments.rule ^ " recall in range")
+        true
+        (row.Experiments.recall >= 0.0 && row.Experiments.recall <= 1.0))
+    r.Experiments.rows
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -388,5 +416,6 @@ let suite =
         tc "E16 RF size sweep" `Slow test_e16_rf_size_sweep;
         tc "E17 re-assignment" `Slow test_e17_reassignment_recovers_benefit;
         tc "E18 batch engine" `Slow test_e18_batch_engine_shape;
+        tc "E19 lint predictor" `Slow test_e19_predictor_shape;
       ] );
   ]

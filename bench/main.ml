@@ -83,7 +83,7 @@ let bechamel_tests () =
      the first hits on all 16 kernels). *)
   let engine_suite =
     List.map
-      (fun (name, f) -> { Tdfa_engine.Engine.job_name = name; func = f })
+      (fun (name, f) -> Tdfa_engine.Engine.job name f)
       Kernels.all
   in
   let engine_cold =
@@ -103,9 +103,44 @@ let bechamel_tests () =
                 ~layout:Common.standard_layout
                 Tdfa_engine.Engine.default_spec engine_suite)))
   in
+  (* E20 companion: re-analysis after a single-pass edit (cooling NOPs
+     in matmul's entry block), cold versus warm-started from the prior
+     run's recorded trajectory. The warm run sweeps only the dirty
+     region; the result is bit-identical either way. *)
+  let incr_prior, incr_config, incr_edited =
+    let alloc =
+      Alloc.allocate (Kernels.matmul ()) Common.standard_layout
+        ~policy:Policy.First_fit
+    in
+    let config func =
+      Setup.config_of_assignment ~layout:Common.standard_layout func
+        alloc.Alloc.assignment
+    in
+    let edited =
+      fst
+        (Tdfa_optim.Nop_insert.apply alloc.Alloc.func
+           ~hot_after:(fun _ i -> i = 0)
+           ~nops:1)
+    in
+    let r = Incremental.analyze (config alloc.Alloc.func) alloc.Alloc.func in
+    (r.Incremental.prior, config edited, edited)
+  in
+  let incr_cold =
+    Test.make ~name:"re-analysis matmul edit (cold)"
+      (Staged.stage (fun () ->
+           ignore (Analysis.fixpoint incr_config incr_edited)))
+  in
+  let incr_warm =
+    Test.make ~name:"re-analysis matmul edit (warm)"
+      (Staged.stage (fun () ->
+           ignore
+             (Incremental.analyze ~prior:incr_prior incr_config incr_edited)))
+  in
   Test.make_grouped ~name:"tdfa"
     (granularity_tests @ size_tests @ obs_tests
-    @ [ solver_test; alloc_test; engine_cold; engine_warm ])
+    @ [
+        solver_test; alloc_test; engine_cold; engine_warm; incr_cold; incr_warm;
+      ])
 
 let run_bechamel () =
   let open Bechamel in

@@ -147,6 +147,16 @@ let recover_arg =
               Average join, then at coarser granularities, and report \
               which fallback converged.")
 
+let incremental_arg =
+  Arg.(value & flag
+       & info [ "incremental" ]
+           ~doc:
+             "Warm-start each thermal re-analysis from the previous \
+              one's recorded trajectory instead of running the fixpoint \
+              cold. Results are bit-identical either way; only the \
+              re-analysis cost changes. Combine with $(b,--metrics) to \
+              see the incremental.* counters.")
+
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Size of the analysis domain pool (parallel workers).")

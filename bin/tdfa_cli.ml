@@ -215,7 +215,8 @@ let simulate kernel file policy =
       print_string (Heatmap.render Common.standard_layout run.Common.measured);
       Format.printf "@\n%a@\n" Metrics.pp_summary run.Common.metrics))
 
-let analyze kernel file policy granularity delta pre_ra recover obs_req =
+let analyze kernel file policy granularity delta pre_ra recover incremental
+    obs_req =
   Cli_args.with_func kernel file (fun f ->
     Cli_args.guard (fun () ->
       Cli_args.with_obs obs_req (fun obs ->
@@ -243,7 +244,15 @@ let analyze kernel file policy granularity delta pre_ra recover obs_req =
           obs;
         }
       in
-      let r = Tdfa.Driver.run cfg (Tdfa.Driver.Assigned (func, assignment)) in
+      (* Under [--incremental] a single analysis still runs cold (there
+         is no prior yet), but it goes through the incremental engine so
+         a recording is made and the incremental.* telemetry appears. *)
+      let input =
+        if incremental then
+          Tdfa.Driver.Warm_start { func; assignment; prior = None }
+        else Tdfa.Driver.Assigned (func, assignment)
+      in
+      let r = Tdfa.Driver.run cfg input in
       (match r.Tdfa.Driver.recovery with
        | Some rec_ when List.length rec_.Analysis.attempts > 1 ->
          Printf.printf "divergence-recovery ladder:\n";
@@ -301,14 +310,16 @@ let policies kernel file =
         Policy.all;
       Tdfa_report.Table.print table)
 
-let optimize kernel file checked lint_gate on_violation =
+let optimize kernel file checked lint_gate on_violation incremental obs_req =
   Cli_args.with_func kernel file (fun f ->
     Cli_args.guard (fun () ->
+      Cli_args.with_obs obs_req (fun obs ->
       let name = f.Func.name in
+      let layout = Common.standard_layout in
       let base = Common.run_policy ~name f Policy.First_fit in
       let info = Analysis.info (Common.analyze_run base) in
       let cfg =
-        Setup.config_of_assignment ~layout:Common.standard_layout
+        Setup.config_of_assignment ~layout
           base.Common.alloc.Alloc.func base.Common.alloc.Alloc.assignment
       in
       let critical =
@@ -333,8 +344,65 @@ let optimize kernel file checked lint_gate on_violation =
             copies_count := r.Tdfa_optim.Split_ranges.copies_inserted;
             f')
       in
-      let after = Common.run_policy ~name t.Tdfa_optim.Pipeline.func
-          Policy.Thermal_spread in
+      (* Thermal-consuming tail: allocate under the thermal policy, then
+         schedule and cooling NOPs with a re-analysis between each pass.
+         With [--incremental] each re-analysis warm-starts from the
+         previous one's recorded trajectory; the results (and hence the
+         whole report) are bit-identical either way. *)
+      let alloc =
+        Alloc.allocate ~obs t.Tdfa_optim.Pipeline.func layout
+          ~policy:Policy.Thermal_spread
+      in
+      let assignment = alloc.Alloc.assignment in
+      let t = { t with Tdfa_optim.Pipeline.func = alloc.Alloc.func } in
+      let reanalyze t =
+        let config =
+          Setup.config_of_assignment ~layout t.Tdfa_optim.Pipeline.func
+            assignment
+        in
+        if incremental then
+          let t, r = Tdfa_optim.Pipeline.analyze ~obs t ~config in
+          (t, r.Incremental.outcome)
+        else (t, Analysis.fixpoint ~obs config t.Tdfa_optim.Pipeline.func)
+      in
+      let t, sched_outcome = reanalyze t in
+      let t =
+        let peak = Analysis.peak_map (Analysis.info sched_outcome) in
+        let mean = Thermal_state.mean peak in
+        let hot_cell c =
+          Thermal_state.get peak (Thermal_state.point_of_cell peak c)
+          > mean +. 1.0
+        in
+        Tdfa_optim.Pipeline.apply ?checks t ~name:"schedule"
+          ~detail:"separate hot accesses" (fun f ->
+            fst
+              (Tdfa_optim.Schedule.apply f
+                 ~cell_of_var:(fun v -> Assignment.cell_of_var assignment v)
+                 ~is_hot_cell:hot_cell))
+      in
+      let t, nops_outcome = reanalyze t in
+      let t =
+        let info = Analysis.info nops_outcome in
+        let peak = Analysis.peak_map info in
+        let mean = Thermal_state.mean peak in
+        let hot_after label index =
+          match Analysis.state_after info label index with
+          | s -> Thermal_state.peak s > mean +. 1.0
+          | exception Not_found -> false
+        in
+        Tdfa_optim.Pipeline.apply ?checks t ~name:"cooling-nops"
+          ~detail:"1 per hot instr" (fun f ->
+            fst (Tdfa_optim.Nop_insert.apply f ~hot_after ~nops:1))
+      in
+      let t, final_outcome = reanalyze t in
+      (* Measured metrics of the compiled code under its (already fixed)
+         thermal-spread assignment. *)
+      let run = Tdfa_exec.Interp.run_func t.Tdfa_optim.Pipeline.func in
+      let measured =
+        Tdfa_exec.Driver.steady_temps Common.standard_model
+          run.Tdfa_exec.Interp.trace ~cell_of_var:(Common.cell_fn alloc)
+      in
+      let m1 = Metrics.summarize layout measured in
       Printf.printf
         "thermal-aware pipeline on %s: %d loads promoted, %d copies inserted\n\n"
         name !promoted_count !copies_count;
@@ -346,23 +414,32 @@ let optimize kernel file checked lint_gate on_violation =
            Printf.printf "degraded: skipped %s\n" (String.concat ", " skipped));
         print_newline ()
       end;
-      let m0 = base.Common.metrics and m1 = after.Common.metrics in
+      let final_info = Analysis.info final_outcome in
+      Printf.printf "final analysis %s after %d iterations\n\n"
+        (if Analysis.converged final_outcome then "converged"
+         else "DID NOT converge")
+        final_info.Analysis.iterations;
+      let m0 = base.Common.metrics in
       Printf.printf "             %10s %10s\n" "before" "after";
       Printf.printf "peak (K)     %10.2f %10.2f\n" m0.Metrics.peak_k m1.Metrics.peak_k;
       Printf.printf "range (K)    %10.2f %10.2f\n" m0.Metrics.range_k m1.Metrics.range_k;
       Printf.printf "maxgrad (K)  %10.2f %10.2f\n"
         m0.Metrics.max_neighbor_gradient_k m1.Metrics.max_neighbor_gradient_k;
-      Printf.printf "cycles       %10d %10d\n" base.Common.cycles after.Common.cycles))
+      Printf.printf "cycles       %10d %10d\n" base.Common.cycles run.Tdfa_exec.Interp.cycles)))
 
-let compile kernel file policy granularity checked lint_gate on_violation =
+let compile kernel file policy granularity checked lint_gate on_violation
+    incremental obs_req =
   Cli_args.with_func kernel file (fun f ->
     Cli_args.guard (fun () ->
+      Cli_args.with_obs obs_req (fun obs ->
       let name = f.Func.name in
       let options =
         { Tdfa_optim.Compile.default_options with
           Tdfa_optim.Compile.policy;
           granularity;
+          incremental;
           checks = Cli_args.checks_of ~lint:lint_gate checked on_violation;
+          obs;
         }
       in
       let result =
@@ -385,7 +462,7 @@ let compile kernel file policy granularity checked lint_gate on_violation =
          else "DID NOT converge")
         info.Analysis.iterations (Thermal_state.peak peak);
       print_string
-        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak))))
+        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))))
 
 let batch files kernels jobs cache_dir policy granularity delta recover stats
     obs_req =
@@ -414,14 +491,14 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
       (fun path ->
         match Cli_args.load_func ~kernel:None ~file:(Some path) with
         | Ok f ->
-          Ok { Tdfa_engine.Engine.job_name = f.Func.name; func = f }
+          Ok (Tdfa_engine.Engine.job f.Func.name f)
         | Error msg -> Error (path, msg))
       files
   in
   let suite =
     if kernels then
       List.map
-        (fun (name, f) -> { Tdfa_engine.Engine.job_name = name; func = f })
+        (fun (name, f) -> Tdfa_engine.Engine.job name f)
         Kernels.all
     else []
   in
@@ -497,10 +574,15 @@ let experiments id =
     | "e17" -> ignore (Experiments.e17 ())
     | "e18" -> ignore (Experiments.e18 ())
     | "e19" -> ignore (Experiments.e19 ())
+    | "e20" -> ignore (Experiments.e20 ())
+    | "e20-quick" ->
+      (* CI smoke: a small corpus, single timing rep — the fingerprint
+         assertions still run on every event. *)
+      ignore (Experiments.e20 ~n:12 ~repeats:1 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e19, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e20, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -538,7 +620,8 @@ let analyze_cmd =
     Term.(
       const analyze $ Cli_args.kernel_arg $ Cli_args.file_arg
       $ Cli_args.policy_arg $ Cli_args.granularity_arg $ Cli_args.delta_arg
-      $ pre_ra_arg $ Cli_args.recover_arg $ Cli_args.obs_term)
+      $ pre_ra_arg $ Cli_args.recover_arg $ Cli_args.incremental_arg
+      $ Cli_args.obs_term)
 
 let post_ra_verify_arg =
   Cli_args.post_ra_arg
@@ -604,7 +687,8 @@ let optimize_cmd =
        ~doc:"Apply the thermal-aware pass pipeline and report the effect.")
     Term.(const optimize $ Cli_args.kernel_arg $ Cli_args.file_arg
           $ Cli_args.checked_arg $ Cli_args.lint_gate_arg
-          $ Cli_args.on_violation_arg)
+          $ Cli_args.on_violation_arg $ Cli_args.incremental_arg
+          $ Cli_args.obs_term)
 
 let compile_cmd =
   Cmd.v
@@ -616,7 +700,8 @@ let compile_cmd =
     Term.(const compile $ Cli_args.kernel_arg $ Cli_args.file_arg
           $ Cli_args.policy_arg $ Cli_args.granularity_arg
           $ Cli_args.checked_arg $ Cli_args.lint_gate_arg
-          $ Cli_args.on_violation_arg)
+          $ Cli_args.on_violation_arg $ Cli_args.incremental_arg
+          $ Cli_args.obs_term)
 
 let batch_files_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"FILES"
@@ -651,7 +736,7 @@ let batch_cmd =
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e19 or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e20 (e20-quick for a small smoke run) or all.")
   in
   Cmd.v
     (Cmd.info "experiments"

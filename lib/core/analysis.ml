@@ -25,7 +25,18 @@ let join_states kind a b =
   | Max -> Thermal_state.join_max a b
   | Average -> Thermal_state.join_average a b
 
-let fixpoint ?(obs = Obs.null) ?(settings = default_settings)
+type recorder = {
+  on_block :
+    iteration:int ->
+    Label.t ->
+    incoming:Thermal_state.t ->
+    exit_state:Thermal_state.t ->
+    max_delta_k:float ->
+    unstable:int ->
+    unit;
+}
+
+let fixpoint ?(obs = Obs.null) ?recorder ?(settings = default_settings)
     (cfg : Transfer.config) (func : Func.t) =
   let order = Func.reverse_postorder func in
   let entry = Func.entry_label func in
@@ -40,7 +51,7 @@ let fixpoint ?(obs = Obs.null) ?(settings = default_settings)
   in
   (* One pass of the do-while of Fig. 2; returns the largest change and
      the set of instructions that moved more than delta. *)
-  let pass () =
+  let pass iteration =
     let worst = ref 0.0 in
     let unstable = ref [] in
     List.iter
@@ -57,6 +68,8 @@ let fixpoint ?(obs = Obs.null) ?(settings = default_settings)
                 (exit_state first) rest
         in
         let state = ref incoming in
+        let block_worst = ref 0.0 in
+        let block_unstable = ref 0 in
         Array.iteri
           (fun index i ->
             (* "Estimate thermal state after I". *)
@@ -70,20 +83,30 @@ let fixpoint ?(obs = Obs.null) ?(settings = default_settings)
             (* A numerically exploded state (NaN from an unstable step)
                counts as maximal change, not as convergence. *)
             let change = if Float.is_nan change then infinity else change in
-            if change > settings.delta_k then
+            if change > settings.delta_k then begin
               unstable := (label, index) :: !unstable;
-            if change < infinity then worst := Float.max !worst change
-            else worst := Float.max !worst (settings.delta_k +. 1.0);
+              incr block_unstable
+            end;
+            let contribution =
+              if change < infinity then change else settings.delta_k +. 1.0
+            in
+            block_worst := Float.max !block_worst contribution;
+            worst := Float.max !worst contribution;
             Hashtbl.replace states_after (label, index) after;
             state := after)
           block.Block.body;
         let after_term = Transfer.terminator cfg label block.Block.term !state in
-        exit_states := Label.Map.add label after_term !exit_states)
+        exit_states := Label.Map.add label after_term !exit_states;
+        match recorder with
+        | Some r ->
+          r.on_block ~iteration label ~incoming ~exit_state:after_term
+            ~max_delta_k:!block_worst ~unstable:!block_unstable
+        | None -> ())
       order;
     (!worst, List.rev !unstable)
   in
   let rec iterate n =
-    let worst, unstable = pass () in
+    let worst, unstable = pass n in
     if Obs.tracing obs then
       Obs.Fixpoint.iteration obs ~iteration:n ~max_delta_k:worst
         ~delta_k:settings.delta_k ~unstable:(List.length unstable);

@@ -34,8 +34,33 @@ type info = {
 
 type outcome = Converged of info | Diverged of info
 
+val join_states : join_kind -> Thermal_state.t -> Thermal_state.t -> Thermal_state.t
+(** The merge applied at control-flow joins — exposed so the incremental
+    replay engine reproduces the fixpoint's float operations exactly. *)
+
+(** Per-block trajectory hook: called once per block per sweep, in
+    reverse postorder, with the block's joined incoming state, its exit
+    state (after the terminator), the largest clamped per-instruction
+    change of the sweep, and how many instructions moved more than
+    delta. {!Incremental} records these to enable exact warm starts. *)
+type recorder = {
+  on_block :
+    iteration:int ->
+    Label.t ->
+    incoming:Thermal_state.t ->
+    exit_state:Thermal_state.t ->
+    max_delta_k:float ->
+    unstable:int ->
+    unit;
+}
+
 val fixpoint :
-  ?obs:Obs.sink -> ?settings:settings -> Transfer.config -> Func.t -> outcome
+  ?obs:Obs.sink ->
+  ?recorder:recorder ->
+  ?settings:settings ->
+  Transfer.config ->
+  Func.t ->
+  outcome
 (** The Fig. 2 engine. [obs] (default {!Obs.null}) receives the
     structured fixpoint telemetry: a span around the whole solve, one
     [analysis.iteration] event per sweep (iteration number, largest

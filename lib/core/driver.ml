@@ -44,11 +44,17 @@ type input =
       config_of : granularity:int -> Transfer.config;
       func : Func.t;
     }
+  | Warm_start of {
+      func : Func.t;
+      assignment : Assignment.t;
+      prior : Incremental.prior option;
+    }
 
 type result = {
   alloc : Alloc.result option;
   outcome : Analysis.outcome;
   recovery : Analysis.recovery option;
+  incremental : Incremental.result option;
 }
 
 let transfer_config cfg func assignment =
@@ -71,6 +77,7 @@ let input_mode = function
   | Assigned _ -> "assigned"
   | Configured _ -> "configured"
   | Custom _ -> "custom"
+  | Warm_start _ -> "warm-start"
 
 let run cfg input =
   let obs = cfg.obs in
@@ -84,6 +91,41 @@ let run cfg input =
       ]
     (fun () ->
       Obs.incr obs "driver.runs";
+      match input with
+      | Warm_start { func; assignment; prior } ->
+        (* Incremental path: bit-identical to a cold Assigned run, served
+           from the prior recording where the IR diff allows. Only the
+           primary rung warm-starts; if it diverges under [recover], the
+           ladder below reruns from a cold state as before. *)
+        let config_of ~granularity =
+          transfer_config { cfg with granularity } func assignment
+        in
+        let inc =
+          Incremental.analyze ~obs ~settings:cfg.settings ?prior
+            (config_of ~granularity:cfg.granularity)
+            func
+        in
+        if cfg.recover && not (Analysis.converged inc.Incremental.outcome)
+        then begin
+          let r =
+            Analysis.recovery_ladder ~obs ~settings:cfg.settings ~config_of
+              ~granularity:cfg.granularity func
+          in
+          {
+            alloc = None;
+            outcome = r.Analysis.outcome;
+            recovery = Some r;
+            incremental = Some inc;
+          }
+        end
+        else
+          {
+            alloc = None;
+            outcome = inc.Incremental.outcome;
+            recovery = None;
+            incremental = Some inc;
+          }
+      | _ ->
       let alloc, func, config_of =
         match input with
         | Unallocated f ->
@@ -106,13 +148,19 @@ let run cfg input =
               transfer_config { cfg with granularity } func assignment )
         | Configured (tc, func) -> (None, func, fun ~granularity:_ -> tc)
         | Custom { config_of; func } -> (None, func, config_of)
+        | Warm_start _ -> assert false
       in
       if cfg.recover then begin
         let r =
           Analysis.recovery_ladder ~obs ~settings:cfg.settings ~config_of
             ~granularity:cfg.granularity func
         in
-        { alloc; outcome = r.Analysis.outcome; recovery = Some r }
+        {
+          alloc;
+          outcome = r.Analysis.outcome;
+          recovery = Some r;
+          incremental = None;
+        }
       end
       else
         let outcome =
@@ -120,6 +168,6 @@ let run cfg input =
             (config_of ~granularity:cfg.granularity)
             func
         in
-        { alloc; outcome; recovery = None })
+        { alloc; outcome; recovery = None; incremental = None })
 
 let outcome r = r.outcome

@@ -72,6 +72,17 @@ type input =
     }
       (** full control of configuration rebuilding across recovery
           rungs (ex [Analysis.run_with_recovery]) *)
+  | Warm_start of {
+      func : Func.t;
+      assignment : Assignment.t;
+      prior : Incremental.prior option;
+    }
+      (** like {!Assigned}, but analysed through
+          {!Incremental.analyze}: with [prior = Some p] the fixpoint
+          warm-starts from that recording (bit-identical result,
+          re-iterating only what the IR diff dirtied); with [None] it
+          runs cold while recording. Either way [result.incremental]
+          carries the recording to chain into the next run. *)
 
 type result = {
   alloc : Alloc.result option;
@@ -79,7 +90,11 @@ type result = {
   outcome : Analysis.outcome;
       (** of the reported rung ([recovery.used] when recovering) *)
   recovery : Analysis.recovery option;
-      (** [Some] iff [config.recover]; the full attempt log *)
+      (** [Some] iff [config.recover] — for {!Warm_start} inputs, only
+          when the warm/cold primary run diverged and the ladder ran *)
+  incremental : Incremental.result option;
+      (** [Some] iff the input was {!Warm_start}: the next-run prior
+          plus warm/cold mode statistics *)
 }
 
 val transfer_config : config -> Func.t -> Assignment.t -> Transfer.config

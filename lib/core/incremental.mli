@@ -1,0 +1,113 @@
+(** Incremental warm-start re-analysis for the optimize→analyze loop.
+
+    Every thermal-consuming pass in the pipeline wants fresh analysis
+    data, and today each request re-runs the full Fig. 2 fixpoint from a
+    cold state. This module makes re-analysis proportional to the edit:
+    given the {!prior} recorded during a previous converged analysis and
+    an edited function, it diffs the IR at block granularity (a digest
+    per block over instructions, terminator, successors, access events
+    and execution frequency), and re-solves by {e exact trajectory
+    replay}: the recorded run kept every block's per-iteration incoming
+    and exit states, so any unchanged block whose input still matches
+    the recording bitwise is served from the recording without sweeping
+    its instructions, while edited blocks (and anything their influence
+    reaches) are re-swept live.
+
+    The replay reproduces, bit for bit, the states that a cold
+    [Analysis.fixpoint] on the edited function would compute — including
+    the iteration count and final delta. Exactness is by construction
+    (deterministic replay of the same float operations), {e not} by any
+    fixed-point-uniqueness assumption: the thermal lattice is
+    non-monotone and its delta-stopped iterates are schedule-dependent,
+    so independently converging warm and cold runs would differ in final
+    bits. The differential test battery asserts fingerprint equality
+    with zero tolerance on exactly this guarantee.
+
+    On structural change (block add/remove, entry change), configuration
+    or settings change, a diverged prior, or non-convergence of the
+    replay, the engine falls back to a full cold run — the recovery
+    ladder and delta semantics above this layer are reused unchanged. *)
+
+open Tdfa_ir
+open Tdfa_obs
+
+type prior
+(** A converged analysis plus the recorded per-block trajectory needed
+    to warm-start the next one. Produced by every {!analyze} call, so
+    re-analyses chain. *)
+
+type fallback_reason =
+  | Structural  (** block added/removed or entry label changed *)
+  | Config_mismatch  (** params/layout/granularity/dt changed *)
+  | Settings_mismatch  (** delta, iteration cap or join changed *)
+  | Prior_diverged  (** the prior never converged; nothing to reuse *)
+  | Non_convergence  (** the warm replay hit the iteration cap *)
+
+val fallback_reason_name : fallback_reason -> string
+
+type mode =
+  | Cold  (** no prior supplied *)
+  | Identity  (** no block changed: the prior's result is returned *)
+  | Warm  (** replayed: recorded trajectory reused for clean blocks *)
+  | Fallback of fallback_reason  (** full cold run forced *)
+
+val mode_name : mode -> string
+
+type stats = {
+  mode : mode;
+  dirty_blocks : int;
+      (** blocks the edit can influence: the dirty region (changed blocks
+          plus CFG downstream) for warm runs, every block for cold runs
+          and fallbacks, none for identity *)
+  total_blocks : int;
+  swept_sweeps : int;  (** block-sweeps executed live during replay *)
+  skipped_sweeps : int;  (** block-sweeps served from the recording *)
+}
+
+type result = {
+  outcome : Analysis.outcome;
+  prior : prior;  (** recording of this analysis, for the next edit *)
+  stats : stats;
+}
+
+val block_signature : Transfer.config -> Func.t -> Block.t -> string
+(** Digest of everything the block contributes to the analysis: its
+    instructions and terminator, successor labels in order, execution
+    frequency, and the exact access events of every instruction under
+    [config]. Independent of the block's position in the function, so
+    permuting the block list leaves signatures unchanged; any
+    instruction, successor or access edit flips it. *)
+
+val func_signature : Transfer.config -> Func.t -> string Label.Map.t
+(** {!block_signature} of every block, keyed by label. *)
+
+val dirty_region : Func.t -> changed:Label.Set.t -> Label.Set.t
+(** [changed] plus its CFG-downstream closure (successor reachability) —
+    the blocks whose analysis trajectory an edit can influence. *)
+
+type diff =
+  | Identical
+  | Blocks of Label.Set.t  (** labels whose signature changed *)
+  | Structural_change
+
+val diff : prior -> Transfer.config -> Func.t -> diff
+(** Block-level comparison of an edited function against the prior. *)
+
+val prior_outcome : prior -> Analysis.outcome
+val prior_iterations : prior -> int
+
+val analyze :
+  ?obs:Obs.sink ->
+  ?settings:Analysis.settings ->
+  ?prior:prior ->
+  Transfer.config ->
+  Func.t ->
+  result
+(** Analyse [func], warm-starting from [prior] when possible. The
+    returned states are bitwise-identical to
+    [Analysis.fixpoint ?settings config func] in every mode.
+
+    Emits through [obs]: an [incremental.analyze] span (mode, dirty
+    block count), and the counters [incremental.warm_hits] (Identity or
+    Warm re-analyses), [incremental.fallbacks], and
+    [incremental.dirty_blocks] (cumulative). *)

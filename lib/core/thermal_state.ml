@@ -70,6 +70,19 @@ let max_delta a b =
 
 let equal_within eps a b = max_delta a b <= eps
 
+let equal_bits a b =
+  num_points a = num_points b
+  && granularity a = granularity b
+  &&
+  let rec go i =
+    i < 0
+    || (Int64.equal
+          (Int64.bits_of_float a.temps.(i))
+          (Int64.bits_of_float b.temps.(i))
+       && go (i - 1))
+  in
+  go (Array.length a.temps - 1)
+
 let join_max a b =
   assert (num_points a = num_points b);
   { a with temps = Array.mapi (fun i v -> Float.max v b.temps.(i)) a.temps }

@@ -38,6 +38,11 @@ val max_delta : t -> t -> float
 
 val equal_within : float -> t -> t -> bool
 
+val equal_bits : t -> t -> bool
+(** Bitwise equality of the point fields (IEEE-754 bit patterns, so NaN
+    payloads compare too) — the notion of "unchanged" the incremental
+    replay engine relies on. *)
+
 val join_max : t -> t -> t
 (** Pointwise maximum — the conservative merge for reliability analysis. *)
 

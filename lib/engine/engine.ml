@@ -24,8 +24,11 @@ let default_spec =
     recover = false;
   }
 
-type job = { job_name : string; func : Func.t }
-type source = Computed | Cache_hit
+type job = { job_name : string; func : Func.t; parent : Func.t option }
+
+let job ?parent job_name func = { job_name; func; parent }
+
+type source = Computed | Cache_hit | Warm_hit
 
 type report = {
   name : string;
@@ -52,6 +55,7 @@ let same_result a b =
 type batch = {
   results : (string * (report, string) result) list;
   hits : int;
+  warm_hits : int;
   misses : int;
   failed : int;
   domains : int;
@@ -143,7 +147,29 @@ let driver_config ~obs ~layout spec =
     obs;
   }
 
-let analyze_keyed ~obs ~layout ~key spec job =
+module Warm = struct
+  (* Func-granularity warm reuse: the recording (Incremental.prior) of a
+     computed job, keyed by its content address, so a later job naming
+     that function as its [parent] warm-starts the fixpoint instead of
+     running cold. In-memory only — priors hold full per-iteration
+     thermal trajectories, too bulky and too version-bound to persist
+     next to the report cache. *)
+  type t = {
+    mutex : Mutex.t;
+    tbl : (string, Incremental.prior) Hashtbl.t;
+  }
+
+  let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64 }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let find t key = locked t (fun () -> Hashtbl.find_opt t.tbl key)
+  let store t key p = locked t (fun () -> Hashtbl.replace t.tbl key p)
+end
+
+let analyze_keyed ?warm ~obs ~layout ~key spec job =
   let t0 = now_ms () in
   (* The verify gate: structurally broken IR fails the job before the
      allocator or the analysis can trip over it. *)
@@ -160,14 +186,60 @@ let analyze_keyed ~obs ~layout ~key spec job =
           (List.length ds)
           (Tdfa_verify.Check.to_string d)));
   let r =
-    Tdfa.Driver.run
-      (driver_config ~obs ~layout spec)
-      (Tdfa.Driver.Unallocated job.func)
+    match warm with
+    | None ->
+      Tdfa.Driver.run
+        (driver_config ~obs ~layout spec)
+        (Tdfa.Driver.Unallocated job.func)
+    | Some store ->
+      (* Warm path: allocate here, then analyse through the incremental
+         engine. A prior recorded under the parent's content key seeds
+         the fixpoint; Incremental revalidates it block by block against
+         the allocated IR, so a stale or mismatched parent degrades to a
+         recorded cold run, never to a wrong result. *)
+      let prior =
+        Option.bind job.parent (fun pf ->
+            Warm.find store (digest_key ~layout spec pf))
+      in
+      let alloc =
+        Obs.span obs "driver.allocate"
+          ~args:[ ("policy", Obs.Str (policy_signature spec.policy)) ]
+          (fun () ->
+            Alloc.allocate ~obs job.func layout ~policy:spec.policy)
+      in
+      let r =
+        Tdfa.Driver.run
+          (driver_config ~obs ~layout spec)
+          (Tdfa.Driver.Warm_start
+             {
+               func = alloc.Alloc.func;
+               assignment = alloc.Alloc.assignment;
+               prior;
+             })
+      in
+      (match r.Tdfa.Driver.incremental with
+       | Some inc -> Warm.store store key inc.Incremental.prior
+       | None -> ());
+      { r with Tdfa.Driver.alloc = Some alloc }
   in
   let alloc =
     match r.Tdfa.Driver.alloc with Some a -> a | None -> assert false
   in
   let outcome = r.Tdfa.Driver.outcome in
+  let source =
+    match r.Tdfa.Driver.incremental with
+    | Some
+        {
+          Incremental.stats =
+            { Incremental.mode = Incremental.Identity | Incremental.Warm; _ };
+          _;
+        } ->
+      Obs.incr obs "engine.warm.hits";
+      Obs.instant obs "engine.warm.hit"
+        ~args:[ ("job", Obs.Str job.job_name); ("key", Obs.Str key) ];
+      Warm_hit
+    | _ -> Computed
+  in
   let rung =
     match r.Tdfa.Driver.recovery with
     | Some rec_ -> Analysis.fallback_name rec_.Analysis.used
@@ -188,12 +260,14 @@ let analyze_keyed ~obs ~layout ~key spec job =
     mean_k = Tdfa_core.Thermal_state.mean (Analysis.mean_map info);
     rung;
     fingerprint = fingerprint outcome;
-    source = Computed;
+    source;
     wall_ms = now_ms () -. t0;
   }
 
-let analyze_job ?(obs = Obs.null) ~layout spec job =
-  analyze_keyed ~obs ~layout ~key:(digest_key ~layout spec job.func) spec job
+let analyze_job ?(obs = Obs.null) ?warm ~layout spec job =
+  analyze_keyed ?warm ~obs ~layout
+    ~key:(digest_key ~layout spec job.func)
+    spec job
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
@@ -202,7 +276,7 @@ let analyze_job ?(obs = Obs.null) ~layout spec job =
 module Cache = struct
   (* Bump on any change to the [report] type: old entries then fail the
      magic check and read as misses instead of unmarshalling garbage. *)
-  let magic = "tdfa-engine-cache-1"
+  let magic = "tdfa-engine-cache-2"
 
   type backend = Memory of (string, report) Hashtbl.t | Disk of string
   type t = { mutex : Mutex.t; backend : backend }
@@ -274,7 +348,7 @@ end
 (* The pool                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_cached ?(obs = Obs.null) ?cache ~layout spec job =
+let run_cached ?(obs = Obs.null) ?cache ?warm ~layout spec job =
   let key = digest_key ~layout spec job.func in
   match Option.bind cache (fun c -> Cache.find ~obs c key) with
   | Some r ->
@@ -288,11 +362,12 @@ let run_cached ?(obs = Obs.null) ?cache ~layout spec job =
       Obs.instant obs "engine.cache.miss"
         ~args:[ ("job", Obs.Str job.job_name); ("key", Obs.Str key) ]
     end;
-    let r = analyze_keyed ~obs ~layout ~key spec job in
+    let r = analyze_keyed ?warm ~obs ~layout ~key spec job in
     Option.iter (fun c -> Cache.store ~obs c key r) cache;
     r
 
-let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ~layout spec job_list =
+let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ~layout spec
+    job_list =
   let t0 = now_ms () in
   let batch_t0_us = Obs.now_us obs in
   let queue = Array.of_list job_list in
@@ -315,7 +390,7 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ~layout spec job_list =
       ~args:[ ("job", Obs.Str job.job_name); ("index", Obs.Int i) ]
       (fun () ->
         results.(i) <-
-          (match run_cached ~obs ?cache ~layout spec job with
+          (match run_cached ~obs ?cache ?warm ~layout spec job with
            | r ->
              Obs.observe obs "engine.job.wall_ms" r.wall_ms;
              Ok r
@@ -347,12 +422,16 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ~layout spec job_list =
     worker ();
     List.iter Domain.join spawned
   end;
-  let hits = ref 0 and misses = ref 0 and failed = ref 0 in
+  let hits = ref 0
+  and warm_hits = ref 0
+  and misses = ref 0
+  and failed = ref 0 in
   let results =
     List.mapi
       (fun i job ->
         (match results.(i) with
          | Ok { source = Cache_hit; _ } -> incr hits
+         | Ok { source = Warm_hit; _ } -> incr warm_hits
          | Ok { source = Computed; _ } -> incr misses
          | Error _ -> incr failed);
         (job.job_name, results.(i)))
@@ -368,6 +447,7 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ~layout spec job_list =
   {
     results;
     hits = !hits;
+    warm_hits = !warm_hits;
     misses = !misses;
     failed = !failed;
     domains;

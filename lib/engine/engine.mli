@@ -47,11 +47,26 @@ val default_spec : spec
 (** First-fit, granularity 1, {!Analysis.default_settings},
     {!Params.default}, default dt, no recovery. *)
 
-type job = { job_name : string; func : Func.t }
+type job = {
+  job_name : string;
+  func : Func.t;
+  parent : Func.t option;
+      (** the function this one was edited from, if any: when the batch
+          runs with a {!Warm} store holding the parent's recording, the
+          job's fixpoint warm-starts from it instead of running cold *)
+}
+
+val job : ?parent:Func.t -> string -> Func.t -> job
+(** [job name func] with [parent] defaulting to [None]. *)
 
 (** {1 Reports} *)
 
-type source = Computed | Cache_hit
+type source =
+  | Computed
+  | Cache_hit
+  | Warm_hit
+      (** computed, but warm-started from the parent's recording (the
+          report is still bit-identical to a cold computation) *)
 
 type report = {
   name : string;
@@ -81,7 +96,8 @@ type batch = {
   results : (string * (report, string) result) list;
       (** per job, in submission order; [Error] carries the failure *)
   hits : int;
-  misses : int;  (** jobs actually computed *)
+  warm_hits : int;  (** computed with a parent warm start *)
+  misses : int;  (** jobs computed cold *)
   failed : int;
   domains : int;  (** pool size used *)
   wall_ms : float;
@@ -129,9 +145,26 @@ module Cache : sig
       [obs] after the atomic rename. *)
 end
 
+(** {1 Warm-start store} *)
+
+module Warm : sig
+  type t
+  (** Mutex-protected in-memory map from content key to the
+      {!Tdfa_core.Incremental.prior} recorded when that function was
+      analysed — the warm-reuse complement of {!Cache}: where the cache
+      only hits on byte-identical IR, the warm store lets an {e edited}
+      function reuse its parent's converged trajectory (falling back to
+      a cold run whenever the block-level diff says otherwise). *)
+
+  val create : unit -> t
+  val find : t -> string -> Tdfa_core.Incremental.prior option
+  val store : t -> string -> Tdfa_core.Incremental.prior -> unit
+end
+
 (** {1 Running} *)
 
-val analyze_job : ?obs:Obs.sink -> layout:Layout.t -> spec -> job -> report
+val analyze_job :
+  ?obs:Obs.sink -> ?warm:Warm.t -> layout:Layout.t -> spec -> job -> report
 (** Verify, allocate and analyse one job on the calling domain, no
     cache. The verification gate runs inside an [engine.verify] span
     (rejections count [engine.verify.rejections]); allocation and the
@@ -141,7 +174,13 @@ val analyze_job : ?obs:Obs.sink -> layout:Layout.t -> spec -> job -> report
 
 val run_batch :
   ?obs:Obs.sink ->
-  ?jobs:int -> ?cache:Cache.t -> layout:Layout.t -> spec -> job list -> batch
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?warm:Warm.t ->
+  layout:Layout.t ->
+  spec ->
+  job list ->
+  batch
 (** Run every job and collect reports in submission order. [jobs]
     (default 1) bounds the domain-pool size; it is clamped to the batch
     length. Jobs are drained from a shared queue, each job is looked up

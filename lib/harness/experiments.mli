@@ -229,5 +229,48 @@ val e19 : ?quiet:bool -> ?n:int -> ?hot_k:float -> unit -> e19_result
     predictor is the pre-allocation lint context of the [lint]
     subcommand. Reports per-rule precision and recall. *)
 
+type e20_event = {
+  subject : string;  (** kernel or generated-function name *)
+  edit : string;  (** the single pass applied before re-analysis *)
+  emode : string;
+      (** {!Tdfa_core.Incremental.mode_name} of the warm re-analysis:
+          identity, warm, or fallback:* *)
+  dirty : int;  (** dirty-region size reported by the warm run *)
+  blocks : int;
+  t_cold_ms : float;  (** best-of-[repeats] cold fixpoint time *)
+  t_warm_ms : float;  (** best-of-[repeats] warm-start time *)
+  e20_speedup : float;
+}
+
+type e20_class = { cls : string; count : int; cls_median : float }
+
+type e20_result = {
+  kernel_events : e20_event list;  (** the 8 examples/ir kernels *)
+  corpus_events : e20_event list;  (** the generated corpus *)
+  corpus_functions : int;
+  kernel_median : float;
+  corpus_median : float;
+  e20_classes : e20_class list;  (** per-mode medians, honest trimodal view *)
+}
+
+val e20 :
+  ?quiet:bool ->
+  ?n:int ->
+  ?repeats:int ->
+  ?target_k:float ->
+  ?json:string option ->
+  unit ->
+  e20_result
+(** Incremental warm-start fixpoint vs cold re-analysis across
+    single-pass edits: every example kernel and [n] (default 120)
+    generated functions run a thermally-guided optimize→analyze chain —
+    a pass fires only while the latest analysis shows heat above
+    [target_k] (default 337 K), and every step issues a re-analysis
+    request either way, mirroring a pass-quiescence driver. Each request
+    is timed both cold and warm-started from the previous recording. Warm and cold fingerprints (every thermal point) are
+    asserted equal on every event — any divergence raises, there is no
+    tolerance. [json] (default [Some "BENCH_incremental.json"]) writes
+    the machine-readable benchmark; pass [None] to skip. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

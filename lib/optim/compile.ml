@@ -9,6 +9,7 @@ type options = {
   split_critical : bool;
   schedule : bool;
   cooling_nops : int;
+  incremental : bool;
   policy : Policy.t;
   granularity : int;
   settings : Analysis.settings;
@@ -24,6 +25,7 @@ let default_options =
     split_critical = true;
     schedule = true;
     cooling_nops = 0;
+    incremental = false;
     policy = Policy.Thermal_spread;
     granularity = 1;
     settings = Analysis.default_settings;
@@ -51,6 +53,21 @@ let driver_config opts ~layout =
 let analyze_with opts ~layout func assignment =
   (Driver.run (driver_config opts ~layout) (Driver.Assigned (func, assignment)))
     .Driver.outcome
+
+(* Analysis for a thermal-consuming pass. Incrementally warm-started
+   from the pipeline's last recording when [opts.incremental] — the
+   outcome is bit-identical to the cold path either way, so the flag
+   changes cost, never results. *)
+let analyze_step opts ~layout t assignment =
+  if opts.incremental then begin
+    let config =
+      Setup.config_of_assignment ~granularity:opts.granularity ~layout
+        t.Pipeline.func assignment
+    in
+    let t, r = Pipeline.analyze ~obs:opts.obs ~settings:opts.settings t ~config in
+    (t, r.Incremental.outcome)
+  end
+  else (t, analyze_with opts ~layout t.Pipeline.func assignment)
 
 let run ?(options = default_options) ~layout func =
   let opts = options in
@@ -125,7 +142,7 @@ let run ?(options = default_options) ~layout func =
   (* Thermal-aware scheduling against the real assignment. *)
   let t =
     if opts.schedule then begin
-      let outcome = analyze_with opts ~layout t.Pipeline.func assignment in
+      let t, outcome = analyze_step opts ~layout t assignment in
       let peak = Analysis.peak_map (Analysis.info outcome) in
       let mean = Thermal_state.mean peak in
       let hot_cell c =
@@ -143,7 +160,7 @@ let run ?(options = default_options) ~layout func =
   in
   let t =
     if opts.cooling_nops > 0 then begin
-      let outcome = analyze_with opts ~layout t.Pipeline.func assignment in
+      let t, outcome = analyze_step opts ~layout t assignment in
       let info = Analysis.info outcome in
       let peak = Analysis.peak_map info in
       let mean = Thermal_state.mean peak in
@@ -158,6 +175,6 @@ let run ?(options = default_options) ~layout func =
     end
     else t
   in
+  let t, analysis = analyze_step opts ~layout t assignment in
   let func = t.Pipeline.func in
-  let analysis = analyze_with opts ~layout func assignment in
   { func; assignment; analysis; critical; steps = t.Pipeline.steps }

@@ -17,6 +17,10 @@ type options = {
   split_critical : bool;
   schedule : bool;
   cooling_nops : int;  (** NOPs after each predicted-hot instruction; 0 disables *)
+  incremental : bool;
+      (** warm-start the analyses between thermal-consuming passes from
+          the previous one's recording ({!Pipeline.analyze}); results
+          are bit-identical, only re-analysis cost changes *)
   policy : Policy.t;
   granularity : int;
   settings : Analysis.settings;

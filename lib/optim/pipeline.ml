@@ -47,7 +47,11 @@ type step = {
   diagnostics : Tdfa_verify.Check.diagnostic list;
 }
 
-type t = { func : Func.t; steps : step list }
+type t = {
+  func : Func.t;
+  steps : step list;
+  thermal : Tdfa_core.Incremental.prior option;
+}
 
 let static_cycles func =
   let loops = Loops.analyze func in
@@ -61,7 +65,24 @@ let static_cycles func =
 let step ?(status = Applied) ?(diagnostics = []) ~pass ~detail func =
   { pass; detail; cycles_after = static_cycles func; status; diagnostics }
 
-let start func = { func; steps = [ step ~pass:"original" ~detail:"" func ] }
+let start func =
+  {
+    func;
+    steps = [ step ~pass:"original" ~detail:"" func ];
+    thermal = None;
+  }
+
+let analyze ?(obs = Obs.null) ?(settings = Tdfa_core.Analysis.default_settings)
+    t ~config =
+  (* Re-analysis between thermal-consuming passes: warm-start from the
+     recording kept since the last analyze, and keep this run's own
+     recording for the next one. The result is bit-identical to a cold
+     fixpoint on the current function (see Tdfa_core.Incremental). *)
+  let r =
+    Tdfa_core.Incremental.analyze ~obs ~settings ?prior:t.thermal config
+      t.func
+  in
+  ({ t with thermal = Some r.Tdfa_core.Incremental.prior }, r)
 
 let status_name = function
   | Applied -> "applied"
@@ -96,20 +117,21 @@ let apply ?(obs = Obs.null) ?checks t ~name ~detail f =
       let func = f t.func in
       match checks with
       | None ->
-        finish { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+        finish { t with func; steps = t.steps @ [ step ~pass:name ~detail func ] }
       | Some { policy; verify } -> (
         match Obs.span obs "pipeline.verify"
                 ~args:[ ("pass", Obs.Str name) ]
                 (fun () -> verify func)
         with
         | [] ->
-          finish { func; steps = t.steps @ [ step ~pass:name ~detail func ] }
+          finish { t with func; steps = t.steps @ [ step ~pass:name ~detail func ] }
         | diagnostics -> (
           match policy with
           | Fail -> raise (Verification_failed { pass = name; diagnostics })
           | Warn ->
             finish
               {
+                t with
                 func;
                 steps =
                   t.steps
@@ -120,7 +142,7 @@ let apply ?(obs = Obs.null) ?checks t ~name ~detail f =
                skip (and why) in the step log. *)
             finish
               {
-                func = t.func;
+                t with
                 steps =
                   t.steps
                   @ [ step ~status:Skipped ~diagnostics ~pass:name ~detail

@@ -55,9 +55,28 @@ type step = {
       (** verification findings on the pass output (empty when clean) *)
 }
 
-type t = { func : Func.t; steps : step list }
+type t = {
+  func : Func.t;
+  steps : step list;
+  thermal : Tdfa_core.Incremental.prior option;
+      (** recording of the last {!analyze}, carried across passes so the
+          next re-analysis can warm-start from it *)
+}
 
 val start : Func.t -> t
+
+val analyze :
+  ?obs:Obs.sink ->
+  ?settings:Tdfa_core.Analysis.settings ->
+  t ->
+  config:Tdfa_core.Transfer.config ->
+  t * Tdfa_core.Incremental.result
+(** Thermal analysis of the pipeline's current function for a
+    thermal-consuming pass, warm-started from the analysis kept since
+    the last [analyze] (the passes applied in between form the IR diff).
+    The outcome is bit-identical to a cold fixpoint on [t.func]; the
+    returned pipeline state keeps this run's recording for the next
+    re-analysis. *)
 
 val apply :
   ?obs:Obs.sink ->

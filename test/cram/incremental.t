@@ -1,0 +1,48 @@
+The optimize pipeline re-analyses the function between its
+thermal-consuming passes. Under --incremental those re-analyses
+warm-start from the previous fixpoint's recorded trajectory instead of
+running cold; the report must stay byte-identical (the replay is exact,
+not approximate) while the metrics table shows the warm traffic.
+
+  $ ../../bin/tdfa_cli.exe optimize -f ../../examples/ir/fir.tdfa \
+  >   > cold.out 2> /dev/null
+  $ ../../bin/tdfa_cli.exe optimize -f ../../examples/ir/fir.tdfa \
+  >   --incremental --metrics > warm.out 2> metrics.err
+  $ cmp cold.out warm.out
+  $ cat warm.out
+  thermal-aware pipeline on fir: 0 loads promoted, 9 copies inserted
+  
+  final analysis converged after 9 iterations
+  
+                   before      after
+  peak (K)         334.05     323.63
+  range (K)         13.06       2.26
+  maxgrad (K)        4.22       1.22
+  cycles             2650       5727
+
+
+
+Both re-analyses after the first (pre-schedule and pre-NOPs plus the
+final one, minus the cold recording run) hit the warm path, and the
+dirty region stays a strict subset of the function on the NOP edit:
+
+  $ grep "incremental" metrics.err
+    incremental.dirty_blocks         7
+    incremental.warm_hits            2
+
+A single analysis run under --incremental still runs cold (there is no
+prior within one invocation) and is byte-identical to the plain one:
+
+  $ ../../bin/tdfa_cli.exe analyze -f ../../examples/ir/fir.tdfa > a.out
+  $ ../../bin/tdfa_cli.exe analyze -f ../../examples/ir/fir.tdfa \
+  >   --incremental > b.out
+  $ cmp a.out b.out
+
+The full compile driver accepts the flag too, with an unchanged report:
+
+  $ ../../bin/tdfa_cli.exe compile -k fib > c.out 2> /dev/null
+  $ ../../bin/tdfa_cli.exe compile -k fib --incremental --metrics \
+  >   > d.out 2> cm.err
+  $ cmp c.out d.out
+  $ grep "incremental.warm_hits" cm.err
+    incremental.warm_hits            1

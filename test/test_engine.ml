@@ -30,7 +30,7 @@ let fast_spec =
 
 let gen_small = Generator.gen_func ~max_pool:10 ~max_depth:1 ~max_length:6 ()
 
-let job_of i f = { Engine.job_name = Printf.sprintf "f%d" i; func = f }
+let job_of i f = Engine.job (Printf.sprintf "f%d" i) f
 
 let report_of = function
   | _, Ok (r : Engine.report) -> r
@@ -40,7 +40,7 @@ let report_of = function
 
 let test_suite_jobs_equivalent () =
   let suite =
-    List.map (fun (name, f) -> { Engine.job_name = name; func = f }) Kernels.all
+    List.map (fun (name, f) -> Engine.job name f) Kernels.all
   in
   let seq = Engine.run_batch ~jobs:1 ~layout fast_spec suite in
   let par = Engine.run_batch ~jobs:4 ~layout fast_spec suite in
@@ -62,7 +62,7 @@ let test_disk_cache_roundtrip () =
   in
   let cache = Engine.Cache.on_disk ~dir in
   let jobs =
-    List.map (fun (name, f) -> { Engine.job_name = name; func = f })
+    List.map (fun (name, f) -> Engine.job name f)
       [ ("fib", Kernels.fib ()); ("crc", Kernels.crc ()) ]
   in
   let first = Engine.run_batch ~cache ~layout fast_spec jobs in
@@ -104,9 +104,9 @@ let broken_func () =
 let test_failure_isolated () =
   let jobs =
     [
-      { Engine.job_name = "fib"; func = Kernels.fib () };
-      { Engine.job_name = "broken"; func = broken_func () };
-      { Engine.job_name = "crc"; func = Kernels.crc () };
+      Engine.job "fib" (Kernels.fib ());
+      Engine.job "broken" (broken_func ());
+      Engine.job "crc" (Kernels.crc ());
     ]
   in
   let b = Engine.run_batch ~jobs:2 ~layout fast_spec jobs in
@@ -125,8 +125,7 @@ let test_failure_isolated () =
 let test_recovery_rung_reported () =
   let spec = { fast_spec with Engine.recover = true } in
   let r =
-    Engine.analyze_job ~layout spec
-      { Engine.job_name = "fib"; func = Kernels.fib () }
+    Engine.analyze_job ~layout spec (Engine.job "fib" (Kernels.fib ()))
   in
   Alcotest.(check string) "primary converges" "primary" r.Engine.rung
 
@@ -167,7 +166,7 @@ let prop_cache_hit_exact =
   QCheck2.Test.make ~name:"engine: cache hit returns the recomputed value"
     ~count:100 gen_small (fun f ->
       let cache = Engine.Cache.in_memory () in
-      let job = [ { Engine.job_name = "f"; func = f } ] in
+      let job = [ Engine.job "f" (f) ] in
       let first = Engine.run_batch ~cache ~layout fast_spec job in
       let second = Engine.run_batch ~cache ~layout fast_spec job in
       let fresh = Engine.run_batch ~layout fast_spec job in

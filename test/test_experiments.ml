@@ -394,6 +394,36 @@ let test_e19_predictor_shape () =
         (row.Experiments.recall >= 0.0 && row.Experiments.recall <= 1.0))
     r.Experiments.rows
 
+let test_e20_incremental_shape () =
+  (* A tiny corpus keeps this in test budget; the fingerprint equality
+     between warm and cold is asserted inside e20 itself on every event,
+     so reaching the return value at all means no divergence. *)
+  let r = Experiments.e20 ~quiet:true ~n:2 ~repeats:1 ~json:None () in
+  Alcotest.(check int) "corpus size recorded" 2 r.Experiments.corpus_functions;
+  (* 8 example kernels x 7 single-pass edits. *)
+  Alcotest.(check int) "kernel event count" 56
+    (List.length r.Experiments.kernel_events);
+  Alcotest.(check bool) "corpus events present" true
+    (r.Experiments.corpus_events <> []);
+  Alcotest.(check bool) "kernel median positive" true
+    (r.Experiments.kernel_median > 0.0);
+  Alcotest.(check bool) "corpus median positive" true
+    (r.Experiments.corpus_median > 0.0);
+  Alcotest.(check bool) "class breakdown present" true
+    (r.Experiments.e20_classes <> []);
+  List.iter
+    (fun (e : Experiments.e20_event) ->
+      Alcotest.(check bool)
+        (e.Experiments.subject ^ "/" ^ e.Experiments.edit ^ " timings positive")
+        true
+        (e.Experiments.t_cold_ms > 0.0 && e.Experiments.t_warm_ms > 0.0
+        && e.Experiments.e20_speedup > 0.0);
+      Alcotest.(check bool)
+        (e.Experiments.subject ^ "/" ^ e.Experiments.edit ^ " dirty <= blocks")
+        true
+        (e.Experiments.dirty >= 0 && e.Experiments.dirty <= e.Experiments.blocks))
+    (r.Experiments.kernel_events @ r.Experiments.corpus_events)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -417,5 +447,6 @@ let suite =
         tc "E17 re-assignment" `Slow test_e17_reassignment_recovers_benefit;
         tc "E18 batch engine" `Slow test_e18_batch_engine_shape;
         tc "E19 lint predictor" `Slow test_e19_predictor_shape;
+        tc "E20 incremental warm-start" `Slow test_e20_incremental_shape;
       ] );
   ]

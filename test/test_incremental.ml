@@ -1,0 +1,404 @@
+(* The differential battery for the incremental warm-start engine:
+   warm-started re-analysis must be bit-identical to a cold fixpoint
+   (fingerprints over every per-instruction thermal point, zero
+   tolerance), the block-diff hasher must be position-independent and
+   edit-sensitive, the dirty region must match a naive reachability
+   oracle, and every optimisation pass the loop re-analyses after must
+   itself preserve interpreter-observable semantics. *)
+
+open Tdfa_ir
+open Tdfa_regalloc
+open Tdfa_core
+open Tdfa_workload
+open Tdfa_obs
+
+let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 ()
+
+(* Coarser + looser than the defaults so a property case costs
+   milliseconds; the cram suite covers the default configuration. *)
+let settings =
+  {
+    Analysis.default_settings with
+    Analysis.delta_k = 0.1;
+    max_iterations = 100;
+  }
+
+let config_of ?(granularity = 2) func assignment =
+  Setup.config_of_assignment ~granularity ~layout func assignment
+
+let post_ra f =
+  let a = Alloc.allocate f layout ~policy:Policy.First_fit in
+  (a.Alloc.func, a.Alloc.assignment)
+
+let fingerprint = Tdfa_engine.Engine.fingerprint
+let gen_small = Generator.gen_func ~max_pool:10 ~max_depth:1 ~max_length:6 ()
+
+let gen_program =
+  QCheck2.Gen.(
+    map
+      (fun (seed, pool, depth) ->
+        Generator.generate
+          { Generator.default with Generator.seed; pool; depth })
+      (triple (int_range 1 10_000) (int_range 2 20) (int_range 0 2)))
+
+(* Every Tdfa_optim pass the optimize→analyze loop can interleave with
+   re-analyses. Each entry is a deterministic single-pass edit. *)
+let passes =
+  [
+    ("promote", fun f -> fst (Tdfa_optim.Promote.apply f));
+    ( "split_ranges",
+      fun f ->
+        let vars =
+          Var.Set.elements (Func.defined_vars f)
+          |> List.filteri (fun i _ -> i mod 3 = 0)
+        in
+        fst (Tdfa_optim.Split_ranges.apply f ~vars) );
+    ( "spill_critical",
+      fun f ->
+        let critical =
+          Var.Set.elements (Func.defined_vars f)
+          |> List.filter (fun v ->
+              not (List.exists (Var.equal v) f.Func.params))
+          |> List.filteri (fun i _ -> i < 2)
+        in
+        fst (Tdfa_optim.Spill_critical.apply f ~critical ~max_spills:2) );
+    ( "nop_insert",
+      fun f ->
+        fst
+          (Tdfa_optim.Nop_insert.apply f
+             ~hot_after:(fun l i ->
+               (Hashtbl.hash (Label.to_string l) + i) mod 5 = 0)
+             ~nops:1) );
+    ( "schedule",
+      fun f ->
+        fst
+          (Tdfa_optim.Schedule.apply f
+             ~cell_of_var:(fun v ->
+               Some (Hashtbl.hash (Var.to_string v) mod 64))
+             ~is_hot_cell:(fun c -> c mod 7 = 0)) );
+    ("strength", fun f -> fst (Tdfa_optim.Strength.apply f));
+    ("unroll", fun f -> fst (Tdfa_optim.Unroll.apply f ~factor:2));
+    ("cleanup", Tdfa_optim.Cleanup.run_all);
+  ]
+
+(* --- Block-diff hasher units ---------------------------------------------- *)
+
+(* A three-block function with a loop; the signature tests edit it one
+   feature at a time under one shared assignment. *)
+let sig_base =
+  "func @sig() {\nentry:\n  %a = const 1\n  %b = add %a, %a\n  jmp loop\n\
+   loop:\n  %c = add %b, %a\n  br %c, loop, done\ndone:\n  ret %a\n}"
+
+let sig_instr_edit =
+  "func @sig() {\nentry:\n  %a = const 1\n  %b = mul %a, %a\n  jmp loop\n\
+   loop:\n  %c = add %b, %a\n  br %c, loop, done\ndone:\n  ret %a\n}"
+
+let sig_succ_edit =
+  "func @sig() {\nentry:\n  %a = const 1\n  %b = add %a, %a\n  jmp loop\n\
+   loop:\n  %c = add %b, %a\n  br %c, done, done\ndone:\n  ret %a\n}"
+
+let sig_extra_block =
+  "func @sig() {\nentry:\n  %a = const 1\n  %b = add %a, %a\n  jmp loop\n\
+   loop:\n  %c = add %b, %a\n  br %c, loop, extra\nextra:\n  jmp done\n\
+   done:\n  ret %a\n}"
+
+let sigs_of f assignment =
+  Incremental.func_signature (config_of f assignment) f
+
+let test_signature_permutation_invariant () =
+  let f, asg = post_ra (Kernels.fir ()) in
+  let permuted =
+    match f.Func.blocks with
+    | entry :: rest ->
+      Func.make ~name:f.Func.name ~params:f.Func.params
+        (entry :: List.rev rest)
+    | [] -> f
+  in
+  Alcotest.(check bool) "fir has several blocks" true
+    (List.length f.Func.blocks > 2);
+  Alcotest.(check bool) "permuted-but-equal blocks hash equal" true
+    (Label.Map.equal String.equal (sigs_of f asg) (sigs_of permuted asg))
+
+let check_edit_flips ~edited variant =
+  let base = Parser.parse_func sig_base in
+  let f' = Parser.parse_func variant in
+  let asg = Placement.predict base layout in
+  let s0 = sigs_of base asg and s1 = sigs_of f' asg in
+  Label.Map.iter
+    (fun l d0 ->
+      let d1 = Label.Map.find l s1 in
+      if String.equal (Label.to_string l) edited then
+        Alcotest.(check bool)
+          (edited ^ " signature flips") false (String.equal d0 d1)
+      else
+        Alcotest.(check string)
+          (Label.to_string l ^ " signature stable") d0 d1)
+    s0
+
+let test_signature_instr_edit () = check_edit_flips ~edited:"entry" sig_instr_edit
+let test_signature_succ_edit () = check_edit_flips ~edited:"loop" sig_succ_edit
+
+(* dirty_region == the naive oracle: every label reachable from a
+   changed label by following successor edges (including the changed
+   labels themselves). *)
+let naive_dirty f changed =
+  let reached = Hashtbl.create 16 in
+  let rec visit l =
+    if not (Hashtbl.mem reached l) then begin
+      Hashtbl.replace reached l ();
+      List.iter visit (Func.successors f l)
+    end
+  in
+  Label.Set.iter visit changed;
+  Hashtbl.fold (fun l () acc -> Label.Set.add l acc) reached Label.Set.empty
+
+let prop_dirty_region_matches_oracle =
+  QCheck2.Test.make ~name:"incremental: dirty region == reachability oracle"
+    ~count:100
+    QCheck2.Gen.(pair gen_small (int_range 0 1_000_000))
+    (fun (f, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let changed =
+        List.filter (fun _ -> Random.State.bool rng) f.Func.blocks
+        |> List.map (fun (b : Block.t) -> b.Block.label)
+        |> Label.Set.of_list
+      in
+      Label.Set.equal
+        (Incremental.dirty_region f ~changed)
+        (naive_dirty f changed))
+
+(* --- The differential property -------------------------------------------- *)
+
+let print_case (f, i) =
+  Printf.sprintf "pass %s on:\n%s"
+    (fst (List.nth passes (i mod List.length passes)))
+    (Printer.func_to_string f)
+
+(* For every pass applied to a random function, warm-start re-analysis
+   from the pre-edit recording is EXACTLY the cold fixpoint on the
+   edited function: same fingerprint over every thermal point, same
+   iteration count, same final delta — no tolerance. *)
+let prop_warm_equals_cold =
+  QCheck2.Test.make
+    ~name:"incremental: warm == cold fingerprint for every pass" ~count:160
+    ~print:print_case
+    QCheck2.Gen.(pair gen_small (int_range 0 (List.length passes - 1)))
+    (fun (f, i) ->
+      let _, pass = List.nth passes i in
+      let af, asg = post_ra f in
+      let r0 = Incremental.analyze ~settings (config_of af asg) af in
+      let f' = pass af in
+      let cfg' = config_of f' asg in
+      let warm =
+        Incremental.analyze ~settings ~prior:r0.Incremental.prior cfg' f'
+      in
+      let cold = Analysis.fixpoint ~settings cfg' f' in
+      let wi = Analysis.info warm.Incremental.outcome
+      and ci = Analysis.info cold in
+      String.equal (fingerprint warm.Incremental.outcome) (fingerprint cold)
+      && wi.Analysis.iterations = ci.Analysis.iterations
+      && Int64.equal
+           (Int64.bits_of_float wi.Analysis.final_delta_k)
+           (Int64.bits_of_float ci.Analysis.final_delta_k))
+
+(* Chained edits: priors produced by warm runs seed further warm runs
+   without drift (the optimize loop's actual usage pattern). *)
+let prop_chained_warm_equals_cold =
+  QCheck2.Test.make
+    ~name:"incremental: chained warm re-analyses stay exact" ~count:60
+    ~print:print_case
+    QCheck2.Gen.(pair gen_small (int_range 0 (List.length passes - 1)))
+    (fun (f, i) ->
+      let af, asg = post_ra f in
+      let r = ref (Incremental.analyze ~settings (config_of af asg) af) in
+      let func = ref af in
+      let ok = ref true in
+      List.iteri
+        (fun j (_, pass) ->
+          if !ok && (i + j) mod 3 = 0 then begin
+            func := pass !func;
+            let cfg' = config_of !func asg in
+            let warm =
+              Incremental.analyze ~settings ~prior:!r.Incremental.prior cfg'
+                !func
+            in
+            let cold = Analysis.fixpoint ~settings cfg' !func in
+            ok := String.equal (fingerprint warm.Incremental.outcome)
+                (fingerprint cold);
+            r := warm
+          end)
+        passes;
+      !ok)
+
+(* --- Semantic preservation of every pass ---------------------------------- *)
+
+let observe f =
+  let o = Tdfa_exec.Interp.run_func ~fuel:5_000_000 f in
+  ( o.Tdfa_exec.Interp.return_value,
+    List.filter
+      (fun (a, _) -> a < Spill.base_address)
+      o.Tdfa_exec.Interp.memory )
+
+let prop_passes_preserve_semantics =
+  QCheck2.Test.make
+    ~name:"incremental battery: every optim pass preserves semantics"
+    ~count:160 ~print:print_case
+    QCheck2.Gen.(pair gen_program (int_range 0 (List.length passes - 1)))
+    (fun (f, i) ->
+      let _, pass = List.nth passes i in
+      observe f = observe (pass f))
+
+(* --- Modes, fallbacks, telemetry ------------------------------------------ *)
+
+let mode r = Incremental.mode_name r.Incremental.stats.Incremental.mode
+
+let test_modes_and_fallbacks () =
+  let af, asg = post_ra (Kernels.fir ()) in
+  let cfg = config_of af asg in
+  let r0 = Incremental.analyze ~settings cfg af in
+  Alcotest.(check string) "no prior = cold" "cold" (mode r0);
+  let r1 =
+    Incremental.analyze ~settings ~prior:r0.Incremental.prior cfg af
+  in
+  Alcotest.(check string) "unchanged = identity" "identity" (mode r1);
+  Alcotest.(check int) "identity dirties nothing" 0
+    r1.Incremental.stats.Incremental.dirty_blocks;
+  Alcotest.(check string) "identity returns the prior's fingerprint"
+    (fingerprint r0.Incremental.outcome)
+    (fingerprint r1.Incremental.outcome);
+  (* NOP insertion keeps the block set: a warm replay. *)
+  let edited =
+    fst (Tdfa_optim.Nop_insert.apply af ~hot_after:(fun _ i -> i = 0) ~nops:1)
+  in
+  let r2 =
+    Incremental.analyze ~settings ~prior:r1.Incremental.prior
+      (config_of edited asg) edited
+  in
+  Alcotest.(check string) "same-shape edit = warm" "warm" (mode r2);
+  (* Adding a block is a structural fallback. *)
+  let base = Parser.parse_func sig_base in
+  let basg = Placement.predict base layout in
+  let rb = Incremental.analyze ~settings (config_of base basg) base in
+  let extra = Parser.parse_func sig_extra_block in
+  let r3 =
+    Incremental.analyze ~settings ~prior:rb.Incremental.prior
+      (config_of extra basg) extra
+  in
+  Alcotest.(check string) "block add = structural fallback"
+    "fallback:structural" (mode r3);
+  (* Changed settings and changed config each force a fallback. *)
+  let r4 =
+    Incremental.analyze
+      ~settings:{ settings with Analysis.delta_k = 0.05 }
+      ~prior:r0.Incremental.prior cfg af
+  in
+  Alcotest.(check string) "settings change falls back"
+    "fallback:settings-mismatch" (mode r4);
+  let r5 =
+    Incremental.analyze ~settings ~prior:r0.Incremental.prior
+      (config_of ~granularity:4 af asg) af
+  in
+  Alcotest.(check string) "granularity change falls back"
+    "fallback:config-mismatch" (mode r5)
+
+let test_obs_counters () =
+  let t = Obs.memory () in
+  let af, asg = post_ra (Kernels.fir ()) in
+  let cfg = config_of af asg in
+  let r0 = Incremental.analyze ~obs:t ~settings cfg af in
+  let r1 =
+    Incremental.analyze ~obs:t ~settings ~prior:r0.Incremental.prior cfg af
+  in
+  let edited =
+    fst (Tdfa_optim.Nop_insert.apply af ~hot_after:(fun _ i -> i = 0) ~nops:1)
+  in
+  let _ =
+    Incremental.analyze ~obs:t ~settings ~prior:r1.Incremental.prior
+      (config_of edited asg) edited
+  in
+  let unrolled = fst (Tdfa_optim.Unroll.apply af ~factor:2) in
+  let _ =
+    Incremental.analyze ~obs:t ~settings ~prior:r0.Incremental.prior
+      (config_of unrolled asg) unrolled
+  in
+  let rows = Obs.metrics_rows t in
+  Alcotest.(check string) "warm hits: identity + warm" "2"
+    (List.assoc "incremental.warm_hits" rows);
+  Alcotest.(check string) "one fallback" "1"
+    (List.assoc "incremental.fallbacks" rows);
+  Alcotest.(check bool) "dirty-block counter present" true
+    (List.mem_assoc "incremental.dirty_blocks" rows);
+  Alcotest.(check bool) "re-analysis span emitted" true
+    (List.exists
+       (fun (e : Obs.event) -> String.equal e.Obs.name "incremental.analyze")
+       (Obs.events t))
+
+(* --- Engine warm reuse ----------------------------------------------------- *)
+
+let engine_spec =
+  {
+    Tdfa_engine.Engine.default_spec with
+    Tdfa_engine.Engine.granularity = 2;
+    settings;
+  }
+
+let test_engine_warm_reuse () =
+  let open Tdfa_engine in
+  let parent = Kernels.fib () in
+  let edited = fst (Tdfa_optim.Strength.apply parent) in
+  let warm = Engine.Warm.create () in
+  let r0 =
+    Engine.analyze_job ~warm ~layout engine_spec (Engine.job "fib" parent)
+  in
+  Alcotest.(check bool) "first run computes" true
+    (r0.Engine.source = Engine.Computed);
+  let r1 =
+    Engine.analyze_job ~warm ~layout engine_spec
+      (Engine.job ~parent "fib-edit" edited)
+  in
+  Alcotest.(check bool) "child of a recorded parent warm-starts" true
+    (r1.Engine.source = Engine.Warm_hit);
+  let cold =
+    Engine.analyze_job ~layout engine_spec (Engine.job "fib-edit" edited)
+  in
+  Alcotest.(check bool) "warm report == cold report" true
+    (Engine.same_result r1 cold);
+  (* And through the batch API, with the warm-hit count surfaced. *)
+  let batch =
+    Engine.run_batch ~warm:(Engine.Warm.create ()) ~layout engine_spec
+      [ Engine.job "fib" parent; Engine.job ~parent "fib-edit" edited ]
+  in
+  Alcotest.(check int) "batch counts the warm hit" 1 batch.Engine.warm_hits;
+  (match batch.Engine.results with
+   | [ (_, Ok a); (_, Ok b) ] ->
+     Alcotest.(check bool) "batch child report == cold" true
+       (Engine.same_result b cold);
+     Alcotest.(check bool) "batch parent computed" true
+       (a.Engine.source = Engine.Computed)
+   | _ -> Alcotest.fail "batch failed")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "incremental",
+      [
+        tc "block signatures are position-independent" `Quick
+          test_signature_permutation_invariant;
+        tc "instruction edit flips only its block's signature" `Quick
+          test_signature_instr_edit;
+        tc "successor edit flips only its block's signature" `Quick
+          test_signature_succ_edit;
+        tc "modes: cold/identity/warm/fallbacks" `Quick
+          test_modes_and_fallbacks;
+        tc "telemetry counters and span" `Quick test_obs_counters;
+        tc "engine warm reuse via parent key" `Quick test_engine_warm_reuse;
+      ] );
+    ( "incremental.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_dirty_region_matches_oracle;
+          prop_warm_equals_cold;
+          prop_chained_warm_equals_cold;
+          prop_passes_preserve_semantics;
+        ] );
+  ]

@@ -8,4 +8,5 @@ let () =
    @ Test_vliw.suite @ Test_workload.suite @ Test_lang.suite
    @ Test_report.suite @ Test_misc.suite @ Test_properties.suite
    @ Test_experiments.suite @ Test_verify.suite @ Test_engine.suite
-   @ Test_obs.suite @ Test_driver.suite @ Test_lint.suite)
+   @ Test_obs.suite @ Test_driver.suite @ Test_lint.suite
+   @ Test_incremental.suite)

@@ -169,6 +169,38 @@ let cache_arg =
             re-running the fixpoint.")
 
 (* ------------------------------------------------------------------ *)
+(* Fault plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One seeded fault-plan format shared by serve, batch and verify (see
+   EXPERIMENTS.md): the flag parses here so all three commands reject a
+   bad file with the same message. *)
+let fault_plan_arg =
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"FILE"
+         ~doc:
+           "Seeded fault plan: one $(b,key = value) binding per line \
+            ($(b,seed), $(b,stall-ms), one line per fault-site rate), \
+            $(b,#) comments. The same file drives $(b,serve) chaos, \
+            $(b,batch) stall/torn-cache injection and $(b,verify) \
+            falsification; see EXPERIMENTS.md for the format.")
+
+let load_fault_plan = function
+  | None -> None
+  | Some path -> (
+    match Tdfa_verify.Fault.Plan.of_file path with
+    | Ok plan -> Some plan
+    | Error msg ->
+      Printf.eprintf "tdfa: fault-plan: %s: %s\n" path msg;
+      exit 2)
+
+let watchdog_arg =
+  Arg.(value & opt (some float) None & info [ "watchdog-ms" ] ~docv:"MS"
+         ~doc:
+           "Arm the pool watchdog: a worker stuck on one job longer \
+            than $(docv) is presumed wedged and its job is re-run on a \
+            replacement domain.")
+
+(* ------------------------------------------------------------------ *)
 (* Checked-pipeline policy                                              *)
 (* ------------------------------------------------------------------ *)
 

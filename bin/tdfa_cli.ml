@@ -42,12 +42,44 @@ let show kernel file =
   Cli_args.with_func kernel file (fun f ->
       print_endline (Printer.func_to_string f))
 
-let verify kernel file policy post_ra obs_req =
+(* Falsification under a fault plan: every seeded mutant the injectors
+   can build from this program must be caught by the rules — a silent
+   mutant means a rule that proves nothing. Shares the plan file (and
+   its seed) with serve --chaos and batch --fault-plan. *)
+let falsify ~plan ~assignment func =
+  let seed = plan.Tdfa_verify.Fault.Plan.seed in
+  let mutants = Tdfa_verify.Fault.inject_all ~seed ?assignment func in
+  let uncaught =
+    List.filter
+      (fun (m : Tdfa_verify.Fault.t) ->
+        let diags =
+          match m.Tdfa_verify.Fault.assignment with
+          | Some a ->
+            Tdfa_verify.Check.all ~layout:Common.standard_layout
+              ~assignment:a m.Tdfa_verify.Fault.func
+          | None -> Tdfa_verify.Check.func m.Tdfa_verify.Fault.func
+        in
+        diags = [])
+      mutants
+  in
+  Printf.printf "falsification (seed %d): %d/%d mutants caught\n" seed
+    (List.length mutants - List.length uncaught)
+    (List.length mutants);
+  List.iter
+    (fun (m : Tdfa_verify.Fault.t) ->
+      Printf.printf "  UNCAUGHT %s: %s\n"
+        (Tdfa_verify.Fault.kind_name m.Tdfa_verify.Fault.kind)
+        m.Tdfa_verify.Fault.description)
+    uncaught;
+  if uncaught = [] then 0 else 1
+
+let verify kernel file policy post_ra fault_plan obs_req =
+  let plan = Cli_args.load_fault_plan fault_plan in
   let rc =
     Cli_args.with_func kernel file (fun f ->
         Cli_args.guard (fun () ->
             Cli_args.with_obs obs_req (fun obs ->
-                let diags =
+                let func, assignment, diags =
                   Tdfa.Obs.span obs "verify.check"
                     ~args:
                       [
@@ -55,27 +87,31 @@ let verify kernel file policy post_ra obs_req =
                         ("post_ra", Tdfa.Obs.Bool post_ra);
                       ]
                     (fun () ->
-                      let _, _, diags =
-                        Cli_args.check_dispatch ~obs ~post_ra ~policy f
-                      in
-                      diags)
+                      Cli_args.check_dispatch ~obs ~post_ra ~policy f)
                 in
                 Tdfa.Obs.incr obs ~by:(List.length diags) "verify.violations";
-                match diags with
-                | [] ->
-                  Printf.printf
-                    "%s: verification clean (%d instrs, %d blocks)\n"
-                    f.Func.name (Func.instr_count f)
-                    (List.length f.Func.blocks);
-                  0
-                | ds ->
-                  Printf.printf "%s: %d violation(s)\n" f.Func.name
-                    (List.length ds);
-                  List.iter
-                    (fun d ->
-                      Printf.printf "  %s\n" (Tdfa_verify.Check.to_string d))
-                    ds;
-                  1)))
+                let rc =
+                  match diags with
+                  | [] ->
+                    Printf.printf
+                      "%s: verification clean (%d instrs, %d blocks)\n"
+                      f.Func.name (Func.instr_count f)
+                      (List.length f.Func.blocks);
+                    0
+                  | ds ->
+                    Printf.printf "%s: %d violation(s)\n" f.Func.name
+                      (List.length ds);
+                    List.iter
+                      (fun d ->
+                        Printf.printf "  %s\n" (Tdfa_verify.Check.to_string d))
+                      ds;
+                    1
+                in
+                match plan with
+                | None -> rc
+                | Some plan ->
+                  let frc = falsify ~plan ~assignment func in
+                  max rc frc)))
   in
   if rc <> 0 then exit rc
 
@@ -177,12 +213,10 @@ let lint files kernel kernels rules severities lint_config format max_severity
                        | Some path -> Printf.sprintf "%s (%s)" func.Func.name path
                        | None -> func.Func.name
                      in
-                     if findings = [] then
-                       Printf.printf "lint %s: clean\n" display
-                     else begin
-                       Printf.printf "lint %s:\n" display;
-                       print_string (Tdfa_lint.Render.to_string findings)
-                     end)
+                     (* Shared with the serve daemon: one renderer, one
+                        text. *)
+                     print_string
+                       (Tdfa_serve.Render.lint_report ~display findings))
                    reports
                | Cli_args.Sarif ->
                  print_string
@@ -217,76 +251,40 @@ let simulate kernel file policy =
 
 let analyze kernel file policy granularity delta pre_ra recover incremental
     obs_req =
-  Cli_args.with_func kernel file (fun f ->
-    Cli_args.guard (fun () ->
-      Cli_args.with_obs obs_req (fun obs ->
-      let name = f.Func.name in
-      let settings =
-        { Analysis.default_settings with Analysis.delta_k = delta }
-      in
-      (* Pre-RA: predictive placement on the original function (§4's
-         ambitious mode). Post-RA: allocate first, exact registers. *)
-      let func, assignment, mode =
-        if pre_ra then
-          (f, Placement.predict f Common.standard_layout, "pre-RA (predictive)")
-        else begin
-          let alloc = Alloc.allocate ~obs f Common.standard_layout ~policy in
-          (alloc.Alloc.func, alloc.Alloc.assignment,
-           Printf.sprintf "post-RA, policy %s" (Policy.name policy))
-        end
-      in
-      let cfg =
-        {
-          (Tdfa.Driver.default ~layout:Common.standard_layout) with
-          Tdfa.Driver.granularity;
-          settings;
-          recover;
-          obs;
-        }
-      in
-      (* Under [--incremental] a single analysis still runs cold (there
-         is no prior yet), but it goes through the incremental engine so
-         a recording is made and the incremental.* telemetry appears. *)
-      let input =
-        if incremental then
-          Tdfa.Driver.Warm_start { func; assignment; prior = None }
-        else Tdfa.Driver.Assigned (func, assignment)
-      in
-      let r = Tdfa.Driver.run cfg input in
-      (match r.Tdfa.Driver.recovery with
-       | Some rec_ when List.length rec_.Analysis.attempts > 1 ->
-         Printf.printf "divergence-recovery ladder:\n";
-         List.iter
-           (fun (a : Analysis.attempt) ->
-             Printf.printf "  %-16s %s after %d iterations\n"
-               (Analysis.fallback_name a.Analysis.fallback)
-               (if a.Analysis.converged then "converged" else "diverged")
-               a.Analysis.iterations)
-           rec_.Analysis.attempts;
-         Printf.printf "using %s\n\n" (Analysis.fallback_name rec_.Analysis.used)
-       | _ -> ());
-      let outcome = r.Tdfa.Driver.outcome in
-      let info = Analysis.info outcome in
-      Printf.printf "kernel %s, %s: analysis %s after %d iterations \
-                     (last delta %.4f K)\n\n"
-        name mode
-        (if Analysis.converged outcome then "converged" else "DID NOT converge")
-        info.Analysis.iterations info.Analysis.final_delta_k;
-      let peak = Analysis.peak_map info in
-      Printf.printf "predicted worst-case map (peak %.2f K):\n"
-        (Thermal_state.peak peak);
-      print_string
-        (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak));
-      let tcfg = Tdfa.Driver.transfer_config cfg func assignment in
-      let ranked = Criticality.rank tcfg info func assignment in
-      Printf.printf "\nmost critical variables:\n";
-      List.iteri
-        (fun i (r : Criticality.ranked) ->
-          if i < 8 then
-            Printf.printf "  %-12s score %10.1f  hottest point %.2f K\n"
-              (Var.to_string r.Criticality.var)
-              r.Criticality.score r.Criticality.hottest_point_k)
-        ranked)))
+  (* The report text lives in [Tdfa_serve.Render.analyze], shared with
+     the serve daemon so the two front ends are byte-identical by
+     construction. SIGINT trips a cooperative cancellation token polled
+     at fixpoint-iteration boundaries: the run stops cleanly (exit 130)
+     instead of dying mid-iteration. *)
+  let rc =
+    Cli_args.with_func kernel file (fun f ->
+      Cli_args.guard (fun () ->
+        Cli_args.with_obs obs_req (fun obs ->
+          let interrupted = ref false in
+          let previous =
+            Sys.signal Sys.sigint
+              (Sys.Signal_handle (fun _ -> interrupted := true))
+          in
+          Fun.protect
+            ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+            (fun () ->
+              match
+                Tdfa_serve.Render.analyze ~obs
+                  ~cancel:(fun () -> !interrupted)
+                  ~policy ~granularity ~delta ~pre_ra ~recover ~incremental
+                  f
+              with
+              | out, _ ->
+                print_string out;
+                0
+              | exception Analysis.Cancelled { iterations } ->
+                Printf.eprintf
+                  "tdfa: analyze: interrupted after %d fixpoint \
+                   iterations\n"
+                  iterations;
+                130))))
+  in
+  if rc <> 0 then exit rc
 
 let policies kernel file =
   Cli_args.with_func kernel file (fun f ->
@@ -465,7 +463,7 @@ let compile kernel file policy granularity checked lint_gate on_violation
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))))
 
 let batch files kernels jobs cache_dir policy granularity delta recover stats
-    obs_req =
+    watchdog_ms fault_plan obs_req =
   (* [--stats] is the legacy spelling of [--metrics]: the ad-hoc stderr
      summary it used to print is now the metrics table. *)
   if stats then
@@ -513,6 +511,10 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
     Printf.eprintf "tdfa: batch: no inputs (pass files and/or --kernels)\n";
     exit 2
   end;
+  let faults =
+    Option.map Tdfa_verify.Fault.Plan.injector
+      (Cli_args.load_fault_plan fault_plan)
+  in
   let rc =
     Cli_args.with_obs obs_req (fun obs ->
         let cache =
@@ -520,10 +522,26 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
             (fun dir -> Tdfa_engine.Engine.Cache.on_disk ~dir)
             cache_dir
         in
-        let b =
-          Tdfa_engine.Engine.run_batch ~obs ~jobs ?cache
-            ~layout:Common.standard_layout spec job_list
+        (* SIGINT drains instead of killing: the stop token is polled
+           before each claim, so in-flight jobs finish and are
+           reported, never-claimed jobs surface as interrupted, the
+           cache directory is fsynced, and the exit code is the
+           conventional 130. *)
+        let interrupted = ref false in
+        let previous =
+          Sys.signal Sys.sigint
+            (Sys.Signal_handle (fun _ -> interrupted := true))
         in
+        let b =
+          Fun.protect
+            ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+            (fun () ->
+              Tdfa_engine.Engine.run_batch ~obs ~jobs ?cache
+                ~stop:(fun () -> !interrupted)
+                ?watchdog_ms ?faults ~layout:Common.standard_layout spec
+                job_list)
+        in
+        Option.iter Tdfa_engine.Engine.Cache.sync cache;
         (* stdout carries only the deterministic per-function reports, so
            two runs at different --jobs (or a cached re-run) compare
            byte-equal; provenance, timing and cache traffic are metrics
@@ -549,10 +567,111 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
         List.iter
           (fun (path, msg) -> Printf.eprintf "tdfa: batch: %s: %s\n" path msg)
           load_failures;
-        if b.Tdfa_engine.Engine.failed > 0 || load_failures <> [] then 1
+        if b.Tdfa_engine.Engine.stopped then begin
+          Printf.eprintf
+            "tdfa: batch: interrupted; in-flight jobs drained, cache \
+             synced\n";
+          130
+        end
+        else if b.Tdfa_engine.Engine.failed > 0 || load_failures <> [] then 1
         else 0)
   in
   if rc <> 0 then exit rc
+
+(* ------------------------------------------------------------------ *)
+(* Serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket chaos fault_plan deadline_ms obs_req =
+  let faults =
+    match (Cli_args.load_fault_plan fault_plan, chaos) with
+    | Some plan, _ -> plan
+    | None, Some seed -> Tdfa_verify.Fault.Plan.default ~seed
+    | None, None -> Tdfa_verify.Fault.Plan.none
+  in
+  Cli_args.with_obs obs_req (fun obs ->
+      let config =
+        {
+          Tdfa_serve.Server.default_config with
+          Tdfa_serve.Server.deadline_ms;
+          faults;
+          obs;
+        }
+      in
+      let t = Tdfa_serve.Server.create ~config () in
+      (* SIGINT/SIGTERM ask the select loop to wind down cleanly: the
+         socket file is removed and clients are closed, same as a
+         shutdown request. *)
+      let stop _ = t.Tdfa_serve.Server.shutting_down <- true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Tdfa_serve.Server.run
+        ~ready:(fun () ->
+          Printf.printf "tdfa serve: listening on %s\n%!" socket)
+        t ~socket_path:socket;
+      Printf.printf "tdfa serve: done (%d requests, %d crashes, %d degraded)\n"
+        t.Tdfa_serve.Server.served t.Tdfa_serve.Server.crashes
+        t.Tdfa_serve.Server.degraded)
+
+let client socket raw timeout_s =
+  (* Connect with linear retry so `tdfa serve &' races are benign. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec connect () =
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.05;
+      connect ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "tdfa: client: %s: %s\n" socket (Unix.error_message e);
+      false
+  in
+  if not (connect ()) then exit 1;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rc = ref 0 in
+  (try
+     let rec pump () =
+       match In_channel.input_line stdin with
+       | None -> ()
+       | Some line when String.trim line = "" -> pump ()
+       | Some line ->
+         output_string oc line;
+         output_char oc '\n';
+         flush oc;
+         (match In_channel.input_line ic with
+          | None ->
+            Printf.eprintf "tdfa: client: connection closed by server\n";
+            rc := 1
+          | Some reply ->
+            if raw then print_endline reply
+            else (
+              match Tdfa_serve.Json.of_string reply with
+              | Error msg ->
+                Printf.eprintf "tdfa: client: bad reply: %s\n" msg;
+                rc := 1
+              | Ok j -> (
+                match Tdfa_serve.Json.bool_member "ok" j with
+                | Some true ->
+                  Option.iter print_string
+                    (Tdfa_serve.Json.str_member "output" j)
+                | _ ->
+                  Printf.eprintf "tdfa: server error (%s): %s\n"
+                    (Option.value ~default:"?"
+                       (Tdfa_serve.Json.str_member "kind" j))
+                    (Option.value ~default:"?"
+                       (Tdfa_serve.Json.str_member "error" j));
+                  rc := 1));
+            pump ())
+     in
+     pump ()
+   with Sys_error msg ->
+     Printf.eprintf "tdfa: client: %s\n" msg;
+     rc := 1);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !rc <> 0 then exit !rc
 
 let experiments id =
   let run = function
@@ -637,7 +756,8 @@ let verify_cmd =
           definite assignment, spill-slot balance); exit 1 on any \
           violation.")
     Term.(const verify $ Cli_args.kernel_arg $ Cli_args.file_arg
-          $ Cli_args.policy_arg $ post_ra_verify_arg $ Cli_args.obs_term)
+          $ Cli_args.policy_arg $ post_ra_verify_arg
+          $ Cli_args.fault_plan_arg $ Cli_args.obs_term)
 
 let lint_files_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"FILES"
@@ -731,7 +851,61 @@ let batch_cmd =
       const batch $ batch_files_arg $ batch_kernels_arg $ Cli_args.jobs_arg
       $ Cli_args.cache_arg $ Cli_args.policy_arg $ Cli_args.granularity_arg
       $ Cli_args.delta_arg $ Cli_args.recover_arg $ stats_arg
+      $ Cli_args.watchdog_arg $ Cli_args.fault_plan_arg
       $ Cli_args.obs_term)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "s"; "socket" ]
+         ~docv:"PATH"
+         ~doc:"Unix socket path of the daemon.")
+
+let chaos_arg =
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED"
+         ~doc:
+           "Run under the standard seeded chaos mix: malformed frames, \
+            mid-request disconnects, corrupted recordings, transient \
+            failures, broken IR and handler crashes, all deterministic \
+            in $(docv). Overridden by $(b,--fault-plan).")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:
+           "Default per-request deadline: an analysis still iterating \
+            when it expires is cancelled cooperatively and answered \
+            with a structured deadline error.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant analysis daemon: line-delimited JSON \
+          over a Unix socket (analyze, reanalyze, lint, status, \
+          shutdown), one crash-only session per connection keeping the \
+          parsed program and its warm-start recording resident. \
+          Successful analyze/lint responses are byte-identical to the \
+          one-shot CLI.")
+    Term.(const serve $ socket_arg $ chaos_arg $ Cli_args.fault_plan_arg
+          $ deadline_arg $ Cli_args.obs_term)
+
+let raw_arg =
+  Arg.(value & flag
+       & info [ "raw" ]
+           ~doc:
+             "Print whole response frames (JSON) instead of just the \
+              output field.")
+
+let connect_timeout_arg =
+  Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"S"
+         ~doc:"How long to keep retrying the initial connection.")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send request lines from stdin to a running $(b,tdfa serve) \
+          daemon and print each response's output field (exit 1 if any \
+          response is an error).")
+    Term.(const client $ socket_arg $ raw_arg $ connect_timeout_arg)
 
 let experiments_cmd =
   let id_arg =
@@ -748,7 +922,8 @@ let main_cmd =
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd; lint_cmd;
-      policies_cmd; optimize_cmd; compile_cmd; verify_cmd; experiments_cmd;
+      policies_cmd; optimize_cmd; compile_cmd; verify_cmd; serve_cmd;
+      client_cmd; experiments_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -36,8 +36,10 @@ type recorder = {
     unit;
 }
 
-let fixpoint ?(obs = Obs.null) ?recorder ?(settings = default_settings)
-    (cfg : Transfer.config) (func : Func.t) =
+exception Cancelled of { iterations : int }
+
+let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
+    ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
   let order = Func.reverse_postorder func in
   let entry = Func.entry_label func in
   let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
@@ -106,6 +108,12 @@ let fixpoint ?(obs = Obs.null) ?recorder ?(settings = default_settings)
     (!worst, List.rev !unstable)
   in
   let rec iterate n =
+    (* Cooperative cancellation: consulted only between sweeps, so a
+       cancelled analysis never leaves a half-swept state behind. *)
+    if cancel () then begin
+      Obs.incr obs "analysis.cancelled";
+      raise (Cancelled { iterations = n - 1 })
+    end;
     let worst, unstable = pass n in
     if Obs.tracing obs then
       Obs.Fixpoint.iteration obs ~iteration:n ~max_delta_k:worst
@@ -167,7 +175,7 @@ type recovery = {
   attempts : attempt list;
 }
 
-let recovery_ladder ?(obs = Obs.null) ?(settings = default_settings)
+let recovery_ladder ?(obs = Obs.null) ?cancel ?(settings = default_settings)
     ~config_of ~granularity func =
   (* The paper's escape hatch (§4: nothing guarantees convergence of the
      thermal lattice) made operational: on divergence, retry with the
@@ -186,7 +194,7 @@ let recovery_ladder ?(obs = Obs.null) ?(settings = default_settings)
       | Average_join -> ({ settings with join = Average }, granularity)
       | Coarser g -> ({ settings with join = Average }, g)
     in
-    fixpoint ~obs ~settings (config_of ~granularity) func
+    fixpoint ~obs ?cancel ~settings (config_of ~granularity) func
   in
   let rec climb attempts = function
     | [] -> (

@@ -54,9 +54,20 @@ type recorder = {
     unit;
 }
 
+exception Cancelled of { iterations : int }
+(** Raised by {!fixpoint} (and the incremental replay built on it) when
+    the [cancel] token trips: the carried count is how many complete
+    sweeps had run. Cancellation is {e cooperative} — the token is
+    consulted only at iteration boundaries, so a sweep in flight always
+    finishes and no partial per-instruction state is ever observable.
+    This is the hook long-running callers (request deadlines in
+    [tdfa serve], SIGINT draining in the batch CLI) use to abandon an
+    analysis without poisoning the process. *)
+
 val fixpoint :
   ?obs:Obs.sink ->
   ?recorder:recorder ->
+  ?cancel:(unit -> bool) ->
   ?settings:settings ->
   Transfer.config ->
   Func.t ->
@@ -67,7 +78,10 @@ val fixpoint :
     per-instruction change, threshold, unstable count), the
     [analysis.escape_hatch] event when the iteration bound fires, and
     the final [analysis.verdict]. Prefer driving it through
-    [Tdfa.Driver.run], which owns the observability wiring. *)
+    [Tdfa.Driver.run], which owns the observability wiring.
+
+    [cancel] (default: never) is polled before each sweep;
+    @raise Cancelled when it returns [true]. *)
 
 val run : ?settings:settings -> Transfer.config -> Func.t -> outcome
   [@@deprecated "Use Tdfa.Driver.run (Configured _) — or Analysis.fixpoint."]
@@ -105,6 +119,7 @@ type recovery = {
 
 val recovery_ladder :
   ?obs:Obs.sink ->
+  ?cancel:(unit -> bool) ->
   ?settings:settings ->
   config_of:(granularity:int -> Transfer.config) ->
   granularity:int ->

@@ -21,6 +21,7 @@ type config = {
   analysis_dt_s : float option;
   layout : Tdfa_floorplan.Layout.t;
   obs : Obs.sink;
+  cancel : (unit -> bool) option;
 }
 
 let default ~layout =
@@ -34,6 +35,7 @@ let default ~layout =
     analysis_dt_s = None;
     layout;
     obs = Obs.null;
+    cancel = None;
   }
 
 type input =
@@ -101,15 +103,17 @@ let run cfg input =
           transfer_config { cfg with granularity } func assignment
         in
         let inc =
-          Incremental.analyze ~obs ~settings:cfg.settings ?prior
+          Incremental.analyze ~obs ?cancel:cfg.cancel ~settings:cfg.settings
+            ?prior
             (config_of ~granularity:cfg.granularity)
             func
         in
         if cfg.recover && not (Analysis.converged inc.Incremental.outcome)
         then begin
           let r =
-            Analysis.recovery_ladder ~obs ~settings:cfg.settings ~config_of
-              ~granularity:cfg.granularity func
+            Analysis.recovery_ladder ~obs ?cancel:cfg.cancel
+              ~settings:cfg.settings ~config_of ~granularity:cfg.granularity
+              func
           in
           {
             alloc = None;
@@ -152,8 +156,9 @@ let run cfg input =
       in
       if cfg.recover then begin
         let r =
-          Analysis.recovery_ladder ~obs ~settings:cfg.settings ~config_of
-            ~granularity:cfg.granularity func
+          Analysis.recovery_ladder ~obs ?cancel:cfg.cancel
+            ~settings:cfg.settings ~config_of ~granularity:cfg.granularity
+            func
         in
         {
           alloc;
@@ -164,7 +169,7 @@ let run cfg input =
       end
       else
         let outcome =
-          Analysis.fixpoint ~obs ~settings:cfg.settings
+          Analysis.fixpoint ~obs ?cancel:cfg.cancel ~settings:cfg.settings
             (config_of ~granularity:cfg.granularity)
             func
         in

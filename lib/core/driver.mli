@@ -47,6 +47,10 @@ type config = {
   analysis_dt_s : float option;  (** [None] = solver default *)
   layout : Layout.t;  (** register-file floorplan *)
   obs : Obs.sink;  (** observability sink, {!Obs.null} by default *)
+  cancel : (unit -> bool) option;
+      (** cooperative cancellation token, polled at fixpoint-iteration
+          boundaries (request deadlines, SIGINT draining); a tripped
+          token makes {!run} raise {!Analysis.Cancelled} *)
 }
 
 val default : layout:Layout.t -> config

@@ -20,7 +20,41 @@ type prior = {
   p_iterations : int;
   p_traj : block_traj Label.Map.t;
   p_outcome : Analysis.outcome;
+  p_digest : string;
+      (* integrity digest over the recorded trajectory, computed when
+         the recording was made; [analyze] revalidates before reuse so
+         a corrupted recording degrades to a cold run, never to replayed
+         garbage *)
 }
+
+(* Raw float bits (not %h text) keep the digest cheap relative to the
+   replay it protects: one buffer append per recorded point. *)
+let traj_digest ~entry ~iterations traj =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Label.to_string entry);
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf (string_of_int iterations);
+  let add_state s =
+    for p = 0 to Thermal_state.num_points s - 1 do
+      Buffer.add_int64_le buf (Int64.bits_of_float (Thermal_state.get s p))
+    done
+  in
+  Label.Map.iter
+    (fun l t ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Label.to_string l);
+      Array.iter add_state t.t_incoming;
+      Array.iter add_state t.t_exit;
+      Array.iter
+        (fun d -> Buffer.add_int64_le buf (Int64.bits_of_float d))
+        t.t_delta;
+      Array.iter (fun u -> Buffer.add_int64_le buf (Int64.of_int u)) t.t_unstable)
+    traj;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let prior_intact p =
+  String.equal p.p_digest
+    (traj_digest ~entry:p.p_entry ~iterations:p.p_iterations p.p_traj)
 
 type fallback_reason =
   | Structural
@@ -28,6 +62,7 @@ type fallback_reason =
   | Settings_mismatch
   | Prior_diverged
   | Non_convergence
+  | Corrupt_recording
 
 let fallback_reason_name = function
   | Structural -> "structural"
@@ -35,6 +70,7 @@ let fallback_reason_name = function
   | Settings_mismatch -> "settings-mismatch"
   | Prior_diverged -> "prior-diverged"
   | Non_convergence -> "non-convergence"
+  | Corrupt_recording -> "corrupt-recording"
 
 type mode = Cold | Identity | Warm | Fallback of fallback_reason
 
@@ -56,6 +92,28 @@ type result = { outcome : Analysis.outcome; prior : prior; stats : stats }
 
 let prior_outcome p = p.p_outcome
 let prior_iterations p = p.p_iterations
+
+(* Deterministic single-state corruption, for the fault-injection
+   batteries: one recorded exit state gains +1 K at one point. When the
+   trajectory carries no state at all, the digest itself is clobbered so
+   the poison is still detectable. *)
+let poison_prior ~seed p =
+  let clobbered = { p with p_digest = "poisoned:" ^ p.p_digest } in
+  match Label.Map.bindings p.p_traj with
+  | [] -> clobbered
+  | bindings -> (
+    let label, traj = List.nth bindings (abs seed mod List.length bindings) in
+    match Array.length traj.t_exit with
+    | 0 -> clobbered
+    | k ->
+      let i = abs (seed / 7) mod k in
+      let s = Thermal_state.copy traj.t_exit.(i) in
+      let target = abs (seed / 13) mod Thermal_state.num_points s in
+      Thermal_state.map_points s (fun pt t ->
+          if pt = target then t +. 1.0 else t);
+      let t_exit = Array.copy traj.t_exit in
+      t_exit.(i) <- s;
+      { p with p_traj = Label.Map.add label { traj with t_exit } p.p_traj })
 
 (* ------------------------------------------------------------------ *)
 (* Signatures                                                          *)
@@ -155,7 +213,7 @@ let diff prior cfg func =
 (* Cold path: the classic fixpoint, with the trajectory recorded        *)
 (* ------------------------------------------------------------------ *)
 
-let record ?obs ~settings cfg func =
+let record ?obs ?cancel ~settings cfg func =
   let raw = ref Label.Map.empty in
   let recorder =
     {
@@ -170,7 +228,7 @@ let record ?obs ~settings cfg func =
               !raw);
     }
   in
-  let outcome = Analysis.fixpoint ?obs ~recorder ~settings cfg func in
+  let outcome = Analysis.fixpoint ?obs ~recorder ?cancel ~settings cfg func in
   let info = Analysis.info outcome in
   let traj =
     Label.Map.map
@@ -184,15 +242,18 @@ let record ?obs ~settings cfg func =
         })
       !raw
   in
+  let entry = Func.entry_label func in
+  let iterations = info.Analysis.iterations in
   ( outcome,
     {
-      p_entry = Func.entry_label func;
+      p_entry = entry;
       p_settings = settings;
       p_config_sig = config_sig cfg;
       p_block_sigs = func_signature cfg func;
-      p_iterations = info.Analysis.iterations;
+      p_iterations = iterations;
       p_traj = traj;
       p_outcome = outcome;
+      p_digest = traj_digest ~entry ~iterations traj;
     } )
 
 (* ------------------------------------------------------------------ *)
@@ -226,7 +287,8 @@ type cell = {
    produced, because the transfer function is deterministic and a
    block's states are a pure function of its incoming state. Everything
    else runs the same float operations as Analysis.fixpoint. *)
-let replay ~settings ~(prior : prior) ~changed (cfg : Transfer.config) func =
+let replay ?(cancel = fun () -> false) ~settings ~(prior : prior) ~changed
+    (cfg : Transfer.config) func =
   let order = Func.reverse_postorder func in
   let entry = Func.entry_label func in
   let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
@@ -312,6 +374,10 @@ let replay ~settings ~(prior : prior) ~changed (cfg : Transfer.config) func =
     cell.r_unstable <- u :: cell.r_unstable
   in
   let rec iterate k =
+    (* Same cooperative cancellation contract as Analysis.fixpoint: a
+       deadline that trips mid-replay abandons the warm run between
+       sweeps, never inside one. *)
+    if cancel () then raise (Analysis.Cancelled { iterations = k - 1 });
     let worst = ref 0.0 in
     let unstable_total = ref 0 in
     List.iter
@@ -417,8 +483,8 @@ let replay ~settings ~(prior : prior) ~changed (cfg : Transfer.config) func =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let analyze ?(obs = Obs.null) ?(settings = Analysis.default_settings) ?prior
-    (cfg : Transfer.config) func =
+let analyze ?(obs = Obs.null) ?cancel ?(settings = Analysis.default_settings)
+    ?prior (cfg : Transfer.config) func =
   Obs.span obs "incremental.analyze"
     ~args:[ ("func", Obs.Str func.Func.name) ]
     (fun () ->
@@ -428,7 +494,7 @@ let analyze ?(obs = Obs.null) ?(settings = Analysis.default_settings) ?prior
         * List.length (Func.reverse_postorder func)
       in
       let cold mode =
-        let outcome, p = record ~obs ~settings cfg func in
+        let outcome, p = record ~obs ?cancel ~settings cfg func in
         {
           outcome;
           prior = p;
@@ -462,7 +528,14 @@ let analyze ?(obs = Obs.null) ?(settings = Analysis.default_settings) ?prior
         (match prior with
         | None -> cold Cold
         | Some p ->
-          if p.p_settings <> settings then fall Settings_mismatch
+          if not (prior_intact p) then begin
+            (* Recording invalidation: a trajectory that fails its
+               integrity digest is discarded wholesale — replaying it
+               would faithfully reproduce the corruption. *)
+            Obs.incr obs "incremental.corrupt_recordings";
+            fall Corrupt_recording
+          end
+          else if p.p_settings <> settings then fall Settings_mismatch
           else if not (Analysis.converged p.p_outcome) then
             fall Prior_diverged
           else if structurally_changed p func then
@@ -492,23 +565,27 @@ let analyze ?(obs = Obs.null) ?(settings = Analysis.default_settings) ?prior
               }
             | Blocks changed -> (
               let region = dirty_region func ~changed in
-              match replay ~settings ~prior:p ~changed cfg func with
+              match replay ?cancel ~settings ~prior:p ~changed cfg func with
               | Error `Non_convergence -> fall Non_convergence
               | Ok (outcome, traj, swept, skipped) ->
                 Obs.incr obs "incremental.warm_hits";
                 Obs.incr obs
                   ~by:(Label.Set.cardinal region)
                   "incremental.dirty_blocks";
+                let entry = Func.entry_label func in
+                let iterations =
+                  (Analysis.info outcome).Analysis.iterations
+                in
                 let new_prior =
                   {
-                    p_entry = Func.entry_label func;
+                    p_entry = entry;
                     p_settings = settings;
                     p_config_sig = p.p_config_sig;
                     p_block_sigs = block_sigs;
-                    p_iterations =
-                      (Analysis.info outcome).Analysis.iterations;
+                    p_iterations = iterations;
                     p_traj = traj;
                     p_outcome = outcome;
+                    p_digest = traj_digest ~entry ~iterations traj;
                   }
                 in
                 {

@@ -42,6 +42,10 @@ type fallback_reason =
   | Settings_mismatch  (** delta, iteration cap or join changed *)
   | Prior_diverged  (** the prior never converged; nothing to reuse *)
   | Non_convergence  (** the warm replay hit the iteration cap *)
+  | Corrupt_recording
+      (** the prior's trajectory no longer matches its integrity
+          digest (bit rot, fault injection, a torn hand-off): the
+          recording is discarded and the run goes cold *)
 
 val fallback_reason_name : fallback_reason -> string
 
@@ -96,8 +100,21 @@ val diff : prior -> Transfer.config -> Func.t -> diff
 val prior_outcome : prior -> Analysis.outcome
 val prior_iterations : prior -> int
 
+val prior_intact : prior -> bool
+(** Recompute the trajectory digest stored when the prior was recorded
+    and compare: [false] means the recording was corrupted after the
+    fact. {!analyze} performs exactly this check before any reuse. *)
+
+val poison_prior : seed:int -> prior -> prior
+(** Deterministically corrupt one recorded thermal state (fault
+    injection for the robustness batteries — see
+    [Tdfa_verify.Fault.corrupt_recording]). The result fails
+    {!prior_intact}, so {!analyze} must fall back to a cold run rather
+    than replay garbage. *)
+
 val analyze :
   ?obs:Obs.sink ->
+  ?cancel:(unit -> bool) ->
   ?settings:Analysis.settings ->
   ?prior:prior ->
   Transfer.config ->

@@ -58,6 +58,7 @@ type batch = {
   warm_hits : int;
   misses : int;
   failed : int;
+  stopped : bool;
   domains : int;
   wall_ms : float;
 }
@@ -274,9 +275,13 @@ let analyze_job ?(obs = Obs.null) ?warm ~layout spec job =
 (* ------------------------------------------------------------------ *)
 
 module Cache = struct
-  (* Bump on any change to the [report] type: old entries then fail the
-     magic check and read as misses instead of unmarshalling garbage. *)
-  let magic = "tdfa-engine-cache-2"
+  (* Bump on any change to the [report] type or the entry framing: old
+     entries then fail the magic check and read as misses instead of
+     unmarshalling garbage. v3 frames every entry as two header lines
+     ([magic], then the hex digest of the payload) followed by the raw
+     marshalled report, so a torn or bit-rotted payload is detected
+     before [Marshal.from_string] can trip over it. *)
+  let magic = "tdfa-engine-cache-3"
 
   type backend = Memory of (string, report) Hashtbl.t | Disk of string
   type t = { mutex : Mutex.t; backend : backend }
@@ -290,10 +295,48 @@ module Cache = struct
     { mutex = Mutex.create (); backend = Disk dir }
 
   let path_of dir key = Filename.concat dir (key ^ ".report")
+  let quarantine_dir dir = Filename.concat dir ".quarantine"
+
+  (* A corrupt entry is evidence — of a crashed writer, a bad disk, or
+     an injected fault — so move it aside for post-mortem instead of
+     leaving it to fail every future read, and let the caller
+     recompute. Falls back to deletion if the rename is impossible. *)
+  let quarantine ~obs dir key =
+    let path = path_of dir key in
+    (try
+       let qdir = quarantine_dir dir in
+       if not (Sys.file_exists qdir) then Sys.mkdir qdir 0o755;
+       Sys.rename path (Filename.concat qdir (key ^ ".report"))
+     with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+    Obs.instant obs "engine.cache.quarantine" ~args:[ ("key", Obs.Str key) ];
+    Obs.incr obs "engine.cache.quarantined"
 
   let locked t f =
     Mutex.lock t.mutex;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  (* v3 framing: [magic '\n' digest '\n' payload]. *)
+  let parse_entry raw =
+    match String.index_opt raw '\n' with
+    | None -> `Stale
+    | Some i -> (
+      if not (String.equal (String.sub raw 0 i) magic) then `Stale
+      else
+        match String.index_from_opt raw (i + 1) '\n' with
+        | None -> `Torn
+        | Some j -> (
+          let digest = String.sub raw (i + 1) (j - i - 1) in
+          let payload =
+            String.sub raw (j + 1) (String.length raw - j - 1)
+          in
+          if
+            not
+              (String.equal digest (Digest.to_hex (Digest.string payload)))
+          then `Torn
+          else
+            match (Marshal.from_string payload 0 : report) with
+            | r -> `Ok r
+            | exception _ -> `Torn))
 
   let find ?(obs = Obs.null) t key =
     locked t (fun () ->
@@ -303,27 +346,34 @@ module Cache = struct
           let path = path_of dir key in
           if not (Sys.file_exists path) then None
           else
-            try
-              In_channel.with_open_bin path (fun ic ->
-                  let m, (r : report) = Marshal.from_channel ic in
-                  if String.equal m magic then begin
-                    Obs.instant obs "engine.cache.read"
-                      ~args:[ ("key", Obs.Str key) ];
-                    Some r
-                  end
-                  else begin
-                    (* A different format version reads as a miss. *)
-                    Obs.instant obs "engine.cache.stale"
-                      ~args:[ ("key", Obs.Str key) ];
-                    Obs.incr obs "engine.cache.stale";
-                    None
-                  end)
-            with _ ->
-              (* Unreadable / torn entry: also a miss, never an abort. *)
+            match In_channel.with_open_bin path In_channel.input_all with
+            | exception Sys_error _ ->
+              (* Unreadable entry: a miss, never an abort. *)
               Obs.instant obs "engine.cache.torn"
                 ~args:[ ("key", Obs.Str key) ];
               Obs.incr obs "engine.cache.torn";
-              None))
+              None
+            | raw -> (
+              match parse_entry raw with
+              | `Ok r ->
+                Obs.instant obs "engine.cache.read"
+                  ~args:[ ("key", Obs.Str key) ];
+                Some r
+              | `Stale ->
+                (* A different format version reads as a miss; the next
+                   store overwrites it in place. *)
+                Obs.instant obs "engine.cache.stale"
+                  ~args:[ ("key", Obs.Str key) ];
+                Obs.incr obs "engine.cache.stale";
+                None
+              | `Torn ->
+                (* Truncated or corrupt entry: quarantine and recompute
+                   — a miss, never an abort. *)
+                Obs.instant obs "engine.cache.torn"
+                  ~args:[ ("key", Obs.Str key) ];
+                Obs.incr obs "engine.cache.torn";
+                quarantine ~obs dir key;
+                None)))
 
   let store ?(obs = Obs.null) t key r =
     let r = { r with source = Computed } in
@@ -332,25 +382,72 @@ module Cache = struct
         | Memory tbl -> Hashtbl.replace tbl key r
         | Disk dir -> (
           try
-            let tmp =
-              Filename.temp_file ~temp_dir:dir "report" ".tmp"
+            let payload = Marshal.to_string r [] in
+            let tmp = Filename.temp_file ~temp_dir:dir "report" ".tmp" in
+            let fd =
+              Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
             in
-            Out_channel.with_open_bin tmp (fun oc ->
-                Marshal.to_channel oc (magic, r) []);
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let oc = Unix.out_channel_of_descr fd in
+                Out_channel.output_string oc magic;
+                Out_channel.output_char oc '\n';
+                Out_channel.output_string oc
+                  (Digest.to_hex (Digest.string payload));
+                Out_channel.output_char oc '\n';
+                Out_channel.output_string oc payload;
+                Out_channel.flush oc;
+                (* fsync before the rename: a crash may lose the entry
+                   but can never publish a half-written one under its
+                   key. *)
+                try Unix.fsync fd with Unix.Unix_error _ -> ());
             Sys.rename tmp (path_of dir key);
             Obs.instant obs "engine.cache.write"
               ~args:[ ("key", Obs.Str key) ];
             Obs.incr obs "engine.cache.writes"
-          with Sys_error _ -> ()))
+          with Sys_error _ | Unix.Unix_error _ -> ()))
+
+  (* Flush the directory entry itself, so entries renamed into place
+     survive a machine crash, not just a process crash. Used by the
+     SIGINT drain path before exiting. *)
+  let sync t =
+    locked t (fun () ->
+        match t.backend with
+        | Memory _ -> ()
+        | Disk dir -> (
+          match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+          | exception Unix.Unix_error _ -> ()
+          | fd ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                try Unix.fsync fd with Unix.Unix_error _ -> ())))
 end
 
 (* ------------------------------------------------------------------ *)
 (* The pool                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_cached ?(obs = Obs.null) ?cache ?warm ~layout spec job =
+let run_cached ?(obs = Obs.null) ?cache ?warm ?faults ~layout spec job =
   let key = digest_key ~layout spec job.func in
-  match Option.bind cache (fun c -> Cache.find ~obs c key) with
+  let cached =
+    match faults with
+    | Some inj
+      when cache <> None
+           && Tdfa_verify.Fault.Plan.fires inj
+                Tdfa_verify.Fault.Plan.Torn_cache ->
+      (* Injected torn read: behave exactly like the real torn path —
+         the entry is unusable, so recompute. *)
+      Obs.instant obs "engine.cache.injected_torn"
+        ~args:[ ("job", Obs.Str job.job_name) ];
+      Obs.incr obs "engine.cache.injected_torn";
+      None
+    | _ -> Option.bind cache (fun c -> Cache.find ~obs c key)
+  in
+  match cached with
   | Some r ->
     Obs.incr obs "engine.cache.hits";
     Obs.instant obs "engine.cache.hit"
@@ -366,13 +463,16 @@ let run_cached ?(obs = Obs.null) ?cache ?warm ~layout spec job =
     Option.iter (fun c -> Cache.store ~obs c key r) cache;
     r
 
-let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ~layout spec
-    job_list =
+let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ?stop ?watchdog_ms
+    ?faults ~layout spec job_list =
   let t0 = now_ms () in
   let batch_t0_us = Obs.now_us obs in
   let queue = Array.of_list job_list in
   let n = Array.length queue in
   let results = Array.make n (Error "not run") in
+  let stop_requested =
+    match stop with None -> (fun () -> false) | Some f -> f
+  in
   let run i =
     let job = queue.(i) in
     (* Every job was submitted when the batch started; the time until a
@@ -390,37 +490,124 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ~layout spec
       ~args:[ ("job", Obs.Str job.job_name); ("index", Obs.Int i) ]
       (fun () ->
         results.(i) <-
-          (match run_cached ~obs ?cache ?warm ~layout spec job with
+          (match run_cached ~obs ?cache ?warm ?faults ~layout spec job with
            | r ->
              Obs.observe obs "engine.job.wall_ms" r.wall_ms;
              Ok r
            | exception Failure msg -> Error msg
            | exception e -> Error (Printexc.to_string e)))
   in
-  (* Work queue: workers claim the next unclaimed index until drained.
-     Every job is independent and deterministic, so the claim order
-     (which *is* scheduling-dependent) never shows in the reports. *)
+  (* Work queue: workers claim the next unclaimed index until drained
+     (or until [stop] trips — checked before each claim, never
+     mid-job, so an interrupted batch always drains its in-flight
+     work). Every job is independent and deterministic, so the claim
+     order (which *is* scheduling-dependent) never shows in the
+     reports. *)
   let next = Atomic.make 0 in
-  let worker () =
+  let domains = max 1 (min jobs (max 1 n)) in
+  (* Supervision state: one heartbeat timestamp and one claimed-job
+     slot per pool worker, plus a per-job rescue latch so a wedged
+     worker's job is taken over at most once. *)
+  let heartbeat = Array.init domains (fun _ -> Atomic.make infinity) in
+  let claimed = Array.init domains (fun _ -> Atomic.make (-1)) in
+  let rescued = Array.init n (fun _ -> Atomic.make false) in
+  let worker w =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        run i;
+      if not (stop_requested ()) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          Atomic.set heartbeat.(w) (now_ms ());
+          Atomic.set claimed.(w) i;
+          (match faults with
+           | Some inj
+             when Tdfa_verify.Fault.Plan.fires inj
+                    Tdfa_verify.Fault.Plan.Worker_stall ->
+             Obs.incr obs "engine.stalls.injected";
+             Unix.sleepf (Tdfa_verify.Fault.Plan.stall_s inj)
+           | _ -> ());
+          run i;
+          Atomic.set claimed.(w) (-1);
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  (* Watchdog: a supervisor domain samples worker heartbeats. A worker
+     that has sat on one claimed job longer than [watchdog_ms] is
+     presumed wedged; its job is re-run on a replacement domain that
+     then joins the pool and keeps draining the queue. Jobs are
+     deterministic and result writes idempotent, so the original
+     worker waking up later and finishing the same job is harmless.
+     (OCaml domains cannot be killed, so a truly-wedged worker still
+     delays the final join — the watchdog guarantees job progress, not
+     worker reclamation.) *)
+  let supervisor_stop = Atomic.make false in
+  let replacements = ref [] in
+  let replacements_mutex = Mutex.create () in
+  let supervise ms =
+    let rec loop () =
+      if not (Atomic.get supervisor_stop) then begin
+        Unix.sleepf (Float.max 1.0 (ms /. 4.0) /. 1000.0);
+        let now = now_ms () in
+        Array.iteri
+          (fun w hb ->
+            let i = Atomic.get claimed.(w) in
+            if
+              i >= 0 && i < n
+              && now -. Atomic.get hb > ms
+              && not (Atomic.exchange rescued.(i) true)
+            then begin
+              Obs.incr obs "engine.watchdog.replaced";
+              Obs.instant obs "engine.watchdog.replace"
+                ~args:[ ("worker", Obs.Int w); ("job", Obs.Int i) ];
+              let d =
+                Domain.spawn (fun () ->
+                    run i;
+                    worker w)
+              in
+              Mutex.lock replacements_mutex;
+              replacements := d :: !replacements;
+              Mutex.unlock replacements_mutex
+            end)
+          heartbeat;
         loop ()
       end
     in
     loop ()
   in
-  let domains = max 1 (min jobs (max 1 n)) in
-  if domains = 1 then worker ()
+  let supervisor =
+    match watchdog_ms with
+    | Some ms when ms > 0.0 -> Some (Domain.spawn (fun () -> supervise ms))
+    | _ -> None
+  in
+  if domains = 1 then worker 0
   else begin
     (* The calling domain is part of the pool: [jobs = 4] computes on
        four domains, not five. *)
     let spawned =
-      List.init (domains - 1) (fun _ -> Domain.spawn worker)
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () -> worker (k + 1)))
     in
-    worker ();
+    worker 0;
     List.iter Domain.join spawned
+  end;
+  Atomic.set supervisor_stop true;
+  Option.iter Domain.join supervisor;
+  Mutex.lock replacements_mutex;
+  let spawned_replacements = !replacements in
+  Mutex.unlock replacements_mutex;
+  List.iter Domain.join spawned_replacements;
+  (* Jobs never claimed because [stop] tripped are reported as
+     interrupted, not silently dropped. *)
+  let unclaimed = max 0 (n - min n (Atomic.get next)) in
+  let stopped = unclaimed > 0 in
+  if stopped then begin
+    Obs.incr obs ~by:unclaimed "engine.jobs.skipped";
+    for i = n - unclaimed to n - 1 do
+      if results.(i) = Error "not run" then
+        results.(i) <- Error "interrupted before start"
+    done
   end;
   let hits = ref 0
   and warm_hits = ref 0
@@ -450,6 +637,7 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ~layout spec
     warm_hits = !warm_hits;
     misses = !misses;
     failed = !failed;
+    stopped;
     domains;
     wall_ms;
   }

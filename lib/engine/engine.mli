@@ -99,6 +99,10 @@ type batch = {
   warm_hits : int;  (** computed with a parent warm start *)
   misses : int;  (** jobs computed cold *)
   failed : int;
+  stopped : bool;
+      (** the [stop] token tripped before the queue drained; the jobs
+          never claimed are reported as [Error "interrupted before
+          start"] (in-flight jobs always finish) *)
   domains : int;  (** pool size used *)
   wall_ms : float;
 }
@@ -126,9 +130,13 @@ module Cache : sig
   (** Mutex-protected table, shared by the pool within one process. *)
 
   val on_disk : dir:string -> t
-  (** Persistent cache: one marshalled report per key under [dir]
-      (created if missing). Entries from an incompatible format version
-      are treated as misses. Writes are atomic (temp file + rename), so
+  (** Persistent cache: one framed entry per key under [dir] (created
+      if missing) — a format-magic line, the payload's digest, then the
+      marshalled report. Entries from an incompatible format version
+      are treated as misses; entries whose payload fails its digest
+      (truncated by a crashed writer, bit-rotted, fault-injected) are
+      {e quarantined} to [dir/.quarantine/] and recomputed, never
+      fatal. Writes are atomic (temp file + [fsync] + rename), so
       concurrent batches sharing a directory never observe a torn
       entry. *)
 
@@ -137,12 +145,19 @@ module Cache : sig
       [engine.cache.read] instant per on-disk probe, plus
       [engine.cache.stale] / [engine.cache.torn] instants (and matching
       counters) when an entry is discarded for a format-version
-      mismatch or a corrupt file. *)
+      mismatch or a corrupt file. A corrupt entry additionally emits
+      [engine.cache.quarantine] (counter [engine.cache.quarantined])
+      after being moved to [.quarantine/]. *)
 
   val store : ?obs:Obs.sink -> t -> string -> report -> unit
   (** Insert a report. On-disk stores emit one [engine.cache.write]
       instant (and bump the [engine.cache.writes] counter) through
       [obs] after the atomic rename. *)
+
+  val sync : t -> unit
+  (** Flush the cache directory entry to stable storage ([fsync] on the
+      directory; no-op in memory). The SIGINT drain path calls this so
+      every entry renamed into place survives the interrupt. *)
 end
 
 (** {1 Warm-start store} *)
@@ -177,6 +192,9 @@ val run_batch :
   ?jobs:int ->
   ?cache:Cache.t ->
   ?warm:Warm.t ->
+  ?stop:(unit -> bool) ->
+  ?watchdog_ms:float ->
+  ?faults:Tdfa_verify.Fault.Plan.injector ->
   layout:Layout.t ->
   spec ->
   job list ->
@@ -186,6 +204,26 @@ val run_batch :
     length. Jobs are drained from a shared queue, each job is looked up
     in [cache] first, and a failing job (verifier rejection, allocator
     failure) is reported in place without aborting the batch.
+
+    Robustness controls:
+
+    - [stop] is a cooperative stop token polled before each claim
+      (never mid-job): when it trips, in-flight jobs drain normally and
+      the never-claimed remainder is reported as interrupted with
+      [batch.stopped = true] (counter [engine.jobs.skipped]). The
+      SIGINT handlers of [tdfa batch]/[tdfa analyze] use this to exit
+      cleanly with partial results.
+    - [watchdog_ms] arms a supervisor domain that samples per-worker
+      heartbeats: a worker sitting on one claimed job longer than the
+      budget is presumed wedged, and its job is re-run on a replacement
+      domain that then joins the queue (at most one rescue per job;
+      [engine.watchdog.replaced] counts them). Determinism makes the
+      double execution harmless — both runs produce the same report.
+    - [faults] injects seeded chaos at the two engine sites of the
+      plan: [worker-stall] wedges a worker for the plan's [stall-ms]
+      before a job (exercising the watchdog), and [torn-cache] forces a
+      cache probe to behave as a torn read (counter
+      [engine.cache.injected_torn]).
 
     Scheduling telemetry goes to [obs] (default [Obs.null], i.e.
     silence): per job one [engine.job.wait] Complete span (submission

@@ -1,0 +1,128 @@
+open Tdfa_regalloc
+
+type op = Analyze | Reanalyze | Lint | Status | Shutdown
+
+let op_name = function
+  | Analyze -> "analyze"
+  | Reanalyze -> "reanalyze"
+  | Lint -> "lint"
+  | Status -> "status"
+  | Shutdown -> "shutdown"
+
+let op_of_string = function
+  | "analyze" -> Some Analyze
+  | "reanalyze" -> Some Reanalyze
+  | "lint" -> Some Lint
+  | "status" -> Some Status
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = {
+  id : string;
+  op : op;
+  kernel : string option;
+  ir : string option;
+  policy : Policy.t;
+  granularity : int;
+  delta : float;
+  pre_ra : bool;
+  recover : bool;
+  incremental : bool;
+  post_ra : bool;
+  deadline_ms : float option;
+}
+
+(* Same spellings as the CLI's --policy flag. *)
+let policy_of_string = function
+  | "first-fit" -> Some Policy.First_fit
+  | "round-robin" -> Some Policy.Round_robin
+  | "random" -> Some (Policy.Random 42)
+  | "chessboard" -> Some Policy.Chessboard
+  | "thermal-spread" -> Some Policy.Thermal_spread
+  | "bank-pack" -> Some (Policy.Bank_pack 4)
+  | _ -> None
+
+let request_of_json j =
+  match Json.str_member "op" j with
+  | None -> Error "missing \"op\""
+  | Some opname -> (
+    match op_of_string opname with
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown op %S (analyze, reanalyze, lint, status, shutdown)"
+           opname)
+    | Some op -> (
+      let id = Option.value ~default:"" (Json.str_member "id" j) in
+      let kernel = Json.str_member "kernel" j in
+      let ir = Json.str_member "ir" j in
+      let policy_name =
+        Option.value ~default:"first-fit" (Json.str_member "policy" j)
+      in
+      match policy_of_string policy_name with
+      | None -> Error (Printf.sprintf "unknown policy %S" policy_name)
+      | Some policy ->
+        let b key default =
+          Option.value ~default (Json.bool_member key j)
+        in
+        Ok
+          {
+            id;
+            op;
+            kernel;
+            ir;
+            policy;
+            granularity =
+              Option.value ~default:1 (Json.int_member "granularity" j);
+            delta = Option.value ~default:0.05 (Json.float_member "delta" j);
+            pre_ra = b "pre_ra" false;
+            recover = b "recover" false;
+            incremental = b "incremental" false;
+            post_ra = b "post_ra" false;
+            deadline_ms = Json.float_member "deadline_ms" j;
+          }))
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error msg -> Error (Printf.sprintf "bad frame: %s" msg)
+  | Ok j -> request_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ok_response ?(extra = []) ~id ~op ~output () =
+  Json.Obj
+    ([
+       ("id", Json.Str id);
+       ("ok", Json.Bool true);
+       ("op", Json.Str (op_name op));
+       ("output", Json.Str output);
+     ]
+    @ extra)
+
+type error_kind =
+  | Bad_request  (** unparseable frame or unusable input *)
+  | Deadline  (** the per-request deadline expired mid-analysis *)
+  | Transient_exhausted  (** retries with backoff did not cure it *)
+  | Invalid_ir  (** the verifier rejected the program *)
+  | Session_crashed  (** handler crashed; session quarantined+rebuilt *)
+  | Failed  (** every degradation rung failed *)
+
+let error_kind_name = function
+  | Bad_request -> "bad-request"
+  | Deadline -> "deadline"
+  | Transient_exhausted -> "transient"
+  | Invalid_ir -> "invalid-ir"
+  | Session_crashed -> "session-crash"
+  | Failed -> "failed"
+
+let error_response ?(extra = []) ~id ~kind ~message () =
+  Json.Obj
+    ([
+       ("id", Json.Str id);
+       ("ok", Json.Bool false);
+       ("kind", Json.Str (error_kind_name kind));
+       ("error", Json.Str message);
+     ]
+    @ extra)

@@ -1,0 +1,68 @@
+(** The serve wire protocol: line-delimited JSON over a Unix socket.
+
+    One request per line, one response line per request, in order.
+    Request fields mirror the CLI flags of the corresponding subcommand
+    ([policy], [granularity], [delta], [pre_ra], [recover],
+    [incremental], [post_ra]) with the same defaults, plus [id] (echoed
+    back), [kernel]/[ir] to name the program, and [deadline_ms]. A
+    successful response carries the exact text the one-shot CLI would
+    print in its [output] field. *)
+
+open Tdfa_regalloc
+
+type op = Analyze | Reanalyze | Lint | Status | Shutdown
+
+val op_name : op -> string
+val op_of_string : string -> op option
+
+type request = {
+  id : string;  (** echoed in the response; "" when absent *)
+  op : op;
+  kernel : string option;  (** built-in kernel name *)
+  ir : string option;  (** inline textual IR (TC not supported here) *)
+  policy : Policy.t;
+  granularity : int;
+  delta : float;
+  pre_ra : bool;
+  recover : bool;
+  incremental : bool;
+  post_ra : bool;  (** lint: allocate first *)
+  deadline_ms : float option;  (** per-request deadline override *)
+}
+
+val policy_of_string : string -> Policy.t option
+(** Same spellings as the CLI [--policy] flag. *)
+
+val request_of_json : Json.t -> (request, string) result
+val request_of_line : string -> (request, string) result
+
+(** {1 Responses} *)
+
+val ok_response :
+  ?extra:(string * Json.t) list ->
+  id:string ->
+  op:op ->
+  output:string ->
+  unit ->
+  Json.t
+(** [{"id", "ok": true, "op", "output"}] plus [extra] fields (warm/cold
+    mode, degradation rung, attempt count). *)
+
+type error_kind =
+  | Bad_request  (** unparseable frame or unusable input *)
+  | Deadline  (** the per-request deadline expired mid-analysis *)
+  | Transient_exhausted  (** retries with backoff did not cure it *)
+  | Invalid_ir  (** the verifier rejected the program *)
+  | Session_crashed  (** handler crashed; session quarantined+rebuilt *)
+  | Failed  (** every degradation rung failed *)
+
+val error_kind_name : error_kind -> string
+
+val error_response :
+  ?extra:(string * Json.t) list ->
+  id:string ->
+  kind:error_kind ->
+  message:string ->
+  unit ->
+  Json.t
+(** [{"id", "ok": false, "kind", "error"}] plus [extra]. *)

@@ -1,0 +1,106 @@
+open Tdfa_ir
+open Tdfa_thermal
+open Tdfa_regalloc
+open Tdfa_core
+open Tdfa_harness
+
+(* The one source of truth for what `tdfa analyze' prints. The CLI
+   prints this string to stdout; the daemon ships the same string in
+   its response frame — byte-identity between the two front ends is by
+   construction, and the cram suite pins the text. *)
+let analyze ?(obs = Tdfa_obs.Obs.null) ?cancel ?prior ~policy ~granularity
+    ~delta ~pre_ra ~recover ~incremental (f : Func.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let name = f.Func.name in
+  let settings =
+    { Analysis.default_settings with Analysis.delta_k = delta }
+  in
+  (* Pre-RA: predictive placement on the original function (§4's
+     ambitious mode). Post-RA: allocate first, exact registers. *)
+  let func, assignment, mode =
+    if pre_ra then
+      (f, Placement.predict f Common.standard_layout, "pre-RA (predictive)")
+    else begin
+      let alloc = Alloc.allocate ~obs f Common.standard_layout ~policy in
+      ( alloc.Alloc.func,
+        alloc.Alloc.assignment,
+        Printf.sprintf "post-RA, policy %s" (Policy.name policy) )
+    end
+  in
+  let cfg =
+    {
+      (Tdfa.Driver.default ~layout:Common.standard_layout) with
+      Tdfa.Driver.granularity;
+      settings;
+      recover;
+      obs;
+      cancel;
+    }
+  in
+  (* Under [--incremental] a single analysis still runs cold (unless a
+     resident prior is supplied, as by the daemon's reanalyze), but it
+     goes through the incremental engine so a recording is made and the
+     incremental.* telemetry appears. *)
+  let input =
+    if incremental then Tdfa.Driver.Warm_start { func; assignment; prior }
+    else Tdfa.Driver.Assigned (func, assignment)
+  in
+  let r = Tdfa.Driver.run cfg input in
+  (match r.Tdfa.Driver.recovery with
+   | Some rec_ when List.length rec_.Analysis.attempts > 1 ->
+     pf "divergence-recovery ladder:\n";
+     List.iter
+       (fun (a : Analysis.attempt) ->
+         pf "  %-16s %s after %d iterations\n"
+           (Analysis.fallback_name a.Analysis.fallback)
+           (if a.Analysis.converged then "converged" else "diverged")
+           a.Analysis.iterations)
+       rec_.Analysis.attempts;
+     pf "using %s\n\n" (Analysis.fallback_name rec_.Analysis.used)
+   | _ -> ());
+  let outcome = r.Tdfa.Driver.outcome in
+  let info = Analysis.info outcome in
+  pf "kernel %s, %s: analysis %s after %d iterations (last delta %.4f K)\n\n"
+    name mode
+    (if Analysis.converged outcome then "converged" else "DID NOT converge")
+    info.Analysis.iterations info.Analysis.final_delta_k;
+  let peak = Analysis.peak_map info in
+  pf "predicted worst-case map (peak %.2f K):\n" (Thermal_state.peak peak);
+  Buffer.add_string buf
+    (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak));
+  let tcfg = Tdfa.Driver.transfer_config cfg func assignment in
+  let ranked = Criticality.rank tcfg info func assignment in
+  pf "\nmost critical variables:\n";
+  List.iteri
+    (fun i (r : Criticality.ranked) ->
+      if i < 8 then
+        pf "  %-12s score %10.1f  hottest point %.2f K\n"
+          (Var.to_string r.Criticality.var)
+          r.Criticality.score r.Criticality.hottest_point_k)
+    ranked;
+  (Buffer.contents buf, r)
+
+(* The one source of truth for a `tdfa lint' text report of one input:
+   the CLI prints it per input, the daemon ships it in the response. *)
+let lint_report ~display findings =
+  if findings = [] then Printf.sprintf "lint %s: clean\n" display
+  else
+    Printf.sprintf "lint %s:\n%s" display
+      (Tdfa_lint.Render.to_string findings)
+
+let lint ?(obs = Tdfa_obs.Obs.null)
+    ?(config = Tdfa_lint.Lint.default_config) ~post_ra ~policy (f : Func.t) =
+  let known = Tdfa_lint.Rules.all in
+  let func, assignment =
+    if post_ra then begin
+      let alloc = Alloc.allocate ~obs f Common.standard_layout ~policy in
+      (alloc.Alloc.func, Some alloc.Alloc.assignment)
+    end
+    else (f, None)
+  in
+  let ctx =
+    Tdfa_lint.Lint.make_ctx ?assignment ~layout:Common.standard_layout func
+  in
+  let findings = Tdfa_lint.Lint.run ~obs ~config known ctx in
+  (lint_report ~display:func.Func.name findings, findings)

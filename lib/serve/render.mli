@@ -1,0 +1,51 @@
+(** Shared analyze/lint rendering: the single source of truth for what
+    the one-shot CLI prints to stdout {e and} what the serve daemon
+    ships in a response frame's [output] field.
+
+    The serve protocol promises byte-identical responses to the CLI;
+    rather than proving two printers equal, there is one printer, and
+    the cram suite pins its text from both entry points. *)
+
+open Tdfa_ir
+open Tdfa_regalloc
+open Tdfa_obs
+
+val analyze :
+  ?obs:Obs.sink ->
+  ?cancel:(unit -> bool) ->
+  ?prior:Tdfa_core.Incremental.prior ->
+  policy:Policy.t ->
+  granularity:int ->
+  delta:float ->
+  pre_ra:bool ->
+  recover:bool ->
+  incremental:bool ->
+  Func.t ->
+  string * Tdfa.Driver.result
+(** Allocate (or predict placement under [pre_ra]), run the thermal
+    fixpoint through {!Tdfa.Driver.run}, and render the full analyze
+    report (convergence, recovery ladder when climbed, worst-case
+    heatmap, criticality ranking). [cancel] threads a deadline token
+    into the fixpoint; [prior] (only meaningful with [incremental])
+    warm-starts from a resident recording — results are bit-identical
+    to a cold run either way, so the rendered text cannot differ.
+
+    Returns the rendered text and the driver result (whose
+    [incremental] field carries the next-run prior).
+
+    @raise Tdfa_core.Analysis.Cancelled when [cancel] trips. *)
+
+val lint_report : display:string -> Tdfa_lint.Lint.finding list -> string
+(** The per-input text block of [tdfa lint] ([lint <display>: clean] or
+    the rendered finding table). *)
+
+val lint :
+  ?obs:Obs.sink ->
+  ?config:Tdfa_lint.Lint.config ->
+  post_ra:bool ->
+  policy:Policy.t ->
+  Func.t ->
+  string * Tdfa_lint.Lint.finding list
+(** Build the lint context (allocating first under [post_ra]), run
+    every registered rule, and render with {!lint_report} (display =
+    the function's name, as for a [--kernel] input). *)

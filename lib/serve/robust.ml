@@ -1,0 +1,72 @@
+open Tdfa_obs
+
+exception Transient of string
+
+(* ------------------------------------------------------------------ *)
+(* Retry with exponential backoff and deterministic jitter              *)
+(* ------------------------------------------------------------------ *)
+
+type backoff = {
+  attempts : int;
+  base_ms : float;
+  multiplier : float;
+  max_ms : float;
+  jitter : float;
+}
+
+let default_backoff =
+  { attempts = 3; base_ms = 5.0; multiplier = 2.0; max_ms = 200.0; jitter = 0.25 }
+
+let no_backoff =
+  { attempts = 1; base_ms = 0.0; multiplier = 1.0; max_ms = 0.0; jitter = 0.0 }
+
+(* The delay sequence is a pure function of the seed, so a chaos run is
+   reproducible end to end: same plan seed, same retries, same waits. *)
+let delays_ms ~seed b =
+  let rng = Random.State.make [| seed; 0xba0f |] in
+  List.init
+    (max 0 (b.attempts - 1))
+    (fun k ->
+      let pure = Float.min b.max_ms (b.base_ms *. (b.multiplier ** float_of_int k)) in
+      let j =
+        if b.jitter <= 0.0 then 0.0
+        else pure *. b.jitter *. ((Random.State.float rng 2.0) -. 1.0)
+      in
+      Float.max 0.0 (pure +. j))
+
+let retry ?(obs = Obs.null) ?(sleep = fun ms -> Unix.sleepf (ms /. 1000.0))
+    ~seed b f =
+  let rec go attempt delays =
+    match f ~attempt with
+    | v -> v
+    | exception Transient msg -> (
+      match delays with
+      | [] ->
+        Obs.incr obs "serve.retry.exhausted";
+        raise (Transient msg)
+      | d :: rest ->
+        Obs.incr obs "serve.retries";
+        Obs.instant obs "serve.retry"
+          ~args:
+            [
+              ("attempt", Obs.Int attempt);
+              ("delay_ms", Obs.Float d);
+              ("error", Obs.Str msg);
+            ];
+        sleep d;
+        go (attempt + 1) rest)
+  in
+  go 0 (delays_ms ~seed b)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type deadline = { expires_at : float }
+
+let deadline_after ~ms = { expires_at = Unix.gettimeofday () +. (ms /. 1000.0) }
+let expired d = Unix.gettimeofday () > d.expires_at
+let cancel_of d () = expired d
+
+let remaining_ms d =
+  Float.max 0.0 ((d.expires_at -. Unix.gettimeofday ()) *. 1000.0)

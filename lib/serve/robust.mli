@@ -1,0 +1,66 @@
+(** Robustness primitives of the serve daemon: retry with exponential
+    backoff and deterministic jitter, and absolute per-request
+    deadlines that convert into the analysis stack's cooperative
+    cancellation tokens. *)
+
+open Tdfa_obs
+
+exception Transient of string
+(** A retryable failure. The serve handlers raise it for conditions
+    that a short wait plausibly cures (injected chaos, pool
+    contention); anything else propagates to the degradation ladder
+    instead of the retry loop. *)
+
+(** {1 Retry} *)
+
+type backoff = {
+  attempts : int;  (** total tries, including the first (>= 1) *)
+  base_ms : float;  (** delay before the first retry *)
+  multiplier : float;  (** exponential growth per retry *)
+  max_ms : float;  (** cap on the undithered delay *)
+  jitter : float;
+      (** fraction of the delay used as symmetric jitter ([0.25] means
+          +/-25%), drawn from a stream seeded per request *)
+}
+
+val default_backoff : backoff
+(** 3 attempts, 5 ms base, x2, 200 ms cap, 25% jitter. *)
+
+val no_backoff : backoff
+(** A single attempt: [retry] behaves as a plain call. *)
+
+val delays_ms : seed:int -> backoff -> float list
+(** The exact delay sequence (length [attempts - 1]) a retry loop with
+    this seed will use — a pure function, exposed so tests can assert
+    determinism and boundedness. *)
+
+val retry :
+  ?obs:Obs.sink ->
+  ?sleep:(float -> unit) ->
+  seed:int ->
+  backoff ->
+  (attempt:int -> 'a) ->
+  'a
+(** [retry ~seed b f] runs [f ~attempt:0]; each {!Transient} escape
+    sleeps the next delay of {!delays_ms} and tries again, re-raising
+    after the last attempt. Emits [serve.retries] /
+    [serve.retry.exhausted] counters and one [serve.retry] instant per
+    wait. [sleep] (default [Unix.sleepf], in ms) is injectable so
+    tests run without waiting. *)
+
+(** {1 Deadlines} *)
+
+type deadline
+
+val deadline_after : ms:float -> deadline
+(** An absolute deadline [ms] from now (wall clock). *)
+
+val expired : deadline -> bool
+
+val cancel_of : deadline -> unit -> bool
+(** The deadline as a cooperative cancellation token for
+    [Tdfa.Driver.config.cancel]: polled at fixpoint-iteration
+    boundaries, trips once the deadline passes. *)
+
+val remaining_ms : deadline -> float
+(** Never negative. *)

@@ -1,0 +1,476 @@
+open Tdfa_ir
+open Tdfa_obs
+module Fault = Tdfa_verify.Fault
+
+exception Injected_crash
+
+type config = {
+  deadline_ms : float option;
+  backoff : Robust.backoff;
+  faults : Fault.Plan.t;
+  obs : Obs.sink;
+  max_log : int;
+}
+
+let default_config =
+  {
+    deadline_ms = None;
+    backoff = Robust.default_backoff;
+    faults = Fault.Plan.none;
+    obs = Obs.null;
+    max_log = 8;
+  }
+
+type t = {
+  cfg : config;
+  injector : Fault.Plan.injector;
+  mutable sessions : int;
+  mutable served : int;
+  mutable crashes : int;
+  mutable degraded : int;
+  mutable shutting_down : bool;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    injector = Fault.Plan.injector config.faults;
+    sessions = 0;
+    served = 0;
+    crashes = 0;
+    degraded = 0;
+    shutting_down = false;
+  }
+
+type outcome = Reply of Json.t | Dropped | Shutdown_now of Json.t
+
+let fires t site = Fault.Plan.fires t.injector site
+
+(* ------------------------------------------------------------------ *)
+(* Program resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* kernel > inline IR > the session's resident program. The resolved
+   program becomes resident so a later request can omit it. *)
+let resolve t session (req : Protocol.request) =
+  let keep f =
+    session.Session.func <- Some f;
+    Ok f
+  in
+  match (req.Protocol.kernel, req.Protocol.ir) with
+  | Some _, Some _ -> Error "kernel and ir are mutually exclusive"
+  | Some name, None -> (
+    match Tdfa_workload.Kernels.find name with
+    | Some f ->
+      (* A new program invalidates the resident recording. *)
+      (match session.Session.func with
+       | Some old when not (String.equal old.Func.name f.Func.name) ->
+         session.Session.prior <- None
+       | _ -> ());
+      keep f
+    | None ->
+      Error (Printf.sprintf "unknown kernel %s (try list-kernels)" name))
+  | None, Some source -> (
+    match Parser.parse_func source with
+    | f ->
+      session.Session.prior <- None;
+      keep f
+    | exception Parser.Error msg -> Error ("parse error: " ^ msg))
+  | None, None -> (
+    match session.Session.func with
+    | Some f -> Ok f
+    | None ->
+      ignore t;
+      Error "no resident program (send kernel or ir first)")
+
+(* ------------------------------------------------------------------ *)
+(* Work handlers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mode_extra (r : Tdfa.Driver.result) =
+  match r.Tdfa.Driver.incremental with
+  | None -> []
+  | Some inc ->
+    [
+      ( "mode",
+        Json.Str
+          (Tdfa_core.Incremental.mode_name
+             inc.Tdfa_core.Incremental.stats.Tdfa_core.Incremental.mode) );
+    ]
+
+let handle_work t session (req : Protocol.request) ~rebuilding =
+  let obs = t.cfg.obs in
+  match resolve t session req with
+  | Error msg ->
+    Reply
+      (Protocol.error_response ~id:req.Protocol.id
+         ~kind:Protocol.Bad_request ~message:msg ())
+  | Ok resident -> (
+    (* Chaos: a broken-IR injection mutates a copy for this request
+       only; the verification gate below must reject it. *)
+    let f, injected_broken =
+      if (not rebuilding) && fires t Fault.Plan.Broken_ir then begin
+        Obs.incr obs "serve.injected.broken_ir";
+        match
+          Fault.inject ~seed:t.cfg.faults.Fault.Plan.seed
+            ~kind:Fault.Drop_def resident
+        with
+        | Some m -> (m.Fault.func, true)
+        | None -> (resident, false)
+      end
+      else (resident, false)
+    in
+    ignore injected_broken;
+    match Tdfa_verify.Check.func f with
+    | _ :: _ as ds ->
+      Obs.incr obs "serve.rejected_ir";
+      Reply
+        (Protocol.error_response ~id:req.Protocol.id
+           ~kind:Protocol.Invalid_ir
+           ~message:
+             (Printf.sprintf "IR verification failed (%d violations), first: %s"
+                (List.length ds)
+                (Tdfa_verify.Check.to_string (List.hd ds)))
+           ())
+    | [] ->
+      (* Chaos: poison the resident recording before a warm reanalyze;
+         the incremental integrity digest must catch it and fall back
+         to a cold run with identical output. *)
+      (if
+         (not rebuilding)
+         && req.Protocol.op = Protocol.Reanalyze
+         && session.Session.prior <> None
+         && fires t Fault.Plan.Corrupt_recording
+       then
+         match session.Session.prior with
+         | Some p ->
+           Obs.incr obs "serve.injected.corrupt_recording";
+           session.Session.prior <-
+             Some
+               (Fault.corrupt_recording ~seed:t.cfg.faults.Fault.Plan.seed p)
+         | None -> ());
+      let deadline_ms =
+        match req.Protocol.deadline_ms with
+        | Some ms -> Some ms
+        | None -> t.cfg.deadline_ms
+      in
+      let deadline =
+        if rebuilding then None
+        else Option.map (fun ms -> Robust.deadline_after ~ms) deadline_ms
+      in
+      let cancel = Option.map Robust.cancel_of deadline in
+      let work ~degraded () =
+        if (not rebuilding) && fires t Fault.Plan.Transient then begin
+          Obs.incr obs "serve.injected.transient";
+          raise (Robust.Transient "injected transient fault")
+        end;
+        if (not rebuilding) && fires t Fault.Plan.Session_crash then begin
+          Obs.incr obs "serve.injected.session_crash";
+          raise Injected_crash
+        end;
+        match req.Protocol.op with
+        | Protocol.Lint ->
+          (* Degraded rung: lint-minimal — no allocation, default
+             policy, pre-RA context only. *)
+          let out, findings =
+            if degraded then
+              Render.lint ~obs ~post_ra:false
+                ~policy:Tdfa_regalloc.Policy.First_fit f
+            else Render.lint ~obs ~post_ra:req.Protocol.post_ra
+                ~policy:req.Protocol.policy f
+          in
+          (out, [ ("findings", Json.Int (List.length findings)) ])
+        | Protocol.Analyze | Protocol.Reanalyze ->
+          (* Degraded rung: cold — drop the warm start and the
+             recording, run the plain fixpoint. *)
+          let incremental =
+            (not degraded)
+            && (req.Protocol.op = Protocol.Reanalyze
+               || req.Protocol.incremental)
+          in
+          let prior =
+            if incremental && req.Protocol.op = Protocol.Reanalyze then
+              session.Session.prior
+            else None
+          in
+          let out, r =
+            Render.analyze ~obs ?cancel ?prior ~policy:req.Protocol.policy
+              ~granularity:req.Protocol.granularity ~delta:req.Protocol.delta
+              ~pre_ra:req.Protocol.pre_ra ~recover:req.Protocol.recover
+              ~incremental f
+          in
+          (match r.Tdfa.Driver.incremental with
+           | Some inc ->
+             session.Session.prior <-
+               Some inc.Tdfa_core.Incremental.prior
+           | None -> ());
+          (out, mode_extra r)
+        | Protocol.Status | Protocol.Shutdown -> assert false
+      in
+      let respond ~degraded (out, extra) =
+        let extra =
+          if degraded then begin
+            t.degraded <- t.degraded + 1;
+            Obs.incr obs "serve.degraded";
+            let rung =
+              match req.Protocol.op with
+              | Protocol.Lint -> "lint-minimal"
+              | _ -> "cold"
+            in
+            ("degraded", Json.Str rung) :: extra
+          end
+          else extra
+        in
+        Reply
+          (Protocol.ok_response ~extra ~id:req.Protocol.id
+             ~op:req.Protocol.op ~output:out ())
+      in
+      let deadline_reply iterations =
+        Obs.incr obs "serve.deadlines";
+        Reply
+          (Protocol.error_response ~id:req.Protocol.id
+             ~kind:Protocol.Deadline
+             ~message:
+               (Printf.sprintf "deadline expired after %d fixpoint iterations"
+                  iterations)
+             ())
+      in
+      let seed =
+        t.cfg.faults.Fault.Plan.seed + session.Session.served
+      in
+      (match
+         Robust.retry ~obs ~seed t.cfg.backoff (fun ~attempt:_ ->
+             work ~degraded:false ())
+       with
+       | res -> respond ~degraded:false res
+       | exception Tdfa_core.Analysis.Cancelled { iterations } ->
+         deadline_reply iterations
+       | exception Robust.Transient msg ->
+         Reply
+           (Protocol.error_response ~id:req.Protocol.id
+              ~kind:Protocol.Transient_exhausted ~message:msg ())
+       | exception Injected_crash -> raise Injected_crash
+       | exception _e1 -> (
+         (* Degradation ladder: warm -> cold, lint -> lint-minimal. *)
+         match work ~degraded:true () with
+         | res -> respond ~degraded:true res
+         | exception Tdfa_core.Analysis.Cancelled { iterations } ->
+           deadline_reply iterations
+         | exception Injected_crash -> raise Injected_crash
+         | exception e2 ->
+           Obs.incr obs "serve.failed";
+           Reply
+             (Protocol.error_response ~id:req.Protocol.id
+                ~kind:Protocol.Failed
+                ~message:(Printexc.to_string e2) ()))))
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let status_response t session (req : Protocol.request) =
+  let output =
+    Printf.sprintf "sessions %d, served %d, crashes %d, degraded %d\n"
+      t.sessions t.served t.crashes t.degraded
+  in
+  Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Status ~output
+    ~extra:
+      [
+        ("sessions", Json.Int t.sessions);
+        ("served", Json.Int t.served);
+        ("crashes", Json.Int t.crashes);
+        ("degraded", Json.Int t.degraded);
+        ("draws", Json.Int (Fault.Plan.draws t.injector));
+        ("session_served", Json.Int session.Session.served);
+        ("session_crashes", Json.Int session.Session.crashes);
+        ("resident", Json.Bool (session.Session.func <> None));
+        ( "log",
+          Json.List
+            (List.map
+               (fun (r : Protocol.request) ->
+                 Json.Str (Protocol.op_name r.Protocol.op))
+               (Session.log_oldest_first session)) );
+      ]
+    ()
+
+let handle_request t session ~rebuilding (req : Protocol.request) =
+  Session.record session req;
+  if not rebuilding then t.served <- t.served + 1;
+  match req.Protocol.op with
+  | Protocol.Status -> Reply (status_response t session req)
+  | Protocol.Shutdown ->
+    t.shutting_down <- true;
+    Shutdown_now
+      (Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Shutdown
+         ~output:"shutting down\n" ())
+  | Protocol.Analyze | Protocol.Reanalyze | Protocol.Lint ->
+    handle_work t session req ~rebuilding
+
+(* Crash-only rebuild: reset the session and replay its request log
+   through the normal path, outputs discarded. Construction and
+   recovery are the same code. *)
+let rebuild t session =
+  let log = Session.log_oldest_first session in
+  session.Session.log <- [];
+  Obs.incr t.cfg.obs "serve.session.rebuilds";
+  List.iter
+    (fun req ->
+      try ignore (handle_request t session ~rebuilding:true req)
+      with _ -> ())
+    log
+
+(* Deterministic frame scrambling for the frame-garbage chaos site:
+   shift every byte so the frame is still text but no longer JSON. *)
+let scramble line =
+  String.map
+    (fun c -> Char.chr (((Char.code c + 13) land 0x7f) lor 0x20))
+    line
+
+let handle_line t session line =
+  let obs = t.cfg.obs in
+  Obs.incr obs "serve.requests";
+  Obs.span obs "serve.request"
+    ~args:[ ("session", Obs.Str session.Session.name) ]
+    (fun () ->
+      let line =
+        if fires t Fault.Plan.Frame_garbage then begin
+          Obs.incr obs "serve.injected.frame_garbage";
+          scramble line
+        end
+        else line
+      in
+      match Protocol.request_of_line line with
+      | Error msg ->
+        Obs.incr obs "serve.bad_frames";
+        Reply
+          (Protocol.error_response ~id:"" ~kind:Protocol.Bad_request
+             ~message:msg ())
+      | Ok req -> (
+        if fires t Fault.Plan.Disconnect then begin
+          Obs.incr obs "serve.injected.disconnect";
+          Dropped
+        end
+        else
+          match handle_request t session ~rebuilding:false req with
+          | outcome -> outcome
+          | exception e ->
+            (* Crash-only: quarantine the poisoned session, rebuild it
+               from its log (minus the crashing request), answer with a
+               structured error — the process never goes down. *)
+            Obs.incr obs "serve.session.crashes";
+            t.crashes <- t.crashes + 1;
+            session.Session.log <-
+              List.filter (fun r -> r != req) session.Session.log;
+            Session.quarantine session;
+            rebuild t session;
+            Reply
+              (Protocol.error_response ~id:req.Protocol.id
+                 ~kind:Protocol.Session_crashed
+                 ~message:(Printexc.to_string e) ())))
+
+(* ------------------------------------------------------------------ *)
+(* The socket loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  mutable pending : string;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let run ?(ready = fun () -> ()) t ~socket_path =
+  let obs = t.cfg.obs in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket_path);
+  Unix.listen srv 16;
+  ready ();
+  let clients = ref [] in
+  let counter = ref 0 in
+  let drop c =
+    clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
+    t.sessions <- List.length !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let accept () =
+    match Unix.accept srv with
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      incr counter;
+      let session = Session.create ~max_log:t.cfg.max_log
+          (Printf.sprintf "client-%d" !counter)
+      in
+      clients := { fd; session; pending = "" } :: !clients;
+      t.sessions <- List.length !clients;
+      Obs.incr obs "serve.accepts"
+  in
+  let respond c j =
+    match write_all c.fd (Json.to_string j ^ "\n") with
+    | () -> ()
+    | exception Unix.Unix_error _ -> drop c
+  in
+  let feed c data =
+    c.pending <- c.pending ^ data;
+    let rec drain () =
+      if not t.shutting_down then
+        match String.index_opt c.pending '\n' with
+        | None -> ()
+        | Some i ->
+          let line = String.sub c.pending 0 i in
+          c.pending <-
+            String.sub c.pending (i + 1)
+              (String.length c.pending - i - 1);
+          (if String.trim line <> "" then
+             match handle_line t c.session line with
+             | Reply j -> respond c j
+             | Dropped -> drop c
+             | Shutdown_now j -> respond c j);
+          drain ()
+    in
+    drain ()
+  in
+  let read c =
+    let bytes = Bytes.create 65536 in
+    match Unix.read c.fd bytes 0 65536 with
+    | 0 -> drop c
+    | n -> feed c (Bytes.sub_string bytes 0 n)
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      drop c
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec loop () =
+    if not t.shutting_down then begin
+      let fds = srv :: List.map (fun c -> c.fd) !clients in
+      (match Unix.select fds [] [] 1.0 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, _, _ ->
+         List.iter
+           (fun fd ->
+             if fd == srv then accept ()
+             else
+               match
+                 List.find_opt (fun c -> c.fd == fd) !clients
+               with
+               | Some c -> read c
+               | None -> ())
+           readable);
+      loop ()
+    end
+  in
+  loop ();
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    !clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Obs.incr obs "serve.shutdowns"

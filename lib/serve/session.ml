@@ -1,0 +1,35 @@
+open Tdfa_ir
+
+type t = {
+  name : string;
+  max_log : int;
+  mutable func : Func.t option;
+  mutable prior : Tdfa_core.Incremental.prior option;
+  mutable log : Protocol.request list;
+  mutable served : int;
+  mutable crashes : int;
+}
+
+let create ?(max_log = 8) name =
+  { name; max_log; func = None; prior = None; log = []; served = 0; crashes = 0 }
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+(* Only program-state-building ops enter the log: they are what a
+   rebuild must replay. Status/shutdown are stateless. *)
+let record t (req : Protocol.request) =
+  (match req.Protocol.op with
+   | Protocol.Analyze | Protocol.Reanalyze | Protocol.Lint ->
+     t.log <- take t.max_log (req :: t.log)
+   | Protocol.Status | Protocol.Shutdown -> ());
+  t.served <- t.served + 1
+
+let quarantine t =
+  t.func <- None;
+  t.prior <- None;
+  t.crashes <- t.crashes + 1
+
+let log_oldest_first t = List.rev t.log

@@ -185,6 +185,178 @@ let inject ~seed ~kind ?assignment (f : Func.t) =
 let inject_all ~seed ?assignment f =
   List.filter_map (fun kind -> inject ~seed ~kind ?assignment f) all_kinds
 
+let corrupt_recording ~seed p = Tdfa_core.Incremental.poison_prior ~seed p
+
+(* ------------------------------------------------------------------ *)
+(* Seeded fault plans                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Plan = struct
+  type site =
+    | Frame_garbage
+    | Disconnect
+    | Corrupt_recording
+    | Worker_stall
+    | Torn_cache
+    | Transient
+    | Broken_ir
+    | Session_crash
+
+  let all_sites =
+    [
+      Frame_garbage; Disconnect; Corrupt_recording; Worker_stall; Torn_cache;
+      Transient; Broken_ir; Session_crash;
+    ]
+
+  let site_name = function
+    | Frame_garbage -> "frame-garbage"
+    | Disconnect -> "disconnect"
+    | Corrupt_recording -> "corrupt-recording"
+    | Worker_stall -> "worker-stall"
+    | Torn_cache -> "torn-cache"
+    | Transient -> "transient"
+    | Broken_ir -> "broken-ir"
+    | Session_crash -> "session-crash"
+
+  let site_of_string s =
+    List.find_opt (fun k -> String.equal (site_name k) s) all_sites
+
+  type t = { seed : int; rates : (site * float) list; stall_ms : float }
+
+  let none = { seed = 0; rates = []; stall_ms = 0.0 }
+
+  let default ~seed =
+    {
+      seed;
+      rates =
+        [
+          (Frame_garbage, 0.05);
+          (Disconnect, 0.05);
+          (Corrupt_recording, 0.2);
+          (Worker_stall, 0.1);
+          (Torn_cache, 0.2);
+          (Transient, 0.15);
+          (Broken_ir, 0.05);
+          (Session_crash, 0.05);
+        ];
+      stall_ms = 40.0;
+    }
+
+  let rate t site =
+    Option.value ~default:0.0 (List.assoc_opt site t.rates)
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "# tdfa fault plan\n";
+    Buffer.add_string buf (Printf.sprintf "seed = %d\n" t.seed);
+    Buffer.add_string buf (Printf.sprintf "stall-ms = %g\n" t.stall_ms);
+    List.iter
+      (fun site ->
+        let r = rate t site in
+        if r > 0.0 then
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %g\n" (site_name site) r))
+      all_sites;
+    Buffer.contents buf
+
+  let of_string source =
+    let lines = String.split_on_char '\n' source in
+    let rec go lineno acc = function
+      | [] -> Ok acc
+      | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if line = "" then go (lineno + 1) acc rest
+        else
+          match String.index_opt line '=' with
+          | None ->
+            Error
+              (Printf.sprintf "line %d: expected `key = value', got %S"
+                 lineno line)
+          | Some i -> (
+            let key = String.trim (String.sub line 0 i) in
+            let v =
+              String.trim
+                (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            match key with
+            | "seed" -> (
+              match int_of_string_opt v with
+              | Some seed -> go (lineno + 1) { acc with seed } rest
+              | None -> Error (Printf.sprintf "line %d: bad seed %S" lineno v))
+            | "stall-ms" -> (
+              match float_of_string_opt v with
+              | Some stall_ms when stall_ms >= 0.0 ->
+                go (lineno + 1) { acc with stall_ms } rest
+              | _ ->
+                Error (Printf.sprintf "line %d: bad stall-ms %S" lineno v))
+            | _ -> (
+              match (site_of_string key, float_of_string_opt v) with
+              | Some site, Some r when r >= 0.0 && r <= 1.0 ->
+                go (lineno + 1)
+                  {
+                    acc with
+                    rates = (site, r) :: List.remove_assoc site acc.rates;
+                  }
+                  rest
+              | Some _, _ ->
+                Error
+                  (Printf.sprintf "line %d: rate %S not in [0,1]" lineno v)
+              | None, _ ->
+                Error
+                  (Printf.sprintf
+                     "line %d: unknown fault site %S (known: %s)" lineno key
+                     (String.concat ", " (List.map site_name all_sites))))))
+    in
+    go 1 none lines
+
+  let of_file path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | source -> of_string source
+    | exception Sys_error msg -> Error msg
+
+  type injector = {
+    plan : t;
+    mutex : Mutex.t;
+    rng : Random.State.t;
+    mutable drawn : int;
+  }
+
+  let injector plan =
+    {
+      plan;
+      mutex = Mutex.create ();
+      rng = Random.State.make [| plan.seed; 0x7dfa |];
+      drawn = 0;
+    }
+
+  let plan i = i.plan
+
+  let fires i site =
+    let r = rate i.plan site in
+    if r <= 0.0 then false
+    else begin
+      Mutex.lock i.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock i.mutex)
+        (fun () ->
+          i.drawn <- i.drawn + 1;
+          Random.State.float i.rng 1.0 < r)
+    end
+
+  let draws i =
+    Mutex.lock i.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock i.mutex)
+      (fun () -> i.drawn)
+
+  let stall_s i = i.plan.stall_ms /. 1000.0
+end
+
 type thermal_kind = Nan | Inf
 
 let inject_state ~seed ~kind s =

@@ -53,3 +53,82 @@ val inject_state :
   seed:int -> kind:thermal_kind -> Tdfa_core.Thermal_state.t ->
   Tdfa_core.Thermal_state.t * int
 (** Returns a corrupted copy and the poisoned point index. *)
+
+val corrupt_recording :
+  seed:int -> Tdfa_core.Incremental.prior -> Tdfa_core.Incremental.prior
+(** Deterministically corrupt one recorded thermal state of an
+    incremental warm-start recording (see
+    {!Tdfa_core.Incremental.poison_prior}): the mutant fails the
+    recording's integrity digest, so a warm re-analysis must fall back
+    to a cold run instead of replaying the corruption. *)
+
+(** {1 Seeded fault plans}
+
+    One declarative, seeded description of the faults an execution
+    should suffer, shared by every command that injects them
+    ([tdfa serve --chaos/--fault-plan], [tdfa batch --fault-plan],
+    [tdfa verify --fault-plan]): each {!Plan.site} names one injection
+    point, its rate is the per-opportunity probability, and the whole
+    plan is deterministic in its seed. The on-disk format is one
+    [key = value] binding per line ([seed], [stall-ms], one line per
+    site rate), [#] comments; {!Plan.to_string} round-trips through
+    {!Plan.of_string}. *)
+
+module Plan : sig
+  type site =
+    | Frame_garbage  (** scramble a protocol frame before parsing *)
+    | Disconnect  (** drop the client connection mid-request *)
+    | Corrupt_recording
+        (** poison the session's warm-start recording
+            ({!corrupt_recording}) *)
+    | Worker_stall  (** wedge a domain-pool worker for [stall_ms] *)
+    | Torn_cache  (** make an on-disk cache read fail mid-entry *)
+    | Transient
+        (** a retryable transient failure (pool contention and the
+            like) surfaced to the retry/backoff policy *)
+    | Broken_ir
+        (** mutate the request's IR with {!inject} so the verification
+            gate must reject it *)
+    | Session_crash
+        (** raise from inside a session handler, exercising the
+            crash-only quarantine-and-rebuild path *)
+
+  val all_sites : site list
+  val site_name : site -> string
+  val site_of_string : string -> site option
+
+  type t = {
+    seed : int;
+    rates : (site * float) list;  (** per-opportunity probabilities *)
+    stall_ms : float;  (** duration of an injected worker stall *)
+  }
+
+  val none : t
+  (** Seed 0, every rate 0 — injects nothing. *)
+
+  val default : seed:int -> t
+  (** The standard chaos mix ([tdfa serve --chaos SEED]). *)
+
+  val rate : t -> site -> float
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+  val of_file : string -> (t, string) result
+
+  type injector
+  (** A running plan: a mutex-protected seeded stream of draws, safe to
+      share with domain-pool workers. Draws are deterministic in the
+      seed and the draw order. *)
+
+  val injector : t -> injector
+  val plan : injector -> t
+
+  val fires : injector -> site -> bool
+  (** One draw: does this opportunity fault? Always [false] for a
+      zero-rate site (and consumes no draw). *)
+
+  val draws : injector -> int
+  (** Number of draws consumed so far. *)
+
+  val stall_s : injector -> float
+  (** The plan's stall duration in seconds. *)
+end

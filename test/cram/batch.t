@@ -67,6 +67,35 @@ reported, the rest of the batch completes, and the exit is nonzero.
   tdfa: batch: garbage.tdfa: parse error: line 1: expected 'func', found 'this'
   [1]
 
+A seeded fault plan (the same file format serve and verify take)
+injects torn cache reads at rate 1: every entry written by the warm
+run above is unreadable, so the rerun recomputes everything — and
+still lands byte-identical output, because a torn entry is a miss,
+never a wrong answer.
+
+  $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --cache cdir \
+  >   --fault-plan chaos.plan --metrics > torn.out 2> torn.err
+  $ cmp cold.out torn.out
+  $ grep -E "injected_torn|cache.hits" torn.err
+    engine.cache.injected_torn       2
+
+The same plan handed to verify turns into a falsification run: every
+applicable fault kind is injected into the (clean) kernel and each
+mutant must be caught by the checker.
+
+  $ ../../bin/tdfa_cli.exe verify -k fib --fault-plan chaos.plan
+  fib: verification clean (12 instrs, 4 blocks)
+  falsification (seed 7): 3/3 mutants caught
+
+A plan that does not parse is a usage error naming the offending line.
+
+  $ cat > bad.plan <<'EOF'
+  > warp-core = 0.5
+  > EOF
+  $ ../../bin/tdfa_cli.exe batch fib.tir --fault-plan bad.plan
+  tdfa: fault-plan: bad.plan: line 1: unknown fault site "warp-core" (known: frame-garbage, disconnect, corrupt-recording, worker-stall, torn-cache, transient, broken-ir, session-crash)
+  [2]
+
 No inputs at all is a usage error.
 
   $ ../../bin/tdfa_cli.exe batch

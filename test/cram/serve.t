@@ -1,0 +1,94 @@
+The serve daemon keeps the analysis stack resident behind a Unix
+socket speaking line-delimited JSON; the client subcommand is its
+one-shot pipe. The socket lives under /tmp because AF_UNIX paths are
+length-limited and the cram sandbox nests deep.
+
+  $ SOCKDIR=$(mktemp -d /tmp/tdfa-cram-XXXXXX)
+  $ SOCK=$SOCKDIR/tdfa.sock
+  $ ../../bin/tdfa_cli.exe serve -s $SOCK > serve.log 2>&1 &
+  $ SERVE_PID=$!
+
+Byte-identity is the protocol's core promise: for every built-in
+kernel, the daemon's analyze response is the exact text the one-shot
+CLI prints.
+
+  $ for k in $(../../bin/tdfa_cli.exe list-kernels | awk '{print $1}'); do
+  >   printf '{"op":"analyze","kernel":"%s"}\n' $k \
+  >     | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  >   ../../bin/tdfa_cli.exe analyze -k $k > via-cli.txt
+  >   cmp via-serve.txt via-cli.txt && echo "$k analyze identical"
+  > done
+  matmul analyze identical
+  fir analyze identical
+  idct_row analyze identical
+  crc analyze identical
+  stencil analyze identical
+  bubble_sort analyze identical
+  fib analyze identical
+  dotprod analyze identical
+  vecadd analyze identical
+  scale analyze identical
+  horner analyze identical
+  conv2d analyze identical
+  histogram analyze identical
+  transpose analyze identical
+  max_reduce analyze identical
+  high_pressure analyze identical
+
+Same for lint (the lint CLI exits nonzero when it fires, so the
+comparison tolerates either status).
+
+  $ for k in $(../../bin/tdfa_cli.exe list-kernels | awk '{print $1}'); do
+  >   printf '{"op":"lint","kernel":"%s"}\n' $k \
+  >     | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  >   ../../bin/tdfa_cli.exe lint -k $k > via-cli.txt || true
+  >   cmp via-serve.txt via-cli.txt && echo "$k lint identical"
+  > done
+  matmul lint identical
+  fir lint identical
+  idct_row lint identical
+  crc lint identical
+  stencil lint identical
+  bubble_sort lint identical
+  fib lint identical
+  dotprod lint identical
+  vecadd lint identical
+  scale lint identical
+  horner lint identical
+  conv2d lint identical
+  histogram lint identical
+  transpose lint identical
+  max_reduce lint identical
+  high_pressure lint identical
+
+The point of staying resident: a reanalyze of the unchanged program is
+answered from the session's recording (identity mode), with — by
+construction — the same bytes. --raw exposes the response frames.
+
+  $ printf '%s\n%s\n' \
+  >   '{"op":"analyze","kernel":"fir","incremental":true}' \
+  >   '{"op":"reanalyze"}' \
+  >   | ../../bin/tdfa_cli.exe client -s $SOCK --raw \
+  >   | grep -o '"mode":"[a-z]*"'
+  "mode":"cold"
+  "mode":"identity"
+
+Status reports daemon-wide and per-session health.
+
+  $ printf '{"op":"status"}\n' | ../../bin/tdfa_cli.exe client -s $SOCK --raw \
+  >   | grep -o '"crashes":[0-9]*,"degraded":[0-9]*'
+  "crashes":0,"degraded":0
+
+Shutdown is acknowledged, the daemon exits cleanly, and the socket
+file is gone — no leaked process, no stale socket.
+
+  $ printf '{"op":"shutdown"}\n' | ../../bin/tdfa_cli.exe client -s $SOCK
+  shutting down
+  $ wait $SERVE_PID
+  $ test -S $SOCK || echo "socket removed"
+  socket removed
+  $ grep -c "listening on" serve.log
+  1
+  $ grep -o "done (.*)" serve.log
+  done (36 requests, 0 crashes, 0 degraded)
+  $ rm -rf $SOCKDIR

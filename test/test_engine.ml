@@ -122,6 +122,115 @@ let test_failure_isolated () =
        (contains msg "verification")
    | _ -> Alcotest.fail "wrong result shape")
 
+(* A corrupt-but-well-framed entry (valid magic, wrong digest) is
+   quarantined for post-mortem instead of failing every future read; a
+   stale-format entry is a plain miss that the next store overwrites. *)
+let test_cache_quarantine () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tdfa_engine_quarantine_%d" (Unix.getpid ()))
+  in
+  let cache = Engine.Cache.on_disk ~dir in
+  let jobs = [ Engine.job "fib" (Kernels.fib ()) ] in
+  let r =
+    report_of (List.hd (Engine.run_batch ~cache ~layout fast_spec jobs).Engine.results)
+  in
+  let path = Filename.concat dir (r.Engine.key ^ ".report") in
+  (* Flip one payload byte: framing intact, digest no longer matches. *)
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string raw in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b);
+  let obs = Tdfa_obs.Obs.memory () in
+  Alcotest.(check bool) "corrupt entry reads as a miss" true
+    (Engine.Cache.find ~obs cache r.Engine.key = None);
+  let rows = Tdfa_obs.Obs.metrics_rows obs in
+  Alcotest.(check string) "quarantine counted" "1"
+    (List.assoc "engine.cache.quarantined" rows);
+  Alcotest.(check bool) "entry moved aside, not left in place" true
+    ((not (Sys.file_exists path))
+    && Sys.file_exists
+         (Filename.concat
+            (Filename.concat dir ".quarantine")
+            (r.Engine.key ^ ".report")));
+  (* Recompute-and-store repopulates; the result is unchanged. *)
+  let r2 =
+    report_of
+      (List.hd (Engine.run_batch ~obs ~cache ~layout fast_spec jobs).Engine.results)
+  in
+  Alcotest.(check bool) "recomputed result identical" true
+    (Engine.same_result r r2);
+  Alcotest.(check bool) "cache healthy again" true
+    (Engine.Cache.find cache r.Engine.key <> None);
+  (* Stale format: a miss, never a quarantine. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "tdfa-engine-cache-0\nwhatever");
+  let obs2 = Tdfa_obs.Obs.memory () in
+  Alcotest.(check bool) "old format reads as a miss" true
+    (Engine.Cache.find ~obs:obs2 cache r.Engine.key = None);
+  Alcotest.(check bool) "stale entry not quarantined" false
+    (List.mem_assoc "engine.cache.quarantined"
+       (Tdfa_obs.Obs.metrics_rows obs2));
+  Engine.Cache.sync cache
+
+(* A stop token that trips before any claim drains the batch without
+   running a job; every unclaimed slot reports interruption, never a
+   silent drop. *)
+let test_stop_token_drains () =
+  let jobs =
+    [ Engine.job "fib" (Kernels.fib ()); Engine.job "crc" (Kernels.crc ()) ]
+  in
+  let b =
+    Engine.run_batch ~stop:(fun () -> true) ~layout fast_spec jobs
+  in
+  Alcotest.(check bool) "batch reports the stop" true b.Engine.stopped;
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Error "interrupted before start" -> ()
+      | _ -> Alcotest.fail "expected an interrupted slot")
+    b.Engine.results;
+  (* And a stop that never trips leaves the flag clear. *)
+  let b2 = Engine.run_batch ~stop:(fun () -> false) ~layout fast_spec jobs in
+  Alcotest.(check bool) "clean run not marked stopped" false b2.Engine.stopped
+
+(* Worker-stall injection at rate 1.0 wedges every claim longer than
+   the watchdog period: the supervisor must hand the stalled jobs to
+   replacement domains, and the double-executed results must stay
+   correct (jobs are deterministic and writes idempotent). *)
+let test_watchdog_replaces_stalled_worker () =
+  let plan =
+    {
+      Tdfa_verify.Fault.Plan.seed = 5;
+      rates = [ (Tdfa_verify.Fault.Plan.Worker_stall, 1.0) ];
+      stall_ms = 120.0;
+    }
+  in
+  let obs = Tdfa_obs.Obs.memory () in
+  let jobs =
+    [ Engine.job "fib" (Kernels.fib ()); Engine.job "crc" (Kernels.crc ()) ]
+  in
+  let b =
+    Engine.run_batch ~obs ~watchdog_ms:25.0
+      ~faults:(Tdfa_verify.Fault.Plan.injector plan)
+      ~layout fast_spec jobs
+  in
+  let rows = Tdfa_obs.Obs.metrics_rows obs in
+  Alcotest.(check bool) "stalls injected" true
+    (List.mem_assoc "engine.stalls.injected" rows);
+  Alcotest.(check bool) "watchdog replaced at least one worker" true
+    (List.mem_assoc "engine.watchdog.replaced" rows);
+  Alcotest.(check int) "no job lost to the stall" 0 b.Engine.failed;
+  let clean = Engine.run_batch ~layout fast_spec jobs in
+  List.iter2
+    (fun a c ->
+      Alcotest.(check bool) "rescued result == clean result" true
+        (Engine.same_result (report_of a) (report_of c)))
+    b.Engine.results clean.Engine.results
+
 let test_recovery_rung_reported () =
   let spec = { fast_spec with Engine.recover = true } in
   let r =
@@ -259,6 +368,12 @@ let suite =
         tc "disk cache roundtrip + corruption safety" `Quick
           test_disk_cache_roundtrip;
         tc "failing job isolated in batch" `Quick test_failure_isolated;
+        tc "corrupt cache entry quarantined + recomputed" `Quick
+          test_cache_quarantine;
+        tc "stop token drains without silent drops" `Quick
+          test_stop_token_drains;
+        tc "watchdog replaces a stalled worker" `Quick
+          test_watchdog_replaces_stalled_worker;
         tc "recovery rung reported" `Quick test_recovery_rung_reported;
       ] );
     ( "engine.properties",

@@ -230,6 +230,42 @@ let prop_chained_warm_equals_cold =
         passes;
       !ok)
 
+(* A prior whose recording was corrupted after the fact (bit rot, fault
+   injection, a torn hand-off) must never be replayed: the integrity
+   digest sends the run cold, and the result fingerprints identically
+   to an analysis that was never warmed at all. Same for a prior
+   recorded under different solver settings. *)
+let prop_corrupt_or_mismatched_prior_goes_cold =
+  QCheck2.Test.make
+    ~name:"incremental: corrupt/mismatched prior falls back to the cold oracle"
+    ~count:80
+    QCheck2.Gen.(triple gen_small (int_range 0 1_000_000) bool)
+    (fun (f, seed, corrupt) ->
+      let af, asg = post_ra f in
+      let cfg = config_of af asg in
+      let r0 = Incremental.analyze ~settings cfg af in
+      let prior, settings', expected_reason =
+        if corrupt then
+          ( Incremental.poison_prior ~seed r0.Incremental.prior,
+            settings,
+            Incremental.Corrupt_recording )
+        else
+          ( r0.Incremental.prior,
+            { settings with Analysis.delta_k = settings.Analysis.delta_k /. 2.0 },
+            Incremental.Settings_mismatch )
+      in
+      ((not corrupt) || not (Incremental.prior_intact prior))
+      &&
+      let warm =
+        Incremental.analyze ~settings:settings' ~prior cfg af
+      in
+      let never_warmed = Analysis.fixpoint ~settings:settings' cfg af in
+      warm.Incremental.stats.Incremental.mode
+      = Incremental.Fallback expected_reason
+      && String.equal
+           (fingerprint warm.Incremental.outcome)
+           (fingerprint never_warmed))
+
 (* --- Semantic preservation of every pass ---------------------------------- *)
 
 let observe f =
@@ -397,6 +433,7 @@ let suite =
       List.map QCheck_alcotest.to_alcotest
         [
           prop_dirty_region_matches_oracle;
+          prop_corrupt_or_mismatched_prior_goes_cold;
           prop_warm_equals_cold;
           prop_chained_warm_equals_cold;
           prop_passes_preserve_semantics;

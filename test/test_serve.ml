@@ -1,0 +1,532 @@
+(* The robustness battery for the serve daemon. The load-bearing
+   property is the chaos soak: a seeded fault plan scrambling frames,
+   dropping connections, poisoning recordings, injecting transients,
+   broken IR and handler crashes is driven through the full request
+   path for >= 100 randomized requests, and the daemon must (a) never
+   let an exception escape, and (b) answer every successful
+   analyze/reanalyze/lint byte-identically to the cold one-shot
+   renderer — degradation and recovery may change *how* an answer is
+   computed, never *what* it says. Around it: codec round-trips,
+   backoff determinism and bounds, fault-plan text round-trips, and
+   deterministic unit cases for each failure kind. *)
+
+open Tdfa_serve
+open Tdfa_workload
+module Fault = Tdfa_verify.Fault
+
+(* --- Json codec ----------------------------------------------------------- *)
+
+let tricky_strings =
+  [ ""; "a\"b"; "line\nbreak"; "tab\there"; "back\\slash"; "caf\xc3\xa9";
+    "nul\x00byte"; "{}[]:,"; " leading and trailing " ]
+
+let gen_json =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1_000_000_000) 1_000_000_000);
+        map
+          (fun (a, b) -> Json.Float (float_of_int a /. float_of_int b))
+          (pair (int_range (-100_000) 100_000) (int_range 1 97));
+        map (fun s -> Json.Str s)
+          (oneof
+             [
+               oneofl tricky_strings;
+               string_size ~gen:printable (int_range 0 12);
+             ]);
+      ]
+  in
+  let key = string_size ~gen:printable (int_range 0 6) in
+  sized (fun size ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            frequency
+              [
+                (3, scalar);
+                ( 1,
+                  map (fun l -> Json.List l)
+                    (list_size (int_range 0 4) (self (n / 2))) );
+                ( 1,
+                  map (fun kvs -> Json.Obj kvs)
+                    (list_size (int_range 0 4) (pair key (self (n / 2)))) );
+              ])
+        (min size 6))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"serve: Json round-trips through one-line frames"
+    ~count:300 gen_json (fun j ->
+      let s = Json.to_string j in
+      String.for_all (fun c -> c <> '\n' && c <> '\r') s
+      && Json.of_string s = Ok j)
+
+let test_json_rejects () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2";
+      "{\"a\":1} trailing"; "nan" ]
+
+(* --- Backoff -------------------------------------------------------------- *)
+
+let wide =
+  {
+    Robust.attempts = 6;
+    base_ms = 5.0;
+    multiplier = 2.0;
+    max_ms = 40.0;
+    jitter = 0.25;
+  }
+
+let prop_delays_deterministic_and_bounded =
+  QCheck2.Test.make
+    ~name:"serve: backoff delays deterministic in seed and inside bounds"
+    ~count:200
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let d1 = Robust.delays_ms ~seed wide
+      and d2 = Robust.delays_ms ~seed wide in
+      d1 = d2
+      && List.length d1 = wide.Robust.attempts - 1
+      && List.for_all2
+           (fun i d ->
+             let undithered =
+               Float.min wide.Robust.max_ms
+                 (wide.Robust.base_ms
+                 *. (wide.Robust.multiplier ** float_of_int i))
+             in
+             d >= undithered *. (1.0 -. wide.Robust.jitter) -. 1e-9
+             && d <= undithered *. (1.0 +. wide.Robust.jitter) +. 1e-9)
+           (List.init (List.length d1) Fun.id)
+           d1)
+
+let test_retry_recovers () =
+  let sleeps = ref [] in
+  let calls = ref 0 in
+  let v =
+    Robust.retry ~sleep:(fun ms -> sleeps := ms :: !sleeps) ~seed:7
+      Robust.default_backoff (fun ~attempt ->
+        Alcotest.(check int) "attempt numbering" !calls attempt;
+        incr calls;
+        if !calls < 3 then raise (Robust.Transient "flaky");
+        42)
+  in
+  Alcotest.(check int) "returns the late success" 42 v;
+  Alcotest.(check int) "two retries" 3 !calls;
+  Alcotest.(check (list (float 1e-9))) "sleeps are the published delays"
+    (Robust.delays_ms ~seed:7 Robust.default_backoff)
+    (List.rev !sleeps)
+
+let test_retry_exhausts () =
+  let calls = ref 0 in
+  (match
+     Robust.retry ~sleep:ignore ~seed:7 Robust.default_backoff
+       (fun ~attempt:_ ->
+         incr calls;
+         raise (Robust.Transient "always"))
+   with
+  | () -> Alcotest.fail "should have raised"
+  | exception Robust.Transient msg ->
+    Alcotest.(check string) "last failure surfaces" "always" msg);
+  Alcotest.(check int) "every attempt used"
+    Robust.default_backoff.Robust.attempts !calls
+
+let test_deadlines () =
+  let d0 = Robust.deadline_after ~ms:(-1.0) in
+  Alcotest.(check bool) "past deadline is already expired" true
+    (Robust.expired d0);
+  Alcotest.(check bool) "cancel token trips" true (Robust.cancel_of d0 ());
+  Alcotest.(check (float 1e-9)) "remaining never negative" 0.0
+    (Robust.remaining_ms d0);
+  let d1 = Robust.deadline_after ~ms:60_000.0 in
+  Alcotest.(check bool) "distant deadline not expired" false
+    (Robust.expired d1);
+  Alcotest.(check bool) "its token stays quiet" false
+    (Robust.cancel_of d1 ())
+
+(* --- Fault plans ---------------------------------------------------------- *)
+
+let gen_plan =
+  QCheck2.Gen.(
+    map
+      (fun (seed, stall, picks) ->
+        {
+          Fault.Plan.seed;
+          stall_ms = float_of_int stall;
+          rates =
+            List.filteri (fun i _ -> List.mem i picks) Fault.Plan.all_sites
+            |> List.mapi (fun i s ->
+                (s, float_of_int ((i + 1) * 5) /. 100.0));
+        })
+      (triple (int_range 0 100_000) (int_range 0 500)
+         (list_size (int_range 0 8) (int_range 0 7))))
+
+let prop_plan_text_roundtrip =
+  QCheck2.Test.make
+    ~name:"serve: fault plan round-trips through its text format" ~count:200
+    gen_plan (fun p ->
+      match Fault.Plan.of_string (Fault.Plan.to_string p) with
+      | Error _ -> false
+      | Ok p' ->
+        p'.Fault.Plan.seed = p.Fault.Plan.seed
+        && p'.Fault.Plan.stall_ms = p.Fault.Plan.stall_ms
+        && List.for_all
+             (fun s -> Fault.Plan.rate p' s = Fault.Plan.rate p s)
+             Fault.Plan.all_sites)
+
+let test_plan_parse_errors () =
+  let bad s =
+    match Fault.Plan.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [ "nonsense"; "seed = many"; "transient = 1.5"; "warp-core = 0.1";
+      "stall-ms = -3" ];
+  match Fault.Plan.of_string "# comment\nseed = 9\n\ntransient = 0.5" with
+  | Ok p ->
+    Alcotest.(check int) "seed parsed" 9 p.Fault.Plan.seed;
+    Alcotest.(check (float 0.0)) "rate parsed" 0.5
+      (Fault.Plan.rate p Fault.Plan.Transient)
+  | Error msg -> Alcotest.failf "rejected valid plan: %s" msg
+
+(* --- Protocol ------------------------------------------------------------- *)
+
+let test_request_parsing () =
+  let line =
+    {|{"id":"r1","op":"reanalyze","kernel":"fir","granularity":2,"delta":0.1,"incremental":true,"deadline_ms":250.0}|}
+  in
+  (match Protocol.request_of_line line with
+   | Error msg -> Alcotest.failf "rejected: %s" msg
+   | Ok r ->
+     Alcotest.(check string) "id" "r1" r.Protocol.id;
+     Alcotest.(check bool) "op" true (r.Protocol.op = Protocol.Reanalyze);
+     Alcotest.(check (option string)) "kernel" (Some "fir") r.Protocol.kernel;
+     Alcotest.(check int) "granularity" 2 r.Protocol.granularity;
+     Alcotest.(check bool) "incremental" true r.Protocol.incremental;
+     Alcotest.(check (option (float 0.0))) "deadline" (Some 250.0)
+       r.Protocol.deadline_ms);
+  (match Protocol.request_of_line "not json at all" with
+   | Ok _ -> Alcotest.fail "accepted garbage"
+   | Error msg ->
+     Alcotest.(check bool) "garbage error names the frame" true
+       (String.length msg >= 9 && String.equal (String.sub msg 0 9) "bad frame"));
+  (match Protocol.request_of_line {|{"op":"explode"}|} with
+   | Ok _ -> Alcotest.fail "accepted unknown op"
+   | Error _ -> ());
+  Alcotest.(check bool) "policy spellings match the CLI" true
+    (Protocol.policy_of_string "bank-pack" = Some (Tdfa_regalloc.Policy.Bank_pack 4)
+    && Protocol.policy_of_string "chessboard" = Some Tdfa_regalloc.Policy.Chessboard
+    && Protocol.policy_of_string "warp" = None)
+
+(* --- Server: deterministic single-failure cases --------------------------- *)
+
+let policy = Tdfa_regalloc.Policy.First_fit
+
+(* Coarse + loose so a request costs milliseconds (the cram suite
+   covers the default configuration). *)
+let gran = 2
+let delta = 0.1
+
+let oracle_analyze name =
+  match Kernels.find name with
+  | None -> Alcotest.failf "no kernel %s" name
+  | Some f ->
+    fst
+      (Render.analyze ~policy ~granularity:gran ~delta ~pre_ra:false
+         ~recover:false ~incremental:false f)
+
+let oracle_lint ~post_ra name =
+  match Kernels.find name with
+  | None -> Alcotest.failf "no kernel %s" name
+  | Some f -> fst (Render.lint ~post_ra ~policy f)
+
+let req_line ?(id = "t") ?(op = "analyze") ?extra:(kvs = []) kernel =
+  Json.to_string
+    (Json.Obj
+       ([ ("id", Json.Str id); ("op", Json.Str op) ]
+       @ (match kernel with
+         | Some k -> [ ("kernel", Json.Str k) ]
+         | None -> [])
+       @ [ ("granularity", Json.Int gran); ("delta", Json.Float delta) ]
+       @ kvs))
+
+let reply = function
+  | Server.Reply j -> j
+  | Server.Dropped -> Alcotest.fail "unexpected drop"
+  | Server.Shutdown_now _ -> Alcotest.fail "unexpected shutdown"
+
+let expect_ok j =
+  match (Json.bool_member "ok" j, Json.str_member "output" j) with
+  | Some true, Some out -> out
+  | _ -> Alcotest.failf "not an ok response: %s" (Json.to_string j)
+
+let expect_error ~kind j =
+  match (Json.bool_member "ok" j, Json.str_member "kind" j) with
+  | Some false, Some k -> Alcotest.(check string) "error kind" kind k
+  | _ -> Alcotest.failf "not an error response: %s" (Json.to_string j)
+
+let server ?(faults = Fault.Plan.none) ?deadline_ms () =
+  Server.create
+    ~config:{ Server.default_config with faults; deadline_ms }
+    ()
+
+let test_analyze_matches_cli_and_warms () =
+  let t = server () in
+  let s = Session.create "t" in
+  let out =
+    expect_ok
+      (reply
+         (Server.handle_line t s
+            (req_line ~extra:[ ("incremental", Json.Bool true) ] (Some "fib"))))
+  in
+  Alcotest.(check string) "analyze output == one-shot renderer"
+    (oracle_analyze "fib") out;
+  Alcotest.(check bool) "recording resident" true (s.Session.prior <> None);
+  (* Unchanged program: the warm path answers from the recording, and
+     the text cannot differ. *)
+  let j = reply (Server.handle_line t s (req_line ~op:"reanalyze" None)) in
+  Alcotest.(check string) "reanalyze output identical" (oracle_analyze "fib")
+    (expect_ok j);
+  Alcotest.(check (option string)) "identity mode reported" (Some "identity")
+    (Json.str_member "mode" j);
+  (* Switching kernels drops the stale recording. *)
+  ignore (Server.handle_line t s (req_line (Some "scale")));
+  let j2 = reply (Server.handle_line t s (req_line ~op:"reanalyze" None)) in
+  Alcotest.(check string) "new kernel reanalyzed from cold"
+    (oracle_analyze "scale") (expect_ok j2)
+
+let test_lint_matches_cli () =
+  let t = server () in
+  let s = Session.create "t" in
+  let j =
+    reply
+      (Server.handle_line t s
+         (req_line ~op:"lint"
+            ~extra:[ ("post_ra", Json.Bool true) ]
+            (Some "fir")))
+  in
+  Alcotest.(check string) "lint output == one-shot renderer"
+    (oracle_lint ~post_ra:true "fir") (expect_ok j);
+  Alcotest.(check bool) "finding count surfaced" true
+    (Json.int_member "findings" j <> None)
+
+let test_bad_inputs () =
+  let t = server () in
+  let s = Session.create "t" in
+  expect_error ~kind:"bad-request"
+    (reply (Server.handle_line t s "][ not a frame"));
+  expect_error ~kind:"bad-request"
+    (reply (Server.handle_line t s (req_line (Some "warp_core"))));
+  expect_error ~kind:"bad-request"
+    (reply (Server.handle_line t s (req_line None)));
+  (* parses, fails the verifier: jump to a missing block, undefined
+     read *)
+  let broken =
+    "func @broken() {\nentry:\n  %a = const 1\n  %b = add %a, %c\n  jmp \
+     missing\n}"
+  in
+  expect_error ~kind:"invalid-ir"
+    (reply
+       (Server.handle_line t s
+          (req_line ~extra:[ ("ir", Json.Str broken) ] None)))
+
+let test_deadline_expires () =
+  let t = server () in
+  let s = Session.create "t" in
+  let j =
+    reply
+      (Server.handle_line t s
+         (req_line ~extra:[ ("deadline_ms", Json.Float 0.0) ] (Some "fir")))
+  in
+  expect_error ~kind:"deadline" j;
+  (* The session survives a deadline: the same request without one
+     completes. *)
+  Alcotest.(check string) "session still serves" (oracle_analyze "fir")
+    (expect_ok (reply (Server.handle_line t s (req_line (Some "fir")))))
+
+let test_corrupt_recording_falls_back_cold () =
+  (* Rate 1.0: the recording is poisoned before every warm reanalyze;
+     the integrity digest must send the run cold with identical text. *)
+  let t =
+    server
+      ~faults:
+        {
+          Fault.Plan.seed = 11;
+          rates = [ (Fault.Plan.Corrupt_recording, 1.0) ];
+          stall_ms = 0.0;
+        }
+      ()
+  in
+  let s = Session.create "t" in
+  ignore
+    (Server.handle_line t s
+       (req_line ~extra:[ ("incremental", Json.Bool true) ] (Some "fib")));
+  let j = reply (Server.handle_line t s (req_line ~op:"reanalyze" None)) in
+  Alcotest.(check string) "poisoned recording still answers cold text"
+    (oracle_analyze "fib") (expect_ok j);
+  Alcotest.(check (option string)) "fallback reason surfaced"
+    (Some "fallback:corrupt-recording")
+    (Json.str_member "mode" j)
+
+let test_session_crash_quarantines_and_rebuilds () =
+  let t =
+    server
+      ~faults:
+        {
+          Fault.Plan.seed = 3;
+          rates = [ (Fault.Plan.Session_crash, 1.0) ];
+          stall_ms = 0.0;
+        }
+      ()
+  in
+  let s = Session.create "t" in
+  expect_error ~kind:"session-crash"
+    (reply (Server.handle_line t s (req_line (Some "fib"))));
+  Alcotest.(check int) "session quarantined once" 1 s.Session.crashes;
+  Alcotest.(check int) "daemon counted the crash" 1 t.Server.crashes;
+  Alcotest.(check bool) "crashing request not in the rebuild log" true
+    (s.Session.log = []);
+  (* Control ops bypass the work path: the daemon still answers. *)
+  let j = reply (Server.handle_line t s (req_line ~op:"status" None)) in
+  Alcotest.(check (option int)) "status reports the crash" (Some 1)
+    (Json.int_member "session_crashes" j)
+
+let test_shutdown () =
+  let t = server () in
+  let s = Session.create "t" in
+  (match Server.handle_line t s (req_line ~op:"shutdown" None) with
+   | Server.Shutdown_now j ->
+     Alcotest.(check string) "acknowledges" "shutting down\n" (expect_ok j)
+   | _ -> Alcotest.fail "expected Shutdown_now");
+  Alcotest.(check bool) "loop flag set" true t.Server.shutting_down
+
+(* --- The chaos soak ------------------------------------------------------- *)
+
+(* Small kernels only, so 100+ analyses stay cheap. *)
+let soak_kernels = [| "fib"; "dotprod"; "vecadd"; "scale" |]
+
+let soak ~seed ~requests =
+  let t = server ~faults:(Fault.Plan.default ~seed) () in
+  let sessions = Array.init 3 (fun i -> Session.create (Printf.sprintf "s%d" i)) in
+  let rng = Random.State.make [| seed; 0x50a7 |] in
+  let analyze_oracle = Hashtbl.create 8 and lint_oracle = Hashtbl.create 8 in
+  let expected_analyze k =
+    match Hashtbl.find_opt analyze_oracle k with
+    | Some o -> o
+    | None ->
+      let o = oracle_analyze k in
+      Hashtbl.replace analyze_oracle k o;
+      o
+  in
+  let expected_lint key =
+    match Hashtbl.find_opt lint_oracle key with
+    | Some o -> o
+    | None ->
+      let o = oracle_lint ~post_ra:(snd key) (fst key) in
+      Hashtbl.replace lint_oracle key o;
+      o
+  in
+  let ok = ref 0 and errors = ref 0 and dropped = ref 0 in
+  for i = 1 to requests do
+    let session = sessions.(Random.State.int rng (Array.length sessions)) in
+    let kernel = soak_kernels.(Random.State.int rng (Array.length soak_kernels)) in
+    let post_ra = Random.State.bool rng in
+    let op, extra =
+      match Random.State.int rng 10 with
+      | 0 -> ("status", [])
+      | 1 | 2 -> ("lint", [ ("post_ra", Json.Bool post_ra) ])
+      | 3 | 4 | 5 -> ("reanalyze", [])
+      | _ -> ("analyze", [ ("incremental", Json.Bool (Random.State.bool rng)) ])
+    in
+    let line = req_line ~id:(string_of_int i) ~op ~extra (Some kernel) in
+    match Server.handle_line t session line with
+    | exception e ->
+      Alcotest.failf "request %d escaped the daemon: %s" i
+        (Printexc.to_string e)
+    | Server.Dropped -> incr dropped
+    | Server.Shutdown_now _ -> Alcotest.failf "request %d: spurious shutdown" i
+    | Server.Reply j -> (
+      match Json.bool_member "ok" j with
+      | Some true ->
+        incr ok;
+        let out = expect_ok j in
+        (match Json.str_member "op" j with
+         | Some ("analyze" | "reanalyze") ->
+           (* Warm, degraded-cold, post-corruption-fallback: every
+              successful path must render the cold oracle's bytes. *)
+           Alcotest.(check string)
+             (Printf.sprintf "request %d: analyze text == cold oracle" i)
+             (expected_analyze kernel) out
+         | Some "lint" ->
+           let effective_post_ra =
+             match Json.str_member "degraded" j with
+             | Some _ -> false (* lint-minimal rung: pre-RA context *)
+             | None -> post_ra
+           in
+           Alcotest.(check string)
+             (Printf.sprintf "request %d: lint text == oracle" i)
+             (expected_lint (kernel, effective_post_ra))
+             out
+         | _ -> ())
+      | _ ->
+        incr errors;
+        let kind = Option.value ~default:"?" (Json.str_member "kind" j) in
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d: structured error kind (%s)" i kind)
+          true
+          (List.mem kind
+             [
+               "bad-request"; "deadline"; "transient"; "invalid-ir";
+               "session-crash"; "failed";
+             ]))
+  done;
+  Alcotest.(check bool) "chaos actually fired" true (!errors + !dropped > 0);
+  Alcotest.(check bool) "most requests still answered" true (!ok > requests / 3)
+
+let test_chaos_soak () =
+  soak ~seed:7 ~requests:60;
+  soak ~seed:104729 ~requests:60
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "serve",
+      [
+        tc "json rejects malformed frames" `Quick test_json_rejects;
+        tc "retry recovers after transients" `Quick test_retry_recovers;
+        tc "retry exhausts and re-raises" `Quick test_retry_exhausts;
+        tc "deadlines expire and convert to cancel tokens" `Quick
+          test_deadlines;
+        tc "fault plan parse errors + comments" `Quick test_plan_parse_errors;
+        tc "request parsing mirrors the CLI flags" `Quick test_request_parsing;
+        tc "analyze/reanalyze == one-shot CLI text, warm identity" `Quick
+          test_analyze_matches_cli_and_warms;
+        tc "lint == one-shot CLI text" `Quick test_lint_matches_cli;
+        tc "bad frames, unknown kernels, invalid IR rejected" `Quick
+          test_bad_inputs;
+        tc "deadline expiry is a structured error, session survives" `Quick
+          test_deadline_expires;
+        tc "corrupt recording falls back cold, same bytes" `Quick
+          test_corrupt_recording_falls_back_cold;
+        tc "session crash: quarantine, rebuild, structured error" `Quick
+          test_session_crash_quarantines_and_rebuilds;
+        tc "shutdown handshake" `Quick test_shutdown;
+        tc "chaos soak: 120 randomized faulty requests, zero escapes" `Quick
+          test_chaos_soak;
+      ] );
+    ( "serve.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_json_roundtrip;
+          prop_delays_deterministic_and_bounded;
+          prop_plan_text_roundtrip;
+        ] );
+  ]

@@ -136,10 +136,57 @@ let bechamel_tests () =
            ignore
              (Incremental.analyze ~prior:incr_prior incr_config incr_edited)))
   in
+  (* E21 companion: the flat-array core against the boxed reference, on
+     the fixpoint (matmul, g=1) and on the RC steady-state solve. Both
+     pairs produce bit-identical results; only the cost differs. *)
+  let core_config, core_func =
+    let alloc =
+      Alloc.allocate (Kernels.matmul ()) Common.standard_layout
+        ~policy:Policy.First_fit
+    in
+    ( Setup.config_of_assignment ~granularity:1 ~layout:Common.standard_layout
+        alloc.Alloc.func alloc.Alloc.assignment,
+      alloc.Alloc.func )
+  in
+  let core_boxed =
+    Test.make ~name:"analysis matmul core=boxed"
+      (Staged.stage (fun () ->
+           ignore
+             (Analysis.fixpoint ~core:Analysis.Boxed core_config core_func)))
+  in
+  let core_flat =
+    Test.make ~name:"analysis matmul core=flat"
+      (Staged.stage (fun () ->
+           ignore
+             (Analysis.fixpoint ~core:Analysis.Flat core_config core_func)))
+  in
+  let steady_model =
+    Tdfa_thermal.Rc_model.build Common.standard_layout
+      Tdfa_thermal.Params.default
+  in
+  let steady_power =
+    Array.init
+      (Tdfa_thermal.Rc_model.num_nodes steady_model)
+      (fun i -> float_of_int ((i * 37) mod 64) *. 1.0e-5)
+  in
+  let steady_boxed =
+    Test.make ~name:"thermal/steady_boxed"
+      (Staged.stage (fun () ->
+           ignore
+             (Tdfa_thermal.Rc_model.steady_state steady_model
+                ~power:steady_power)))
+  in
+  let steady_ws = Tdfa_thermal.Rc_flat.make steady_model in
+  let steady_flat =
+    Test.make ~name:"thermal/steady_flat"
+      (Staged.stage (fun () ->
+           ignore (Tdfa_thermal.Rc_flat.solve_seq steady_ws ~power:steady_power)))
+  in
   Test.make_grouped ~name:"tdfa"
     (granularity_tests @ size_tests @ obs_tests
     @ [
         solver_test; alloc_test; engine_cold; engine_warm; incr_cold; incr_warm;
+        core_boxed; core_flat; steady_boxed; steady_flat;
       ])
 
 let run_bechamel () =

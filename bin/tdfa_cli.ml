@@ -698,10 +698,15 @@ let experiments id =
       (* CI smoke: a small corpus, single timing rep — the fingerprint
          assertions still run on every event. *)
       ignore (Experiments.e20 ~n:12 ~repeats:1 ())
+    | "e21" -> ignore (Experiments.e21 ())
+    | "e21-quick" ->
+      (* CI smoke: small grid ladder, single timing rep — bit-identity
+         is still asserted on every pair. *)
+      ignore (Experiments.e21 ~quick:true ~repeats:1 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e20, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e21, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -910,7 +915,7 @@ let client_cmd =
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e20 (e20-quick for a small smoke run) or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e21 (e20-quick/e21-quick for small smoke runs) or all.")
   in
   Cmd.v
     (Cmd.info "experiments"

@@ -38,8 +38,15 @@ type recorder = {
 
 exception Cancelled of { iterations : int }
 
-let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
-    ?(settings = default_settings) (cfg : Transfer.config) (func : Func.t) =
+type core = Boxed | Flat
+
+let core_name = function Boxed -> "boxed" | Flat -> "flat"
+
+(* The boxed reference engine: functional Thermal_state values driven
+   through Transfer, one fresh state per instruction visit. Kept as the
+   differential oracle for the flat kernel (test_core_flat.ml) — the
+   production path is Flat_core below. *)
+let boxed_engine ~recorder ~settings (cfg : Transfer.config) (func : Func.t) =
   let order = Func.reverse_postorder func in
   let entry = Func.entry_label func in
   let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
@@ -107,6 +114,35 @@ let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
       order;
     (!worst, List.rev !unstable)
   in
+  (pass, fun () -> (states_after, !exit_states))
+
+(* The flat engine: the same sweep on Flat_core's preallocated buffers,
+   bit-identical by construction. *)
+let flat_engine ~recorder ~settings cfg func =
+  let join =
+    match settings.join with
+    | Max -> Flat_core.Join_max
+    | Average -> Flat_core.Join_average
+  in
+  let t = Flat_core.prepare ~join ~delta_k:settings.delta_k cfg func in
+  let on_block =
+    Option.map
+      (fun r ~iteration label ~incoming ~exit_state ~max_delta_k ~unstable ->
+        r.on_block ~iteration label ~incoming ~exit_state ~max_delta_k
+          ~unstable)
+      recorder
+  in
+  let pass iteration = Flat_core.pass t ?on_block ~iteration () in
+  (pass, fun () -> Flat_core.finalize t)
+
+let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
+    ?(settings = default_settings) ?(core = Flat) (cfg : Transfer.config)
+    (func : Func.t) =
+  let pass, finalize =
+    match core with
+    | Boxed -> boxed_engine ~recorder ~settings cfg func
+    | Flat -> flat_engine ~recorder ~settings cfg func
+  in
   let rec iterate n =
     (* Cooperative cancellation: consulted only between sweeps, so a
        cancelled analysis never leaves a half-swept state behind. *)
@@ -143,14 +179,9 @@ let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
       (fun () -> iterate 1)
   in
   Obs.Fixpoint.verdict obs ~converged:ok ~iterations ~final_delta_k;
+  let states_after, exit_states = finalize () in
   let result =
-    {
-      iterations;
-      final_delta_k;
-      states_after;
-      exit_states = !exit_states;
-      unstable;
-    }
+    { iterations; final_delta_k; states_after; exit_states; unstable }
   in
   if ok then Converged result else Diverged result
 
@@ -176,7 +207,7 @@ type recovery = {
 }
 
 let recovery_ladder ?(obs = Obs.null) ?cancel ?(settings = default_settings)
-    ~config_of ~granularity func =
+    ?core ~config_of ~granularity func =
   (* The paper's escape hatch (§4: nothing guarantees convergence of the
      thermal lattice) made operational: on divergence, retry with the
      smoothing Average join, then at coarser thermal granularities —
@@ -194,7 +225,7 @@ let recovery_ladder ?(obs = Obs.null) ?cancel ?(settings = default_settings)
       | Average_join -> ({ settings with join = Average }, granularity)
       | Coarser g -> ({ settings with join = Average }, g)
     in
-    fixpoint ~obs ?cancel ~settings (config_of ~granularity) func
+    fixpoint ~obs ?cancel ~settings ?core (config_of ~granularity) func
   in
   let rec climb attempts = function
     | [] -> (

@@ -64,11 +64,26 @@ exception Cancelled of { iterations : int }
     [tdfa serve], SIGINT draining in the batch CLI) use to abandon an
     analysis without poisoning the process. *)
 
+(** Which engine executes the sweeps. Both produce bit-identical
+    {!info} — same states, same iteration counts, same hashtable fold
+    order — certified by the differential battery in
+    [test/test_core_flat.ml]. *)
+type core =
+  | Boxed
+      (** the reference engine: functional {!Thermal_state} values, one
+          fresh state per instruction visit *)
+  | Flat
+      (** the production engine: {!Flat_core}'s preallocated flat
+          arrays, sweeping in place (the default) *)
+
+val core_name : core -> string
+
 val fixpoint :
   ?obs:Obs.sink ->
   ?recorder:recorder ->
   ?cancel:(unit -> bool) ->
   ?settings:settings ->
+  ?core:core ->
   Transfer.config ->
   Func.t ->
   outcome
@@ -121,6 +136,7 @@ val recovery_ladder :
   ?obs:Obs.sink ->
   ?cancel:(unit -> bool) ->
   ?settings:settings ->
+  ?core:core ->
   config_of:(granularity:int -> Transfer.config) ->
   granularity:int ->
   Func.t ->

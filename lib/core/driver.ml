@@ -22,6 +22,7 @@ type config = {
   layout : Tdfa_floorplan.Layout.t;
   obs : Obs.sink;
   cancel : (unit -> bool) option;
+  core : Analysis.core;
 }
 
 let default ~layout =
@@ -36,6 +37,7 @@ let default ~layout =
     layout;
     obs = Obs.null;
     cancel = None;
+    core = Analysis.Flat;
   }
 
 type input =
@@ -104,7 +106,7 @@ let run cfg input =
         in
         let inc =
           Incremental.analyze ~obs ?cancel:cfg.cancel ~settings:cfg.settings
-            ?prior
+            ~core:cfg.core ?prior
             (config_of ~granularity:cfg.granularity)
             func
         in
@@ -112,8 +114,8 @@ let run cfg input =
         then begin
           let r =
             Analysis.recovery_ladder ~obs ?cancel:cfg.cancel
-              ~settings:cfg.settings ~config_of ~granularity:cfg.granularity
-              func
+              ~settings:cfg.settings ~core:cfg.core ~config_of
+              ~granularity:cfg.granularity func
           in
           {
             alloc = None;
@@ -157,8 +159,8 @@ let run cfg input =
       if cfg.recover then begin
         let r =
           Analysis.recovery_ladder ~obs ?cancel:cfg.cancel
-            ~settings:cfg.settings ~config_of ~granularity:cfg.granularity
-            func
+            ~settings:cfg.settings ~core:cfg.core ~config_of
+            ~granularity:cfg.granularity func
         in
         {
           alloc;
@@ -170,6 +172,7 @@ let run cfg input =
       else
         let outcome =
           Analysis.fixpoint ~obs ?cancel:cfg.cancel ~settings:cfg.settings
+            ~core:cfg.core
             (config_of ~granularity:cfg.granularity)
             func
         in

@@ -51,6 +51,9 @@ type config = {
       (** cooperative cancellation token, polled at fixpoint-iteration
           boundaries (request deadlines, SIGINT draining); a tripped
           token makes {!run} raise {!Analysis.Cancelled} *)
+  core : Analysis.core;
+      (** which sweep engine runs the fixpoint ({!Analysis.Flat} by
+          default) — both produce bit-identical outcomes *)
 }
 
 val default : layout:Layout.t -> config

@@ -1,0 +1,362 @@
+open Tdfa_ir
+
+(* The flat thermal core: the Fig. 2 per-instruction transfer function
+   and block sweep of Analysis.fixpoint, recompiled onto preallocated
+   flat float arrays with a struct-of-arrays layout.
+
+   The boxed path (Transfer.apply driven by Analysis's boxed pass)
+   allocates per instruction visit: two full state copies, a neighbour
+   list per point in the diffusion fold, three closure traversals and
+   the access-event list of the instruction. This kernel precompiles
+   everything iteration-invariant once — access events become (point,
+   increment) arrays, neighbourhoods a CSR table, per-point cell counts
+   a float array — and then sweeps entirely in place over four buffers:
+
+     cur      the state being advanced through the current block
+     scratch  the diffusion read copy (one blit per instruction)
+     states   n_slots x n_points: last sweep's state after each instr
+     exits    n_labels x n_points: state after each terminator
+
+   Every float operation is performed in the same order, on the same
+   values, with the same NaN semantics as the boxed path (including
+   Stdlib.Float.max's NaN propagation, replicated inline), so the two
+   cores produce bit-identical Analysis.info — certified by the
+   differential battery in test_core_flat.ml. *)
+
+type join = Join_max | Join_average
+
+(* One program point with its precompiled heating events: the thermal
+   points touched and the exact per-event temperature increment
+   (power x dt / C_point, with power = E x weight x f_clk x duty,
+   composed in the boxed expression order). *)
+type slot = { sl_points : int array; sl_inc : float array }
+
+type blockc = {
+  b_label : Label.t;
+  b_id : int;  (* row in [exits] *)
+  b_entry : bool;
+  b_preds : int array;  (* predecessor rows, in Func.predecessors order *)
+  b_slots : slot array;  (* one per body instruction *)
+  b_slot_base : int;  (* row of first body instruction in [states] *)
+  b_term : slot;
+}
+
+type t = {
+  grid : Flat_grid.t;
+  join : join;
+  delta_k : float;
+  c_ambient : float;
+  c_leak_w : float;
+  c_leak_coeff : float;
+  c_dt : float;
+  c_cpoint : float;
+  c_lambda : float;
+  c_kappa : float;
+  blocks : blockc array;  (* reverse postorder *)
+  n_points : int;
+  n_slots : int;
+  cur : float array;
+  scratch : float array;
+  states : float array;
+  seen : bool array;
+  exits : float array;
+  (* Unboxed scratch cells for float accumulation: element 0 carries the
+     running maximum of the loop at hand, element 1 a NaN flag (0/1).
+     Keeping them in a float array rather than refs keeps the sweeps
+     allocation-free under the non-flambda compiler. *)
+  fbuf : float array;
+}
+
+type on_block =
+  iteration:int ->
+  Label.t ->
+  incoming:Thermal_state.t ->
+  exit_state:Thermal_state.t ->
+  max_delta_k:float ->
+  unstable:int ->
+  unit
+
+let compile_slot (cfg : Transfer.config) ~duty events =
+  let p = cfg.Transfer.params in
+  let clock = p.Tdfa_thermal.Params.clock_hz in
+  let c_point = Transfer.point_capacitance cfg in
+  let dt = cfg.Transfer.analysis_dt_s in
+  let n = List.length events in
+  let sl_points = Array.make n 0 and sl_inc = Array.make n 0.0 in
+  List.iteri
+    (fun k (e : Access.event) ->
+      let energy =
+        match e.Access.kind with
+        | Access.Read -> p.Tdfa_thermal.Params.read_energy_j
+        | Access.Write -> p.Tdfa_thermal.Params.write_energy_j
+      in
+      (* Boxed: power = energy *. weight *. clock_hz *. duty, applied as
+         state(p) +. (power *. dt /. c_point). Folding the whole product
+         into one precomputed increment is bit-safe because it is the
+         same operations on the same values in the same order. *)
+      let power = energy *. e.Access.weight *. clock *. duty in
+      (* Cells here; [prepare]'s resolve pass maps them to points. *)
+      sl_points.(k) <- e.Access.cell;
+      sl_inc.(k) <- power *. dt /. c_point)
+    events;
+  { sl_points; sl_inc }
+
+let prepare ~join ~delta_k (cfg : Transfer.config) (func : Func.t) =
+  let grid =
+    Flat_grid.make cfg.Transfer.layout ~granularity:cfg.Transfer.granularity
+  in
+  let p = cfg.Transfer.params in
+  let order = Func.reverse_postorder func in
+  let entry = Func.entry_label func in
+  (* Rows in [exits] cover every label of the function — an unreachable
+     predecessor's row is never written and keeps its ambient fill,
+     which is exactly the fresh state the boxed join reads for it. *)
+  let labels = Func.labels func in
+  let id_of = Hashtbl.create 32 in
+  List.iteri (fun i l -> Hashtbl.replace id_of l i) labels;
+  let n_points = grid.Flat_grid.n_points in
+  let slot_base = ref 0 in
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun label ->
+           let block = Func.find_block func label in
+           let duty =
+             Float.min 1.0
+               (cfg.Transfer.block_frequency label
+               /. cfg.Transfer.max_frequency)
+           in
+           let resolve slot =
+             {
+               slot with
+               sl_points =
+                 Array.map
+                   (fun cell -> grid.Flat_grid.point_of_cell.(cell))
+                   slot.sl_points;
+             }
+           in
+           let b_slots =
+             Array.mapi
+               (fun index i ->
+                 resolve
+                   (compile_slot cfg ~duty
+                      (cfg.Transfer.accesses_of_instr label index i)))
+               block.Block.body
+           in
+           let b_term =
+             resolve
+               (compile_slot cfg ~duty
+                  (cfg.Transfer.accesses_of_term label block.Block.term))
+           in
+           let b_slot_base = !slot_base in
+           slot_base := b_slot_base + Array.length b_slots;
+           {
+             b_label = label;
+             b_id = Hashtbl.find id_of label;
+             b_entry = Label.equal label entry;
+             b_preds =
+               Array.of_list
+                 (List.map
+                    (fun l -> Hashtbl.find id_of l)
+                    (Func.predecessors func label));
+             b_slots;
+             b_slot_base;
+             b_term;
+           })
+         order)
+  in
+  let n_slots = !slot_base in
+  let ambient = p.Tdfa_thermal.Params.ambient_k in
+  {
+    grid;
+    join;
+    delta_k;
+    c_ambient = ambient;
+    c_leak_w = p.Tdfa_thermal.Params.leakage_w;
+    c_leak_coeff = p.Tdfa_thermal.Params.leakage_temp_coeff;
+    c_dt = cfg.Transfer.analysis_dt_s;
+    c_cpoint = Transfer.point_capacitance cfg;
+    c_lambda = Transfer.diffusion_coeff cfg;
+    c_kappa = Transfer.cooling_coeff cfg;
+    blocks;
+    n_points;
+    n_slots;
+    cur = Array.make n_points ambient;
+    scratch = Array.make n_points ambient;
+    states = Array.make (max 1 (n_slots * n_points)) 0.0;
+    seen = Array.make (max 1 n_slots) false;
+    exits = Array.make (max 1 (List.length labels * n_points)) ambient;
+    fbuf = Array.make 2 0.0;
+  }
+
+(* Stdlib.Float.max replicated inline (if y > x, or x is the only NaN,
+   take y): NaN propagates exactly as in the boxed joins. *)
+let[@inline] fmax_bits x y = if y > x || (y <> y && x = x) then y else x
+
+(* One transfer-function application, in place on [t.cur]. The four
+   phases run in the boxed order: heating, leakage, diffusion (read from
+   the scratch copy), cooling. *)
+let apply t (slot : slot) =
+  let n = t.n_points in
+  let cur = t.cur and scratch = t.scratch in
+  (* Heating. *)
+  let pts = slot.sl_points and inc = slot.sl_inc in
+  for k = 0 to Array.length pts - 1 do
+    let p = pts.(k) in
+    cur.(p) <- cur.(p) +. inc.(k)
+  done;
+  (* Leakage: excess = Float.max 0.0 (T - ambient) — for y = T - ambient
+     that is y itself when y > 0 or y is NaN, else 0. *)
+  let lw = t.c_leak_w
+  and lc = t.c_leak_coeff
+  and amb = t.c_ambient
+  and dt = t.c_dt
+  and cp = t.c_cpoint in
+  let cells = t.grid.Flat_grid.cells_f in
+  for p = 0 to n - 1 do
+    let temp = cur.(p) in
+    let d = temp -. amb in
+    let excess = if d > 0.0 || d <> d then d else 0.0 in
+    let leak = lw *. (1.0 +. (lc *. excess)) *. cells.(p) in
+    cur.(p) <- temp +. (leak *. dt /. cp)
+  done;
+  (* Diffusion: every point reads its neighbours from the pre-step copy,
+     folding exchanges in CSR (= boxed list) order. *)
+  Array.blit cur 0 scratch 0 n;
+  let off = t.grid.Flat_grid.neigh_off
+  and nb = t.grid.Flat_grid.neigh
+  and lambda = t.c_lambda in
+  let acc = t.fbuf in
+  for p = 0 to n - 1 do
+    let temp = scratch.(p) in
+    acc.(0) <- 0.0;
+    for k = off.(p) to off.(p + 1) - 1 do
+      acc.(0) <- acc.(0) +. (scratch.(nb.(k)) -. temp)
+    done;
+    cur.(p) <- temp +. (lambda *. acc.(0))
+  done;
+  (* Cooling. *)
+  let kappa = t.c_kappa in
+  for p = 0 to n - 1 do
+    let temp = cur.(p) in
+    cur.(p) <- temp -. (kappa *. (temp -. amb))
+  done
+
+(* Largest pointwise |cur - states[slot]|, with Thermal_state.max_delta's
+   NaN stickiness (any NaN difference poisons the maximum): the result
+   lands in fbuf.(0), the NaN flag in fbuf.(1). *)
+let max_delta_slot t base =
+  let n = t.n_points in
+  let cur = t.cur and states = t.states and acc = t.fbuf in
+  acc.(0) <- 0.0;
+  acc.(1) <- 0.0;
+  for p = 0 to n - 1 do
+    let d = cur.(p) -. states.(base + p) in
+    let d = if d >= 0.0 then d else -.d in
+    if d > acc.(0) then acc.(0) <- d;
+    if d <> d then acc.(1) <- 1.0
+  done
+
+(* Joined incoming state of a block, into [t.cur]. *)
+let load_incoming t (b : blockc) =
+  let n = t.n_points in
+  let cur = t.cur and exits = t.exits in
+  if b.b_entry || Array.length b.b_preds = 0 then
+    Array.fill cur 0 n t.c_ambient
+  else begin
+    Array.blit exits (b.b_preds.(0) * n) cur 0 n;
+    for k = 1 to Array.length b.b_preds - 1 do
+      let base = b.b_preds.(k) * n in
+      match t.join with
+      | Join_max ->
+        for p = 0 to n - 1 do
+          cur.(p) <- fmax_bits cur.(p) exits.(base + p)
+        done
+      | Join_average ->
+        for p = 0 to n - 1 do
+          cur.(p) <- (cur.(p) +. exits.(base + p)) /. 2.0
+        done
+    done
+  end
+
+let materialize t ~src ~pos =
+  Thermal_state.of_points t.grid.Flat_grid.layout
+    ~granularity:t.grid.Flat_grid.granularity ~src ~pos
+
+(* One full sweep over the function in reverse postorder — the flat
+   counterpart of the boxed [pass] closure in Analysis.fixpoint. Returns
+   the largest clamped change and the instructions still over delta, in
+   encounter order. *)
+let pass t ?on_block ~iteration () =
+  let n = t.n_points in
+  let worst = ref 0.0 in
+  let unstable = ref [] in
+  Array.iter
+    (fun (b : blockc) ->
+      load_incoming t b;
+      let incoming =
+        match on_block with
+        | Some _ -> Some (materialize t ~src:t.cur ~pos:0)
+        | None -> None
+      in
+      let block_worst = ref 0.0 in
+      let block_unstable = ref 0 in
+      for index = 0 to Array.length b.b_slots - 1 do
+        let s = b.b_slot_base + index in
+        apply t b.b_slots.(index);
+        let change =
+          if t.seen.(s) then begin
+            max_delta_slot t (s * n);
+            if t.fbuf.(1) <> 0.0 then infinity else t.fbuf.(0)
+          end
+          else infinity
+        in
+        if change > t.delta_k then begin
+          unstable := (b.b_label, index) :: !unstable;
+          incr block_unstable
+        end;
+        let contribution =
+          if change < infinity then change else t.delta_k +. 1.0
+        in
+        if contribution > !block_worst then block_worst := contribution;
+        if contribution > !worst then worst := contribution;
+        Array.blit t.cur 0 t.states (s * n) n;
+        t.seen.(s) <- true
+      done;
+      apply t b.b_term;
+      Array.blit t.cur 0 t.exits (b.b_id * n) n;
+      match on_block with
+      | Some f ->
+        f ~iteration b.b_label
+          ~incoming:(Option.get incoming)
+          ~exit_state:(materialize t ~src:t.exits ~pos:(b.b_id * n))
+          ~max_delta_k:!block_worst ~unstable:!block_unstable
+      | None -> ())
+    t.blocks;
+  (!worst, List.rev !unstable)
+
+(* Materialize the final flat buffers into the boxed Analysis.info
+   shape. The hashtable is created and filled exactly as the boxed pass
+   does on its first sweep (same initial size, same replace order), so
+   its internal bucket layout — and therefore the fold order seen by
+   mean_map's float accumulation — is identical. *)
+let finalize t =
+  let n = t.n_points in
+  let states_after : (Label.t * int, Thermal_state.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let exit_states = ref Label.Map.empty in
+  Array.iter
+    (fun (b : blockc) ->
+      Array.iteri
+        (fun index _ ->
+          let s = b.b_slot_base + index in
+          Hashtbl.replace states_after (b.b_label, index)
+            (materialize t ~src:t.states ~pos:(s * n)))
+        b.b_slots;
+      exit_states :=
+        Label.Map.add b.b_label
+          (materialize t ~src:t.exits ~pos:(b.b_id * n))
+          !exit_states)
+    t.blocks;
+  (states_after, !exit_states)

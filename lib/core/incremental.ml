@@ -213,7 +213,7 @@ let diff prior cfg func =
 (* Cold path: the classic fixpoint, with the trajectory recorded        *)
 (* ------------------------------------------------------------------ *)
 
-let record ?obs ?cancel ~settings cfg func =
+let record ?obs ?cancel ~settings ?core cfg func =
   let raw = ref Label.Map.empty in
   let recorder =
     {
@@ -228,7 +228,9 @@ let record ?obs ?cancel ~settings cfg func =
               !raw);
     }
   in
-  let outcome = Analysis.fixpoint ?obs ~recorder ?cancel ~settings cfg func in
+  let outcome =
+    Analysis.fixpoint ?obs ~recorder ?cancel ~settings ?core cfg func
+  in
   let info = Analysis.info outcome in
   let traj =
     Label.Map.map
@@ -484,7 +486,7 @@ let replay ?(cancel = fun () -> false) ~settings ~(prior : prior) ~changed
 (* ------------------------------------------------------------------ *)
 
 let analyze ?(obs = Obs.null) ?cancel ?(settings = Analysis.default_settings)
-    ?prior (cfg : Transfer.config) func =
+    ?core ?prior (cfg : Transfer.config) func =
   Obs.span obs "incremental.analyze"
     ~args:[ ("func", Obs.Str func.Func.name) ]
     (fun () ->
@@ -494,7 +496,7 @@ let analyze ?(obs = Obs.null) ?cancel ?(settings = Analysis.default_settings)
         * List.length (Func.reverse_postorder func)
       in
       let cold mode =
-        let outcome, p = record ~obs ?cancel ~settings cfg func in
+        let outcome, p = record ~obs ?cancel ~settings ?core cfg func in
         {
           outcome;
           prior = p;

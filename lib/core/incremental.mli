@@ -116,6 +116,7 @@ val analyze :
   ?obs:Obs.sink ->
   ?cancel:(unit -> bool) ->
   ?settings:Analysis.settings ->
+  ?core:Analysis.core ->
   ?prior:prior ->
   Transfer.config ->
   Func.t ->

@@ -116,6 +116,20 @@ let of_cell_array layout ~granularity cells =
     counts;
   t
 
+let of_points layout ~granularity ~src ~pos =
+  let t = create layout ~granularity ~ambient_k:0.0 in
+  let n = num_points t in
+  if pos < 0 || pos + n > Array.length src then
+    invalid_arg "Thermal_state.of_points: slice out of range";
+  Array.blit src pos t.temps 0 n;
+  t
+
+let blit_points t ~dst ~pos =
+  let n = num_points t in
+  if pos < 0 || pos + n > Array.length dst then
+    invalid_arg "Thermal_state.blit_points: slice out of range";
+  Array.blit t.temps 0 dst pos n
+
 let map_points t f = Array.iteri (fun i v -> t.temps.(i) <- f i v) t.temps
 let peak t = Array.fold_left Float.max neg_infinity t.temps
 let mean t = Array.fold_left ( +. ) 0.0 t.temps /. float_of_int (num_points t)

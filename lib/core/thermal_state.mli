@@ -58,6 +58,16 @@ val to_cell_array : t -> float array
 val of_cell_array : Layout.t -> granularity:int -> float array -> t
 (** Aggregate a per-cell field by averaging within each point. *)
 
+val of_points : Layout.t -> granularity:int -> src:float array -> pos:int -> t
+(** Materialize a state from a slice of a flat point buffer (the
+    representation of the flat analysis kernel): the [num_points] floats
+    of [src] starting at [pos] are copied in.
+    @raise Invalid_argument when the slice is out of range. *)
+
+val blit_points : t -> dst:float array -> pos:int -> unit
+(** Inverse of {!of_points}: copy the point field into a flat buffer.
+    @raise Invalid_argument when the slice is out of range. *)
+
 val map_points : t -> (int -> float -> float) -> unit
 (** In-place update of every point. *)
 

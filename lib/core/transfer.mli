@@ -55,6 +55,18 @@ val make_config :
 val is_stable : config -> bool
 (** Whether the explicit step satisfies the stability bound. *)
 
+(** {2 Point-level coefficients}
+
+    Derived analytically from the cell-level RC parameters (a g x g tile
+    has capacitance g²C, exchanges heat through g parallel cell
+    boundaries, sinks through g² vertical paths). Exposed so the flat
+    analysis kernel precomputes the {e same} constants from the {e same}
+    expressions — the flat==boxed bit-identity depends on it. *)
+
+val point_capacitance : config -> float
+val diffusion_coeff : config -> float
+val cooling_coeff : config -> float
+
 val instr : config -> Label.t -> int -> Instr.t -> Thermal_state.t -> Thermal_state.t
 (** Thermal state after the instruction. *)
 

@@ -38,13 +38,16 @@ let steady_temps ?leak_mask model trace ~cell_of_var =
     match leak_mask with Some mask -> not mask.(i) | None -> false
   in
   (* One leakage feedback round: solve at ambient leakage, re-evaluate
-     leakage at the solution, solve again. *)
+     leakage at the solution, solve again. Both solves share one flat
+     workspace — Rc_flat.solve_seq is bit-identical to the boxed
+     Rc_model.steady_state. *)
+  let ws = Rc_flat.make model in
   let with_leak temps =
     let leak = Rc_model.leakage_power model ~temps in
     Array.mapi (fun i pw -> if gated i then pw else pw +. leak.(i)) avg_power
   in
   let first =
-    Rc_model.steady_state model
-      ~power:(with_leak (Array.make n p.Params.ambient_k))
+    Rc_flat.solve_seq ws ~power:(with_leak (Array.make n p.Params.ambient_k))
   in
-  Rc_model.steady_state model ~power:(with_leak first)
+  let power = with_leak first in
+  Array.copy (Rc_flat.solve_seq ws ~power)

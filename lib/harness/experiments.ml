@@ -1682,6 +1682,190 @@ let e20 ?(quiet = false) ?(n = 120) ?(repeats = 3) ?(target_k = 337.0)
   end;
   result
 
+(* ------------------------------------------------------------------ *)
+(* E21 - flat-array core vs boxed reference                             *)
+(* ------------------------------------------------------------------ *)
+
+type e21_pair = {
+  e21_subject : string;
+  e21_grid : string;  (* thermal grid, e.g. "8x8 g=1" or "32x32" *)
+  e21_points : int;
+  t_boxed_ms : float;
+  t_flat_ms : float;
+  e21_speedup : float;
+  bit_identical : bool;
+}
+
+type e21_result = {
+  fixpoint_pairs : e21_pair list;
+  steady_pairs : e21_pair list;
+  fixpoint_median : float;
+  steady_median : float;
+  all_bit_identical : bool;
+}
+
+let e21_bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+(* One boxed-vs-flat fixpoint pair on a [side x side] RF at granularity
+   [g]: best-of-[repeats] each way, engine fingerprints asserted equal
+   (the flat core's contract is bit-identity, so a mismatch is a result,
+   not noise). *)
+let e21_fixpoint_pair ~repeats ~side ~g name func =
+  let layout =
+    if side = 8 then Common.standard_layout
+    else Tdfa_floorplan.Layout.make ~rows:side ~cols:side ()
+  in
+  let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
+  let cfg =
+    Setup.config_of_assignment ~granularity:g ~layout alloc.Alloc.func
+      alloc.Alloc.assignment
+  in
+  let boxed, t_boxed_ms =
+    e20_time_ms ~repeats (fun () ->
+        Analysis.fixpoint ~core:Analysis.Boxed cfg alloc.Alloc.func)
+  in
+  let flat, t_flat_ms =
+    e20_time_ms ~repeats (fun () ->
+        Analysis.fixpoint ~core:Analysis.Flat cfg alloc.Alloc.func)
+  in
+  let fp = Tdfa_engine.Engine.fingerprint in
+  {
+    e21_subject = name;
+    e21_grid = Printf.sprintf "%dx%d g=%d" side side g;
+    e21_points =
+      Thermal_state.num_points (Analysis.peak_map (Analysis.info flat));
+    t_boxed_ms;
+    t_flat_ms;
+    e21_speedup = t_boxed_ms /. Float.max t_flat_ms 1e-6;
+    bit_identical = String.equal (fp boxed) (fp flat);
+  }
+
+(* One boxed-vs-flat steady-state pair on a [side x side] RC network:
+   Rc_model.steady_state against Rc_flat.solve_seq on the same power
+   field, compared bitwise. *)
+let e21_steady_pair ~repeats ~side =
+  let layout = Tdfa_floorplan.Layout.make ~rows:side ~cols:side () in
+  let model = Rc_model.build layout Params.default in
+  let n = Tdfa_floorplan.Layout.num_cells layout in
+  let power =
+    Array.init n (fun i -> float_of_int ((i * 37) mod 101) *. 1.0e-5)
+  in
+  let boxed, t_boxed_ms =
+    e20_time_ms ~repeats (fun () -> Rc_model.steady_state model ~power)
+  in
+  let ws = Rc_flat.make model in
+  let flat, t_flat_ms =
+    e20_time_ms ~repeats (fun () -> Rc_flat.solve_seq ws ~power)
+  in
+  {
+    e21_subject = "steady";
+    e21_grid = Printf.sprintf "%dx%d" side side;
+    e21_points = n;
+    t_boxed_ms;
+    t_flat_ms;
+    e21_speedup = t_boxed_ms /. Float.max t_flat_ms 1e-6;
+    bit_identical = e21_bits_equal boxed flat;
+  }
+
+let e21_write_json path r =
+  let oc = open_out path in
+  let pair p =
+    Printf.sprintf
+      "    {\"subject\": \"%s\", \"grid\": \"%s\", \"points\": %d, \
+       \"t_boxed_ms\": %.6f, \"t_flat_ms\": %.6f, \"speedup\": %.3f, \
+       \"bit_identical\": %b}"
+      p.e21_subject p.e21_grid p.e21_points p.t_boxed_ms p.t_flat_ms
+      p.e21_speedup p.bit_identical
+  in
+  let pairs l = String.concat ",\n" (List.map pair l) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e21\",\n\
+    \  \"fingerprints_equal\": %b,\n\
+    \  \"fixpoint_median_speedup\": %.3f,\n\
+    \  \"steady_median_speedup\": %.3f,\n\
+    \  \"fixpoint_pairs\": [\n%s\n  ],\n\
+    \  \"steady_pairs\": [\n%s\n  ]\n\
+     }\n"
+    r.all_bit_identical r.fixpoint_median r.steady_median
+    (pairs r.fixpoint_pairs) (pairs r.steady_pairs);
+  close_out oc
+
+(* Cost of the flat core against the boxed reference at matched bits:
+   the E5/E8 kernels at the finest granularity on the standard 8x8 RF,
+   the same sweep pushed to 9x/16x (and, unless [quick], 100x) finer
+   thermal grids, and the RC steady-state solve across the same grid
+   ladder. Bit-identity is asserted on every pair. *)
+let e21 ?(quiet = false) ?(repeats = 3) ?(quick = false)
+    ?(json = Some "BENCH_core.json") () =
+  if not quiet then
+    section
+      "E21 - flat-array thermal core vs boxed reference: cost at matched \
+       bits, down to 100x finer grids";
+  let kernels = [ "matmul"; "stencil"; "fir" ] in
+  let fine_sides = if quick then [ 24; 32 ] else [ 24; 32; 80 ] in
+  let find name =
+    match Kernels.find name with Some f -> f | None -> assert false
+  in
+  let fixpoint_pairs =
+    List.map
+      (fun name -> e21_fixpoint_pair ~repeats ~side:8 ~g:1 name (find name))
+      kernels
+    @ List.map
+        (fun side ->
+          e21_fixpoint_pair ~repeats ~side ~g:1 "matmul" (find "matmul"))
+        (if quick then [ 24 ] else [ 24; 32 ])
+  in
+  let steady_pairs =
+    List.map (fun side -> e21_steady_pair ~repeats ~side) (8 :: fine_sides)
+  in
+  let all = fixpoint_pairs @ steady_pairs in
+  let all_bit_identical = List.for_all (fun p -> p.bit_identical) all in
+  if not all_bit_identical then
+    failwith "E21: flat core diverged bitwise from the boxed reference";
+  let median l = e20_median (List.map (fun p -> p.e21_speedup) l) in
+  let result =
+    {
+      fixpoint_pairs;
+      steady_pairs;
+      fixpoint_median = median fixpoint_pairs;
+      steady_median = median steady_pairs;
+      all_bit_identical;
+    }
+  in
+  Option.iter (fun path -> e21_write_json path result) json;
+  if not quiet then begin
+    let table =
+      Table.create
+        ~headers:
+          [ "subject"; "grid"; "points"; "boxed(ms)"; "flat(ms)"; "speedup" ]
+    in
+    List.iter
+      (fun p ->
+        Table.add_row table
+          [
+            p.e21_subject;
+            p.e21_grid;
+            string_of_int p.e21_points;
+            Printf.sprintf "%.3f" p.t_boxed_ms;
+            Printf.sprintf "%.3f" p.t_flat_ms;
+            Printf.sprintf "%.1fx" p.e21_speedup;
+          ])
+      all;
+    Table.print table;
+    Printf.printf
+      "\nevery pair bit-identical (fingerprints / raw IEEE-754 bits)\n";
+    Printf.printf
+      "median speedup: %.1fx on the fixpoint, %.1fx on the steady solve\n"
+      result.fixpoint_median result.steady_median;
+    Option.iter (Printf.printf "wrote %s\n") json
+  end;
+  result
+
 let run_all () =
   let (_ : fig1_result) = fig1 () in
   let (_ : fig2_row list) = fig2 () in
@@ -1702,4 +1886,5 @@ let run_all () =
   let (_ : e18_scaling_row list * e18_cache_row list) = e18 () in
   let (_ : e19_result) = e19 () in
   let (_ : e20_result) = e20 () in
+  let (_ : e21_result) = e21 () in
   ()

@@ -272,5 +272,41 @@ val e20 :
     tolerance. [json] (default [Some "BENCH_incremental.json"]) writes
     the machine-readable benchmark; pass [None] to skip. *)
 
+type e21_pair = {
+  e21_subject : string;  (** kernel name, or ["steady"] *)
+  e21_grid : string;  (** thermal grid, e.g. ["8x8 g=1"] or ["80x80"] *)
+  e21_points : int;
+  t_boxed_ms : float;  (** best-of-[repeats] boxed-core time *)
+  t_flat_ms : float;  (** best-of-[repeats] flat-core time *)
+  e21_speedup : float;
+  bit_identical : bool;
+}
+
+type e21_result = {
+  fixpoint_pairs : e21_pair list;
+  steady_pairs : e21_pair list;
+  fixpoint_median : float;
+  steady_median : float;
+  all_bit_identical : bool;
+}
+
+val e21 :
+  ?quiet:bool ->
+  ?repeats:int ->
+  ?quick:bool ->
+  ?json:string option ->
+  unit ->
+  e21_result
+(** Cost of the flat-array core ({!Tdfa_core.Flat_core} through
+    [Analysis.fixpoint], {!Tdfa_thermal.Rc_flat} for the RC solve)
+    against the boxed reference, at matched bits: the E5/E8 kernels at
+    the finest granularity on the standard 8x8 RF, the same analysis on
+    9x/16x (and 100x unless [quick]) finer thermal grids, and the RC
+    steady-state solve across the same grid ladder. Every pair's results
+    are asserted bit-identical (engine fingerprints for the fixpoint,
+    raw IEEE-754 bits for the solver) — a mismatch raises. [json]
+    (default [Some "BENCH_core.json"]) writes the machine-readable
+    benchmark; pass [None] to skip. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

@@ -12,13 +12,17 @@ val layout : t -> Layout.t
 val params : t -> Params.t
 val num_nodes : t -> int
 
-val derivative : t -> temps:float array -> power:float array -> float array
+val derivative :
+  ?out:float array -> t -> temps:float array -> power:float array -> float array
 (** [dT/dt] per node for the given temperatures and injected power
-    (leakage excluded — callers add it to [power]). *)
+    (leakage excluded — callers add it to [power]). With [out] (length
+    [num_nodes], must not alias [temps]) the result is written in place
+    and no array is allocated; the returned array is [out]. *)
 
 val steady_state : ?tol:float -> ?max_sweeps:int -> t -> power:float array -> float array
 (** Solve [G T = P + G_v T_amb] by Gauss–Seidel; leakage is folded in by
     the caller. Defaults: [tol = 1e-6] K, [max_sweeps = 10_000]. *)
 
-val leakage_power : t -> temps:float array -> float array
-(** Temperature-dependent leakage per cell (linearised). *)
+val leakage_power : ?out:float array -> t -> temps:float array -> float array
+(** Temperature-dependent leakage per cell (linearised). [out] as in
+    {!derivative} (aliasing [temps] is harmless here but unsupported). *)

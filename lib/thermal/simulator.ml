@@ -2,12 +2,24 @@ type t = {
   model : Rc_model.t;
   mutable temps : float array;
   mutable peaks_rev : float list;
+  (* Scratch reused across substeps so a step allocates nothing per
+     substep (leakage, total power and derivative buffers). *)
+  leak : float array;
+  total : float array;
+  deriv : float array;
 }
 
 let create model =
   let n = Rc_model.num_nodes model in
   let ambient = (Rc_model.params model).Params.ambient_k in
-  { model; temps = Array.make n ambient; peaks_rev = [] }
+  {
+    model;
+    temps = Array.make n ambient;
+    peaks_rev = [];
+    leak = Array.make n 0.0;
+    total = Array.make n 0.0;
+    deriv = Array.make n 0.0;
+  }
 
 let temps t = Array.copy t.temps
 
@@ -24,10 +36,14 @@ let step t ~power ~dt =
   let substeps = max 1 (int_of_float (Float.ceil (dt /. dt_max))) in
   let h = dt /. float_of_int substeps in
   for _ = 1 to substeps do
-    let leak = Rc_model.leakage_power t.model ~temps:t.temps in
-    let total = Array.mapi (fun i pw -> pw +. leak.(i)) power in
-    let deriv = Rc_model.derivative t.model ~temps:t.temps ~power:total in
-    Array.iteri (fun i d -> t.temps.(i) <- t.temps.(i) +. (h *. d)) deriv
+    ignore (Rc_model.leakage_power ~out:t.leak t.model ~temps:t.temps);
+    for i = 0 to Array.length power - 1 do
+      t.total.(i) <- power.(i) +. t.leak.(i)
+    done;
+    ignore (Rc_model.derivative ~out:t.deriv t.model ~temps:t.temps ~power:t.total);
+    for i = 0 to Array.length t.temps - 1 do
+      t.temps.(i) <- t.temps.(i) +. (h *. t.deriv.(i))
+    done
   done;
   t.peaks_rev <- array_max t.temps :: t.peaks_rev
 

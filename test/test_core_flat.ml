@@ -1,0 +1,328 @@
+(* The differential battery for the flat thermal core: the flat engine
+   (Flat_core, the Analysis.fixpoint default) must be bit-identical to
+   the boxed reference engine — same sorted-state fingerprints, same
+   iteration counts, same final deltas, same unstable sets, with zero
+   tolerance — and the flat steady-state solver (Rc_flat) must replay
+   Rc_model.steady_state bitwise, split across domains without changing
+   a bit, and run its inner loop without allocating a word. *)
+
+open Tdfa_ir
+open Tdfa_core
+open Tdfa_regalloc
+open Tdfa_workload
+open Tdfa_thermal
+open Tdfa_floorplan
+
+let layout = Layout.make ~rows:8 ~cols:8 ()
+let n = Layout.num_cells layout
+
+let settings =
+  {
+    Analysis.default_settings with
+    Analysis.delta_k = 0.1;
+    max_iterations = 100;
+  }
+
+let config_of ?(granularity = 2) func assignment =
+  Setup.config_of_assignment ~granularity ~layout func assignment
+
+let post_ra f =
+  let a = Alloc.allocate f layout ~policy:Policy.First_fit in
+  (a.Alloc.func, a.Alloc.assignment)
+
+let fingerprint = Tdfa_engine.Engine.fingerprint
+let gen_small = Generator.gen_func ~max_pool:10 ~max_depth:1 ~max_length:6 ()
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+(* Deterministic pseudo-random power fields (no Random state shared with
+   other suites). *)
+let lcg_power ~seed ~scale n =
+  let s = ref (seed land 0x3FFFFFFF) in
+  Array.init n (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      float_of_int !s /. float_of_int 0x3FFFFFFF *. scale)
+
+(* --- Flat geometry == Thermal_state geometry -------------------------------- *)
+
+let test_grid_matches_thermal_state () =
+  List.iter
+    (fun (rows, cols) ->
+      let layout = Layout.make ~rows ~cols () in
+      List.iter
+        (fun g ->
+          let grid = Flat_grid.make layout ~granularity:g in
+          let st = Thermal_state.create layout ~granularity:g ~ambient_k:0.0 in
+          Alcotest.(check int) "num_points" (Thermal_state.num_points st)
+            (Flat_grid.num_points grid);
+          for cell = 0 to Layout.num_cells layout - 1 do
+            Alcotest.(check int) "point_of_cell"
+              (Thermal_state.point_of_cell st cell)
+              grid.Flat_grid.point_of_cell.(cell)
+          done;
+          for p = 0 to Flat_grid.num_points grid - 1 do
+            Alcotest.(check (list int)) "neighbors"
+              (Thermal_state.point_neighbors st p)
+              (Flat_grid.neighbors grid p);
+            Alcotest.(check (float 0.0)) "cells per point"
+              (float_of_int (Thermal_state.cells_per_point st p))
+              grid.Flat_grid.cells_f.(p)
+          done)
+        [ 1; 2; 3; 4 ])
+    [ (8, 8); (5, 7); (3, 3); (1, 9) ]
+
+(* --- Rc_model ~out buffers --------------------------------------------------- *)
+
+let test_out_buffers_bitwise () =
+  let model = Rc_model.build layout Params.default in
+  let temps =
+    Array.map (fun x -> Params.default.Params.ambient_k +. x)
+      (lcg_power ~seed:7 ~scale:20.0 n)
+  in
+  let power = lcg_power ~seed:13 ~scale:1.0e-3 n in
+  let d1 = Rc_model.derivative model ~temps ~power in
+  let out = Array.make n nan in
+  let d2 = Rc_model.derivative ~out model ~temps ~power in
+  Alcotest.(check bool) "derivative ~out returns out" true (d2 == out);
+  Alcotest.(check bool) "derivative bitwise" true (bits_equal d1 d2);
+  let l1 = Rc_model.leakage_power model ~temps in
+  let lout = Array.make n nan in
+  let l2 = Rc_model.leakage_power ~out:lout model ~temps in
+  Alcotest.(check bool) "leakage bitwise" true (bits_equal l1 l2)
+
+(* --- Rc_flat sequential == Rc_model.steady_state, bitwise -------------------- *)
+
+let test_solve_seq_bitwise () =
+  let model = Rc_model.build layout Params.default in
+  let ws = Rc_flat.make model in
+  let cases =
+    [
+      ("zero", Array.make n 0.0, None, None);
+      ("uniform", Array.make n 1.0e-4, None, None);
+      ( "point source",
+        (let p = Array.make n 0.0 in
+         p.(5) <- 1.0e-3;
+         p),
+        None,
+        None );
+      ("random", lcg_power ~seed:42 ~scale:1.0e-3 n, None, None);
+      ("tight tol", lcg_power ~seed:43 ~scale:1.0e-3 n, Some 1e-9, None);
+      ("capped sweeps", lcg_power ~seed:44 ~scale:1.0e-3 n, None, Some 3);
+    ]
+  in
+  List.iter
+    (fun (name, power, tol, max_sweeps) ->
+      let boxed = Rc_model.steady_state ?tol ?max_sweeps model ~power in
+      let flat = Rc_flat.solve_seq ?tol ?max_sweeps ws ~power in
+      Alcotest.(check bool) (name ^ " bitwise") true (bits_equal boxed flat))
+    cases
+
+let test_solve_rb_domain_split_bitwise () =
+  let model = Rc_model.build layout Params.default in
+  let ws = Rc_flat.make model in
+  let power = lcg_power ~seed:99 ~scale:1.0e-3 n in
+  let one = Array.copy (Rc_flat.solve_rb ~domains:1 ws ~power) in
+  let two = Array.copy (Rc_flat.solve_rb ~domains:2 ws ~power) in
+  let four = Rc_flat.solve_rb ~domains:4 ws ~power in
+  Alcotest.(check bool) "2 domains == 1 domain, bitwise" true
+    (bits_equal one two);
+  Alcotest.(check bool) "4 domains == 1 domain, bitwise" true
+    (bits_equal one four)
+
+(* --- Zero allocation --------------------------------------------------------- *)
+
+let test_solve_seq_zero_alloc () =
+  let model = Rc_model.build layout Params.default in
+  let ws = Rc_flat.make model in
+  let power = lcg_power ~seed:5 ~scale:1.0e-3 n in
+  (* Warm up: first call settles any lazy initialisation. *)
+  ignore (Rc_flat.solve_seq ws ~power : float array);
+  (* Gc.minor_words itself boxes its float result; measure that overhead
+     with a back-to-back pair and subtract it. *)
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  let overhead = b -. a in
+  let before = Gc.minor_words () in
+  ignore (Rc_flat.solve_seq ws ~power : float array);
+  let after = Gc.minor_words () in
+  Alcotest.(check (float 0.0))
+    "steady-state solve allocates nothing" 0.0
+    (after -. before -. overhead)
+
+(* --- Red-black vs sequential: same fixed point ------------------------------- *)
+
+let test_rb_vs_seq_fixed_point () =
+  let model = Rc_model.build layout Params.default in
+  let ws = Rc_flat.make model in
+  let power = lcg_power ~seed:21 ~scale:1.0e-3 n in
+  let seq = Array.copy (Rc_flat.solve_seq ~tol:1e-10 ws ~power) in
+  let rb = Rc_flat.solve_rb ~tol:1e-10 ws ~power in
+  Array.iteri
+    (fun i s -> Alcotest.(check (float 1e-4)) "same fixed point" s rb.(i))
+    seq
+
+(* --- Flat engine == boxed engine --------------------------------------------- *)
+
+let digest_state s =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun t -> Buffer.add_int64_le buf (Int64.bits_of_float t))
+    (Thermal_state.to_cell_array s);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* The recorder stream (the incremental engine's food) must be identical
+   call for call: same block order, same iterations, same incoming/exit
+   states bitwise, same per-block deltas and unstable counts. *)
+let test_recorder_parity () =
+  let af, asg = post_ra (Kernels.fir ()) in
+  let cfg = config_of af asg in
+  let capture core =
+    let calls = ref [] in
+    let recorder =
+      {
+        Analysis.on_block =
+          (fun ~iteration label ~incoming ~exit_state ~max_delta_k ~unstable ->
+            calls :=
+              ( iteration,
+                Label.to_string label,
+                digest_state incoming,
+                digest_state exit_state,
+                Int64.bits_of_float max_delta_k,
+                unstable )
+              :: !calls);
+      }
+    in
+    ignore (Analysis.fixpoint ~recorder ~settings ~core cfg af);
+    List.rev !calls
+  in
+  let boxed = capture Analysis.Boxed and flat = capture Analysis.Flat in
+  Alcotest.(check int) "same number of recorder calls" (List.length boxed)
+    (List.length flat);
+  List.iter2
+    (fun b f ->
+      Alcotest.(check bool) "recorder call identical" true (b = f))
+    boxed flat
+
+let unstable_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (l1, i1) (l2, i2) -> Label.equal l1 l2 && i1 = i2)
+       a b
+
+(* Divergence must look the same through both engines: same verdict,
+   same unstable set in the same encounter order, same final delta. *)
+let test_divergence_parity () =
+  let af, asg = post_ra (Kernels.matmul ()) in
+  let cfg = config_of af asg in
+  let tight =
+    { Analysis.default_settings with Analysis.delta_k = 1e-12; max_iterations = 5 }
+  in
+  let boxed = Analysis.fixpoint ~settings:tight ~core:Analysis.Boxed cfg af in
+  let flat = Analysis.fixpoint ~settings:tight ~core:Analysis.Flat cfg af in
+  Alcotest.(check bool) "same verdict" (Analysis.converged boxed)
+    (Analysis.converged flat);
+  Alcotest.(check string) "same fingerprint" (fingerprint boxed)
+    (fingerprint flat);
+  let bi = Analysis.info boxed and fi = Analysis.info flat in
+  Alcotest.(check bool) "same unstable set, same order" true
+    (unstable_equal bi.Analysis.unstable fi.Analysis.unstable)
+
+(* The facade: a Driver run configured with the boxed core fingerprints
+   identically to the default flat one. *)
+let test_driver_core_parity () =
+  let af, asg = post_ra (Kernels.stencil ()) in
+  let base = Tdfa_core.Driver.default ~layout in
+  let run core =
+    Tdfa_core.Driver.run
+      { base with Tdfa_core.Driver.core; granularity = 2 }
+      (Tdfa_core.Driver.Assigned (af, asg))
+  in
+  let boxed = run Analysis.Boxed and flat = run Analysis.Flat in
+  Alcotest.(check string) "driver outcomes fingerprint equal"
+    (fingerprint boxed.Tdfa_core.Driver.outcome)
+    (fingerprint flat.Tdfa_core.Driver.outcome)
+
+(* --- Properties -------------------------------------------------------------- *)
+
+let print_case (f, (granularity, joini, deltai)) =
+  Printf.sprintf "g=%d join=%d delta=%d on:\n%s" granularity joini deltai
+    (Printer.func_to_string f)
+
+(* The tentpole property: over random programs, granularities, joins and
+   thresholds, the flat engine's outcome is bit-identical to the boxed
+   engine's — fingerprint over every thermal point, iteration count and
+   final delta, with zero tolerance. *)
+let prop_flat_equals_boxed =
+  QCheck2.Test.make
+    ~name:"flat core == boxed core fingerprint on random programs"
+    ~count:160 ~print:print_case
+    QCheck2.Gen.(
+      pair gen_small (triple (int_range 1 3) (int_range 0 1) (int_range 0 2)))
+    (fun (f, (granularity, joini, deltai)) ->
+      let af, asg = post_ra f in
+      let cfg = config_of ~granularity af asg in
+      let settings =
+        {
+          Analysis.delta_k = List.nth [ 0.05; 0.1; 0.5 ] deltai;
+          max_iterations = 100;
+          join = (if joini = 0 then Analysis.Max else Analysis.Average);
+        }
+      in
+      let boxed = Analysis.fixpoint ~settings ~core:Analysis.Boxed cfg af in
+      let flat = Analysis.fixpoint ~settings ~core:Analysis.Flat cfg af in
+      let bi = Analysis.info boxed and fi = Analysis.info flat in
+      String.equal (fingerprint boxed) (fingerprint flat)
+      && bi.Analysis.iterations = fi.Analysis.iterations
+      && Int64.equal
+           (Int64.bits_of_float bi.Analysis.final_delta_k)
+           (Int64.bits_of_float fi.Analysis.final_delta_k)
+      && unstable_equal bi.Analysis.unstable fi.Analysis.unstable)
+
+(* Red-black and sequential sweeps solve the same linear system: driven
+   to a tight tolerance they agree point for point within a loose bound,
+   for any power field. *)
+let prop_rb_equals_seq =
+  QCheck2.Test.make
+    ~name:"red-black and sequential Gauss-Seidel reach the same fixed point"
+    ~count:100
+    QCheck2.Gen.(
+      array_size (return 64)
+        (map (fun x -> x *. 1.0e-3) (float_bound_inclusive 1.0)))
+    (fun power ->
+      let model = Rc_model.build layout Params.default in
+      let ws = Rc_flat.make model in
+      let seq = Array.copy (Rc_flat.solve_seq ~tol:1e-10 ws ~power) in
+      let rb = Rc_flat.solve_rb ~tol:1e-10 ws ~power in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-4) seq rb)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "core_flat",
+      [
+        tc "flat grid mirrors Thermal_state geometry" `Quick
+          test_grid_matches_thermal_state;
+        tc "derivative/leakage ~out buffers are bitwise equal" `Quick
+          test_out_buffers_bitwise;
+        tc "flat steady solve == boxed steady solve, bitwise" `Quick
+          test_solve_seq_bitwise;
+        tc "red-black domain split changes no bit" `Quick
+          test_solve_rb_domain_split_bitwise;
+        tc "steady-state inner loop allocates nothing" `Quick
+          test_solve_seq_zero_alloc;
+        tc "red-black and sequential agree at the fixed point" `Quick
+          test_rb_vs_seq_fixed_point;
+        tc "recorder stream identical across cores" `Quick
+          test_recorder_parity;
+        tc "divergence identical across cores" `Quick test_divergence_parity;
+        tc "driver core switch preserves the fingerprint" `Quick
+          test_driver_core_parity;
+      ] );
+    ( "core_flat.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_flat_equals_boxed; prop_rb_equals_seq ] );
+  ]

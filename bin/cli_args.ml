@@ -169,6 +169,63 @@ let cache_arg =
             re-running the fixpoint.")
 
 (* ------------------------------------------------------------------ *)
+(* Trace ingestion knobs                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by `tdfa trace' and `tdfa batch' (which accepts .trace files
+   among its inputs): one spelling for the mapping policy, the cell
+   budget and the window size, documented once. *)
+let map_conv =
+  let parse s =
+    match Tdfa_trace.Mapping.policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Tdfa_trace.Mapping.policy_name p)
+  in
+  Arg.conv (parse, print)
+
+let map_arg =
+  Arg.(value & opt map_conv Tdfa_trace.Mapping.Direct
+       & info [ "map" ] ~docv:"POLICY"
+           ~doc:
+             "Address-to-cell mapping policy for sampled traces: \
+              $(b,direct) (word index modulo the cell count, preserving \
+              the stream's spatial structure), $(b,zipf-rank) (words \
+              ranked by access count, hottest word on cell 0) or \
+              $(b,hashed) (structure-scattering uniform baseline).")
+
+let cells_arg =
+  Arg.(value & opt int 64 & info [ "cells" ] ~docv:"N"
+         ~doc:
+           "Number of RF cells sampled addresses are mapped onto; the \
+            analysis runs on the near-square layout holding $(docv) \
+            cells (64 is the paper's 8x8 file).")
+
+let window_ms_arg =
+  Arg.(value & opt float 1.0 & info [ "window-ms" ] ~docv:"MS"
+         ~doc:
+           "Trace discretisation window: each $(docv) milliseconds of \
+            samples become one analysis instruction, with per-cell \
+            access counts as weights.")
+
+let window_us_of_ms ms =
+  let us = int_of_float (ms *. 1000.0) in
+  if us <= 0 then begin
+    Printf.eprintf "tdfa: --window-ms must be at least 0.001\n";
+    exit 2
+  end;
+  us
+
+let load_trace path =
+  match Tdfa_trace.Sample.of_file path with
+  | Ok t -> t
+  | Error msg ->
+    Printf.eprintf "tdfa: %s: %s\n" path msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Fault plans                                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -462,15 +462,8 @@ let compile kernel file policy granularity checked lint_gate on_violation
       print_string
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))))
 
-let batch files kernels jobs cache_dir policy granularity delta recover stats
-    watchdog_ms fault_plan obs_req =
-  (* [--stats] is the legacy spelling of [--metrics]: the ad-hoc stderr
-     summary it used to print is now the metrics table. *)
-  if stats then
-    Printf.eprintf "tdfa: batch: --stats is deprecated; use --metrics\n";
-  let obs_req =
-    { obs_req with Cli_args.metrics = obs_req.Cli_args.metrics || stats }
-  in
+let batch files kernels jobs cache_dir policy granularity delta recover map
+    window_ms watchdog_ms fault_plan obs_req =
   let settings = { Analysis.default_settings with Analysis.delta_k = delta } in
   let spec =
     {
@@ -483,14 +476,36 @@ let batch files kernels jobs cache_dir policy granularity delta recover stats
   in
   (* Files in the given order, then (optionally) the whole kernel suite.
      A file that fails to load is reported like a failed job instead of
-     aborting the rest of the batch. *)
+     aborting the rest of the batch. A .trace file becomes a trace job:
+     its samples are mapped (--map, --window-ms) onto the batch layout's
+     cell count and it rides the same pool and cache as the IR jobs. *)
+  let batch_cells =
+    Common.standard_layout.Tdfa_floorplan.Layout.rows
+    * Common.standard_layout.Tdfa_floorplan.Layout.cols
+  in
+  let window_us = Cli_args.window_us_of_ms window_ms in
   let loaded =
     List.map
       (fun path ->
-        match Cli_args.load_func ~kernel:None ~file:(Some path) with
-        | Ok f ->
-          Ok (Tdfa_engine.Engine.job f.Func.name f)
-        | Error msg -> Error (path, msg))
+        if Filename.check_suffix path ".trace" then (
+          match Tdfa_trace.Sample.of_file path with
+          | Ok sample ->
+            let compiled =
+              Tdfa_trace.Compile.compile ~window_us ~policy:map
+                ~cells:batch_cells sample
+            in
+            Ok
+              (Tdfa_engine.Engine.trace_job
+                 ~stream_id:(Tdfa_trace.Compile.stream_id compiled)
+                 ~accesses:(Tdfa_trace.Compile.accesses compiled)
+                 sample.Tdfa_trace.Sample.name
+                 (Tdfa_trace.Compile.func compiled))
+          | Error msg -> Error (path, msg))
+        else
+          match Cli_args.load_func ~kernel:None ~file:(Some path) with
+          | Ok f ->
+            Ok (Tdfa_engine.Engine.job f.Func.name f)
+          | Error msg -> Error (path, msg))
       files
   in
   let suite =
@@ -673,6 +688,59 @@ let client socket raw timeout_s =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   if !rc <> 0 then exit !rc
 
+(* ------------------------------------------------------------------ *)
+(* Trace ingestion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace file zipf stream addrs samples seed map cells window_ms granularity
+    delta recover obs_req =
+  let window_us = Cli_args.window_us_of_ms window_ms in
+  let sample =
+    match (file, zipf, stream) with
+    | Some path, None, false -> Cli_args.load_trace path
+    | None, Some s, false ->
+      Tdfa_trace.Synth.zipf ~seed ~s ~addrs ~n:samples ()
+    | None, None, true ->
+      Tdfa_trace.Synth.stream ~seed ~footprint:addrs ~n:samples ()
+    | None, None, false ->
+      Printf.eprintf "tdfa: trace: pass a FILE, or --zipf S, or --stream\n";
+      exit 2
+    | _ ->
+      Printf.eprintf
+        "tdfa: trace: FILE, --zipf and --stream are mutually exclusive\n";
+      exit 2
+  in
+  (* Same report wiring as analyze: the text lives in
+     [Tdfa_serve.Render.trace], and SIGINT cancels the fixpoint
+     cooperatively. *)
+  let rc =
+    Cli_args.guard (fun () ->
+        Cli_args.with_obs obs_req (fun obs ->
+            let interrupted = ref false in
+            let previous =
+              Sys.signal Sys.sigint
+                (Sys.Signal_handle (fun _ -> interrupted := true))
+            in
+            Fun.protect
+              ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+              (fun () ->
+                match
+                  Tdfa_serve.Render.trace ~obs
+                    ~cancel:(fun () -> !interrupted)
+                    ~window_us ~policy:map ~cells ~granularity ~delta
+                    ~recover sample
+                with
+                | out, _ ->
+                  print_string out;
+                  0
+                | exception Analysis.Cancelled { iterations } ->
+                  Printf.eprintf
+                    "tdfa: trace: interrupted after %d fixpoint iterations\n"
+                    iterations;
+                  130)))
+  in
+  if rc <> 0 then exit rc
+
 let experiments id =
   let run = function
     | "fig1" -> ignore (Experiments.fig1 ())
@@ -703,10 +771,15 @@ let experiments id =
       (* CI smoke: small grid ladder, single timing rep — bit-identity
          is still asserted on every pair. *)
       ignore (Experiments.e21 ~quick:true ~repeats:1 ())
+    | "e22" -> ignore (Experiments.e22 ())
+    | "e22-quick" ->
+      (* CI smoke: shorter streams — the uniform-equivalence assertion
+         still runs. *)
+      ignore (Experiments.e22 ~n:4000 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e21, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e22, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -831,33 +904,31 @@ let compile_cmd =
 let batch_files_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"FILES"
          ~doc:
-           "Input files: textual IR, or TC source when the name ends in \
-            .tc.")
+           "Input files: textual IR, TC source when the name ends in .tc, \
+            or a sampled access stream when it ends in .trace.")
 
 let batch_kernels_arg =
   Arg.(value & flag
        & info [ "kernels" ]
            ~doc:"Also analyze the whole built-in kernel suite.")
 
-let stats_arg =
-  Arg.(value & flag
-       & info [ "stats" ]
-           ~doc:"Deprecated alias of $(b,--metrics).")
-
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Analyze many programs at once on a parallel domain pool, with \
-          an optional content-addressed result cache. Reports (stdout) \
-          are deterministic: byte-identical across $(b,--jobs) settings \
-          and cached re-runs.")
+          an optional content-addressed result cache. Inputs ending in \
+          .trace are sampled access streams: they are compiled with \
+          $(b,--map)/$(b,--window-ms) onto the standard 64-cell file and \
+          ride the same pool and cache. Reports (stdout) are \
+          deterministic: byte-identical across $(b,--jobs) settings and \
+          cached re-runs.")
     Term.(
       const batch $ batch_files_arg $ batch_kernels_arg $ Cli_args.jobs_arg
       $ Cli_args.cache_arg $ Cli_args.policy_arg $ Cli_args.granularity_arg
-      $ Cli_args.delta_arg $ Cli_args.recover_arg $ stats_arg
-      $ Cli_args.watchdog_arg $ Cli_args.fault_plan_arg
-      $ Cli_args.obs_term)
+      $ Cli_args.delta_arg $ Cli_args.recover_arg $ Cli_args.map_arg
+      $ Cli_args.window_ms_arg $ Cli_args.watchdog_arg
+      $ Cli_args.fault_plan_arg $ Cli_args.obs_term)
 
 let socket_arg =
   Arg.(required & opt (some string) None & info [ "s"; "socket" ]
@@ -912,10 +983,60 @@ let client_cmd =
           response is an error).")
     Term.(const client $ socket_arg $ raw_arg $ connect_timeout_arg)
 
+let trace_file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:
+           "Sampled access stream to analyze: one $(b,seconds R|W \
+            address) line per sample, $(b,#) comments (the perf-script \
+            shape; $(b,load)/$(b,store)/$(b,mem-loads)/$(b,mem-stores) \
+            are accepted access kinds).")
+
+let zipf_arg =
+  Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"S"
+         ~doc:
+           "Instead of a file, generate a Zipf($(docv)) synthetic stream \
+            over $(b,--addrs) words ($(b,--zipf 0) is the uniform \
+            stream).")
+
+let stream_flag_arg =
+  Arg.(value & flag
+       & info [ "stream" ]
+           ~doc:
+             "Instead of a file, generate a sliding-window streaming \
+              stream over $(b,--addrs) words.")
+
+let addrs_arg =
+  Arg.(value & opt int 64 & info [ "addrs" ] ~docv:"N"
+         ~doc:"Working-set size of a synthetic stream, in words.")
+
+let samples_arg =
+  Arg.(value & opt int 20000 & info [ "samples" ] ~docv:"N"
+         ~doc:"Length of a synthetic stream, in samples.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Seed of a synthetic stream (generation is deterministic).")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyze a sampled address trace: map addresses onto RF cells \
+          ($(b,--map), $(b,--cells)), compile the samples into \
+          per-window access events ($(b,--window-ms)), run the thermal \
+          fixpoint over them, and report the predicted map next to the \
+          RC simulator's measured steady peak. Synthetic Zipf and \
+          streaming workloads are built in ($(b,--zipf), $(b,--stream)).")
+    Term.(
+      const trace $ trace_file_arg $ zipf_arg $ stream_flag_arg $ addrs_arg
+      $ samples_arg $ seed_arg $ Cli_args.map_arg $ Cli_args.cells_arg
+      $ Cli_args.window_ms_arg $ Cli_args.granularity_arg
+      $ Cli_args.delta_arg $ Cli_args.recover_arg $ Cli_args.obs_term)
+
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e21 (e20-quick/e21-quick for small smoke runs) or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e22 (e20-quick/e21-quick/e22-quick for small smoke runs) or all.")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -924,11 +1045,45 @@ let experiments_cmd =
 
 let main_cmd =
   let doc = "thermal-aware data flow analysis (Ayala/Atienza/Brisk, DAC'09)" in
-  Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc)
+  (* The shared-flag matrix: which of the [Cli_args] flags each
+     subcommand accepts, documented once at the group level so
+     `tdfa --help' is the index. *)
+  let man =
+    [
+      `S "SHARED FLAGS";
+      `P
+        "Subcommands draw from one shared flag vocabulary; a flag means \
+         the same thing everywhere it appears.";
+      `P
+        "$(b,--kernel)/$(b,--file) (program input): analyze, simulate, \
+         policies, optimize, compile, verify, show; lint and batch take \
+         positional files.";
+      `P
+        "$(b,--policy) (register assignment): analyze, simulate, \
+         policies, batch, compile, verify, lint, optimize.";
+      `P
+        "$(b,--granularity), $(b,--delta) (analysis fidelity): analyze, \
+         batch, compile, trace.";
+      `P "$(b,--recover) (divergence-recovery ladder): analyze, batch, trace.";
+      `P "$(b,--incremental) (warm-started re-analysis): analyze, optimize, compile.";
+      `P
+        "$(b,--map), $(b,--cells), $(b,--window-ms) (sampled-trace \
+         ingestion): trace; batch accepts $(b,--map) and \
+         $(b,--window-ms) for .trace inputs (the cell count is the \
+         batch layout's).";
+      `P "$(b,--jobs), $(b,--cache), $(b,--watchdog-ms) (the analysis pool): batch.";
+      `P "$(b,--fault-plan) (seeded fault injection): batch, serve, verify.";
+      `P
+        "$(b,--trace), $(b,--trace-format), $(b,--metrics) \
+         (observability): analyze, batch, trace, optimize, compile, \
+         verify, lint, serve.";
+    ]
+  in
+  Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc ~man)
     [
       list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd; lint_cmd;
       policies_cmd; optimize_cmd; compile_cmd; verify_cmd; serve_cmd;
-      client_cmd; experiments_cmd;
+      client_cmd; experiments_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -185,8 +185,6 @@ let fixpoint ?(obs = Obs.null) ?recorder ?(cancel = fun () -> false)
   in
   if ok then Converged result else Diverged result
 
-let run ?settings cfg func = fixpoint ?settings cfg func
-
 (* ------------------------------------------------------------------ *)
 (* Divergence recovery                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -256,9 +254,6 @@ let recovery_ladder ?(obs = Obs.null) ?cancel ?(settings = default_settings)
       else climb ((outcome, attempt) :: attempts) rest
   in
   climb [] ladder
-
-let run_with_recovery ?settings ~config_of ~granularity func =
-  recovery_ladder ?settings ~config_of ~granularity func
 
 let state_after info label index =
   match Hashtbl.find_opt info.states_after (label, index) with

@@ -98,12 +98,6 @@ val fixpoint :
     [cancel] (default: never) is polled before each sweep;
     @raise Cancelled when it returns [true]. *)
 
-val run : ?settings:settings -> Transfer.config -> Func.t -> outcome
-  [@@deprecated "Use Tdfa.Driver.run (Configured _) — or Analysis.fixpoint."]
-(** Thin wrapper over {!fixpoint} with no telemetry, kept for source
-    compatibility with pre-facade callers.
-    @deprecated Use [Tdfa.Driver.run]. *)
-
 val info : outcome -> info
 val converged : outcome -> bool
 
@@ -147,16 +141,6 @@ val recovery_ladder :
     {!Driver.run} for the usual wiring). Every rung reports an
     [analysis.recovery.rung] event to [obs], and each rung's fixpoint
     is itself instrumented as in {!fixpoint}. *)
-
-val run_with_recovery :
-  ?settings:settings ->
-  config_of:(granularity:int -> Transfer.config) ->
-  granularity:int ->
-  Func.t ->
-  recovery
-  [@@deprecated "Use Tdfa.Driver.run ~recover:true — or Analysis.recovery_ladder."]
-(** Thin wrapper over {!recovery_ladder} with no telemetry.
-    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)
 
 val state_after : info -> Label.t -> int -> Thermal_state.t
 (** @raise Not_found for an unknown program point. *)

@@ -53,6 +53,10 @@ type input =
       assignment : Assignment.t;
       prior : Incremental.prior option;
     }
+  | Trace of {
+      func : Func.t;
+      accesses : Label.t -> int -> Access.event list;
+    }
 
 type result = {
   alloc : Alloc.result option;
@@ -76,12 +80,24 @@ let transfer_config cfg func assignment =
     ~accesses_of_term:(fun _ term -> Access.of_terminator assignment term)
     ()
 
+(* A trace input carries no register assignment: the access events name
+   cells directly, every block runs at frequency 1 (the stream is linear
+   time, not a CFG estimate) and terminators touch nothing. *)
+let trace_config cfg accesses ~granularity =
+  Transfer.make_config ~params:cfg.params ~granularity
+    ?analysis_dt_s:cfg.analysis_dt_s ~max_frequency:1.0 ~layout:cfg.layout
+    ~block_frequency:(fun _ -> 1.0)
+    ~accesses_of_instr:(fun label index _ -> accesses label index)
+    ~accesses_of_term:(fun _ _ -> [])
+    ()
+
 let input_mode = function
   | Unallocated _ -> "unallocated"
   | Assigned _ -> "assigned"
   | Configured _ -> "configured"
   | Custom _ -> "custom"
   | Warm_start _ -> "warm-start"
+  | Trace _ -> "trace"
 
 let run cfg input =
   let obs = cfg.obs in
@@ -154,6 +170,8 @@ let run cfg input =
               transfer_config { cfg with granularity } func assignment )
         | Configured (tc, func) -> (None, func, fun ~granularity:_ -> tc)
         | Custom { config_of; func } -> (None, func, config_of)
+        | Trace { func; accesses } ->
+          (None, func, trace_config cfg accesses)
         | Warm_start _ -> assert false
       in
       if cfg.recover then begin

@@ -8,8 +8,9 @@
     record, so every knob — analysis settings, allocation policy,
     divergence recovery, checked-pipeline policy, observability sink —
     is set in exactly one place and threads uniformly through
-    allocation, analysis and recovery. The legacy functions survive as
-    thin deprecated wrappers.
+    allocation, analysis and recovery. The legacy functions survived as
+    thin deprecated wrappers for five releases and are now deleted:
+    {!input} is the closed set of ways to run the analysis.
 
     [run] is pure in the same sense as the batch engine requires:
     everything it reads is in the {!config} and the {!input}, so
@@ -61,7 +62,10 @@ val default : layout:Layout.t -> config
     [Params.default], default dt, no recovery, unchecked,
     {!Obs.null}. *)
 
-(** What to analyse — the three shapes the legacy entry points took. *)
+(** What to analyse — the closed set of input shapes. The first four
+    descend from the legacy entry points; {!Warm_start} came with the
+    incremental engine, and {!Trace} admits measured access streams
+    that never were IR at all (see [Tdfa_trace]). *)
 type input =
   | Unallocated of Func.t
       (** allocate registers with [config.policy] first, then analyse
@@ -90,6 +94,23 @@ type input =
           re-iterating only what the IR diff dirtied); with [None] it
           runs cold while recording. Either way [result.incremental]
           carries the recording to chain into the next run. *)
+  | Trace of {
+      func : Func.t;
+          (** carrier function whose instructions stand for trace
+              windows (one per window, in block order) — the fixpoint
+              iterates over it like any other function *)
+      accesses : Label.t -> int -> Access.event list;
+          (** the measured access-event stream: the events of the
+              window carried by instruction [index] of block [label]
+              (weights aggregate repeated same-cell accesses) *)
+    }
+      (** a sampled access stream compiled onto a carrier function (no
+          variables, no register assignment — the cells come straight
+          from the address mapping): every block runs at frequency 1,
+          terminators access nothing. Built by [Tdfa_trace.Compile];
+          under [recover], coarser rungs rebuild the transfer
+          configuration at the requested granularity like {!Assigned}
+          does. *)
 
 type result = {
   alloc : Alloc.result option;

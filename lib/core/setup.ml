@@ -8,69 +8,14 @@ let estimated_program_cycles (func : Func.t) loops =
       acc +. (freq *. float_of_int (Block.num_instrs b + 1)))
     0.0 func.Func.blocks
 
-(* Every runner below is a thin compatibility wrapper: it folds its
-   optional arguments into a Driver.config and delegates to the facade,
-   so the observability wiring lives in Driver alone. *)
-
-let config_of ?params ?granularity ?analysis_dt_s ?settings ?policy ~layout ()
-    =
-  let d = Driver.default ~layout in
-  {
-    d with
-    Driver.params = Option.value params ~default:d.Driver.params;
-    granularity = Option.value granularity ~default:d.Driver.granularity;
-    analysis_dt_s;
-    settings = Option.value settings ~default:d.Driver.settings;
-    policy = Option.value policy ~default:d.Driver.policy;
-  }
-
 let config_of_assignment ?params ?granularity ?analysis_dt_s ~layout func
     assignment =
+  let d = Driver.default ~layout in
   Driver.transfer_config
-    (config_of ?params ?granularity ?analysis_dt_s ~layout ())
+    {
+      d with
+      Driver.params = Option.value params ~default:d.Driver.params;
+      granularity = Option.value granularity ~default:d.Driver.granularity;
+      analysis_dt_s;
+    }
     func assignment
-
-let run_post_ra ?params ?granularity ?analysis_dt_s ?settings ~layout func
-    assignment =
-  (Driver.run
-     (config_of ?params ?granularity ?analysis_dt_s ?settings ~layout ())
-     (Driver.Assigned (func, assignment)))
-    .Driver.outcome
-
-let run_post_ra_with_recovery ?params ?granularity ?analysis_dt_s ?settings
-    ~layout func assignment =
-  let cfg =
-    config_of ?params ?granularity ?analysis_dt_s ?settings ~layout ()
-  in
-  match
-    (Driver.run
-       { cfg with Driver.recover = true }
-       (Driver.Assigned (func, assignment)))
-      .Driver.recovery
-  with
-  | Some r -> r
-  | None -> assert false
-
-let allocate_and_run ?params ?granularity ?analysis_dt_s ?settings ~layout
-    ~policy func =
-  let r =
-    Driver.run
-      (config_of ?params ?granularity ?analysis_dt_s ?settings ~policy ~layout
-         ())
-      (Driver.Unallocated func)
-  in
-  match r.Driver.alloc with
-  | Some alloc -> (alloc, r.Driver.outcome)
-  | None -> assert false
-
-let allocate_and_run_with_recovery ?params ?granularity ?analysis_dt_s
-    ?settings ~layout ~policy func =
-  let cfg =
-    config_of ?params ?granularity ?analysis_dt_s ?settings ~policy ~layout ()
-  in
-  let r =
-    Driver.run { cfg with Driver.recover = true } (Driver.Unallocated func)
-  in
-  match (r.Driver.alloc, r.Driver.recovery) with
-  | Some alloc, Some recovery -> (alloc, recovery)
-  | _ -> assert false

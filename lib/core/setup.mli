@@ -1,9 +1,10 @@
 (** Convenience constructors wiring a function and a register assignment
-    (or predictive placement) into a {!Transfer.config} — plus the
-    pre-facade run entry points, kept as thin deprecated wrappers over
-    {!Driver.run}. New code should build a {!Driver.config} and call
-    the facade directly: that is where the observability wiring
-    (tracing, metrics, fixpoint telemetry) lives. *)
+    (or predictive placement) into a {!Transfer.config}. The pre-facade
+    run entry points that used to live here ([run_post_ra],
+    [allocate_and_run] and their recovery variants) spent five releases
+    as deprecated wrappers over {!Driver.run} and are now deleted: build
+    a {!Driver.config} and call the facade — that is where the
+    observability wiring (tracing, metrics, fixpoint telemetry) lives. *)
 
 open Tdfa_ir
 open Tdfa_dataflow
@@ -27,59 +28,3 @@ val config_of_assignment :
     (§4: "makes the most sense if applied after register assignment").
     Alias of {!Driver.transfer_config} with the classic optional-argument
     spelling. *)
-
-val run_post_ra :
-  ?params:Params.t ->
-  ?granularity:int ->
-  ?analysis_dt_s:float ->
-  ?settings:Analysis.settings ->
-  layout:Layout.t ->
-  Func.t ->
-  Assignment.t ->
-  Analysis.outcome
-  [@@deprecated "Use Tdfa.Driver.run (Assigned _)."]
-(** One-call wrapper: build the config and run the Fig. 2 analysis.
-    @deprecated Use [Tdfa.Driver.run] with an [Assigned] input. *)
-
-val allocate_and_run :
-  ?params:Params.t ->
-  ?granularity:int ->
-  ?analysis_dt_s:float ->
-  ?settings:Analysis.settings ->
-  layout:Layout.t ->
-  policy:Policy.t ->
-  Func.t ->
-  Alloc.result * Analysis.outcome
-  [@@deprecated "Use Tdfa.Driver.run (Unallocated _)."]
-(** The one-shot batch entry point: allocate registers with [policy],
-    then analyse the rewritten function. Pure — every knob is an
-    argument — so independent calls can run on separate domains.
-    @deprecated Use [Tdfa.Driver.run] with an [Unallocated] input. *)
-
-val allocate_and_run_with_recovery :
-  ?params:Params.t ->
-  ?granularity:int ->
-  ?analysis_dt_s:float ->
-  ?settings:Analysis.settings ->
-  layout:Layout.t ->
-  policy:Policy.t ->
-  Func.t ->
-  Alloc.result * Analysis.recovery
-  [@@deprecated "Use Tdfa.Driver.run (Unallocated _) with recover = true."]
-(** [allocate_and_run] under the divergence-recovery ladder.
-    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)
-
-val run_post_ra_with_recovery :
-  ?params:Params.t ->
-  ?granularity:int ->
-  ?analysis_dt_s:float ->
-  ?settings:Analysis.settings ->
-  layout:Layout.t ->
-  Func.t ->
-  Assignment.t ->
-  Analysis.recovery
-  [@@deprecated "Use Tdfa.Driver.run (Assigned _) with recover = true."]
-(** [run_post_ra] under the divergence-recovery ladder: configs at
-    coarser granularities are rebuilt from the same function and
-    assignment. Default granularity is 1.
-    @deprecated Use [Tdfa.Driver.run] with [recover = true]. *)

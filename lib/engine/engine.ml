@@ -24,9 +24,22 @@ let default_spec =
     recover = false;
   }
 
-type job = { job_name : string; func : Func.t; parent : Func.t option }
+type stream = {
+  stream_id : string;
+  accesses : Label.t -> int -> Access.event list;
+}
 
-let job ?parent job_name func = { job_name; func; parent }
+type job = {
+  job_name : string;
+  func : Func.t;
+  parent : Func.t option;
+  stream : stream option;
+}
+
+let job ?parent job_name func = { job_name; func; parent; stream = None }
+
+let trace_job ~stream_id ~accesses job_name func =
+  { job_name; func; parent = None; stream = Some { stream_id; accesses } }
 
 type source = Computed | Cache_hit | Warm_hit
 
@@ -108,6 +121,16 @@ let digest_key ~layout spec func =
     p.Params.leakage_temp_coeff;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+(* For IR jobs this IS digest_key — trace jobs fold in the stream
+   digest, because every compiled trace shares the same Nop-skeleton
+   carrier and the IR alone would alias them all. *)
+let job_key ~layout spec job =
+  let base = digest_key ~layout spec job.func in
+  match job.stream with
+  | None -> base
+  | Some s ->
+    Digest.to_hex (Digest.string (base ^ "\x00stream\x00" ^ s.stream_id))
+
 let fingerprint outcome =
   let info = Analysis.info outcome in
   let buf = Buffer.create 4096 in
@@ -187,12 +210,18 @@ let analyze_keyed ?warm ~obs ~layout ~key spec job =
           (List.length ds)
           (Tdfa_verify.Check.to_string d)));
   let r =
-    match warm with
-    | None ->
+    match (job.stream, warm) with
+    | Some s, _ ->
+      (* Trace job: the carrier IR has no variables to allocate and no
+         parent to warm-start from — straight to the fixpoint. *)
+      Tdfa.Driver.run
+        (driver_config ~obs ~layout spec)
+        (Tdfa.Driver.Trace { func = job.func; accesses = s.accesses })
+    | None, None ->
       Tdfa.Driver.run
         (driver_config ~obs ~layout spec)
         (Tdfa.Driver.Unallocated job.func)
-    | Some store ->
+    | None, Some store ->
       (* Warm path: allocate here, then analyse through the incremental
          engine. A prior recorded under the parent's content key seeds
          the fixpoint; Incremental revalidates it block by block against
@@ -223,8 +252,11 @@ let analyze_keyed ?warm ~obs ~layout ~key spec job =
        | None -> ());
       { r with Tdfa.Driver.alloc = Some alloc }
   in
-  let alloc =
-    match r.Tdfa.Driver.alloc with Some a -> a | None -> assert false
+  (* Trace jobs never allocate; report zeros for the allocator fields. *)
+  let spilled, max_pressure =
+    match r.Tdfa.Driver.alloc with
+    | Some a -> (Var.Set.cardinal a.Alloc.spilled, a.Alloc.max_pressure)
+    | None -> (0, 0)
   in
   let outcome = r.Tdfa.Driver.outcome in
   let source =
@@ -252,8 +284,8 @@ let analyze_keyed ?warm ~obs ~layout ~key spec job =
     key;
     instrs = Func.instr_count job.func;
     blocks = List.length job.func.Func.blocks;
-    spilled = Var.Set.cardinal alloc.Alloc.spilled;
-    max_pressure = alloc.Alloc.max_pressure;
+    spilled;
+    max_pressure;
     converged = Analysis.converged outcome;
     iterations = info.Analysis.iterations;
     final_delta_k = info.Analysis.final_delta_k;
@@ -266,9 +298,7 @@ let analyze_keyed ?warm ~obs ~layout ~key spec job =
   }
 
 let analyze_job ?(obs = Obs.null) ?warm ~layout spec job =
-  analyze_keyed ?warm ~obs ~layout
-    ~key:(digest_key ~layout spec job.func)
-    spec job
+  analyze_keyed ?warm ~obs ~layout ~key:(job_key ~layout spec job) spec job
 
 (* ------------------------------------------------------------------ *)
 (* Cache                                                                *)
@@ -432,7 +462,7 @@ end
 (* ------------------------------------------------------------------ *)
 
 let run_cached ?(obs = Obs.null) ?cache ?warm ?faults ~layout spec job =
-  let key = digest_key ~layout spec job.func in
+  let key = job_key ~layout spec job in
   let cached =
     match faults with
     | Some inj

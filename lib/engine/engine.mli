@@ -47,6 +47,15 @@ val default_spec : spec
 (** First-fit, granularity 1, {!Analysis.default_settings},
     {!Params.default}, default dt, no recovery. *)
 
+type stream = {
+  stream_id : string;
+      (** content digest of the compiled sample stream
+          ([Tdfa_trace.Compile.stream_id]) — the part of the job's
+          identity the carrier IR alone cannot express, since every
+          trace compiles to the same Nop skeleton *)
+  accesses : Label.t -> int -> Access.event list;
+}
+
 type job = {
   job_name : string;
   func : Func.t;
@@ -54,10 +63,23 @@ type job = {
       (** the function this one was edited from, if any: when the batch
           runs with a {!Warm} store holding the parent's recording, the
           job's fixpoint warm-starts from it instead of running cold *)
+  stream : stream option;
+      (** [Some _] makes this a trace job: the engine feeds the driver
+          a [Trace] input — no register allocation, no warm path — and
+          the report's allocation fields ([spilled], [max_pressure])
+          are 0 *)
 }
 
 val job : ?parent:Func.t -> string -> Func.t -> job
-(** [job name func] with [parent] defaulting to [None]. *)
+(** [job name func] with [parent] defaulting to [None] (an IR job). *)
+
+val trace_job :
+  stream_id:string ->
+  accesses:(Label.t -> int -> Access.event list) ->
+  string ->
+  Func.t ->
+  job
+(** A trace job over a compiled stream's carrier function. *)
 
 (** {1 Reports} *)
 
@@ -115,6 +137,12 @@ val digest_key : layout:Layout.t -> spec -> Func.t -> string
     knobs. Any differing component yields a different key, so cache
     invalidation is structural — a stale entry can never be addressed
     again. *)
+
+val job_key : layout:Layout.t -> spec -> job -> string
+(** The key a batch run addresses the job's cache entry by:
+    {!digest_key} for IR jobs (unchanged from before trace jobs
+    existed, so on-disk caches stay valid), folded with the
+    [stream_id] for trace jobs. *)
 
 val fingerprint : Analysis.outcome -> string
 (** Hex digest over the convergence status, iteration count and every

@@ -1866,6 +1866,199 @@ let e21 ?(quiet = false) ?(repeats = 3) ?(quick = false)
   end;
   result
 
+(* ------------------------------------------------------------------ *)
+(* E22                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type e22_row = {
+  e22_s : float;
+  e22_samples : int;
+  e22_windows : int;
+  e22_cells_touched : int;
+  e22_peak_k : float;
+  e22_vs_chessboard : float;
+  e22_persistence : float;
+  e22_distinct_hot : int;
+}
+
+type e22_result = {
+  e22_rows : e22_row list;
+  e22_chessboard_peak_k : float;
+  e22_uniform_matches_ir : bool;
+}
+
+(* Hottest cell per time segment, from the per-window analysis states:
+   segment = ~1/10th of the windows, its map = pointwise max over its
+   windows. Persistence is the fraction of consecutive segment pairs
+   agreeing on the hottest cell. *)
+let e22_hot_cells info (func : Tdfa_ir.Func.t) ~windows =
+  let entry = Tdfa_ir.Func.entry_label func in
+  let segments = min 10 windows in
+  let seg_of w = w * segments / windows in
+  let per_segment = Array.make segments [||] in
+  for w = 0 to windows - 1 do
+    let cells =
+      Thermal_state.to_cell_array (Analysis.state_after info entry w)
+    in
+    let s = seg_of w in
+    if Array.length per_segment.(s) = 0 then per_segment.(s) <- cells
+    else per_segment.(s) <- Array.map2 Float.max per_segment.(s) cells
+  done;
+  Array.map
+    (fun cells ->
+      let hot = ref 0 in
+      Array.iteri (fun i t -> if t > cells.(!hot) then hot := i) cells;
+      !hot)
+    per_segment
+
+let e22_write_json path r =
+  let oc = open_out path in
+  let row w =
+    Printf.sprintf
+      "    {\"s\": %g, \"samples\": %d, \"windows\": %d, \
+       \"cells_touched\": %d, \"peak_k\": %.4f, \"vs_chessboard\": %.4f, \
+       \"persistence\": %.3f, \"distinct_hot\": %d}"
+      w.e22_s w.e22_samples w.e22_windows w.e22_cells_touched w.e22_peak_k
+      w.e22_vs_chessboard w.e22_persistence w.e22_distinct_hot
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e22\",\n\
+    \  \"chessboard_peak_k\": %.4f,\n\
+    \  \"uniform_matches_ir\": %b,\n\
+    \  \"rows\": [\n%s\n  ]\n\
+     }\n"
+    r.e22_chessboard_peak_k r.e22_uniform_matches_ir
+    (String.concat ",\n" (List.map row r.e22_rows));
+  close_out oc
+
+(* Skew study over the trace-ingestion frontend: synthetic Zipf streams
+   of increasing exponent, direct-mapped onto the 8x8 file, against the
+   chessboard policy's peak at its 50%-pressure breakdown (E3's
+   reference point). *)
+let e22 ?(quiet = false) ?(n = 20000) ?(json = Some "BENCH_trace.json") () =
+  if not quiet then
+    section
+      "E22 - sampled Zipf streams through the trace frontend: skew vs \
+       steady-state peak, hot-cell persistence";
+  let cells = 64 in
+  let layout = Tdfa_trace.Compile.layout_of_cells cells in
+  let cfg = Driver.default ~layout in
+  (* E3's breakdown point: chessboard at ~50% pressure (live = 32). *)
+  let cb_run =
+    Common.run_policy ~name:"high_pressure"
+      (Kernels.high_pressure ~live:32 ~iters:64 ())
+      Policy.Chessboard
+  in
+  let cb_peak =
+    Thermal_state.peak
+      (Analysis.peak_map (Analysis.info (Common.analyze_run cb_run)))
+  in
+  let uniform_matches = ref false in
+  let rows =
+    List.map
+      (fun s ->
+        let sample = Tdfa_trace.Synth.zipf ~seed:42 ~s ~addrs:cells ~n () in
+        let compiled =
+          Tdfa_trace.Compile.compile
+            ~policy:Tdfa_trace.Mapping.Direct ~cells sample
+        in
+        let stats = Tdfa_trace.Compile.stats compiled in
+        let r =
+          Driver.run cfg (Tdfa_trace.Compile.driver_input compiled)
+        in
+        let info = Analysis.info r.Driver.outcome in
+        if s = 0.0 then begin
+          (* The same events through a hand-assembled Configured input
+             must reproduce the Trace path bit for bit. *)
+          let accesses = Tdfa_trace.Compile.accesses compiled in
+          let config =
+            Transfer.make_config ~params:cfg.Driver.params
+              ~granularity:cfg.Driver.granularity ~max_frequency:1.0
+              ~layout
+              ~block_frequency:(fun _ -> 1.0)
+              ~accesses_of_instr:(fun label index _ -> accesses label index)
+              ~accesses_of_term:(fun _ _ -> [])
+              ()
+          in
+          let by_hand =
+            Driver.run cfg
+              (Driver.Configured (config, Tdfa_trace.Compile.func compiled))
+          in
+          uniform_matches :=
+            Tdfa_engine.Engine.fingerprint by_hand.Driver.outcome
+            = Tdfa_engine.Engine.fingerprint r.Driver.outcome;
+          if not !uniform_matches then
+            failwith
+              "E22: Trace input diverged from the hand-built Configured \
+               equivalent on the uniform stream"
+        end;
+        let hot =
+          e22_hot_cells info (Tdfa_trace.Compile.func compiled)
+            ~windows:stats.Tdfa_trace.Compile.windows
+        in
+        let pairs = max 1 (Array.length hot - 1) in
+        let agreeing = ref 0 in
+        for i = 0 to Array.length hot - 2 do
+          if hot.(i) = hot.(i + 1) then incr agreeing
+        done;
+        let distinct =
+          List.length
+            (List.sort_uniq compare (Array.to_list hot))
+        in
+        let peak_k = Thermal_state.peak (Analysis.peak_map info) in
+        {
+          e22_s = s;
+          e22_samples = stats.Tdfa_trace.Compile.samples;
+          e22_windows = stats.Tdfa_trace.Compile.windows;
+          e22_cells_touched = stats.Tdfa_trace.Compile.cells_touched;
+          e22_peak_k = peak_k;
+          e22_vs_chessboard = peak_k /. cb_peak;
+          e22_persistence = float_of_int !agreeing /. float_of_int pairs;
+          e22_distinct_hot = distinct;
+        })
+      [ 0.0; 0.5; 1.0; 1.5 ]
+  in
+  let result =
+    {
+      e22_rows = rows;
+      e22_chessboard_peak_k = cb_peak;
+      e22_uniform_matches_ir = !uniform_matches;
+    }
+  in
+  Option.iter (fun path -> e22_write_json path result) json;
+  if not quiet then begin
+    let table =
+      Table.create
+        ~headers:
+          [
+            "zipf s"; "windows"; "touched"; "peak(K)"; "vs chessboard";
+            "persistence"; "hot cells";
+          ]
+    in
+    List.iter
+      (fun w ->
+        Table.add_row table
+          [
+            Printf.sprintf "%.1f" w.e22_s;
+            string_of_int w.e22_windows;
+            string_of_int w.e22_cells_touched;
+            Table.fk w.e22_peak_k;
+            Printf.sprintf "%.2fx" w.e22_vs_chessboard;
+            Printf.sprintf "%.2f" w.e22_persistence;
+            string_of_int w.e22_distinct_hot;
+          ])
+      rows;
+    Table.print table;
+    Printf.printf
+      "\nchessboard peak at the 50%%-pressure breakdown: %.2f K\n" cb_peak;
+    Printf.printf
+      "uniform (s=0) stream fingerprint-equal to the hand-built \
+       access-stream run\n";
+    Option.iter (Printf.printf "wrote %s\n") json
+  end;
+  result
+
 let run_all () =
   let (_ : fig1_result) = fig1 () in
   let (_ : fig2_row list) = fig2 () in
@@ -1887,4 +2080,5 @@ let run_all () =
   let (_ : e19_result) = e19 () in
   let (_ : e20_result) = e20 () in
   let (_ : e21_result) = e21 () in
+  let (_ : e22_result) = e22 () in
   ()

@@ -308,5 +308,42 @@ val e21 :
     (default [Some "BENCH_core.json"]) writes the machine-readable
     benchmark; pass [None] to skip. *)
 
+type e22_row = {
+  e22_s : float;  (** Zipf exponent of the generated stream *)
+  e22_samples : int;
+  e22_windows : int;
+  e22_cells_touched : int;
+  e22_peak_k : float;  (** analysis worst-case peak over the stream *)
+  e22_vs_chessboard : float;
+      (** peak relative to the chessboard policy's at the 50%-pressure
+          breakdown point — how a skewed measured stream compares to the
+          worst structured IR workload *)
+  e22_persistence : float;
+      (** fraction of consecutive time segments whose hottest cell is
+          the same cell (1.0 = one cell stays hottest throughout) *)
+  e22_distinct_hot : int;  (** distinct hottest cells across segments *)
+}
+
+type e22_result = {
+  e22_rows : e22_row list;  (** one per Zipf exponent *)
+  e22_chessboard_peak_k : float;
+  e22_uniform_matches_ir : bool;
+      (** the s = 0 stream through the [Trace] input fingerprints equal
+          to the same events through a hand-built [Configured] input *)
+}
+
+val e22 : ?quiet:bool -> ?n:int -> ?json:string option -> unit -> e22_result
+(** Trace-ingestion skew study: synthetic Zipf(s) streams for
+    s ∈ {0, 0.5, 1.0, 1.5} over 64 words ([n] samples each, default
+    20000), direct-mapped onto the 8x8 file, analysed through the
+    [Trace] driver input. Reports the steady-state peak per exponent,
+    its ratio to the chessboard policy's peak at the 50%-pressure
+    breakdown (E3's reference point), and hot-cell persistence across
+    ~10 time segments. The s = 0 (uniform) stream is additionally run
+    through a hand-assembled [Configured] input and asserted
+    fingerprint-equal to the [Trace] path — a mismatch raises. [json]
+    (default [Some "BENCH_trace.json"]) writes the machine-readable
+    benchmark; pass [None] to skip. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

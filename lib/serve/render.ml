@@ -81,6 +81,70 @@ let analyze ?(obs = Tdfa_obs.Obs.null) ?cancel ?prior ~policy ~granularity
     ranked;
   (Buffer.contents buf, r)
 
+(* The one source of truth for what `tdfa trace' prints: stream
+   summary, fixpoint verdict, predicted worst-case heatmap, and the RC
+   simulator's measured steady peak over the same windows. *)
+let trace ?(obs = Tdfa_obs.Obs.null) ?cancel ?window_us ~policy ~cells
+    ~granularity ~delta ~recover (sample : Tdfa_trace.Sample.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let compiled =
+    Tdfa_trace.Compile.compile ~obs ?window_us ~policy ~cells sample
+  in
+  let stats = Tdfa_trace.Compile.stats compiled in
+  let layout = Tdfa_trace.Compile.layout_of_cells cells in
+  pf
+    "trace %s: %d samples over %.3f ms, %d windows\n\
+     mapping %s -> %d cells (%d touched), %d reads / %d writes\n\n"
+    sample.Tdfa_trace.Sample.name stats.Tdfa_trace.Compile.samples
+    (float_of_int stats.Tdfa_trace.Compile.duration_us /. 1000.0)
+    stats.Tdfa_trace.Compile.windows
+    (Tdfa_trace.Mapping.policy_name policy)
+    cells stats.Tdfa_trace.Compile.cells_touched
+    stats.Tdfa_trace.Compile.reads stats.Tdfa_trace.Compile.writes;
+  let settings =
+    { Analysis.default_settings with Analysis.delta_k = delta }
+  in
+  let cfg =
+    {
+      (Tdfa.Driver.default ~layout) with
+      Tdfa.Driver.granularity;
+      settings;
+      recover;
+      obs;
+      cancel;
+    }
+  in
+  let r = Tdfa.Driver.run cfg (Tdfa_trace.Compile.driver_input compiled) in
+  (match r.Tdfa.Driver.recovery with
+   | Some rec_ when List.length rec_.Analysis.attempts > 1 ->
+     pf "divergence-recovery ladder:\n";
+     List.iter
+       (fun (a : Analysis.attempt) ->
+         pf "  %-16s %s after %d iterations\n"
+           (Analysis.fallback_name a.Analysis.fallback)
+           (if a.Analysis.converged then "converged" else "diverged")
+           a.Analysis.iterations)
+       rec_.Analysis.attempts;
+     pf "using %s\n\n" (Analysis.fallback_name rec_.Analysis.used)
+   | _ -> ());
+  let outcome = r.Tdfa.Driver.outcome in
+  let info = Analysis.info outcome in
+  pf "analysis %s after %d iterations (last delta %.4f K)\n\n"
+    (if Analysis.converged outcome then "converged" else "DID NOT converge")
+    info.Analysis.iterations info.Analysis.final_delta_k;
+  let peak = Analysis.peak_map info in
+  pf "predicted worst-case map (peak %.2f K):\n" (Thermal_state.peak peak);
+  Buffer.add_string buf
+    (Heatmap.render layout (Thermal_state.to_cell_array peak));
+  (* Measured side: the same windows through the RC simulator. *)
+  let exec_trace, cell_of_var = Tdfa_trace.Compile.exec_trace compiled in
+  let model = Rc_model.build layout Params.default in
+  let steady = Tdfa_exec.Driver.steady_temps model exec_trace ~cell_of_var in
+  let measured_peak = Array.fold_left Float.max neg_infinity steady in
+  pf "\nmeasured steady peak (RC simulator): %.2f K\n" measured_peak;
+  (Buffer.contents buf, r)
+
 (* The one source of truth for a `tdfa lint' text report of one input:
    the CLI prints it per input, the daemon ships it in the response. *)
 let lint_report ~display findings =

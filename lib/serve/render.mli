@@ -35,6 +35,28 @@ val analyze :
 
     @raise Tdfa_core.Analysis.Cancelled when [cancel] trips. *)
 
+val trace :
+  ?obs:Obs.sink ->
+  ?cancel:(unit -> bool) ->
+  ?window_us:int ->
+  policy:Tdfa_trace.Mapping.policy ->
+  cells:int ->
+  granularity:int ->
+  delta:float ->
+  recover:bool ->
+  Tdfa_trace.Sample.t ->
+  string * Tdfa.Driver.result
+(** Compile a sampled access stream ({!Tdfa_trace.Compile.compile} with
+    the given mapping policy, cell count and window size), run the
+    thermal fixpoint over it through {!Tdfa.Driver.run}'s [Trace]
+    input, and render the trace report: stream summary (samples,
+    windows, cells touched), convergence, the predicted worst-case
+    heatmap on the near-square layout for [cells], and the RC
+    simulator's measured steady peak over the same windows — the
+    analysis-vs-measurement cross-check every trace run gets for free.
+
+    @raise Tdfa_core.Analysis.Cancelled when [cancel] trips. *)
+
 val lint_report : display:string -> Tdfa_lint.Lint.finding list -> string
 (** The per-input text block of [tdfa lint] ([lint <display>: clean] or
     the rendered finding table). *)

@@ -1,0 +1,71 @@
+(** Compiling a mapped sample stream into the analysis's native food:
+    a carrier {!Tdfa_ir.Func.t} plus a per-instruction access-event
+    function — the exact shape [Tdfa.Driver.run]'s [Trace] input takes.
+
+    Time is discretised into fixed windows of [window_us]; window [w]
+    covers [\[w*window_us, (w+1)*window_us)]. Each window becomes one
+    [Nop] in a single straight-line block, and every sample falling in
+    that window becomes weight on that Nop's access list, aggregated
+    per (cell, kind): 17 reads of cell 3 in a window compile to one
+    [Read] event on cell 3 with weight 17. The carrier has no
+    variables and every block runs at frequency 1, so the fixpoint
+    sweeps the windows exactly as the sampler saw them. *)
+
+open Tdfa_ir
+open Tdfa_floorplan
+open Tdfa_core
+
+type t
+(** A compiled trace: carrier function + per-window events. *)
+
+type stats = {
+  samples : int;  (** total samples compiled *)
+  windows : int;  (** carrier instructions (>= 1) *)
+  cells_touched : int;  (** distinct cells with at least one access *)
+  reads : int;
+  writes : int;
+  duration_us : int;
+}
+
+val compile :
+  ?obs:Tdfa_obs.Obs.sink ->
+  ?window_us:int ->
+  policy:Mapping.policy ->
+  cells:int ->
+  Sample.t ->
+  t
+(** Map then window. Default [window_us] is 1000 (1 ms per analysis
+    instruction). Emits [trace.map] / [trace.window] spans and
+    [trace.samples] / [trace.windows] counters to [obs].
+    @raise Invalid_argument if [window_us <= 0] or [cells <= 0]. *)
+
+val func : t -> Func.t
+(** The carrier: one block of [windows] Nops ending in [ret]. *)
+
+val accesses : t -> Label.t -> int -> Access.event list
+(** Events of the given instruction, in first-touch order within the
+    window; empty off the carrier block. *)
+
+val driver_input : t -> Driver.input
+(** [Trace { func; accesses }] — feed straight to [Tdfa.Driver.run]. *)
+
+val stats : t -> stats
+
+val stream_id : t -> string
+(** Hex digest identifying the compiled stream — covers every sample,
+    the mapping policy, cell count and window size. Equal streams (by
+    content, not provenance) get equal ids; the engine keys its
+    result cache on this. *)
+
+val exec_trace : t -> Tdfa_exec.Trace.t * (Var.t -> int option)
+(** The same windows as a cycle-stamped execution trace (one cycle per
+    window, synthetic variables named [cell<i>]) plus the matching
+    [cell_of_var], for driving the RC simulator's measured side
+    ([Tdfa_exec.Driver.steady_temps]) against the analysis. Aggregated
+    weights are expanded back to one event per access. *)
+
+val layout_of_cells : int -> Layout.t
+(** Near-square grid holding the given cell count: the factor pair
+    [rows * cols = cells] with rows <= cols and rows maximal (64 → 8x8,
+    32 → 4x8, a prime like 7 → 1x7).
+    @raise Invalid_argument if [cells <= 0]. *)

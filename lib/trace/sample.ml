@@ -1,0 +1,132 @@
+open Tdfa_core
+
+type sample = { t_us : int; kind : Access.kind; addr : int }
+type t = { name : string; samples : sample list }
+
+let check samples =
+  let rec go prev = function
+    | [] -> ()
+    | s :: rest ->
+        if s.addr < 0 then invalid_arg "Sample.make: negative address";
+        if s.t_us < prev then invalid_arg "Sample.make: samples out of order";
+        go s.t_us rest
+  in
+  go 0 samples
+
+let make ?(name = "trace") samples =
+  check samples;
+  { name; samples }
+
+let duration_us t =
+  List.fold_left (fun acc s -> max acc s.t_us) 0 t.samples
+
+(* Timestamps travel as "%.6f" seconds but live as integer microseconds:
+   parsing goes through a decimal-string split rather than float
+   multiplication, so print/parse is exact for any trace under ~292k
+   years. *)
+let us_of_seconds_string s =
+  let whole, frac =
+    match String.index_opt s '.' with
+    | None -> (s, "")
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let frac =
+    if String.length frac > 6 then String.sub frac 0 6
+    else frac ^ String.make (6 - String.length frac) '0'
+  in
+  let whole = if whole = "" then "0" else whole in
+  match (int_of_string_opt whole, int_of_string_opt ("1" ^ frac)) with
+  | Some w, Some f when w >= 0 -> Some ((w * 1_000_000) + f - 1_000_000)
+  | _ -> None
+
+let kind_of_string = function
+  | "R" | "r" | "load" | "loads" | "mem-loads" -> Some Access.Read
+  | "W" | "w" | "store" | "stores" | "mem-stores" -> Some Access.Write
+  | _ -> None
+
+let addr_of_string s =
+  match int_of_string_opt s with Some a when a >= 0 -> Some a | _ -> None
+
+let split_fields line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun f -> f <> "")
+
+let name_directive line =
+  (* "# name: foo" (spacing flexible) *)
+  let body = String.sub line 1 (String.length line - 1) |> String.trim in
+  let prefix = "name:" in
+  if String.length body > String.length prefix
+     && String.lowercase_ascii (String.sub body 0 (String.length prefix))
+        = prefix
+  then
+    let v =
+      String.sub body (String.length prefix)
+        (String.length body - String.length prefix)
+      |> String.trim
+    in
+    if v = "" then None else Some v
+  else None
+
+let parse ?(name = "trace") text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno name acc = function
+    | [] -> Ok { name; samples = List.rev acc }
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" then go (lineno + 1) name acc rest
+        else if trimmed.[0] = '#' then
+          let name =
+            match name_directive trimmed with Some n -> n | None -> name
+          in
+          go (lineno + 1) name acc rest
+        else
+          match split_fields trimmed with
+          | [ t; k; a ] -> (
+              match
+                (us_of_seconds_string t, kind_of_string k, addr_of_string a)
+              with
+              | Some t_us, Some kind, Some addr ->
+                  let prev = match acc with [] -> 0 | s :: _ -> s.t_us in
+                  if t_us < prev then
+                    Error
+                      (Printf.sprintf "line %d: timestamp goes backwards"
+                         lineno)
+                  else go (lineno + 1) name ({ t_us; kind; addr } :: acc) rest
+              | None, _, _ ->
+                  Error (Printf.sprintf "line %d: bad timestamp %S" lineno t)
+              | _, None, _ ->
+                  Error
+                    (Printf.sprintf
+                       "line %d: bad access kind %S (want R|W|load|store)"
+                       lineno k)
+              | _, _, None ->
+                  Error (Printf.sprintf "line %d: bad address %S" lineno a))
+          | fields ->
+              Error
+                (Printf.sprintf "line %d: expected 3 fields, got %d" lineno
+                   (List.length fields)))
+  in
+  go 1 name [] lines
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text ->
+      let name = Filename.remove_extension (Filename.basename path) in
+      parse ~name text
+  | exception Sys_error msg -> Error msg
+
+let print t =
+  let buf = Buffer.create (256 + (List.length t.samples * 24)) in
+  Buffer.add_string buf "# tdfa trace v1\n";
+  Buffer.add_string buf (Printf.sprintf "# name: %s\n" t.name);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d.%06d %s 0x%x\n" (s.t_us / 1_000_000)
+           (s.t_us mod 1_000_000)
+           (match s.kind with Access.Read -> "R" | Access.Write -> "W")
+           s.addr))
+    t.samples;
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+open Tdfa_core
+
+(* splitmix64: tiny, stateful, stable forever — unlike [Random], whose
+   algorithm is an OCaml implementation detail. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+type prng = { mutable state : Int64.t }
+
+let prng seed = { state = Int64.of_int seed }
+
+let next p =
+  p.state <- Int64.add p.state 0x9e3779b97f4a7c15L;
+  mix p.state
+
+(* uniform in [0, 1): top 53 bits over 2^53 *)
+let next_float p =
+  Int64.to_float (Int64.shift_right_logical (next p) 11) /. 9007199254740992.0
+
+let kind_of p read_ratio =
+  if next_float p < read_ratio then Access.Read else Access.Write
+
+let zipf ?(period_us = 10) ?(base = 0x1000) ?(read_ratio = 0.75) ~seed ~s
+    ~addrs ~n () =
+  if n < 0 then invalid_arg "Synth.zipf: n must be nonnegative";
+  if addrs <= 0 then invalid_arg "Synth.zipf: addrs must be positive";
+  if s < 0.0 then invalid_arg "Synth.zipf: s must be nonnegative";
+  let cdf = Array.make addrs 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to addrs - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+    cdf.(k) <- !total
+  done;
+  let rank_of u =
+    let target = u *. !total in
+    (* first rank whose cumulative weight exceeds the draw *)
+    let lo = ref 0 and hi = ref (addrs - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) > target then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  let p = prng seed in
+  let samples =
+    List.init n (fun i ->
+        let rank = rank_of (next_float p) in
+        {
+          Sample.t_us = i * period_us;
+          kind = kind_of p read_ratio;
+          addr = base + (rank * Mapping.word_bytes);
+        })
+  in
+  Sample.make ~name:(Printf.sprintf "zipf-s%g" s) samples
+
+let stream ?(period_us = 10) ?(base = 0x1000) ?(read_ratio = 0.75)
+    ?(window = 16) ?(slide = 4) ~seed ~footprint ~n () =
+  if n < 0 then invalid_arg "Synth.stream: n must be nonnegative";
+  if footprint <= 0 then invalid_arg "Synth.stream: footprint must be positive";
+  if window <= 0 then invalid_arg "Synth.stream: window must be positive";
+  if slide <= 0 then invalid_arg "Synth.stream: slide must be positive";
+  let p = prng seed in
+  let samples =
+    List.init n (fun i ->
+        let pass = i / window and offset = i mod window in
+        let word = ((pass * slide) + offset) mod footprint in
+        {
+          Sample.t_us = i * period_us;
+          kind = kind_of p read_ratio;
+          addr = base + (word * Mapping.word_bytes);
+        })
+  in
+  Sample.make ~name:"stream" samples

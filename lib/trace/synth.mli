@@ -1,0 +1,45 @@
+(** Native synthetic sample streams — the workload-profiling
+    community's two standard microbenchmark shapes, generated directly
+    rather than measured, so skew experiments need no external profiler.
+    Both are fully deterministic in their arguments (a private
+    splitmix64 stream, not [Random]), so generated traces are stable
+    across runs, machines and OCaml versions — they can be pinned in
+    cram output and engine cache keys. *)
+
+val zipf :
+  ?period_us:int ->
+  ?base:int ->
+  ?read_ratio:float ->
+  seed:int ->
+  s:float ->
+  addrs:int ->
+  n:int ->
+  unit ->
+  Sample.t
+(** [n] samples over [addrs] distinct words (addresses [base + 8k]),
+    word rank [k] drawn with probability proportional to [(k+1)^-s] by
+    inversion sampling. [s = 0] is the uniform stream; larger [s]
+    concentrates heat on low ranks. Samples are [period_us] (default
+    10) apart; each is a read with probability [read_ratio] (default
+    0.75).
+    @raise Invalid_argument on [n < 0], [addrs <= 0] or [s < 0]. *)
+
+val stream :
+  ?period_us:int ->
+  ?base:int ->
+  ?read_ratio:float ->
+  ?window:int ->
+  ?slide:int ->
+  seed:int ->
+  footprint:int ->
+  n:int ->
+  unit ->
+  Sample.t
+(** Sliding-window streaming access: sample [i] touches word
+    [(pass * slide + offset) mod footprint] where [pass = i / window]
+    and [offset = i mod window] — a window of [window] words (default
+    16) marching [slide] words (default 4) per pass across a
+    [footprint]-word working set. The seed only randomises read/write
+    kinds.
+    @raise Invalid_argument on [n < 0], [footprint <= 0],
+    [window <= 0] or [slide <= 0]. *)

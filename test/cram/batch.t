@@ -37,16 +37,6 @@ cache traffic is observable through the metrics table instead.
   $ grep "engine.jobs" metrics.err
     engine.jobs                      2
 
---stats is the deprecated alias of --metrics; it announces its own
-deprecation on stderr, then lands the same deterministic counters in the
-same sorted table.
-
-  $ ../../bin/tdfa_cli.exe batch fib.tir crc.tir --stats 2>&1 >/dev/null \
-  >   | grep -E "deprecated|engine.jobs|analysis.runs"
-  tdfa: batch: --stats is deprecated; use --metrics
-    analysis.runs                    2
-    engine.jobs                      2
-
 A corrupt input fails its own job with a verifier diagnostic and a
 nonzero exit, while every other function is still analysed.
 

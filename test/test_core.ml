@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* Tests of the paper's core contribution: the discretized thermal state,
    the transfer function, the Fig. 2 fixpoint, criticality ranking, the
    predictive placement and the accuracy metrics. *)
@@ -15,6 +11,20 @@ open Tdfa_core
 let var = Var.of_string
 let layout = Layout.make ~rows:8 ~cols:8 ()
 let ambient = Params.default.Params.ambient_k
+
+(* Post-RA analysis through the Driver facade, in the optional-argument
+   shape the retired pre-facade wrapper had. *)
+let run_post_ra ?settings ?granularity ?analysis_dt_s ~layout func assignment =
+  let d = Driver.default ~layout in
+  let cfg =
+    {
+      d with
+      Driver.settings = Option.value settings ~default:d.Driver.settings;
+      granularity = Option.value granularity ~default:d.Driver.granularity;
+      analysis_dt_s;
+    }
+  in
+  (Driver.run cfg (Driver.Assigned (func, assignment))).Driver.outcome
 
 (* --- Thermal_state ------------------------------------------------------ *)
 
@@ -202,7 +212,7 @@ let analyze_kernel ?settings ?granularity name =
   in
   let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
   ( alloc,
-    Setup.run_post_ra ?settings ?granularity ~layout alloc.Alloc.func
+    run_post_ra ?settings ?granularity ~layout alloc.Alloc.func
       alloc.Alloc.assignment )
 
 let test_analysis_converges_on_kernels () =
@@ -241,7 +251,7 @@ let test_analysis_unstable_dt_diverges () =
     { Analysis.default_settings with Analysis.max_iterations = 40 }
   in
   let outcome =
-    Setup.run_post_ra ~analysis_dt_s:1.0e-4 ~settings ~layout alloc.Alloc.func
+    run_post_ra ~analysis_dt_s:1.0e-4 ~settings ~layout alloc.Alloc.func
       alloc.Alloc.assignment
   in
   Alcotest.(check bool) "diverged" false (Analysis.converged outcome);
@@ -272,7 +282,7 @@ let test_analysis_matches_simulation_shape () =
      matches. *)
   let func = Tdfa_workload.Kernels.matmul () in
   let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
-  let outcome = Setup.run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
+  let outcome = run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
   let info = Analysis.info outcome in
   let predicted = Thermal_state.to_cell_array (Analysis.mean_map info) in
   let o = Tdfa_exec.Interp.run_func alloc.Alloc.func in
@@ -299,7 +309,7 @@ let test_analysis_granularity_fidelity () =
   in
   let mae g =
     let outcome =
-      Setup.run_post_ra ~granularity:g ~layout alloc.Alloc.func
+      run_post_ra ~granularity:g ~layout alloc.Alloc.func
         alloc.Alloc.assignment
     in
     let predicted =
@@ -315,7 +325,7 @@ let test_criticality_ranks_loop_vars_first () =
   let func = Tdfa_workload.Kernels.fib () in
   let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
   let cfg = Setup.config_of_assignment ~layout alloc.Alloc.func alloc.Alloc.assignment in
-  let outcome = Setup.run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
+  let outcome = run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
   let info = Analysis.info outcome in
   let ranked = Criticality.rank cfg info alloc.Alloc.func alloc.Alloc.assignment in
   (match ranked with
@@ -342,7 +352,7 @@ let test_critical_vars_subset_of_ranked () =
   let func = Tdfa_workload.Kernels.fir () in
   let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
   let cfg = Setup.config_of_assignment ~layout alloc.Alloc.func alloc.Alloc.assignment in
-  let outcome = Setup.run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
+  let outcome = run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment in
   let info = Analysis.info outcome in
   let critical = Criticality.critical_vars cfg info alloc.Alloc.func alloc.Alloc.assignment in
   Alcotest.(check bool) "some critical vars on a hot kernel" true (critical <> []);

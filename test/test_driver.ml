@@ -1,7 +1,9 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   each must be outcome-identical to the corresponding [Driver.run]
-   configuration (the api_redesign contract of DESIGN.md §9). *)
-[@@@alert "-deprecated"]
+(* The [Driver.run] facade is the only entry point to the analysis; its
+   input variants must be mutually consistent — every pair of inputs
+   that denote the same analysis must produce fingerprint-identical
+   outcomes (the api_redesign contract of DESIGN.md §9). The legacy
+   wrappers these properties used to compare against are deleted; the
+   facade is now checked against itself, variant by variant. *)
 
 open Tdfa_workload
 open Tdfa_core
@@ -47,20 +49,50 @@ let assigned f =
   let alloc = Tdfa_regalloc.Alloc.allocate f layout ~policy:base_cfg.Driver.policy in
   (alloc.Tdfa_regalloc.Alloc.func, alloc.Tdfa_regalloc.Alloc.assignment)
 
-(* 1. Analysis.run over a prebuilt transfer config. *)
-let prop_analysis_run =
-  QCheck2.Test.make ~name:"facade: Analysis.run == Driver.run (Configured)"
+(* 1. Unallocated delegates allocation and then behaves as Assigned on
+   the allocator's output. *)
+let prop_unallocated_eq_assigned =
+  QCheck2.Test.make
+    ~name:"facade: Unallocated == allocate-then-Assigned" ~count:100
+    gen_small (fun f ->
+      let func, assignment = assigned f in
+      let whole = Driver.run base_cfg (Driver.Unallocated f) in
+      let staged = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
+      match whole.Driver.alloc with
+      | None -> false
+      | Some alloc ->
+        String.equal (fp whole.Driver.outcome) (fp staged.Driver.outcome)
+        && Tdfa_ir.Var.Set.equal alloc.Tdfa_regalloc.Alloc.spilled
+             (let a = Tdfa_regalloc.Alloc.allocate f layout
+                        ~policy:base_cfg.Driver.policy in
+              a.Tdfa_regalloc.Alloc.spilled))
+
+(* 2. Assigned is exactly the bare fixpoint over the facade-built
+   transfer config. *)
+let prop_assigned_eq_fixpoint =
+  QCheck2.Test.make ~name:"facade: Assigned == Analysis.fixpoint"
     ~count:100 gen_small (fun f ->
       let func, assignment = assigned f in
       let cfg = Driver.transfer_config base_cfg func assignment in
-      let legacy = Analysis.run ~settings cfg func in
-      let facade = Driver.run base_cfg (Driver.Configured (cfg, func)) in
-      String.equal (fp legacy) (fp facade.Driver.outcome))
+      let bare = Analysis.fixpoint ~settings cfg func in
+      let facade = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
+      String.equal (fp bare) (fp facade.Driver.outcome))
 
-(* 2. Analysis.run_with_recovery with a config-rebuilding callback. *)
-let prop_analysis_run_with_recovery =
-  QCheck2.Test.make
-    ~name:"facade: Analysis.run_with_recovery == Driver.run (Custom)"
+(* 3. Configured with the facade's own config is identical to Assigned
+   (the config-building step commutes with the run). *)
+let prop_configured_eq_assigned =
+  QCheck2.Test.make ~name:"facade: Configured == Assigned" ~count:100
+    gen_small (fun f ->
+      let func, assignment = assigned f in
+      let cfg = Driver.transfer_config base_cfg func assignment in
+      let configured = Driver.run base_cfg (Driver.Configured (cfg, func)) in
+      let assigned_r = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
+      String.equal (fp configured.Driver.outcome) (fp assigned_r.Driver.outcome))
+
+(* 4. Custom's config_of hook, fed the facade's own rebuilding, matches
+   Assigned under recovery — rung for rung. *)
+let prop_custom_recovery_eq_assigned =
+  QCheck2.Test.make ~name:"facade: Custom + recover == Assigned + recover"
     ~count:100 gen_small (fun f ->
       let func, assignment = assigned f in
       let config_of ~granularity =
@@ -68,89 +100,66 @@ let prop_analysis_run_with_recovery =
           { base_cfg with Driver.granularity }
           func assignment
       in
-      let legacy =
-        Analysis.run_with_recovery ~settings ~config_of ~granularity func
-      in
-      let facade =
+      let custom =
         Driver.run
           { base_cfg with Driver.recover = true }
           (Driver.Custom { config_of; func })
       in
-      match facade.Driver.recovery with
-      | Some r -> same_recovery legacy r
-      | None -> false)
-
-(* 3. Setup.run_post_ra over an explicit assignment. *)
-let prop_run_post_ra =
-  QCheck2.Test.make ~name:"facade: Setup.run_post_ra == Driver.run (Assigned)"
-    ~count:100 gen_small (fun f ->
-      let func, assignment = assigned f in
-      let legacy =
-        Setup.run_post_ra ~granularity ~settings ~layout func assignment
-      in
-      let facade = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
-      String.equal (fp legacy) (fp facade.Driver.outcome))
-
-(* 4. Setup.run_post_ra_with_recovery. *)
-let prop_run_post_ra_with_recovery =
-  QCheck2.Test.make
-    ~name:"facade: Setup.run_post_ra_with_recovery == recover Assigned"
-    ~count:100 gen_small (fun f ->
-      let func, assignment = assigned f in
-      let legacy =
-        Setup.run_post_ra_with_recovery ~granularity ~settings ~layout func
-          assignment
-      in
-      let facade =
+      let direct =
         Driver.run
           { base_cfg with Driver.recover = true }
           (Driver.Assigned (func, assignment))
       in
-      match facade.Driver.recovery with
-      | Some r -> same_recovery legacy r
-      | None -> false)
-
-(* 5. Setup.allocate_and_run from the raw (unallocated) function. *)
-let prop_allocate_and_run =
-  QCheck2.Test.make
-    ~name:"facade: Setup.allocate_and_run == Driver.run (Unallocated)"
-    ~count:100 gen_small (fun f ->
-      let legacy_alloc, legacy_outcome =
-        Setup.allocate_and_run ~granularity ~settings ~layout
-          ~policy:base_cfg.Driver.policy f
-      in
-      let facade = Driver.run base_cfg (Driver.Unallocated f) in
-      match facade.Driver.alloc with
-      | None -> false
-      | Some alloc ->
-        String.equal (fp legacy_outcome) (fp facade.Driver.outcome)
-        && alloc.Tdfa_regalloc.Alloc.max_pressure
-           = legacy_alloc.Tdfa_regalloc.Alloc.max_pressure
-        && Tdfa_ir.Var.Set.equal alloc.Tdfa_regalloc.Alloc.spilled
-             legacy_alloc.Tdfa_regalloc.Alloc.spilled)
-
-(* 6. Setup.allocate_and_run_with_recovery. *)
-let prop_allocate_and_run_with_recovery =
-  QCheck2.Test.make
-    ~name:"facade: Setup.allocate_and_run_with_recovery == recover Unallocated"
-    ~count:100 gen_small (fun f ->
-      let legacy_alloc, legacy_recovery =
-        Setup.allocate_and_run_with_recovery ~granularity ~settings ~layout
-          ~policy:base_cfg.Driver.policy f
-      in
-      let facade =
-        Driver.run
-          { base_cfg with Driver.recover = true }
-          (Driver.Unallocated f)
-      in
-      match (facade.Driver.alloc, facade.Driver.recovery) with
-      | Some alloc, Some r ->
-        same_recovery legacy_recovery r
-        && alloc.Tdfa_regalloc.Alloc.max_pressure
-           = legacy_alloc.Tdfa_regalloc.Alloc.max_pressure
+      match (custom.Driver.recovery, direct.Driver.recovery) with
+      | Some a, Some b -> same_recovery a b
       | _ -> false)
 
-(* The facade run is oblivious to the sink: a traced run and a silent
+(* 5. A cold Warm_start (no prior) is bit-identical to Assigned — the
+   incremental engine's recording must not perturb the fixpoint. *)
+let prop_warm_start_cold_eq_assigned =
+  QCheck2.Test.make ~name:"facade: Warm_start (no prior) == Assigned"
+    ~count:100 gen_small (fun f ->
+      let func, assignment = assigned f in
+      let warm =
+        Driver.run base_cfg
+          (Driver.Warm_start { func; assignment; prior = None })
+      in
+      let direct = Driver.run base_cfg (Driver.Assigned (func, assignment)) in
+      String.equal (fp warm.Driver.outcome) (fp direct.Driver.outcome))
+
+(* 6. The Trace input is exactly Configured over the equivalent
+   hand-assembled config: frequency-1 straight-line carrier, the same
+   per-instruction events, nothing on the terminators. *)
+let prop_trace_eq_configured =
+  QCheck2.Test.make ~name:"facade: Trace == hand-built Configured"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 0 3) (int_range 1 500))
+    (fun (s10, n) ->
+      let sample =
+        Tdfa_trace.Synth.zipf ~seed:7 ~s:(float_of_int s10 /. 2.0) ~addrs:32
+          ~n ()
+      in
+      let compiled =
+        Tdfa_trace.Compile.compile ~policy:Tdfa_trace.Mapping.Direct
+          ~cells:64 sample
+      in
+      let func = Tdfa_trace.Compile.func compiled in
+      let accesses = Tdfa_trace.Compile.accesses compiled in
+      let traced =
+        Driver.run base_cfg (Tdfa_trace.Compile.driver_input compiled)
+      in
+      let config =
+        Transfer.make_config ~params:base_cfg.Driver.params ~granularity
+          ~max_frequency:1.0 ~layout
+          ~block_frequency:(fun _ -> 1.0)
+          ~accesses_of_instr:(fun label index _ -> accesses label index)
+          ~accesses_of_term:(fun _ _ -> [])
+          ()
+      in
+      let by_hand = Driver.run base_cfg (Driver.Configured (config, func)) in
+      String.equal (fp traced.Driver.outcome) (fp by_hand.Driver.outcome))
+
+(* 7. The facade run is oblivious to the sink: a traced run and a silent
    run produce identical analyses (observability is write-only). *)
 let prop_obs_transparent =
   QCheck2.Test.make ~name:"facade: memory-sink run == null-sink run"
@@ -168,12 +177,12 @@ let suite =
     ( "driver.facade",
       List.map QCheck_alcotest.to_alcotest
         [
-          prop_analysis_run;
-          prop_analysis_run_with_recovery;
-          prop_run_post_ra;
-          prop_run_post_ra_with_recovery;
-          prop_allocate_and_run;
-          prop_allocate_and_run_with_recovery;
+          prop_unallocated_eq_assigned;
+          prop_assigned_eq_fixpoint;
+          prop_configured_eq_assigned;
+          prop_custom_recovery_eq_assigned;
+          prop_warm_start_cold_eq_assigned;
+          prop_trace_eq_configured;
           prop_obs_transparent;
         ] );
   ]

@@ -1,10 +1,6 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* The differential harness for the batch engine: parallel execution and
    the content-addressed cache must be invisible — any [--jobs] and any
-   cache state produce exactly the sequential Setup.run_post_ra result.
+   cache state produce exactly the sequential facade result.
    Plus generator soundness (every random function passes the verifier)
    and digest sensitivity (every key component is load-bearing). *)
 
@@ -240,10 +236,10 @@ let test_recovery_rung_reported () =
 
 (* --- Differential properties ---------------------------------------------- *)
 
-(* Any pool size produces exactly the sequential Setup.run_post_ra
-   result, job for job, in submission order. *)
+(* Any pool size produces exactly the sequential facade result, job
+   for job, in submission order. *)
 let prop_parallel_equals_sequential =
-  QCheck2.Test.make ~name:"engine: any --jobs equals sequential run_post_ra"
+  QCheck2.Test.make ~name:"engine: any --jobs equals sequential facade run"
     ~count:100
     QCheck2.Gen.(pair (list_size (return 3) gen_small) (int_range 1 4))
     (fun (funcs, jobs) ->
@@ -255,13 +251,20 @@ let prop_parallel_equals_sequential =
           match result with
           | Error _ -> false
           | Ok (r : Engine.report) ->
-            let alloc, outcome =
-              Tdfa_core.Setup.allocate_and_run
-                ~params:fast_spec.Engine.params
-                ~granularity:fast_spec.Engine.granularity
-                ~settings:fast_spec.Engine.settings ~layout
-                ~policy:fast_spec.Engine.policy f
+            let seq =
+              let d = Tdfa_core.Driver.default ~layout in
+              Tdfa_core.Driver.run
+                {
+                  d with
+                  Tdfa_core.Driver.params = fast_spec.Engine.params;
+                  granularity = fast_spec.Engine.granularity;
+                  settings = fast_spec.Engine.settings;
+                  policy = fast_spec.Engine.policy;
+                }
+                (Tdfa_core.Driver.Unallocated f)
             in
+            let alloc = Option.get seq.Tdfa_core.Driver.alloc in
+            let outcome = seq.Tdfa_core.Driver.outcome in
             let info = Tdfa_core.Analysis.info outcome in
             String.equal r.Engine.fingerprint (Engine.fingerprint outcome)
             && r.Engine.converged = Tdfa_core.Analysis.converged outcome

@@ -424,6 +424,50 @@ let test_e20_incremental_shape () =
         (e.Experiments.dirty >= 0 && e.Experiments.dirty <= e.Experiments.blocks))
     (r.Experiments.kernel_events @ r.Experiments.corpus_events)
 
+let test_e22_trace_shape () =
+  (* A small stream keeps this in test budget; the Trace-vs-Configured
+     fingerprint equality at s = 0 is asserted inside e22 itself, so
+     reaching the return value at all means the two paths agree. *)
+  let r = Experiments.e22 ~quiet:true ~n:600 ~json:None () in
+  Alcotest.(check int) "one row per exponent" 4
+    (List.length r.Experiments.e22_rows);
+  Alcotest.(check bool) "uniform stream matches hand-built IR" true
+    r.Experiments.e22_uniform_matches_ir;
+  Alcotest.(check bool) "chessboard reference positive" true
+    (r.Experiments.e22_chessboard_peak_k > 0.0);
+  List.iter
+    (fun (row : Experiments.e22_row) ->
+      let tag = Printf.sprintf "s=%g" row.Experiments.e22_s in
+      Alcotest.(check int) (tag ^ " samples") 600 row.Experiments.e22_samples;
+      Alcotest.(check bool) (tag ^ " windows positive") true
+        (row.Experiments.e22_windows > 0);
+      Alcotest.(check bool) (tag ^ " cells touched on an 8x8 file") true
+        (row.Experiments.e22_cells_touched > 0
+        && row.Experiments.e22_cells_touched <= 64);
+      Alcotest.(check bool) (tag ^ " peak above ambient") true
+        (row.Experiments.e22_peak_k > 300.0);
+      Alcotest.(check bool) (tag ^ " ratio consistent") true
+        (abs_float
+           (row.Experiments.e22_vs_chessboard
+           -. (row.Experiments.e22_peak_k /. r.Experiments.e22_chessboard_peak_k))
+        < 1e-9);
+      Alcotest.(check bool) (tag ^ " persistence in [0,1]") true
+        (row.Experiments.e22_persistence >= 0.0
+        && row.Experiments.e22_persistence <= 1.0);
+      Alcotest.(check bool) (tag ^ " distinct hot cells sane") true
+        (row.Experiments.e22_distinct_hot >= 1
+        && row.Experiments.e22_distinct_hot <= 64))
+    r.Experiments.e22_rows;
+  (* Skew concentrates heat: the s = 1.5 stream must run at least as
+     hot as the uniform one. *)
+  let peak s =
+    (List.find
+       (fun (row : Experiments.e22_row) -> row.Experiments.e22_s = s)
+       r.Experiments.e22_rows)
+      .Experiments.e22_peak_k
+  in
+  Alcotest.(check bool) "skew heats" true (peak 1.5 >= peak 0.0)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -448,5 +492,6 @@ let suite =
         tc "E18 batch engine" `Slow test_e18_batch_engine_shape;
         tc "E19 lint predictor" `Slow test_e19_predictor_shape;
         tc "E20 incremental warm-start" `Slow test_e20_incremental_shape;
+        tc "E22 trace-ingestion skew" `Slow test_e22_trace_shape;
       ] );
   ]

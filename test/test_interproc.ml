@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* Tests of the interprocedural extension: call graph, summaries and
    whole-program analysis. *)
 
@@ -147,7 +143,8 @@ let test_interproc_hotter_than_main_alone () =
   let table = assignment_table p in
   let main = Program.main p in
   let naive =
-    Setup.run_post_ra ~layout main (Hashtbl.find table "main")
+    Tdfa_harness.Common.analyze_assigned ~layout main
+      (Hashtbl.find table "main")
   in
   let naive_peak = Thermal_state.peak (Analysis.peak_map (Analysis.info naive)) in
   Alcotest.(check bool) "summaries raise the program peak" true

@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* Tests of the TC front end: lexer, parser, lowering and end-to-end
    execution of source programs through the whole stack. *)
 
@@ -244,7 +240,7 @@ let test_samples_validate_and_analyze () =
           ~policy:Tdfa_regalloc.Policy.First_fit
       in
       let outcome =
-        Tdfa_core.Setup.run_post_ra ~layout alloc.Tdfa_regalloc.Alloc.func
+        Tdfa_harness.Common.analyze_assigned ~layout alloc.Tdfa_regalloc.Alloc.func
           alloc.Tdfa_regalloc.Alloc.assignment
       in
       Alcotest.(check bool) (name ^ " converges") true

@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* Tests of the thermal-aware optimization passes. The central property:
    every pass preserves observable semantics (return value and memory
    below the spill area). *)
@@ -35,7 +31,8 @@ let critical_of func =
     Setup.config_of_assignment ~layout alloc.Alloc.func alloc.Alloc.assignment
   in
   let outcome =
-    Setup.run_post_ra ~layout alloc.Alloc.func alloc.Alloc.assignment
+    Tdfa_harness.Common.analyze_assigned ~layout alloc.Alloc.func
+      alloc.Alloc.assignment
   in
   let info = Analysis.info outcome in
   (alloc, info,

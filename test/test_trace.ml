@@ -1,0 +1,431 @@
+(* The trace frontend: text format round-trip, mapping policies, the
+   window compiler, the synthetic generators' distributions, and the
+   engine's trace jobs. The load-bearing property is clean-room
+   equivalence: a compiled stream fed through [Driver.run (Trace ...)]
+   must fingerprint-equal an independent reimplementation of the
+   window/map pipeline written here from the spec — aggregation by
+   weight, first-touch ordering and carrier construction are all
+   implementation detail the analysis result may not depend on. *)
+
+open Tdfa_core
+open Tdfa_trace
+
+let layout = Tdfa_floorplan.Layout.make ~rows:8 ~cols:8 ()
+
+let settings =
+  {
+    Analysis.default_settings with
+    Analysis.delta_k = 0.1;
+    max_iterations = 100;
+  }
+
+let base_cfg = { (Driver.default ~layout) with Driver.granularity = 2; settings }
+let fp = Tdfa_engine.Engine.fingerprint
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let text =
+    "# tdfa trace v1\n# name: webspam\n0.000012 R 0x10\n0.000031 W 0x18\n\
+     0.000031 load 24\n0.000040 mem-stores 0x28\n"
+  in
+  match Sample.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+    Alcotest.(check string) "name directive" "webspam" t.Sample.name;
+    Alcotest.(check int) "samples" 4 (List.length t.Sample.samples);
+    Alcotest.(check int) "duration" 40 (Sample.duration_us t);
+    let kinds =
+      List.map (fun (s : Sample.sample) -> s.Sample.kind) t.Sample.samples
+    in
+    Alcotest.(check bool) "kinds"
+      true
+      (kinds = [ Access.Read; Access.Write; Access.Read; Access.Write ]);
+    let addrs =
+      List.map (fun (s : Sample.sample) -> s.Sample.addr) t.Sample.samples
+    in
+    Alcotest.(check (list int)) "hex and decimal addresses"
+      [ 0x10; 0x18; 24; 0x28 ] addrs
+
+let expect_error what text =
+  match Sample.parse text with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+  | Error e ->
+    Alcotest.(check bool)
+      (what ^ " error cites a line number")
+      true
+      (String.exists (fun c -> c >= '0' && c <= '9') e)
+
+let test_parse_errors () =
+  expect_error "bad kind" "0.1 X 0x10\n";
+  expect_error "bad address" "0.1 R zz\n";
+  expect_error "missing field" "0.1 R\n";
+  expect_error "time going backwards" "0.2 R 0x10\n0.1 W 0x18\n";
+  expect_error "bad timestamp" "abc R 0x10\n"
+
+let test_parse_timestamp_resolution () =
+  (* 0.000001 must parse to exactly 1 us — decimal-string parsing, not
+     float multiplication (1e-6 *. 1e6 rounding would be off-by-one on
+     some values). *)
+  match Sample.parse "1.000001 R 0x0\n1.1 W 0x8\n" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+    Alcotest.(check (list int)) "microsecond timestamps"
+      [ 1_000_001; 1_100_000 ]
+      (List.map (fun (s : Sample.sample) -> s.Sample.t_us) t.Sample.samples)
+
+(* --- Mapping -------------------------------------------------------------- *)
+
+let mk_samples specs =
+  Sample.make
+    (List.mapi
+       (fun i (kind, addr) -> { Sample.t_us = i; kind; addr })
+       specs)
+
+let test_mapping_direct () =
+  let trace = mk_samples [ (Access.Read, 0x0) ] in
+  let m = Mapping.build ~policy:Mapping.Direct ~cells:64 trace in
+  Alcotest.(check int) "word 0" 0 (Mapping.cell_of_addr m 0x0);
+  Alcotest.(check int) "same word" 0 (Mapping.cell_of_addr m 0x7);
+  Alcotest.(check int) "next word" 1 (Mapping.cell_of_addr m 0x8);
+  Alcotest.(check int) "wraps at cells" 0 (Mapping.cell_of_addr m (64 * 8));
+  Alcotest.(check int) "word index mod cells" 5
+    (Mapping.cell_of_addr m ((64 + 5) * 8))
+
+let test_mapping_hashed () =
+  let trace = mk_samples [ (Access.Read, 0x0) ] in
+  let m = Mapping.build ~policy:Mapping.Hashed ~cells:64 trace in
+  let m' = Mapping.build ~policy:Mapping.Hashed ~cells:64 trace in
+  let direct = Mapping.build ~policy:Mapping.Direct ~cells:64 trace in
+  let scattered = ref false in
+  for w = 0 to 999 do
+    let c = Mapping.cell_of_addr m (w * 8) in
+    Alcotest.(check bool) "in range" true (c >= 0 && c < 64);
+    Alcotest.(check int) "deterministic" c (Mapping.cell_of_addr m' (w * 8));
+    if c <> Mapping.cell_of_addr direct (w * 8) then scattered := true
+  done;
+  Alcotest.(check bool) "scatters the direct structure" true !scattered
+
+let test_mapping_zipf_rank () =
+  (* word 0x30 hit 3x, 0x10 hit 2x, 0x20 hit 1x: ranks 0, 1, 2. *)
+  let trace =
+    mk_samples
+      [
+        (Access.Read, 0x30); (Access.Read, 0x10); (Access.Write, 0x30);
+        (Access.Read, 0x20); (Access.Read, 0x30); (Access.Write, 0x10);
+      ]
+  in
+  let m = Mapping.build ~policy:Mapping.Zipf_rank ~cells:64 trace in
+  Alcotest.(check int) "hottest word is cell 0" 0 (Mapping.cell_of_addr m 0x30);
+  Alcotest.(check int) "second is cell 1" 1 (Mapping.cell_of_addr m 0x10);
+  Alcotest.(check int) "third is cell 2" 2 (Mapping.cell_of_addr m 0x20);
+  let unseen = Mapping.cell_of_addr m 0xdead00 in
+  Alcotest.(check bool) "unseen word still lands on the file" true
+    (unseen >= 0 && unseen < 64);
+  Alcotest.(check int) "distinct words" 3 (Mapping.distinct_words trace)
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      match Mapping.policy_of_string (Mapping.policy_name p) with
+      | Ok p' -> Alcotest.(check bool) "name round-trip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    Mapping.all_policies;
+  match Mapping.policy_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus policy accepted"
+  | Error _ -> ()
+
+(* --- Compilation ---------------------------------------------------------- *)
+
+let test_compile_stats () =
+  let trace =
+    Sample.make ~name:"t"
+      [
+        { Sample.t_us = 0; kind = Access.Read; addr = 0x0 };
+        { Sample.t_us = 10; kind = Access.Read; addr = 0x0 };
+        { Sample.t_us = 1500; kind = Access.Write; addr = 0x8 };
+        { Sample.t_us = 2100; kind = Access.Read; addr = 0x10 };
+      ]
+  in
+  let c = Compile.compile ~window_us:1000 ~policy:Mapping.Direct ~cells:64 trace in
+  let s = Compile.stats c in
+  Alcotest.(check int) "samples" 4 s.Compile.samples;
+  Alcotest.(check int) "windows" 3 s.Compile.windows;
+  Alcotest.(check int) "cells touched" 3 s.Compile.cells_touched;
+  Alcotest.(check int) "reads" 3 s.Compile.reads;
+  Alcotest.(check int) "writes" 1 s.Compile.writes;
+  Alcotest.(check int) "duration" 2100 s.Compile.duration_us;
+  let entry = Tdfa_ir.Func.entry_label (Compile.func c) in
+  (* window 0: two reads of word 0 aggregate to one weight-2 event *)
+  (match Compile.accesses c entry 0 with
+  | [ e ] ->
+    Alcotest.(check int) "cell" 0 e.Access.cell;
+    Alcotest.(check bool) "kind" true (e.Access.kind = Access.Read);
+    Alcotest.(check (float 0.0)) "weight aggregates" 2.0 e.Access.weight
+  | evs -> Alcotest.failf "window 0: expected 1 event, got %d" (List.length evs));
+  Alcotest.(check int) "off the carrier is silent" 0
+    (List.length (Compile.accesses c entry 99))
+
+let test_stream_id_content_addressed () =
+  let t1 = Synth.zipf ~seed:1 ~s:1.0 ~addrs:16 ~n:200 () in
+  let t2 = Synth.zipf ~seed:2 ~s:1.0 ~addrs:16 ~n:200 () in
+  let id ?(cells = 64) ?(policy = Mapping.Direct) t =
+    Compile.stream_id (Compile.compile ~policy ~cells t)
+  in
+  Alcotest.(check string) "same stream, same id" (id t1) (id t1);
+  Alcotest.(check bool) "different samples, different id" true (id t1 <> id t2);
+  Alcotest.(check bool) "different policy, different id" true
+    (id t1 <> id ~policy:Mapping.Hashed t1);
+  Alcotest.(check bool) "different cells, different id" true
+    (id t1 <> id ~cells:32 t1)
+
+let test_layout_of_cells () =
+  let dims n =
+    let l = Compile.layout_of_cells n in
+    (l.Tdfa_floorplan.Layout.rows, l.Tdfa_floorplan.Layout.cols)
+  in
+  Alcotest.(check (pair int int)) "64" (8, 8) (dims 64);
+  Alcotest.(check (pair int int)) "32" (4, 8) (dims 32);
+  Alcotest.(check (pair int int)) "49" (7, 7) (dims 49);
+  Alcotest.(check (pair int int)) "7 is prime" (1, 7) (dims 7);
+  Alcotest.(check (pair int int)) "1" (1, 1) (dims 1)
+
+(* --- Synthetic generators ------------------------------------------------- *)
+
+let rank_counts ~addrs (t : Sample.t) =
+  let counts = Array.make addrs 0 in
+  List.iter
+    (fun (s : Sample.sample) ->
+      let r = (s.Sample.addr - 0x1000) / Mapping.word_bytes in
+      counts.(r) <- counts.(r) + 1)
+    t.Sample.samples;
+  counts
+
+let chi_square observed expected =
+  Array.to_list observed
+  |> List.mapi (fun i o ->
+         let e = expected.(i) in
+         let d = float_of_int o -. e in
+         d *. d /. e)
+  |> List.fold_left ( +. ) 0.0
+
+(* With 15 degrees of freedom the 0.999 chi-square quantile is 37.7; a
+   correct generator at a fixed seed sits far under 40, a broken one
+   (wrong exponent, biased inversion) lands in the hundreds. *)
+let test_zipf_chi_square () =
+  let addrs = 16 and n = 20000 in
+  let uniform = Synth.zipf ~seed:42 ~s:0.0 ~addrs ~n () in
+  let flat = Array.make addrs (float_of_int n /. float_of_int addrs) in
+  let chi2_u = chi_square (rank_counts ~addrs uniform) flat in
+  Alcotest.(check bool)
+    (Printf.sprintf "s=0 uniform (chi2=%.1f)" chi2_u)
+    true (chi2_u < 40.0);
+  let skewed = Synth.zipf ~seed:42 ~s:1.0 ~addrs ~n () in
+  let h = ref 0.0 in
+  for k = 1 to addrs do
+    h := !h +. (1.0 /. float_of_int k)
+  done;
+  let zipf_exp =
+    Array.init addrs (fun k ->
+        float_of_int n /. (float_of_int (k + 1) *. !h))
+  in
+  let chi2_z = chi_square (rank_counts ~addrs skewed) zipf_exp in
+  Alcotest.(check bool)
+    (Printf.sprintf "s=1 zipf (chi2=%.1f)" chi2_z)
+    true (chi2_z < 40.0);
+  let c = rank_counts ~addrs skewed in
+  Alcotest.(check bool) "rank 0 dominates rank 15" true (c.(0) > 4 * c.(15))
+
+let test_stream_generator () =
+  let t = Synth.stream ~seed:7 ~footprint:32 ~n:100 () in
+  Alcotest.(check int) "sample count" 100 (List.length t.Sample.samples);
+  (* pass 0 touches words 0..15; sample 16 (pass 1) restarts at word 4. *)
+  let addr i = (List.nth t.Sample.samples i).Sample.addr in
+  Alcotest.(check int) "first sample at window start" 0x1000 (addr 0);
+  Alcotest.(check int) "window marches by slide"
+    (0x1000 + (4 * Mapping.word_bytes))
+    (addr 16)
+
+(* --- Clean-room equivalence ---------------------------------------------- *)
+
+(* Independent reimplementation of the compile.mli spec — assoc lists
+   instead of hash tables, per-sample array updates instead of a
+   bucketing pass: cell = word mod cells, window = t_us / window_us,
+   one event per (cell, kind) in first-touch order carrying the
+   window's count as weight. The analysis may not distinguish this
+   from the production compiler. *)
+let by_hand ~window_us ~cells (trace : Sample.t) =
+  let windows = (Sample.duration_us trace / window_us) + 1 in
+  (* per window: assoc (cell, kind) -> count, newest first-touch last *)
+  let tallies = Array.make windows [] in
+  List.iter
+    (fun (s : Sample.sample) ->
+      let cell = s.Sample.addr / Mapping.word_bytes mod cells in
+      let w = s.Sample.t_us / window_us in
+      let key = (cell, s.Sample.kind) in
+      tallies.(w) <-
+        (if List.mem_assoc key tallies.(w) then
+           List.map
+             (fun (k, n) -> if k = key then (k, n + 1) else (k, n))
+             tallies.(w)
+         else tallies.(w) @ [ (key, 1) ]))
+    trace.Sample.samples;
+  let events =
+    Array.map
+      (List.map (fun ((cell, kind), n) ->
+           Access.event ~weight:(float_of_int n) cell kind))
+      tallies
+  in
+  let b = Tdfa_ir.Builder.create ~name:"by-hand" ~params:[] in
+  for _ = 1 to windows do
+    Tdfa_ir.Builder.nop b
+  done;
+  Tdfa_ir.Builder.ret b None;
+  let func = Tdfa_ir.Builder.finish b in
+  let entry = Tdfa_ir.Func.entry_label func in
+  let accesses label index =
+    if Tdfa_ir.Label.equal label entry && index >= 0
+       && index < Array.length events
+    then events.(index)
+    else []
+  in
+  Driver.Trace { func; accesses }
+
+let prop_trace_matches_clean_room =
+  QCheck2.Test.make
+    ~name:"trace: compiled stream == clean-room reimplementation" ~count:30
+    QCheck2.Gen.(triple (int_range 0 30) (int_range 1 400) (int_range 1 99))
+    (fun (s10, n, seed) ->
+      let sample =
+        Tdfa_trace.Synth.zipf ~seed ~s:(float_of_int s10 /. 10.0) ~addrs:48
+          ~n ()
+      in
+      let compiled =
+        Compile.compile ~policy:Mapping.Direct ~cells:64 sample
+      in
+      let produced =
+        Driver.run base_cfg (Compile.driver_input compiled)
+      in
+      let reference =
+        Driver.run base_cfg (by_hand ~window_us:1000 ~cells:64 sample)
+      in
+      String.equal (fp produced.Driver.outcome) (fp reference.Driver.outcome))
+
+let gen_trace =
+  let open QCheck2.Gen in
+  let gen_sample =
+    triple (int_range 0 50) bool (int_range 0 0xfffff)
+    >|= fun (dt, read, addr) ->
+    (dt, (if read then Access.Read else Access.Write), addr)
+  in
+  pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+    (list_size (int_range 0 40) gen_sample)
+  >|= fun (name, deltas) ->
+  let _, rev =
+    List.fold_left
+      (fun (t, acc) (dt, kind, addr) ->
+        let t = t + dt in
+        (t, { Sample.t_us = t; kind; addr } :: acc))
+      (0, []) deltas
+  in
+  Sample.make ~name (List.rev rev)
+
+let prop_print_parse_round_trip =
+  QCheck2.Test.make ~name:"trace: parse (print t) == t" ~count:200 gen_trace
+    (fun t ->
+      match Sample.parse (Sample.print t) with
+      | Error e -> QCheck2.Test.fail_reportf "re-parse failed: %s" e
+      | Ok t' ->
+        String.equal t.Sample.name t'.Sample.name
+        && t.Sample.samples = t'.Sample.samples)
+
+(* --- Engine trace jobs ---------------------------------------------------- *)
+
+let trace_job_of name sample =
+  let c = Compile.compile ~policy:Mapping.Direct ~cells:64 sample in
+  Tdfa_engine.Engine.trace_job
+    ~stream_id:(Compile.stream_id c)
+    ~accesses:(Compile.accesses c) name (Compile.func c)
+
+let fast_spec =
+  { Tdfa_engine.Engine.default_spec with Tdfa_engine.Engine.granularity = 2; settings }
+
+let test_engine_trace_cache () =
+  let open Tdfa_engine in
+  let j = trace_job_of "zipf" (Synth.zipf ~seed:3 ~s:1.0 ~addrs:32 ~n:400 ()) in
+  let cache = Engine.Cache.in_memory () in
+  let run () = Engine.run_batch ~cache ~layout fast_spec [ j ] in
+  let first = run () and second = run () in
+  let r1 =
+    match first.Engine.results with
+    | [ (_, Ok r) ] -> r
+    | _ -> Alcotest.fail "first trace batch failed"
+  in
+  let r2 =
+    match second.Engine.results with
+    | [ (_, Ok r) ] -> r
+    | _ -> Alcotest.fail "second trace batch failed"
+  in
+  Alcotest.(check bool) "first run computes" true (r1.Engine.source = Engine.Computed);
+  Alcotest.(check bool) "second run hits" true (r2.Engine.source = Engine.Cache_hit);
+  Alcotest.(check bool) "hit is exact" true (Engine.same_result r1 r2);
+  Alcotest.(check int) "no allocation on trace jobs" 0 r1.Engine.spilled
+
+let test_engine_trace_keys_differ () =
+  let open Tdfa_engine in
+  (* Two different streams with the same sample count compile to the
+     same Nop-skeleton carrier; only the stream id separates their cache
+     identities. *)
+  let j1 = trace_job_of "a" (Synth.zipf ~seed:3 ~s:0.0 ~addrs:32 ~n:400 ()) in
+  let j2 = trace_job_of "b" (Synth.zipf ~seed:3 ~s:1.5 ~addrs:32 ~n:400 ()) in
+  let k1 = Engine.job_key ~layout fast_spec j1 in
+  let k2 = Engine.job_key ~layout fast_spec j2 in
+  Alcotest.(check bool) "stream id is load-bearing in the key" true (k1 <> k2);
+  let ir = Engine.job "ir" (Compile.func (Compile.compile
+    ~policy:Mapping.Direct ~cells:64 (Synth.zipf ~seed:3 ~s:0.0 ~addrs:32 ~n:400 ()))) in
+  Alcotest.(check bool) "ir job of the carrier keys differently" true
+    (Engine.job_key ~layout fast_spec ir <> k1)
+
+let suite =
+  [
+    ( "trace.format",
+      [
+        Alcotest.test_case "parse basic + synonyms" `Quick test_parse_basic;
+        Alcotest.test_case "parse errors carry line numbers" `Quick
+          test_parse_errors;
+        Alcotest.test_case "microsecond timestamp resolution" `Quick
+          test_parse_timestamp_resolution;
+        QCheck_alcotest.to_alcotest prop_print_parse_round_trip;
+      ] );
+    ( "trace.mapping",
+      [
+        Alcotest.test_case "direct" `Quick test_mapping_direct;
+        Alcotest.test_case "hashed" `Quick test_mapping_hashed;
+        Alcotest.test_case "zipf-rank" `Quick test_mapping_zipf_rank;
+        Alcotest.test_case "policy names round-trip" `Quick test_policy_names;
+      ] );
+    ( "trace.compile",
+      [
+        Alcotest.test_case "stats + window aggregation" `Quick
+          test_compile_stats;
+        Alcotest.test_case "stream id is content-addressed" `Quick
+          test_stream_id_content_addressed;
+        Alcotest.test_case "layout_of_cells near-square" `Quick
+          test_layout_of_cells;
+        QCheck_alcotest.to_alcotest prop_trace_matches_clean_room;
+      ] );
+    ( "trace.synth",
+      [
+        Alcotest.test_case "zipf chi-square at fixed seed" `Quick
+          test_zipf_chi_square;
+        Alcotest.test_case "sliding-window stream shape" `Quick
+          test_stream_generator;
+      ] );
+    ( "trace.engine",
+      [
+        Alcotest.test_case "trace job cache hit is exact" `Quick
+          test_engine_trace_cache;
+        Alcotest.test_case "stream id separates cache keys" `Quick
+          test_engine_trace_keys_differ;
+      ] );
+  ]

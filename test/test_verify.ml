@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* The verifier, the fault injector that falsifies it, the checked
    pipeline policies, and the divergence-recovery ladder. *)
 
@@ -317,8 +313,13 @@ let recovery_with max_iterations =
       Tdfa_core.Analysis.max_iterations;
     }
   in
-  Tdfa_core.Setup.run_post_ra_with_recovery ~settings ~layout alloc.Alloc.func
-    alloc.Alloc.assignment
+  let d = Tdfa_core.Driver.default ~layout in
+  let r =
+    Tdfa_core.Driver.run
+      { d with Tdfa_core.Driver.settings; recover = true }
+      (Tdfa_core.Driver.Assigned (alloc.Alloc.func, alloc.Alloc.assignment))
+  in
+  Option.get r.Tdfa_core.Driver.recovery
 
 let test_recovery_not_needed () =
   let module A = Tdfa_core.Analysis in

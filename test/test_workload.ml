@@ -1,7 +1,3 @@
-(* The deprecated pre-facade entry points are exercised on purpose:
-   they must keep working (as wrappers) until removed. *)
-[@@@alert "-deprecated"]
-
 (* Tests of the workload library: every kernel is well-formed and
    executable; the random generator is deterministic, valid and respects
    its pressure knob. *)
@@ -181,7 +177,7 @@ let test_generator_analyzable () =
     Tdfa_regalloc.Alloc.allocate f layout ~policy:Tdfa_regalloc.Policy.First_fit
   in
   let outcome =
-    Tdfa_core.Setup.run_post_ra ~layout alloc.Tdfa_regalloc.Alloc.func
+    Tdfa_harness.Common.analyze_assigned ~layout alloc.Tdfa_regalloc.Alloc.func
       alloc.Tdfa_regalloc.Alloc.assignment
   in
   Alcotest.(check bool) "analysis terminates" true

@@ -286,6 +286,36 @@ let analyze kernel file policy granularity delta pre_ra recover incremental
   in
   if rc <> 0 then exit rc
 
+let predict kernel file policy granularity delta pre_ra json obs_req =
+  (* The text report lives in [Tdfa_serve.Render.predict], shared with
+     the serve daemon; --json emits the raw bounds for scripting (the
+     predict-smoke CI gate asserts them against the analyze fixpoint). *)
+  Cli_args.with_func kernel file (fun f ->
+    Cli_args.guard (fun () ->
+      Cli_args.with_obs obs_req (fun obs ->
+        let out, b =
+          Tdfa_serve.Render.predict ~obs ~policy ~granularity ~delta ~pre_ra f
+        in
+        if json then begin
+          let open Tdfa_absint in
+          Printf.printf
+            "{\"kernel\": %S, \"peak_lo_k\": %.6f, \"peak_hi_k\": %.6f, \
+             \"margin_k\": %.6f, \"hot_threshold_k\": %.1f, \"verdict\": %S, \
+             \"cells\": ["
+            f.Func.name b.Absint.peak_lo_k b.Absint.peak_hi_k
+            b.Absint.margin_k Tdfa_lint.Rules.hot_threshold
+            (Absint.verdict_name
+               (Absint.verdict ~hot_k:Tdfa_lint.Rules.hot_threshold b));
+          Array.iteri
+            (fun c lo ->
+              Printf.printf "%s{\"cell\": %d, \"lo_k\": %.6f, \"hi_k\": %.6f}"
+                (if c = 0 then "" else ", ")
+                c lo b.Absint.hi_cells.(c))
+            b.Absint.lo_cells;
+          Printf.printf "]}\n"
+        end
+        else print_string out)))
+
 let policies kernel file =
   Cli_args.with_func kernel file (fun f ->
       let name = f.Func.name in
@@ -463,7 +493,7 @@ let compile kernel file policy granularity checked lint_gate on_violation
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))))
 
 let batch files kernels jobs cache_dir policy granularity delta recover map
-    window_ms watchdog_ms fault_plan obs_req =
+    window_ms watchdog_ms fault_plan prefilter obs_req =
   let settings = { Analysis.default_settings with Analysis.delta_k = delta } in
   let spec =
     {
@@ -553,8 +583,11 @@ let batch files kernels jobs cache_dir policy granularity delta recover map
             (fun () ->
               Tdfa_engine.Engine.run_batch ~obs ~jobs ?cache
                 ~stop:(fun () -> !interrupted)
-                ?watchdog_ms ?faults ~layout:Common.standard_layout spec
-                job_list)
+                ?watchdog_ms ?faults
+                ?prefilter:
+                  (if prefilter then Some Tdfa_lint.Rules.hot_threshold
+                   else None)
+                ~layout:Common.standard_layout spec job_list)
         in
         Option.iter Tdfa_engine.Engine.Cache.sync cache;
         (* stdout carries only the deterministic per-function reports, so
@@ -776,10 +809,15 @@ let experiments id =
       (* CI smoke: shorter streams — the uniform-equivalence assertion
          still runs. *)
       ignore (Experiments.e22 ~n:4000 ())
+    | "e23" -> ignore (Experiments.e23 ())
+    | "e23-quick" ->
+      (* CI smoke: small corpus, single timing rep — the per-cell
+         containment battery still runs on every function. *)
+      ignore (Experiments.e23 ~n:20 ~repeats:1 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e22, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e23, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -819,6 +857,25 @@ let analyze_cmd =
       $ Cli_args.policy_arg $ Cli_args.granularity_arg $ Cli_args.delta_arg
       $ pre_ra_arg $ Cli_args.recover_arg $ Cli_args.incremental_arg
       $ Cli_args.obs_term)
+
+let predict_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:
+             "Emit the bounds as one JSON object instead of the text \
+              report (for scripting and the predict-smoke CI gate).")
+
+let predict_cmd =
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Certified $(b,[lo, hi]) steady-temperature bounds by abstract \
+          interpretation — sound against the full fixpoint without ever \
+          running it.")
+    Term.(
+      const predict $ Cli_args.kernel_arg $ Cli_args.file_arg
+      $ Cli_args.policy_arg $ Cli_args.granularity_arg $ Cli_args.delta_arg
+      $ pre_ra_arg $ predict_json_arg $ Cli_args.obs_term)
 
 let post_ra_verify_arg =
   Cli_args.post_ra_arg
@@ -912,6 +969,16 @@ let batch_kernels_arg =
        & info [ "kernels" ]
            ~doc:"Also analyze the whole built-in kernel suite.")
 
+let batch_prefilter_arg =
+  Arg.(value & flag
+       & info [ "prefilter" ]
+           ~doc:
+             "Run the certified-bound abstract interpreter before each \
+              cache-missing IR job: bounds entirely on one side of the \
+              336 K hot threshold settle the job without a fixpoint \
+              (zero iterations in the report); only straddling jobs run \
+              the full analysis. Trace jobs always run it.")
+
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
@@ -928,7 +995,7 @@ let batch_cmd =
       $ Cli_args.cache_arg $ Cli_args.policy_arg $ Cli_args.granularity_arg
       $ Cli_args.delta_arg $ Cli_args.recover_arg $ Cli_args.map_arg
       $ Cli_args.window_ms_arg $ Cli_args.watchdog_arg
-      $ Cli_args.fault_plan_arg $ Cli_args.obs_term)
+      $ Cli_args.fault_plan_arg $ batch_prefilter_arg $ Cli_args.obs_term)
 
 let socket_arg =
   Arg.(required & opt (some string) None & info [ "s"; "socket" ]
@@ -1036,7 +1103,7 @@ let trace_cmd =
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e22 (e20-quick/e21-quick/e22-quick for small smoke runs) or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e23 (e20-quick/e21-quick/e22-quick/e23-quick for small smoke runs) or all.")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1055,15 +1122,15 @@ let main_cmd =
         "Subcommands draw from one shared flag vocabulary; a flag means \
          the same thing everywhere it appears.";
       `P
-        "$(b,--kernel)/$(b,--file) (program input): analyze, simulate, \
-         policies, optimize, compile, verify, show; lint and batch take \
-         positional files.";
+        "$(b,--kernel)/$(b,--file) (program input): analyze, predict, \
+         simulate, policies, optimize, compile, verify, show; lint and \
+         batch take positional files.";
       `P
-        "$(b,--policy) (register assignment): analyze, simulate, \
+        "$(b,--policy) (register assignment): analyze, predict, simulate, \
          policies, batch, compile, verify, lint, optimize.";
       `P
         "$(b,--granularity), $(b,--delta) (analysis fidelity): analyze, \
-         batch, compile, trace.";
+         predict, batch, compile, trace.";
       `P "$(b,--recover) (divergence-recovery ladder): analyze, batch, trace.";
       `P "$(b,--incremental) (warm-started re-analysis): analyze, optimize, compile.";
       `P
@@ -1081,9 +1148,9 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc ~man)
     [
-      list_cmd; show_cmd; simulate_cmd; analyze_cmd; batch_cmd; lint_cmd;
-      policies_cmd; optimize_cmd; compile_cmd; verify_cmd; serve_cmd;
-      client_cmd; experiments_cmd; trace_cmd;
+      list_cmd; show_cmd; simulate_cmd; analyze_cmd; predict_cmd; batch_cmd;
+      lint_cmd; policies_cmd; optimize_cmd; compile_cmd; verify_cmd;
+      serve_cmd; client_cmd; experiments_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,22 @@
+type t = { lo : float; hi : float }
+
+let make ~lo ~hi =
+  (* [not (lo <= hi)] also catches NaN endpoints. *)
+  if not (lo <= hi) then
+    invalid_arg
+      (Printf.sprintf "Interval.make: lo %g > hi %g (or NaN)" lo hi);
+  { lo; hi }
+
+let point x = make ~lo:x ~hi:x
+let join a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let meet a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let leq a b = b.lo <= a.lo && a.hi <= b.hi
+let widen ~cap prev next = if leq next prev then next else cap
+let contains a x = a.lo <= x && x <= a.hi
+let width a = a.hi -. a.lo
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let to_string a = Printf.sprintf "[%.2f, %.2f]" a.lo a.hi

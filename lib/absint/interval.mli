@@ -1,0 +1,40 @@
+(** Closed temperature intervals — the carrier of the abstract domain.
+
+    An interval [\[lo, hi\]] abstracts a set of temperatures; the order
+    is containment ([leq a b] iff every temperature admitted by [a] is
+    admitted by [b]). [join]/[meet] are the lattice operations on that
+    order, and [widen ~cap] is the extrapolation the abstract fixpoint
+    applies at loop headers: any growth jumps straight to [cap] (the
+    transfer-stable envelope computed from the per-point heat maxima),
+    so an ascending chain stabilises after one widening step. The
+    algebraic laws (commutativity, associativity, idempotence,
+    absorption, widening covering the join) are unit-tested in
+    [test/test_absint.ml]. *)
+
+type t = private { lo : float; hi : float }
+
+val make : lo:float -> hi:float -> t
+(** @raise Invalid_argument when [lo > hi] (NaNs are rejected too). *)
+
+val point : float -> t
+(** The singleton interval [\[x, x\]]. *)
+
+val join : t -> t -> t
+(** Least interval containing both: [\[min lo, max hi\]]. *)
+
+val meet : t -> t -> t option
+(** Greatest interval contained in both, or [None] when disjoint. *)
+
+val widen : cap:t -> t -> t -> t
+(** [widen ~cap prev next]: [next] if it is contained in [prev],
+    otherwise [cap] — the jump-to-envelope extrapolation. The result
+    always contains [join prev next] provided both are contained in
+    [cap]. *)
+
+val leq : t -> t -> bool
+(** Containment: [leq a b] iff [b.lo <= a.lo && a.hi <= b.hi]. *)
+
+val contains : t -> float -> bool
+val width : t -> float
+val equal : t -> t -> bool
+val to_string : t -> string

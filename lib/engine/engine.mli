@@ -223,6 +223,7 @@ val run_batch :
   ?stop:(unit -> bool) ->
   ?watchdog_ms:float ->
   ?faults:Tdfa_verify.Fault.Plan.injector ->
+  ?prefilter:float ->
   layout:Layout.t ->
   spec ->
   job list ->
@@ -252,6 +253,13 @@ val run_batch :
       before a job (exercising the watchdog), and [torn-cache] forces a
       cache probe to behave as a torn read (counter
       [engine.cache.injected_torn]).
+    - [prefilter] (a hot threshold in kelvin) asks the abstract
+      interpreter for certified bounds before each cache-missing IR
+      job: an interval entirely below/above the threshold synthesises a
+      [certified-cool]/[certified-hot] report from the bound (zero
+      iterations, not cached, counter [engine.prefilter.avoided]) and
+      only straddling jobs run the fixpoint
+      ([engine.prefilter.ran]). Trace jobs always run it.
 
     Scheduling telemetry goes to [obs] (default [Obs.null], i.e.
     silence): per job one [engine.job.wait] Complete span (submission

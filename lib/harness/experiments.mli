@@ -345,5 +345,59 @@ val e22 : ?quiet:bool -> ?n:int -> ?json:string option -> unit -> e22_result
     (default [Some "BENCH_trace.json"]) writes the machine-readable
     benchmark; pass [None] to skip. *)
 
+type e23_row = {
+  e23_name : string;
+  e23_peak_k : float;  (** fixpoint ground-truth worst-case peak *)
+  e23_lo_k : float;  (** certified lower bound on that peak *)
+  e23_hi_k : float;  (** certified upper bound *)
+  e23_verdict : string;  (** certified-hot / straddles / certified-cool *)
+  e23_tightness : float;  (** (hi - lo) / (peak - ambient) *)
+  e23_speedup : float;
+      (** 80x80 flat-core fixpoint time (the E21 fidelity ladder's 100x
+          rung — the run a certified bound replaces) / predict time *)
+  e23_speedup_same_grid : float;
+      (** same ratio against the 8x8 g=1 fixpoint that supplies the
+          containment ground truth *)
+}
+
+type e23_result = {
+  e23_corpus : int;
+  e23_hot : int;  (** functions hot under the fixpoint ground truth *)
+  e23_contained : bool;
+      (** every cell of every function landed inside its certified
+          interval (a violation raises instead of reporting [false]) *)
+  e23_certified_hot : int;
+  e23_possibly_hot : int;
+  e23_precision : float;  (** of certified-hot; the zero-FP gate is 1.0 *)
+  e23_recall : float;  (** of possibly-hot; the zero-FN gate is 1.0 *)
+  e23_tightness_median : float;
+  e23_speedup_median : float;
+      (** corpus median vs the 80x80 flat-core fixpoint; gate: >= 50x *)
+  e23_speedup_same_grid_median : float;
+  e23_kernel_rows : e23_row list;  (** the 16 example kernels, named *)
+}
+
+val e23 :
+  ?quiet:bool ->
+  ?n:int ->
+  ?repeats:int ->
+  ?json:string option ->
+  unit ->
+  e23_result
+(** Report card for the abstract interpreter ({!Tdfa_absint.Absint}):
+    the E19 corpus ([n] generated functions, same seed) plus the 16
+    example kernels each run through both the real fixpoint (ground
+    truth) and [predict]. Checks per-cell bound containment (raises on
+    any violation — the soundness battery), scores the certified-hot /
+    possibly-hot verdict pair against the fixpoint verdict at
+    {!Tdfa_lint.Rules.hot_threshold} (precision resp. recall must be
+    1.0 by construction), and reports median bound tightness plus two
+    speedups: the headline ratio against the flat-core fixpoint at the
+    80x80 fidelity grid (E21's 100x rung, timed once per function — the
+    run a certified bound lets a batch skip), and the honesty ratio
+    against the same 8x8 g=1 fixpoint the containment is checked
+    against. [json] (default [Some "BENCH_absint.json"]) writes the
+    machine-readable benchmark; pass [None] to skip. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

@@ -535,6 +535,81 @@ let unreachable_rule =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Certified thermal bounds                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The hot-spot threshold (K) shared by lint, [tdfa predict] and the
+   experiments harness — 18 K above the 318 K ambient, the knee past
+   which E19's ground-truth corpus labels a function hot. *)
+let hot_threshold = 336.0
+
+(* Unlike the heuristic thermal rules above, these two query the abstract
+   interpreter for certified [lo, hi] bounds on the fixpoint peak, so
+   their verdicts are one-sided guarantees: [certified-hot] can never be
+   a false positive, [possibly-hot] can never miss a hot function. The
+   bounds are with respect to the assignment in the lint context (the
+   real one when provided, the placement prediction otherwise). *)
+let predict_bounds ctx =
+  let cfg =
+    Tdfa_core.Setup.config_of_assignment ~layout:ctx.layout ctx.func
+      ctx.assignment
+  in
+  Tdfa_absint.Absint.predict cfg ctx.func
+
+let certified_hot_rule =
+  let id = "certified-hot" in
+  {
+    id;
+    summary =
+      "certified hot: the lower temperature bound clears the hot threshold";
+    default_severity = Warn;
+    check =
+      (fun ctx ->
+        let b = predict_bounds ctx in
+        if b.Tdfa_absint.Absint.peak_lo_k >= hot_threshold then
+          let cells =
+            Tdfa_absint.Absint.certified_hot_cells ~hot_k:hot_threshold b
+          in
+          [
+            finding ctx ~rule_id:id ~severity:Warn
+              ~hint:"respill or rotate the hottest live ranges"
+              (Printf.sprintf
+                 "peak bound [%.2f, %.2f] K: certified >= %.0f K on %d \
+                  cell(s) under any fixpoint outcome"
+                 b.Tdfa_absint.Absint.peak_lo_k
+                 b.Tdfa_absint.Absint.peak_hi_k hot_threshold
+                 (List.length cells));
+          ]
+        else []);
+  }
+
+let possibly_hot_rule =
+  let id = "possibly-hot" in
+  {
+    id;
+    summary =
+      "the upper temperature bound admits a hot spot; only the fixpoint \
+       can rule it out";
+    default_severity = Info;
+    check =
+      (fun ctx ->
+        let b = predict_bounds ctx in
+        if
+          b.Tdfa_absint.Absint.peak_lo_k < hot_threshold
+          && b.Tdfa_absint.Absint.peak_hi_k >= hot_threshold
+        then
+          [
+            finding ctx ~rule_id:id ~severity:Info
+              ~hint:"run the full analysis to decide"
+              (Printf.sprintf
+                 "peak bound [%.2f, %.2f] K straddles the %.0f K threshold"
+                 b.Tdfa_absint.Absint.peak_lo_k
+                 b.Tdfa_absint.Absint.peak_hi_k hot_threshold);
+          ]
+        else []);
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -551,6 +626,8 @@ let all =
     redundant_copy_rule;
     foldable_constant_rule;
     unreachable_rule;
+    certified_hot_rule;
+    possibly_hot_rule;
   ]
 
 let find id = List.find_opt (fun (r : Lint.rule) -> r.id = id) all

@@ -11,8 +11,13 @@
 open Tdfa_ir
 open Tdfa_floorplan
 
+val hot_threshold : float
+(** The hot-spot threshold (K) shared by lint, [tdfa predict] and the
+    experiments harness. *)
+
 val all : Lint.rule list
-(** Every registered rule, in registry order (thermal first). *)
+(** Every registered rule, in registry order (thermal first, the
+    certified-bound pair last). *)
 
 val find : string -> Lint.rule option
 

@@ -1,18 +1,22 @@
 open Tdfa_regalloc
 
-type op = Analyze | Reanalyze | Lint | Status | Shutdown
+type op = Analyze | Reanalyze | Predict | Lint | Trace | Status | Shutdown
 
 let op_name = function
   | Analyze -> "analyze"
   | Reanalyze -> "reanalyze"
+  | Predict -> "predict"
   | Lint -> "lint"
+  | Trace -> "trace"
   | Status -> "status"
   | Shutdown -> "shutdown"
 
 let op_of_string = function
   | "analyze" -> Some Analyze
   | "reanalyze" -> Some Reanalyze
+  | "predict" -> Some Predict
   | "lint" -> Some Lint
+  | "trace" -> Some Trace
   | "status" -> Some Status
   | "shutdown" -> Some Shutdown
   | _ -> None
@@ -29,6 +33,10 @@ type request = {
   recover : bool;
   incremental : bool;
   post_ra : bool;
+  trace : string option;
+  map : Tdfa_trace.Mapping.policy;
+  cells : int;
+  window_ms : float;
   deadline_ms : float option;
 }
 
@@ -50,7 +58,8 @@ let request_of_json j =
     | None ->
       Error
         (Printf.sprintf
-           "unknown op %S (analyze, reanalyze, lint, status, shutdown)"
+           "unknown op %S (analyze, reanalyze, predict, lint, trace, \
+            status, shutdown)"
            opname)
     | Some op -> (
       let id = Option.value ~default:"" (Json.str_member "id" j) in
@@ -61,26 +70,38 @@ let request_of_json j =
       in
       match policy_of_string policy_name with
       | None -> Error (Printf.sprintf "unknown policy %S" policy_name)
-      | Some policy ->
-        let b key default =
-          Option.value ~default (Json.bool_member key j)
+      | Some policy -> (
+        let map_name =
+          Option.value ~default:"direct" (Json.str_member "map" j)
         in
-        Ok
-          {
-            id;
-            op;
-            kernel;
-            ir;
-            policy;
-            granularity =
-              Option.value ~default:1 (Json.int_member "granularity" j);
-            delta = Option.value ~default:0.05 (Json.float_member "delta" j);
-            pre_ra = b "pre_ra" false;
-            recover = b "recover" false;
-            incremental = b "incremental" false;
-            post_ra = b "post_ra" false;
-            deadline_ms = Json.float_member "deadline_ms" j;
-          }))
+        match Tdfa_trace.Mapping.policy_of_string map_name with
+        | Error msg -> Error msg
+        | Ok map ->
+          let b key default =
+            Option.value ~default (Json.bool_member key j)
+          in
+          Ok
+            {
+              id;
+              op;
+              kernel;
+              ir;
+              policy;
+              granularity =
+                Option.value ~default:1 (Json.int_member "granularity" j);
+              delta =
+                Option.value ~default:0.05 (Json.float_member "delta" j);
+              pre_ra = b "pre_ra" false;
+              recover = b "recover" false;
+              incremental = b "incremental" false;
+              post_ra = b "post_ra" false;
+              trace = Json.str_member "trace" j;
+              map;
+              cells = Option.value ~default:64 (Json.int_member "cells" j);
+              window_ms =
+                Option.value ~default:1.0 (Json.float_member "window_ms" j);
+              deadline_ms = Json.float_member "deadline_ms" j;
+            })))
 
 let request_of_line line =
   match Json.of_string line with

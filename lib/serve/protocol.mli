@@ -10,7 +10,7 @@
 
 open Tdfa_regalloc
 
-type op = Analyze | Reanalyze | Lint | Status | Shutdown
+type op = Analyze | Reanalyze | Predict | Lint | Trace | Status | Shutdown
 
 val op_name : op -> string
 val op_of_string : string -> op option
@@ -27,6 +27,13 @@ type request = {
   recover : bool;
   incremental : bool;
   post_ra : bool;  (** lint: allocate first *)
+  trace : string option;
+      (** trace: the sampled access stream, inline (the same text a
+          [tdfa trace] input file holds — JSON escaping keeps it one
+          frame line) *)
+  map : Tdfa_trace.Mapping.policy;  (** trace: address-to-cell mapping *)
+  cells : int;  (** trace: RF cell count (default 64) *)
+  window_ms : float;  (** trace: discretisation window (default 1.0) *)
   deadline_ms : float option;  (** per-request deadline override *)
 }
 

@@ -145,6 +145,66 @@ let trace ?(obs = Tdfa_obs.Obs.null) ?cancel ?window_us ~policy ~cells
   pf "\nmeasured steady peak (RC simulator): %.2f K\n" measured_peak;
   (Buffer.contents buf, r)
 
+(* The one source of truth for what `tdfa predict' prints: certified
+   [lo, hi] peak bounds from the abstract interpreter, the verdict
+   against the shared hot threshold, the upper-bound map and the
+   hottest cells. Everything printed is deterministic (counts, not
+   times), so the daemon can ship the same bytes. *)
+let predict ?(obs = Tdfa_obs.Obs.null) ~policy ~granularity ~delta ~pre_ra
+    (f : Func.t) =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let name = f.Func.name in
+  let func, assignment, mode =
+    if pre_ra then
+      (f, Placement.predict f Common.standard_layout, "pre-RA (predictive)")
+    else begin
+      let alloc = Alloc.allocate ~obs f Common.standard_layout ~policy in
+      ( alloc.Alloc.func,
+        alloc.Alloc.assignment,
+        Printf.sprintf "post-RA, policy %s" (Policy.name policy) )
+    end
+  in
+  let cfg =
+    {
+      (Tdfa.Driver.default ~layout:Common.standard_layout) with
+      Tdfa.Driver.granularity;
+      settings = { Analysis.default_settings with Analysis.delta_k = delta };
+      obs;
+    }
+  in
+  let p = Tdfa.Driver.predict cfg (Tdfa.Driver.Assigned (func, assignment)) in
+  let b = p.Tdfa.Driver.bounds in
+  let open Tdfa_absint in
+  let hot_k = Tdfa_lint.Rules.hot_threshold in
+  pf "kernel %s, %s: certified thermal bounds (no fixpoint)\n" name mode;
+  pf "peak bound [%.2f, %.2f] K vs threshold %.0f K: %s\n"
+    b.Absint.peak_lo_k b.Absint.peak_hi_k hot_k
+    (Absint.verdict_name (Absint.verdict ~hot_k b));
+  pf
+    "lower-bound margin %.2f K; %d blocks, %d loop orbit(s), %d envelope \
+     sweeps\n\n"
+    b.Absint.margin_k b.Absint.stats.Absint.blocks b.Absint.stats.Absint.loops
+    b.Absint.stats.Absint.gs_sweeps;
+  pf "upper-bound map (peak %.2f K):\n" b.Absint.peak_hi_k;
+  Buffer.add_string buf (Heatmap.render Common.standard_layout b.Absint.hi_cells);
+  pf "\nhottest cells by upper bound:\n";
+  let ranked =
+    List.init (Array.length b.Absint.hi_cells) (fun c -> c)
+    |> List.sort (fun c1 c2 ->
+        match compare b.Absint.hi_cells.(c2) b.Absint.hi_cells.(c1) with
+        | 0 -> compare c1 c2
+        | n -> n)
+  in
+  List.iteri
+    (fun i c ->
+      if i < 8 then
+        pf "  cell %2d  [%.2f, %.2f] K  (width %.2f)\n" c
+          b.Absint.lo_cells.(c) b.Absint.hi_cells.(c)
+          (b.Absint.hi_cells.(c) -. b.Absint.lo_cells.(c)))
+    ranked;
+  (Buffer.contents buf, b)
+
 (* The one source of truth for a `tdfa lint' text report of one input:
    the CLI prints it per input, the daemon ships it in the response. *)
 let lint_report ~display findings =

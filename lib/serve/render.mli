@@ -57,6 +57,21 @@ val trace :
 
     @raise Tdfa_core.Analysis.Cancelled when [cancel] trips. *)
 
+val predict :
+  ?obs:Obs.sink ->
+  policy:Policy.t ->
+  granularity:int ->
+  delta:float ->
+  pre_ra:bool ->
+  Func.t ->
+  string * Tdfa_absint.Absint.t
+(** Allocate (or predict placement under [pre_ra]) and compute certified
+    [lo, hi] steady-state peak bounds through {!Tdfa.Driver.predict} —
+    no fixpoint runs. Renders the verdict against
+    {!Tdfa_lint.Rules.hot_threshold}, the upper-bound heatmap and the
+    hottest cells; every printed quantity is deterministic, so the
+    daemon ships the same bytes the CLI prints. *)
+
 val lint_report : display:string -> Tdfa_lint.Lint.finding list -> string
 (** The per-input text block of [tdfa lint] ([lint <display>: clean] or
     the rendered finding table). *)

@@ -205,7 +205,23 @@ let handle_work t session (req : Protocol.request) ~rebuilding =
                Some inc.Tdfa_core.Incremental.prior
            | None -> ());
           (out, mode_extra r)
-        | Protocol.Status | Protocol.Shutdown -> assert false
+        | Protocol.Predict ->
+          (* Certified bounds, no fixpoint — interactive latency by
+             construction, so there is no degraded rung to fall to. *)
+          let out, b =
+            Render.predict ~obs ~policy:req.Protocol.policy
+              ~granularity:req.Protocol.granularity
+              ~delta:req.Protocol.delta ~pre_ra:req.Protocol.pre_ra f
+          in
+          ( out,
+            [
+              ( "peak_lo_k",
+                Json.Float b.Tdfa_absint.Absint.peak_lo_k );
+              ( "peak_hi_k",
+                Json.Float b.Tdfa_absint.Absint.peak_hi_k );
+            ] )
+        | Protocol.Trace | Protocol.Status | Protocol.Shutdown ->
+          assert false
       in
       let respond ~degraded (out, extra) =
         let extra =
@@ -293,6 +309,61 @@ let status_response t session (req : Protocol.request) =
       ]
     ()
 
+(* Trace replay: the sampled stream rides inline in the request (JSON
+   escaping keeps it one frame line), so no session residency is
+   involved — parse, compile, run, reply. The output is the exact text
+   of the one-shot [tdfa trace] on the same stream. *)
+let handle_trace t (req : Protocol.request) =
+  let obs = t.cfg.obs in
+  let bad message =
+    Reply
+      (Protocol.error_response ~id:req.Protocol.id ~kind:Protocol.Bad_request
+         ~message ())
+  in
+  match req.Protocol.trace with
+  | None -> bad "trace op needs a \"trace\" field (inline sample text)"
+  | Some text -> (
+    match Tdfa_trace.Sample.parse text with
+    | Error msg -> bad (Printf.sprintf "trace parse error: %s" msg)
+    | Ok sample ->
+      let window_us = int_of_float (req.Protocol.window_ms *. 1000.0) in
+      if window_us <= 0 then bad "window_ms must be at least 0.001"
+      else begin
+        let deadline_ms =
+          match req.Protocol.deadline_ms with
+          | Some ms -> Some ms
+          | None -> t.cfg.deadline_ms
+        in
+        let deadline =
+          Option.map (fun ms -> Robust.deadline_after ~ms) deadline_ms
+        in
+        let cancel = Option.map Robust.cancel_of deadline in
+        match
+          Render.trace ~obs ?cancel ~window_us ~policy:req.Protocol.map
+            ~cells:req.Protocol.cells ~granularity:req.Protocol.granularity
+            ~delta:req.Protocol.delta ~recover:req.Protocol.recover sample
+        with
+        | out, _ ->
+          Reply
+            (Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Trace
+               ~output:out ())
+        | exception Tdfa_core.Analysis.Cancelled { iterations } ->
+          Obs.incr obs "serve.deadlines";
+          Reply
+            (Protocol.error_response ~id:req.Protocol.id
+               ~kind:Protocol.Deadline
+               ~message:
+                 (Printf.sprintf
+                    "deadline expired after %d fixpoint iterations"
+                    iterations)
+               ())
+        | exception e ->
+          Obs.incr obs "serve.failed";
+          Reply
+            (Protocol.error_response ~id:req.Protocol.id
+               ~kind:Protocol.Failed ~message:(Printexc.to_string e) ())
+      end)
+
 let handle_request t session ~rebuilding (req : Protocol.request) =
   Session.record session req;
   if not rebuilding then t.served <- t.served + 1;
@@ -303,7 +374,9 @@ let handle_request t session ~rebuilding (req : Protocol.request) =
     Shutdown_now
       (Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Shutdown
          ~output:"shutting down\n" ())
-  | Protocol.Analyze | Protocol.Reanalyze | Protocol.Lint ->
+  | Protocol.Trace -> handle_trace t req
+  | Protocol.Analyze | Protocol.Reanalyze | Protocol.Predict | Protocol.Lint
+    ->
     handle_work t session req ~rebuilding
 
 (* Crash-only rebuild: reset the session and replay its request log

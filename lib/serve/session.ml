@@ -19,12 +19,14 @@ let rec take n = function
   | x :: rest -> x :: take (n - 1) rest
 
 (* Only program-state-building ops enter the log: they are what a
-   rebuild must replay. Status/shutdown are stateless. *)
+   rebuild must replay. Status/shutdown are stateless, and so is trace
+   (the stream rides in the request itself). *)
 let record t (req : Protocol.request) =
   (match req.Protocol.op with
-   | Protocol.Analyze | Protocol.Reanalyze | Protocol.Lint ->
+   | Protocol.Analyze | Protocol.Reanalyze | Protocol.Predict | Protocol.Lint
+     ->
      t.log <- take t.max_log (req :: t.log)
-   | Protocol.Status | Protocol.Shutdown -> ());
+   | Protocol.Trace | Protocol.Status | Protocol.Shutdown -> ());
   t.served <- t.served + 1
 
 let quarantine t =

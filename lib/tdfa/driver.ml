@@ -4,3 +4,70 @@
    it); this re-export is the name everything outside the core calls. *)
 
 include Tdfa_core.Driver
+
+(* Predict mode: certified [lo, hi] steady-state bounds from the
+   abstract interpreter (Tdfa_absint) instead of the fixpoint. It
+   accepts the same closed set of inputs as [run] — allocation still
+   happens for [Unallocated] — but never iterates the thermal state. *)
+
+type mode = Analyze | Predict
+
+let mode_name = function Analyze -> "analyze" | Predict -> "predict"
+
+type prediction = {
+  pre_alloc : Tdfa_regalloc.Alloc.result option;
+      (** [Some] iff the input was [Unallocated] *)
+  bounds : Tdfa_absint.Absint.t;
+}
+
+type mode_result = Analyzed of result | Predicted of prediction
+
+let predict (cfg : config) input =
+  let module Analysis = Tdfa_core.Analysis in
+  let obs = cfg.obs in
+  Tdfa_obs.Obs.span obs "driver.predict"
+    ~args:[ ("granularity", Tdfa_obs.Obs.Int cfg.granularity) ]
+    (fun () ->
+      Tdfa_obs.Obs.incr obs "driver.predicts";
+      let bounds_of tc func =
+        Tdfa_absint.Absint.predict ~delta_k:cfg.settings.Analysis.delta_k
+          ~max_iterations:cfg.settings.Analysis.max_iterations tc func
+      in
+      match input with
+      | Unallocated func ->
+        let a =
+          Tdfa_regalloc.Alloc.allocate ~obs func cfg.layout
+            ~policy:cfg.policy
+        in
+        let func = a.Tdfa_regalloc.Alloc.func in
+        let tc = transfer_config cfg func a.Tdfa_regalloc.Alloc.assignment in
+        { pre_alloc = Some a; bounds = bounds_of tc func }
+      | Assigned (func, assignment) ->
+        let tc = transfer_config cfg func assignment in
+        { pre_alloc = None; bounds = bounds_of tc func }
+      | Configured (tc, func) -> { pre_alloc = None; bounds = bounds_of tc func }
+      | Custom { config_of; func } ->
+        let tc = config_of ~granularity:cfg.granularity in
+        { pre_alloc = None; bounds = bounds_of tc func }
+      | Warm_start { func; assignment; _ } ->
+        let tc = transfer_config cfg func assignment in
+        { pre_alloc = None; bounds = bounds_of tc func }
+      | Trace { func; accesses } ->
+        (* Mirrors the trace configuration [run] builds: cells come
+           straight from the events, every block at frequency 1,
+           terminators touch nothing. *)
+        let tc =
+          Tdfa_core.Transfer.make_config ~params:cfg.params
+            ~granularity:cfg.granularity ?analysis_dt_s:cfg.analysis_dt_s
+            ~max_frequency:1.0 ~layout:cfg.layout
+            ~block_frequency:(fun _ -> 1.0)
+            ~accesses_of_instr:(fun label index _ -> accesses label index)
+            ~accesses_of_term:(fun _ _ -> [])
+            ()
+        in
+        { pre_alloc = None; bounds = bounds_of tc func })
+
+let run_mode ~mode cfg input =
+  match mode with
+  | Analyze -> Analyzed (run cfg input)
+  | Predict -> Predicted (predict cfg input)

@@ -53,6 +53,40 @@ let split_fields line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun f -> f <> "")
 
+(* `perf script -F comm,pid,time,event,addr` columns (PEBS memory
+   sampling): "comm pid [cpu] time: event: addr". The optional [cpu]
+   column is skipped, the trailing colon on the timestamp is dropped,
+   the event keeps only its name (modifier suffixes like ":uP" and the
+   trailing colon go), and the address is hexadecimal with or without
+   its 0x prefix. *)
+let drop_trailing_colon s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = ':' then String.sub s 0 (n - 1) else s
+
+let event_base s =
+  match String.index_opt s ':' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let hex_addr_of_string s =
+  let s =
+    if String.length s > 1 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+    then s
+    else "0x" ^ s
+  in
+  match int_of_string_opt s with Some a when a >= 0 -> Some a | _ -> None
+
+let perf_fields = function
+  | [ _comm; pid; t; ev; a ] when int_of_string_opt pid <> None ->
+      Some (t, ev, a)
+  | [ _comm; pid; cpu; t; ev; a ]
+    when int_of_string_opt pid <> None
+         && String.length cpu >= 2
+         && cpu.[0] = '['
+         && cpu.[String.length cpu - 1] = ']' ->
+      Some (t, ev, a)
+  | _ -> None
+
 let name_directive line =
   (* "# name: foo" (spacing flexible) *)
   let body = String.sub line 1 (String.length line - 1) |> String.trim in
@@ -82,11 +116,38 @@ let parse ?(name = "trace") text =
           in
           go (lineno + 1) name acc rest
         else
-          match split_fields trimmed with
-          | [ t; k; a ] -> (
-              match
-                (us_of_seconds_string t, kind_of_string k, addr_of_string a)
-              with
+          let parsed =
+            match split_fields trimmed with
+            | [ t; k; a ] ->
+                Ok
+                  ( t,
+                    k,
+                    a,
+                    us_of_seconds_string t,
+                    kind_of_string k,
+                    addr_of_string a )
+            | fields -> (
+                match perf_fields fields with
+                | Some (t, ev, a) ->
+                    let t = drop_trailing_colon t and k = event_base ev in
+                    Ok
+                      ( t,
+                        k,
+                        a,
+                        us_of_seconds_string t,
+                        kind_of_string k,
+                        hex_addr_of_string a )
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "line %d: expected 3 fields or perf script \
+                          comm/pid/time/event/addr columns, got %d fields"
+                         lineno (List.length fields)))
+          in
+          match parsed with
+          | Error e -> Error e
+          | Ok (t, k, a, t_us, kind, addr) -> (
+              match (t_us, kind, addr) with
               | Some t_us, Some kind, Some addr ->
                   let prev = match acc with [] -> 0 | s :: _ -> s.t_us in
                   if t_us < prev then
@@ -102,11 +163,7 @@ let parse ?(name = "trace") text =
                        "line %d: bad access kind %S (want R|W|load|store)"
                        lineno k)
               | _, _, None ->
-                  Error (Printf.sprintf "line %d: bad address %S" lineno a))
-          | fields ->
-              Error
-                (Printf.sprintf "line %d: expected 3 fields, got %d" lineno
-                   (List.length fields)))
+                  Error (Printf.sprintf "line %d: bad address %S" lineno a)))
   in
   go 1 name [] lines
 

@@ -19,7 +19,16 @@
     perf-script event names paste in), and a byte address (hex with
     [0x], or decimal). [#] starts a comment; a [# name:] comment names
     the trace. Samples must be in nondecreasing time order — the order
-    a sampler emits them. *)
+    a sampler emits them.
+
+    Raw [perf script] output is accepted as-is, no reformatting needed:
+    a line in the [perf script -F comm,pid,time,event,addr] column
+    layout — ["comm pid \[cpu\] time: event: addr"], the [\[cpu\]]
+    column optional — parses to the same triple. The timestamp drops
+    its trailing colon, the event name keeps only the part before the
+    first colon (so modifier suffixes like [mem-loads:uP:] work) and
+    must be one of the load/store spellings above, and the address is
+    read as hexadecimal with or without its [0x] prefix. *)
 
 open Tdfa_core
 

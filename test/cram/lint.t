@@ -16,6 +16,8 @@ thermal fixpoint. The registry is discoverable:
   redundant-copy                 info      copy with no effect (self-move, or source and target share a cell)                                  
   foldable-constant              info      instruction that always computes the same constant                                                  
   unreachable-block              warn      block unreachable from the entry                                                                    
+  certified-hot                  warn      certified hot: the lower temperature bound clears the hot threshold                                 
+  possibly-hot                   info      the upper temperature bound admits a hot spot; only the fixpoint can rule it out                    
 
 Findings come as a deterministic table, one per input; the default
 --max-severity warn exit mapping tolerates warnings but fails on
@@ -27,7 +29,8 @@ errors, so a warning-only kernel exits 0:
   --------  -----------------------  ------------------  ---------------------------------------------------------------------------------  ----------------------------------------------------------------------------------
   warn      hot-loop-access-density  fir/body15/instr 1  t19: 1152 weighted accesses (7.6x the function mean) concentrated at loop depth 1  split the live range across loop iterations or rotate the assignment              
   info      back-to-back-hot-access  fir/body15          17 back-to-back same-register access pairs at loop depth 1                         interleave independent instructions (schedule) or insert cooling NOPs (nop_insert)
-  2 finding(s): 0 error(s), 1 warning(s), 1 info(s)
+  info      possibly-hot             fir                 peak bound [322.88, 605.16] K straddles the 336 K threshold                        run the full analysis to decide                                                   
+  3 finding(s): 0 error(s), 1 warning(s), 2 info(s)
   $ ../../bin/tdfa_cli.exe lint -k fir > run1.out
   $ ../../bin/tdfa_cli.exe lint -k fir > run2.out
   $ cmp run1.out run2.out
@@ -38,7 +41,7 @@ code):
 
   $ ../../bin/tdfa_cli.exe lint -k fir --rules dead-def,unreachable-block
   lint fir: clean
-  $ ../../bin/tdfa_cli.exe lint -k fir --rules=-hot-loop-access-density,-back-to-back-hot-access
+  $ ../../bin/tdfa_cli.exe lint -k fir --rules=-hot-loop-access-density,-back-to-back-hot-access,-possibly-hot
   lint fir: clean
   $ ../../bin/tdfa_cli.exe lint -k fir --severity hot-loop-access-density=error > /dev/null
   [1]
@@ -55,6 +58,7 @@ CLI flags applied on top:
   > # project policy
   > hot-loop-access-density = off
   > back-to-back-hot-access = off
+  > possibly-hot = off
   > EOF
   $ ../../bin/tdfa_cli.exe lint -k fir --lint-config lint.conf
   lint fir: clean
@@ -77,6 +81,28 @@ one run:
   lint scale (scale.tir): clean
   lint fib (fib.tir): clean
 
+The abstract-interpretation pair brackets the thermal verdict from both
+sides without running the fixpoint: certified-hot fires only when the
+certified lower bound already clears 336 K (so it can never be a false
+positive), possibly-hot whenever the upper bound admits a hot spot (so
+a silent run certifies coolness — no false negatives). The bounds
+follow the assignment in view: under its real first-fit assignment
+(--post-ra) horner is the suite's provably hot kernel, while the
+default predictive placement can only say "possibly":
+
+  $ ../../bin/tdfa_cli.exe lint -k horner --post-ra --rules certified-hot,possibly-hot
+  lint horner:
+  severity  rule           location  message                                                                                    hint                                     
+  --------  -------------  --------  -----------------------------------------------------------------------------------------  -----------------------------------------
+  warn      certified-hot  horner    peak bound [344.09, 609.35] K: certified >= 336 K on 1 cell(s) under any fixpoint outcome  respill or rotate the hottest live ranges
+  1 finding(s): 0 error(s), 1 warning(s), 0 info(s)
+  $ ../../bin/tdfa_cli.exe lint -k horner --rules certified-hot,possibly-hot
+  lint horner:
+  severity  rule          location  message                                                      hint                           
+  --------  ------------  --------  -----------------------------------------------------------  -------------------------------
+  info      possibly-hot  horner    peak bound [329.62, 589.73] K straddles the 336 K threshold  run the full analysis to decide
+  1 finding(s): 0 error(s), 0 warning(s), 1 info(s)
+
 The SARIF renderer emits one 2.1 log for the whole invocation, stable
 across runs:
 
@@ -86,7 +112,7 @@ across runs:
     "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
     "version": "2.1.0",
   $ grep -c '"ruleId"' lint.sarif
-  2
+  3
   $ ../../bin/tdfa_cli.exe lint -k fir --format sarif > again.sarif
   $ cmp lint.sarif again.sarif
   $ python3 -m json.tool lint.sarif > /dev/null

@@ -1,0 +1,102 @@
+`tdfa predict` brackets the steady-state temperature of every RF cell
+with certified [lo, hi] bounds by abstract interpretation — no RC
+fixpoint runs. The verdict line compares the peak bounds against the
+336 K lint threshold.
+
+  $ ../../bin/tdfa_cli.exe predict -k fir | head -3
+  kernel fir, post-RA, policy first-fit: certified thermal bounds (no fixpoint)
+  peak bound [331.25, 609.61] K vs threshold 336 K: straddles
+  lower-bound margin 7.52 K; 4 blocks, 1 loop orbit(s), 64 envelope sweeps
+
+horner is the suite's certified-hot kernel: its lower bound alone
+clears the threshold, so the hot verdict needs no fixpoint at all.
+
+  $ ../../bin/tdfa_cli.exe predict -k horner | head -2
+  kernel horner, post-RA, policy first-fit: certified thermal bounds (no fixpoint)
+  peak bound [344.09, 609.35] K vs threshold 336 K: certified-hot
+
+The JSON view feeds the predict-smoke CI gate. The bounds really do
+contain the fixpoint: extract [lo, hi] from predict and the measured
+peak from the analyze run, and compare.
+
+  $ ../../bin/tdfa_cli.exe predict -k fir --json \
+  >   | grep -o '"peak_lo_k": [0-9.]*, "peak_hi_k": [0-9.]*'
+  "peak_lo_k": 331.253347, "peak_hi_k": 609.605912
+  $ PEAK=$(../../bin/tdfa_cli.exe analyze -k fir \
+  >   | sed -n 's/.*predicted worst-case map (peak \([0-9.]*\) K).*/\1/p')
+  $ LO=$(../../bin/tdfa_cli.exe predict -k fir --json \
+  >   | sed 's/.*"peak_lo_k": \([0-9.]*\).*/\1/')
+  $ HI=$(../../bin/tdfa_cli.exe predict -k fir --json \
+  >   | sed 's/.*"peak_hi_k": \([0-9.]*\).*/\1/')
+  $ awk -v p=$PEAK -v lo=$LO -v hi=$HI \
+  >   'BEGIN { print (lo <= p && p <= hi) ? "contained" : "VIOLATION" }'
+  contained
+
+The batch prefilter settles one-sided jobs from the bounds alone:
+certified verdicts skip the fixpoint (zero iterations, a bounds-only
+fingerprint), straddlers run it as before, and the split is counted.
+
+  $ ../../bin/tdfa_cli.exe batch --kernels --prefilter --metrics \
+  >   2> metrics.err | grep horner
+  horner         converged    0 iter  peak  344.09 K  mean  320.10 K  pressure 20  spilled  0  bounds-only-  [certified-hot]
+  $ grep "engine.prefilter" metrics.err
+    engine.prefilter.avoided         1
+    engine.prefilter.ran             15
+
+The serve daemon answers predict requests with the exact bytes of the
+one-shot CLI.
+
+  $ SOCKDIR=$(mktemp -d /tmp/tdfa-cram-XXXXXX)
+  $ SOCK=$SOCKDIR/tdfa.sock
+  $ ../../bin/tdfa_cli.exe serve -s $SOCK > serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ for k in fir horner matmul stencil; do
+  >   printf '{"op":"predict","kernel":"%s"}\n' $k \
+  >     | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  >   ../../bin/tdfa_cli.exe predict -k $k > via-cli.txt
+  >   cmp via-serve.txt via-cli.txt && echo "$k predict identical"
+  > done
+  fir predict identical
+  horner predict identical
+  matmul predict identical
+  stencil predict identical
+
+Trace requests ship the sample text inline (newline-escaped, one JSON
+frame) and reuse the same renderer as `tdfa trace`, so the daemon's
+answer is byte-identical to the one-shot run.
+
+  $ T=$(awk '{printf "%s\\n", $0}' ../../examples/traces/sample.trace)
+  $ printf '{"op":"trace","trace":"%s"}\n' "$T" \
+  >   | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  $ ../../bin/tdfa_cli.exe trace ../../examples/traces/sample.trace > via-cli.txt
+  $ cmp via-serve.txt via-cli.txt && echo "trace identical"
+  trace identical
+
+  $ printf '{"op":"shutdown"}\n' | ../../bin/tdfa_cli.exe client -s $SOCK
+  shutting down
+  $ wait $SERVE_PID
+  $ rm -rf $SOCKDIR
+
+Raw `perf script -F comm,pid,time,event,addr` output needs no
+reformatting: the comm/pid/[cpu] columns are recognised and skipped,
+the trailing colons go, modifier suffixes like mem-loads:uP: are
+accepted, and bare addresses are read as hex.
+
+  $ ../../bin/tdfa_cli.exe trace ../../examples/traces/perf_script.trace
+  trace perf_script: 25 samples over 4.000 ms, 5 windows
+  mapping direct -> 64 cells (11 touched), 18 reads / 7 writes
+  
+  analysis converged after 2 iterations (last delta 0.0000 K)
+  
+  predicted worst-case map (peak 326.26 K):
+  @+-.....
+  -::.....
+  ........
+  ........
+  ::::::::
+  ........
+  ........
+  ........
+  min=318.02K max=326.26K
+  
+  measured steady peak (RC simulator): 366.06 K

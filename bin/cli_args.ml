@@ -226,6 +226,47 @@ let load_trace path =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Placement knobs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared by `tdfa place' and `tdfa batch --place': one spelling for
+   the chip geometry and the allocation policy, documented once. *)
+let cores_arg =
+  Arg.(value & opt string "2x2" & info [ "cores" ] ~docv:"RxC"
+         ~doc:
+           "Chip geometry for task placement: $(docv) cores, each \
+            carrying the standard 8x8-cell register file, coupled \
+            laterally through the chip-level RC network.")
+
+let sa_iters_arg =
+  Arg.(value & opt int 2000 & info [ "sa-iters" ] ~docv:"N"
+         ~doc:
+           "Simulated-annealing iterations for the $(b,anneal) \
+            placement policy (0 degrades exactly to greedy).")
+
+let sa_seed_arg =
+  Arg.(value & opt int 0 & info [ "sa-seed" ] ~docv:"SEED"
+         ~doc:
+           "Seed of the $(b,anneal) placement policy (annealing is \
+            deterministic in the seed).")
+
+let parse_geometry s =
+  match Tdfa_alloc.Chip.geometry_of_string s with
+  | Ok g -> g
+  | Error msg ->
+    Printf.eprintf "tdfa: %s\n" msg;
+    exit 2
+
+let parse_place_policy ~sa_iters ~sa_seed name =
+  match
+    Tdfa_alloc.Place.policy_of_string ~seed:sa_seed ~iters:sa_iters name
+  with
+  | Ok p -> p
+  | Error msg ->
+    Printf.eprintf "tdfa: %s\n" msg;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
 (* Fault plans                                                          *)
 (* ------------------------------------------------------------------ *)
 

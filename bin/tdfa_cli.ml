@@ -316,6 +316,75 @@ let predict kernel file policy granularity delta pre_ra json obs_req =
         end
         else print_string out)))
 
+let place files kernels_csv cores place_name sa_iters sa_seed policy
+    granularity delta json obs_req =
+  (* The text report lives in [Tdfa_serve.Render.place], shared with the
+     serve daemon; --json emits the placement for scripting (the
+     place-smoke CI gate asserts the thermal-aware peak against the
+     round-robin baseline). *)
+  let geometry = Cli_args.parse_geometry cores in
+  let place_policy =
+    Cli_args.parse_place_policy ~sa_iters ~sa_seed place_name
+  in
+  let kernel_funcs =
+    match kernels_csv with
+    | Some names ->
+      List.map
+        (fun name ->
+          let name = String.trim name in
+          match Kernels.find name with
+          | Some f -> f
+          | None ->
+            Printf.eprintf "tdfa: unknown kernel %s (try list-kernels)\n"
+              name;
+            exit 2)
+        (String.split_on_char ',' names)
+    | None -> if files = [] then List.map snd Kernels.all else []
+  in
+  let file_funcs =
+    List.map
+      (fun path ->
+        match Cli_args.load_func ~kernel:None ~file:(Some path) with
+        | Ok f -> f
+        | Error msg ->
+          Printf.eprintf "tdfa: %s\n" msg;
+          exit 2)
+      files
+  in
+  let funcs = file_funcs @ kernel_funcs in
+  Cli_args.guard (fun () ->
+    Cli_args.with_obs obs_req (fun obs ->
+      let out, placed, blind =
+        Tdfa_serve.Render.place ~obs ~policy ~granularity ~delta ~geometry
+          ~place_policy funcs
+      in
+      if json then begin
+        let open Tdfa_alloc in
+        let p = placed.Tdfa.Driver.placement in
+        Printf.printf
+          "{\"place\": %S, \"cores\": %S, \"tasks\": %d, \"peak_k\": %.6f, \
+           \"gradient_k\": %.6f, \"score\": %.6f, \"round_robin_peak_k\": \
+           %.6f, \"improvement_k\": %.6f, \"assignment\": ["
+          (Place.policy_name p.Place.policy)
+          cores
+          (List.length placed.Tdfa.Driver.profiles)
+          p.Place.peak_k p.Place.gradient_k p.Place.score blind.Place.peak_k
+          (blind.Place.peak_k -. p.Place.peak_k);
+        List.iteri
+          (fun i (name, core) ->
+            Printf.printf "%s{\"task\": %S, \"core\": %d}"
+              (if i = 0 then "" else ", ")
+              name core)
+          p.Place.assignment;
+        Printf.printf "], \"core_temps_k\": [";
+        Array.iteri
+          (fun c t ->
+            Printf.printf "%s%.6f" (if c = 0 then "" else ", ") t)
+          p.Place.core_temps_k;
+        Printf.printf "]}\n"
+      end
+      else print_string out))
+
 let policies kernel file =
   Cli_args.with_func kernel file (fun f ->
       let name = f.Func.name in
@@ -493,7 +562,8 @@ let compile kernel file policy granularity checked lint_gate on_violation
         (Heatmap.render Common.standard_layout (Thermal_state.to_cell_array peak)))))
 
 let batch files kernels jobs cache_dir policy granularity delta recover map
-    window_ms watchdog_ms fault_plan prefilter obs_req =
+    window_ms watchdog_ms fault_plan prefilter place_name cores sa_iters
+    sa_seed obs_req =
   let settings = { Analysis.default_settings with Analysis.delta_k = delta } in
   let spec =
     {
@@ -612,6 +682,40 @@ let batch files kernels jobs cache_dir policy granularity delta recover map
                  else Printf.sprintf "  [%s]" r.Tdfa_engine.Engine.rung)
             | Error msg -> Printf.eprintf "tdfa: batch: %s: %s\n" name msg)
           b.Tdfa_engine.Engine.results;
+        (* Core-aware scheduling: fold the finished reports into task
+           profiles and place them onto the chip. The placement is a
+           deterministic function of the reports, so this block keeps
+           the jobs=1 vs jobs=4 byte-identity of stdout. *)
+        (match place_name with
+         | None -> ()
+         | Some name ->
+           let rows, pcols = Cli_args.parse_geometry cores in
+           let place_policy =
+             Cli_args.parse_place_policy ~sa_iters ~sa_seed name
+           in
+           let chip =
+             Tdfa_alloc.Chip.make ~params:spec.Tdfa_engine.Engine.params
+               ~core:Common.standard_layout ~rows ~cols:pcols ()
+           in
+           let p =
+             Tdfa_engine.Engine.placement_of_batch ~obs ~chip
+               ~policy:place_policy spec b
+           in
+           let open Tdfa_alloc in
+           Printf.printf "\nplacement %s on %s cores: peak %.2f K, gradient \
+                          %.2f K\n"
+             (Place.policy_name p.Place.policy)
+             cores p.Place.peak_k p.Place.gradient_k;
+           Array.iteri
+             (fun c temp_k ->
+               let names =
+                 List.filter_map
+                   (fun (n, c') -> if c' = c then Some n else None)
+                   p.Place.assignment
+               in
+               Printf.printf "  core %d  steady %.2f K  %s\n" c temp_k
+                 (if names = [] then "(idle)" else String.concat "," names))
+             p.Place.core_temps_k);
         List.iter
           (fun (path, msg) -> Printf.eprintf "tdfa: batch: %s: %s\n" path msg)
           load_failures;
@@ -814,10 +918,15 @@ let experiments id =
       (* CI smoke: small corpus, single timing rep — the per-cell
          containment battery still runs on every function. *)
       ignore (Experiments.e23 ~n:20 ~repeats:1 ())
+    | "e24" -> ignore (Experiments.e24 ())
+    | "e24-quick" ->
+      (* CI smoke: small corpus, short annealing — the never-worse
+         guarantee is still asserted on every policy. *)
+      ignore (Experiments.e24 ~n:12 ~sa_iters:300 ())
     | "all" -> Experiments.run_all ()
     | other ->
       Printf.eprintf
-        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e23, all)\n" other;
+        "tdfa: unknown experiment %s (fig1, fig2, e3-e7, e9-e24, all)\n" other;
       exit 1
   in
   run (String.lowercase_ascii id)
@@ -979,6 +1088,15 @@ let batch_prefilter_arg =
               (zero iterations in the report); only straddling jobs run \
               the full analysis. Trace jobs always run it.")
 
+let batch_place_arg =
+  Arg.(value & opt (some string) None & info [ "place" ] ~docv:"POLICY"
+         ~doc:
+           "After the batch finishes, place the successful jobs onto the \
+            $(b,--cores) chip under $(docv) (round-robin, greedy, \
+            coolest or anneal) and print the core-aware schedule; \
+            deterministic, so stdout stays byte-identical across \
+            $(b,--jobs) settings.")
+
 let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
@@ -989,13 +1107,59 @@ let batch_cmd =
           $(b,--map)/$(b,--window-ms) onto the standard 64-cell file and \
           ride the same pool and cache. Reports (stdout) are \
           deterministic: byte-identical across $(b,--jobs) settings and \
-          cached re-runs.")
+          cached re-runs. $(b,--place) additionally schedules the \
+          finished jobs core-aware.")
     Term.(
       const batch $ batch_files_arg $ batch_kernels_arg $ Cli_args.jobs_arg
       $ Cli_args.cache_arg $ Cli_args.policy_arg $ Cli_args.granularity_arg
       $ Cli_args.delta_arg $ Cli_args.recover_arg $ Cli_args.map_arg
       $ Cli_args.window_ms_arg $ Cli_args.watchdog_arg
-      $ Cli_args.fault_plan_arg $ batch_prefilter_arg $ Cli_args.obs_term)
+      $ Cli_args.fault_plan_arg $ batch_prefilter_arg $ batch_place_arg
+      $ Cli_args.cores_arg $ Cli_args.sa_iters_arg $ Cli_args.sa_seed_arg
+      $ Cli_args.obs_term)
+
+let place_files_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILES"
+         ~doc:
+           "Extra task programs: textual IR, or TC source when the name \
+            ends in .tc.")
+
+let place_kernels_arg =
+  Arg.(value & opt (some string) None & info [ "kernels" ] ~docv:"NAMES"
+         ~doc:
+           "Comma-separated built-in kernels to place (default: the \
+            whole suite when no files are given).")
+
+let place_policy_arg =
+  Arg.(value & opt string "greedy" & info [ "place" ] ~docv:"POLICY"
+         ~doc:
+           "Allocation policy: $(b,round-robin) (thermally blind \
+            baseline), $(b,greedy) (hottest task to coolest core), \
+            $(b,coolest) (coolest-neighbor heuristic) or $(b,anneal) \
+            (seeded simulated annealing from the greedy start).")
+
+let place_json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:
+             "Emit the placement as one JSON object instead of the text \
+              report (for scripting and the place-smoke CI gate).")
+
+let place_cmd =
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Thermal-aware task allocation: analyze each task's thermal \
+          profile (the same fixpoint $(b,analyze) runs), then place the \
+          task set onto an N-core chip floorplan — every core an \
+          8x8-cell register file, laterally RC-coupled — minimizing \
+          peak temperature and spatial gradient. The thermal-aware \
+          policies never exceed the round-robin baseline's peak.")
+    Term.(
+      const place $ place_files_arg $ place_kernels_arg $ Cli_args.cores_arg
+      $ place_policy_arg $ Cli_args.sa_iters_arg $ Cli_args.sa_seed_arg
+      $ Cli_args.policy_arg $ Cli_args.granularity_arg $ Cli_args.delta_arg
+      $ place_json_arg $ Cli_args.obs_term)
 
 let socket_arg =
   Arg.(required & opt (some string) None & info [ "s"; "socket" ]
@@ -1103,7 +1267,7 @@ let trace_cmd =
 let experiments_cmd =
   let id_arg =
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID"
-           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e23 (e20-quick/e21-quick/e22-quick/e23-quick for small smoke runs) or all.")
+           ~doc:"Experiment to run: fig1, fig2, e3-e7, e9-e24 (e20-quick/e21-quick/e22-quick/e23-quick/e24-quick for small smoke runs) or all.")
   in
   Cmd.v
     (Cmd.info "experiments"
@@ -1127,10 +1291,14 @@ let main_cmd =
          batch take positional files.";
       `P
         "$(b,--policy) (register assignment): analyze, predict, simulate, \
-         policies, batch, compile, verify, lint, optimize.";
+         policies, batch, compile, verify, lint, optimize, place.";
       `P
         "$(b,--granularity), $(b,--delta) (analysis fidelity): analyze, \
-         predict, batch, compile, trace.";
+         predict, batch, compile, trace, place.";
+      `P
+        "$(b,--cores), $(b,--place), $(b,--sa-iters), $(b,--sa-seed) \
+         (task-to-core placement): place; batch schedules its finished \
+         jobs with the same flags.";
       `P "$(b,--recover) (divergence-recovery ladder): analyze, batch, trace.";
       `P "$(b,--incremental) (warm-started re-analysis): analyze, optimize, compile.";
       `P
@@ -1149,8 +1317,8 @@ let main_cmd =
   Cmd.group (Cmd.info "tdfa" ~version:"1.0.0" ~doc ~man)
     [
       list_cmd; show_cmd; simulate_cmd; analyze_cmd; predict_cmd; batch_cmd;
-      lint_cmd; policies_cmd; optimize_cmd; compile_cmd; verify_cmd;
-      serve_cmd; client_cmd; experiments_cmd; trace_cmd;
+      place_cmd; lint_cmd; policies_cmd; optimize_cmd; compile_cmd;
+      verify_cmd; serve_cmd; client_cmd; experiments_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,124 @@
+open Tdfa_floorplan
+open Tdfa_thermal
+
+type t = {
+  grid : Layout.t;
+  core : Layout.t;
+  params : Params.t;
+  g_core_lat : float;  (* core-to-core lateral conductance, W/K *)
+  g_core_vert : float;  (* core-to-ambient vertical conductance, W/K *)
+  gv_amb : float;  (* g_core_vert *. ambient, the constant rhs term *)
+  noff : int array;  (* CSR offsets, length num_cores+1 *)
+  nidx : int array;  (* CSR neighbour cores, Layout.neighbors order *)
+  g_sum : float array;  (* per-core (degree *. g_core_lat) +. g_core_vert *)
+}
+
+(* Cores abut along an edge of the register-file grid; parallel thermal
+   paths add, so the core-to-core conductance is the per-cell lateral
+   conductance times the cells along the shared edge. The RF is not
+   square in general — use the mean of the two edge lengths so the
+   coupling stays isotropic, as the chip grid itself is. *)
+let make ?(params = Params.default) ?core ~rows ~cols () =
+  let core =
+    match core with Some l -> l | None -> Layout.make ~rows:8 ~cols:8 ()
+  in
+  let grid =
+    Layout.make ~rows ~cols
+      ~cell_width_um:
+        (float_of_int core.Layout.cols *. core.Layout.cell_width_um)
+      ~cell_height_um:
+        (float_of_int core.Layout.rows *. core.Layout.cell_height_um)
+      ()
+  in
+  let edge =
+    0.5 *. float_of_int (core.Layout.rows + core.Layout.cols)
+  in
+  let g_core_lat = params.Params.lateral_conductance_w_per_k *. edge in
+  let g_core_vert =
+    params.Params.vertical_conductance_w_per_k
+    *. float_of_int (Layout.num_cells core)
+  in
+  let n = Layout.num_cells grid in
+  let lists = Array.init n (fun i -> Layout.neighbors grid i) in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 lists in
+  let noff = Array.make (n + 1) 0 in
+  let nidx = Array.make (max 1 total) 0 in
+  let g_sum = Array.make n 0.0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i l ->
+      noff.(i) <- !pos;
+      List.iter
+        (fun j ->
+          nidx.(!pos) <- j;
+          incr pos)
+        l;
+      g_sum.(i) <- (float_of_int (List.length l) *. g_core_lat) +. g_core_vert)
+    lists;
+  noff.(n) <- !pos;
+  {
+    grid;
+    core;
+    params;
+    g_core_lat;
+    g_core_vert;
+    gv_amb = g_core_vert *. params.Params.ambient_k;
+    noff;
+    nidx;
+    g_sum;
+  }
+
+let grid t = t.grid
+let core t = t.core
+let params t = t.params
+let num_cores t = Layout.num_cells t.grid
+let ambient_k t = t.params.Params.ambient_k
+let core_vertical_w_per_k t = t.g_core_vert
+let cell_vertical_w_per_k t = t.params.Params.vertical_conductance_w_per_k
+let neighbors t i = Layout.neighbors t.grid i
+
+(* The Rc_flat sweep body at core scale, kept sequential: the grids are
+   tiny (a handful of cores), so one domain always wins, and a fixed
+   sweep order keeps the solve bit-deterministic for the differential
+   battery. *)
+let solve t ~power =
+  let n = num_cores t in
+  if Array.length power <> n then
+    invalid_arg "Chip.solve: power length does not match the chip";
+  let temps = Array.make n t.params.Params.ambient_k in
+  let tol = 1e-9 and max_sweeps = 100_000 in
+  let k = ref 0 in
+  let go = ref true in
+  while !go do
+    let worst = ref 0.0 in
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for jj = t.noff.(i) to t.noff.(i + 1) - 1 do
+        acc := !acc +. (t.g_core_lat *. temps.(t.nidx.(jj)))
+      done;
+      let fresh = (power.(i) +. t.gv_amb +. !acc) /. t.g_sum.(i) in
+      let d = fresh -. temps.(i) in
+      let ad = if d >= 0.0 then d else -.d in
+      let w = !worst in
+      if ad > w || (ad <> ad && w = w) then worst := ad;
+      temps.(i) <- fresh
+    done;
+    incr k;
+    go := !worst > tol && !k < max_sweeps
+  done;
+  temps
+
+let geometry_of_string s =
+  match String.index_opt s 'x' with
+  | None -> Error (Printf.sprintf "bad chip geometry %S: expected ROWSxCOLS" s)
+  | Some i -> (
+    let rs = String.sub s 0 i in
+    let cs = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt rs, int_of_string_opt cs) with
+    | Some r, Some c when r > 0 && c > 0 -> Ok (r, c)
+    | _ ->
+      Error
+        (Printf.sprintf "bad chip geometry %S: expected positive ROWSxCOLS" s))
+
+let geometry_to_string t =
+  Printf.sprintf "%dx%d" t.grid.Layout.rows t.grid.Layout.cols

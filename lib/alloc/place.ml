@@ -1,0 +1,322 @@
+open Tdfa_floorplan
+
+type policy =
+  | Round_robin
+  | Greedy
+  | Coolest_neighbor
+  | Annealed of { seed : int; iters : int }
+
+let policy_name = function
+  | Round_robin -> "round-robin"
+  | Greedy -> "greedy"
+  | Coolest_neighbor -> "coolest"
+  | Annealed { seed; iters } ->
+    Printf.sprintf "anneal(seed=%d,iters=%d)" seed iters
+
+let policy_of_string ?(seed = 0) ?(iters = 2000) s =
+  match s with
+  | "round-robin" | "rr" -> Ok Round_robin
+  | "greedy" -> Ok Greedy
+  | "coolest" | "coolest-neighbor" -> Ok Coolest_neighbor
+  | "anneal" | "annealed" | "sa" -> Ok (Annealed { seed; iters })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown placement policy %S (expected round-robin, greedy, coolest \
+          or anneal)"
+         s)
+
+type placement = {
+  policy : policy;
+  assignment : (string * int) list;
+  core_temps_k : float array;
+  local_peak_k : float array;
+  peak_k : float;
+  gradient_k : float;
+  score : float;
+}
+
+let default_gradient_weight = 0.1
+
+(* Every allocator starts by sorting its input under [Task.compare]:
+   from here on, placement is a function of the task multiset alone,
+   which is the permutation-invariance property the QCheck battery
+   asserts. *)
+let canonical tasks = Array.of_list (List.sort Task.compare tasks)
+
+let check_tasks chip tasks =
+  let ncells = Layout.num_cells (Chip.core chip) in
+  Array.iter
+    (fun (t : Task.t) ->
+      if Array.length t.Task.cells_w <> ncells then
+        invalid_arg
+          (Printf.sprintf
+             "Place: task %s profiled over %d cells, chip cores have %d"
+             t.Task.name
+             (Array.length t.Task.cells_w)
+             ncells))
+    tasks
+
+(* Score an assignment; [assign.(i) = -1] means task [i] is not placed
+   yet (greedy's partial states). The local per-core peak is the steady
+   core temperature from the chip solve, plus the within-core stacking
+   excess — the hottest cell's summed power over the core average,
+   through the per-cell vertical conductance — plus the largest
+   transient peak-over-mean rise among the core's tasks, which is
+   short-lived and never diffuses into the neighbours. *)
+let metrics ~gradient_weight chip (tasks : Task.t array) assign =
+  let n = Chip.num_cores chip in
+  let ncells = Layout.num_cells (Chip.core chip) in
+  let g_cell = Chip.cell_vertical_w_per_k chip in
+  let power = Array.make n 0.0 in
+  Array.iteri
+    (fun i c ->
+      if c >= 0 then power.(c) <- power.(c) +. Task.sustained_w tasks.(i))
+    assign;
+  let temps = Chip.solve chip ~power in
+  let stack = Array.make ncells 0.0 in
+  let local =
+    Array.init n (fun c ->
+        Array.fill stack 0 ncells 0.0;
+        let transient = ref 0.0 in
+        let occupied = ref false in
+        Array.iteri
+          (fun i c' ->
+            if c' = c then begin
+              occupied := true;
+              let cw = tasks.(i).Task.cells_w in
+              for p = 0 to ncells - 1 do
+                stack.(p) <- stack.(p) +. cw.(p)
+              done;
+              let r = Task.transient_rise_k tasks.(i) in
+              if r > !transient then transient := r
+            end)
+          assign;
+        if not !occupied then temps.(c)
+        else begin
+          let hottest = ref 0.0 and total = ref 0.0 in
+          for p = 0 to ncells - 1 do
+            if stack.(p) > !hottest then hottest := stack.(p);
+            total := !total +. stack.(p)
+          done;
+          let excess =
+            (!hottest -. (!total /. float_of_int ncells)) /. g_cell
+          in
+          temps.(c) +. excess +. !transient
+        end)
+  in
+  let peak = Array.fold_left Float.max neg_infinity local in
+  let gradient = ref 0.0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun j ->
+        if j > i then begin
+          let d = Float.abs (temps.(i) -. temps.(j)) in
+          if d > !gradient then gradient := d
+        end)
+      (Chip.neighbors chip i)
+  done;
+  {
+    policy = Round_robin;
+    assignment =
+      Array.to_list
+        (Array.mapi (fun i c -> (tasks.(i).Task.name, c)) assign);
+    core_temps_k = temps;
+    local_peak_k = local;
+    peak_k = peak;
+    gradient_k = !gradient;
+    score = peak +. (gradient_weight *. !gradient);
+  }
+
+let evaluate ?(gradient_weight = default_gradient_weight) chip tasks assign =
+  if Array.length assign <> Array.length tasks then
+    invalid_arg "Place.evaluate: assignment length does not match tasks";
+  check_tasks chip tasks;
+  let n = Chip.num_cores chip in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n then
+        invalid_arg "Place.evaluate: core index out of range")
+    assign;
+  metrics ~gradient_weight chip tasks assign
+
+let round_robin_assign n_cores n_tasks =
+  Array.init n_tasks (fun i -> i mod n_cores)
+
+(* The never-worse-than-blind guard: a thermal-aware candidate replaces
+   the canonical round-robin placement only when it beats it on score
+   without exceeding its peak — so "peak <= round-robin's peak" holds
+   for greedy and coolest-neighbor by construction. *)
+let guard ~candidate ~blind =
+  if candidate.peak_k <= blind.peak_k && candidate.score <= blind.score then
+    candidate
+  else blind
+
+(* Hottest-task-first order: descending sustained power, canonical
+   index breaking ties so the order is still multiset-determined. *)
+let hottest_first tasks =
+  let order = Array.init (Array.length tasks) Fun.id in
+  Array.sort
+    (fun i j ->
+      let c =
+        Float.compare (Task.sustained_w tasks.(j)) (Task.sustained_w tasks.(i))
+      in
+      if c <> 0 then c else Stdlib.compare i j)
+    order;
+  order
+
+let run_greedy ~gradient_weight chip tasks =
+  let n = Chip.num_cores chip in
+  let assign = Array.make (Array.length tasks) (-1) in
+  Array.iter
+    (fun i ->
+      let best_core = ref 0 and best_score = ref infinity in
+      for c = 0 to n - 1 do
+        assign.(i) <- c;
+        let m = metrics ~gradient_weight chip tasks assign in
+        if m.score < !best_score then begin
+          best_score := m.score;
+          best_core := c
+        end
+      done;
+      assign.(i) <- !best_core)
+    (hottest_first tasks);
+  metrics ~gradient_weight chip tasks assign
+
+let run_coolest ~gradient_weight chip tasks =
+  let n = Chip.num_cores chip in
+  let assign = Array.make (Array.length tasks) (-1) in
+  Array.iter
+    (fun i ->
+      (* Temperatures of the partial placement, before this task. *)
+      let m = metrics ~gradient_weight chip tasks assign in
+      let best_core = ref 0 and best_cost = ref infinity in
+      for c = 0 to n - 1 do
+        let nbrs = Chip.neighbors chip c in
+        let nsum =
+          List.fold_left (fun acc j -> acc +. m.core_temps_k.(j)) 0.0 nbrs
+        in
+        let navg = nsum /. float_of_int (List.length nbrs) in
+        (* The core's own worst temperature — steady plus stacking plus
+           transient — not just its steady value: with many tasks the
+           within-core terms dominate the peak, and a policy blind to
+           them cannot beat a balanced round-robin. *)
+        let cost = m.local_peak_k.(c) +. (0.5 *. navg) in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_core := c
+        end
+      done;
+      assign.(i) <- !best_core)
+    (hottest_first tasks);
+  metrics ~gradient_weight chip tasks assign
+
+let run_annealed ~gradient_weight ~seed ~iters chip tasks ~start ~blind =
+  let n = Chip.num_cores chip in
+  let nt = Array.length tasks in
+  if iters <= 0 || nt = 0 || n <= 1 then start
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let assign =
+      Array.of_list (List.map snd start.assignment)
+    in
+    let cur = ref start and best = ref start in
+    (* Geometric cooling from 2 K down to 0.01 K over [iters] steps. *)
+    let t0 = 2.0 and t_end = 0.01 in
+    let alpha = exp (log (t_end /. t0) /. float_of_int iters) in
+    let temp = ref t0 in
+    for _ = 1 to iters do
+      let i = Random.State.int rng nt in
+      let undo =
+        if Random.State.float rng 1.0 < 0.7 then begin
+          (* Move task [i] to a different core. *)
+          let old = assign.(i) in
+          let c = Random.State.int rng (n - 1) in
+          assign.(i) <- (if c >= old then c + 1 else c);
+          fun () -> assign.(i) <- old
+        end
+        else begin
+          (* Swap the cores of tasks [i] and [j]. *)
+          let j = Random.State.int rng nt in
+          let ci = assign.(i) and cj = assign.(j) in
+          assign.(i) <- cj;
+          assign.(j) <- ci;
+          fun () ->
+            assign.(i) <- ci;
+            assign.(j) <- cj
+        end
+      in
+      let cand = metrics ~gradient_weight chip tasks assign in
+      let d = cand.score -. !cur.score in
+      let accept =
+        d <= 0.0 || Random.State.float rng 1.0 < exp (-.d /. !temp)
+      in
+      if accept then begin
+        cur := cand;
+        (* Only candidates that respect the round-robin peak bound may
+           become the answer — the guard the battery relies on. *)
+        if cand.peak_k <= blind.peak_k && cand.score < !best.score then
+          best := cand
+      end
+      else undo ();
+      temp := !temp *. alpha
+    done;
+    !best
+  end
+
+let run ?(gradient_weight = default_gradient_weight) chip policy tasks =
+  let tasks = canonical tasks in
+  check_tasks chip tasks;
+  let n = Chip.num_cores chip in
+  let blind =
+    metrics ~gradient_weight chip tasks
+      (round_robin_assign n (Array.length tasks))
+  in
+  let placed =
+    match policy with
+    | Round_robin -> blind
+    | Greedy -> guard ~candidate:(run_greedy ~gradient_weight chip tasks) ~blind
+    | Coolest_neighbor ->
+      guard ~candidate:(run_coolest ~gradient_weight chip tasks) ~blind
+    | Annealed { seed; iters } ->
+      let start =
+        guard ~candidate:(run_greedy ~gradient_weight chip tasks) ~blind
+      in
+      run_annealed ~gradient_weight ~seed ~iters chip tasks ~start ~blind
+  in
+  { placed with policy }
+
+let exhaustive ?(gradient_weight = default_gradient_weight)
+    ?(limit = 1_000_000) chip tasks =
+  let tasks = canonical tasks in
+  check_tasks chip tasks;
+  let n = Chip.num_cores chip in
+  let nt = Array.length tasks in
+  let count = ref 1 in
+  for _ = 1 to nt do
+    if !count > limit / n then count := limit + 1 else count := !count * n
+  done;
+  if !count > limit then
+    invalid_arg
+      (Printf.sprintf "Place.exhaustive: %d^%d placements exceed the limit" n
+         nt);
+  let assign = Array.make nt 0 in
+  let best = ref (metrics ~gradient_weight chip tasks assign) in
+  (* Odometer enumeration in lexicographic order; strict improvement
+     keeps the first — smallest — optimal assignment. *)
+  let rec bump i =
+    if i < 0 then false
+    else if assign.(i) + 1 < n then begin
+      assign.(i) <- assign.(i) + 1;
+      true
+    end
+    else begin
+      assign.(i) <- 0;
+      bump (i - 1)
+    end
+  in
+  while bump (nt - 1) do
+    let m = metrics ~gradient_weight chip tasks assign in
+    if m.score < !best.score then best := m
+  done;
+  !best

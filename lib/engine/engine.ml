@@ -743,3 +743,43 @@ let run_batch ?(obs = Obs.null) ?(jobs = 1) ?cache ?warm ?stop ?watchdog_ms
     domains;
     wall_ms;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Core-aware placement of a finished batch                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every successful report carries the scalars a task profile needs:
+   [mean_k] from the fixpoint's steady map when the job ran it, or from
+   the certified bound when the prefilter settled the job without one —
+   either way the placement sees the same thermal identity the report
+   printed. Failed jobs have no profile and are skipped (counted). *)
+let placement_of_batch ?(obs = Obs.null) ?gradient_weight ~chip ~policy spec
+    (b : batch) =
+  Obs.span obs "engine.place"
+    ~args:
+      [
+        ("cores", Obs.Int (Tdfa_alloc.Chip.num_cores chip));
+        ("policy", Obs.Str (Tdfa_alloc.Place.policy_name policy));
+      ]
+    (fun () ->
+      let core = Tdfa_alloc.Chip.core chip in
+      let tasks =
+        List.filter_map
+          (fun (name, r) ->
+            match r with
+            | Ok (rep : report) ->
+              Obs.incr obs "engine.place.tasks";
+              Some
+                (Tdfa_alloc.Task.of_scalars ~params:spec.params ~core ~name
+                   ~peak_k:rep.peak_k ~mean_k:rep.mean_k ())
+            | Error _ ->
+              Obs.incr obs "engine.place.skipped";
+              None)
+          b.results
+      in
+      let placement = Tdfa_alloc.Place.run ?gradient_weight chip policy tasks in
+      Obs.gauge obs "engine.place.peak_k"
+        placement.Tdfa_alloc.Place.peak_k;
+      Obs.gauge obs "engine.place.gradient_k"
+        placement.Tdfa_alloc.Place.gradient_k;
+      placement)

@@ -270,3 +270,22 @@ val run_batch :
     histograms. With a {!Obs.null} sink the batch writes nothing to
     stderr — stats rendering is the caller's choice via
     {!Obs.print_metrics}. *)
+
+(** {1 Core-aware placement} *)
+
+val placement_of_batch :
+  ?obs:Obs.sink ->
+  ?gradient_weight:float ->
+  chip:Tdfa_alloc.Chip.t ->
+  policy:Tdfa_alloc.Place.policy ->
+  spec ->
+  batch ->
+  Tdfa_alloc.Place.placement
+(** Fold a finished batch's successful reports into task profiles
+    ({!Tdfa_alloc.Task.of_scalars} over each report's [peak_k]/[mean_k]
+    — scalars that come from the fixpoint, or from the certified bound
+    when the prefilter settled the job) and place the multiset onto
+    [chip] under [policy]. Failed jobs are skipped. Telemetry through
+    [obs]: an [engine.place] span, [engine.place.tasks] /
+    [engine.place.skipped] counters and the [engine.place.peak_k] /
+    [engine.place.gradient_k] gauges of the chosen placement. *)

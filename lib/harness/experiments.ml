@@ -2298,6 +2298,151 @@ let e23 ?(quiet = false) ?(n = 120) ?(repeats = 3)
   end;
   result
 
+(* ------------------------------------------------------------------ *)
+(* E24                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type e24_row = {
+  e24_policy : string;
+  e24_peak_k : float;
+  e24_gradient_k : float;
+  e24_score : float;
+  e24_improvement_k : float;
+}
+
+type e24_result = {
+  e24_tasks : int;
+  e24_cores : int;
+  e24_rows : e24_row list;
+  e24_all_beat_blind : bool;
+}
+
+(* Profile one function into an allocator task: first-fit register
+   allocation, the real fixpoint, and the fixpoint's maps folded into
+   sustained per-cell power — the same path `tdfa place` takes. *)
+let e24_profile ~layout name func =
+  let alloc = Alloc.allocate func layout ~policy:Policy.First_fit in
+  let tc = Setup.config_of_assignment ~layout alloc.Alloc.func alloc.Alloc.assignment in
+  let outcome = Analysis.fixpoint tc alloc.Alloc.func in
+  Tdfa_alloc.Task.of_outcome ~core:layout ~name outcome
+
+let e24_write_json path r =
+  let oc = open_out path in
+  let row w =
+    Printf.sprintf
+      "    {\"policy\": \"%s\", \"peak_k\": %.6f, \"gradient_k\": %.6f, \
+       \"score\": %.6f, \"improvement_k\": %.6f}"
+      w.e24_policy w.e24_peak_k w.e24_gradient_k w.e24_score
+      w.e24_improvement_k
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e24\",\n\
+    \  \"tasks\": %d,\n\
+    \  \"cores\": %d,\n\
+    \  \"all_policies_beat_round_robin\": %b,\n\
+    \  \"policies\": [\n%s\n  ]\n\
+     }\n"
+    r.e24_tasks r.e24_cores r.e24_all_beat_blind
+    (String.concat ",\n" (List.map row r.e24_rows));
+  close_out oc
+
+(* The allocator shoot-out: the E23 corpus plus the 16 example kernels,
+   each profiled through the real fixpoint, placed on a multi-core chip
+   by all three thermal-aware policies and the thermally blind
+   round-robin baseline. The never-worse guarantee (every aware policy's
+   peak <= round-robin's) is asserted, not just reported. *)
+let e24 ?(quiet = false) ?(n = 120) ?(chip_rows = 4) ?(chip_cols = 4)
+    ?(sa_iters = 2000) ?(json = Some "BENCH_alloc.json") () =
+  if not quiet then
+    section
+      "E24 - thermal-aware task allocation: greedy / coolest-neighbor / \
+       annealing vs blind round-robin";
+  let layout = Common.standard_layout in
+  let corpus =
+    QCheck2.Gen.generate
+      ~rand:(Random.State.make [| 0x424 |])
+      ~n
+      (Generator.gen_func ~max_pool:44 ~max_depth:3 ~max_length:10 ())
+  in
+  let tasks =
+    List.mapi
+      (fun i f -> e24_profile ~layout (Printf.sprintf "gen%03d" i) f)
+      corpus
+    @ List.map (fun (name, f) -> e24_profile ~layout name f) Kernels.all
+  in
+  let chip = Tdfa_alloc.Chip.make ~core:layout ~rows:chip_rows ~cols:chip_cols () in
+  let open Tdfa_alloc in
+  let blind = Place.run chip Place.Round_robin tasks in
+  let rows =
+    List.map
+      (fun policy ->
+        let p = Place.run chip policy tasks in
+        {
+          e24_policy = Place.policy_name policy;
+          e24_peak_k = p.Place.peak_k;
+          e24_gradient_k = p.Place.gradient_k;
+          e24_score = p.Place.score;
+          e24_improvement_k = blind.Place.peak_k -. p.Place.peak_k;
+        })
+      [
+        Place.Round_robin;
+        Place.Greedy;
+        Place.Coolest_neighbor;
+        Place.Annealed { seed = 0; iters = sa_iters };
+      ]
+  in
+  let aware = List.tl rows in
+  List.iter
+    (fun r ->
+      if r.e24_peak_k > blind.Place.peak_k +. 1e-9 then
+        failwith
+          (Printf.sprintf
+             "E24: never-worse guarantee broken: %s peak %.6f K above \
+              round-robin %.6f K"
+             r.e24_policy r.e24_peak_k blind.Place.peak_k))
+    aware;
+  let result =
+    {
+      e24_tasks = List.length tasks;
+      e24_cores = Chip.num_cores chip;
+      e24_rows = rows;
+      e24_all_beat_blind =
+        List.for_all (fun r -> r.e24_improvement_k > 0.0) aware;
+    }
+  in
+  Option.iter (fun path -> e24_write_json path result) json;
+  if not quiet then begin
+    Printf.printf
+      "%d tasks (the E23-shaped corpus + %d kernels) on a %s chip of \
+       %d-cell cores\n\n"
+      result.e24_tasks (List.length Kernels.all)
+      (Chip.geometry_to_string chip)
+      (Tdfa_floorplan.Layout.num_cells layout);
+    let table =
+      Table.create
+        ~headers:[ "policy"; "peak(K)"; "gradient(K)"; "score"; "vs blind(K)" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row table
+          [
+            r.e24_policy;
+            Table.fk r.e24_peak_k;
+            Table.fk r.e24_gradient_k;
+            Printf.sprintf "%.2f" r.e24_score;
+            Printf.sprintf "%+.2f" (-.r.e24_improvement_k);
+          ])
+      rows;
+    Table.print table;
+    Printf.printf
+      "\nall thermal-aware policies beat round-robin: %b (never-worse \
+       guarantee asserted on every row)\n"
+      result.e24_all_beat_blind;
+    Option.iter (Printf.printf "wrote %s\n") json
+  end;
+  result
+
 let run_all () =
   let (_ : fig1_result) = fig1 () in
   let (_ : fig2_row list) = fig2 () in
@@ -2321,4 +2466,5 @@ let run_all () =
   let (_ : e21_result) = e21 () in
   let (_ : e22_result) = e22 () in
   let (_ : e23_result) = e23 () in
+  let (_ : e24_result) = e24 () in
   ()

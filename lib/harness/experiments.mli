@@ -399,5 +399,42 @@ val e23 :
     against. [json] (default [Some "BENCH_absint.json"]) writes the
     machine-readable benchmark; pass [None] to skip. *)
 
+type e24_row = {
+  e24_policy : string;
+  e24_peak_k : float;
+  e24_gradient_k : float;
+  e24_score : float;
+  e24_improvement_k : float;  (** round-robin peak minus this peak *)
+}
+
+type e24_result = {
+  e24_tasks : int;
+  e24_cores : int;
+  e24_rows : e24_row list;  (** round-robin first, then the aware policies *)
+  e24_all_beat_blind : bool;
+      (** strict improvement on every thermal-aware row; the weak
+          never-worse guarantee is asserted (a violation raises) *)
+}
+
+val e24 :
+  ?quiet:bool ->
+  ?n:int ->
+  ?chip_rows:int ->
+  ?chip_cols:int ->
+  ?sa_iters:int ->
+  ?json:string option ->
+  unit ->
+  e24_result
+(** The allocator shoot-out ({!Tdfa_alloc.Place}): [n] generated
+    functions (default 120) plus the 16 example kernels, each profiled
+    through the real fixpoint into a {!Tdfa_alloc.Task}, then placed on
+    a [chip_rows x chip_cols] chip (default 4x4) of standard-layout
+    cores by round-robin, greedy, coolest-neighbor and seeded annealing
+    ([sa_iters], default 2000). Raises if any thermal-aware policy
+    exceeds round-robin's peak — the structural never-worse guarantee —
+    and reports whether all three strictly beat it. [json] (default
+    [Some "BENCH_alloc.json"]) writes the machine-readable benchmark;
+    pass [None] to skip. *)
+
 val run_all : unit -> unit
 (** Print every report in order. *)

@@ -1,11 +1,20 @@
 open Tdfa_regalloc
 
-type op = Analyze | Reanalyze | Predict | Lint | Trace | Status | Shutdown
+type op =
+  | Analyze
+  | Reanalyze
+  | Predict
+  | Place
+  | Lint
+  | Trace
+  | Status
+  | Shutdown
 
 let op_name = function
   | Analyze -> "analyze"
   | Reanalyze -> "reanalyze"
   | Predict -> "predict"
+  | Place -> "place"
   | Lint -> "lint"
   | Trace -> "trace"
   | Status -> "status"
@@ -15,6 +24,7 @@ let op_of_string = function
   | "analyze" -> Some Analyze
   | "reanalyze" -> Some Reanalyze
   | "predict" -> Some Predict
+  | "place" -> Some Place
   | "lint" -> Some Lint
   | "trace" -> Some Trace
   | "status" -> Some Status
@@ -38,6 +48,12 @@ type request = {
   cells : int;
   window_ms : float;
   deadline_ms : float option;
+  kernels : string option;
+      (** place op: comma-separated kernel names; [None] = all built-ins *)
+  cores : string;  (** place op: chip geometry, ROWSxCOLS *)
+  place : string;  (** place op: allocation policy name *)
+  sa_iters : int;  (** place op: annealing iterations *)
+  seed : int;  (** place op: annealing seed *)
 }
 
 (* Same spellings as the CLI's --policy flag. *)
@@ -58,7 +74,7 @@ let request_of_json j =
     | None ->
       Error
         (Printf.sprintf
-           "unknown op %S (analyze, reanalyze, predict, lint, trace, \
+           "unknown op %S (analyze, reanalyze, predict, place, lint, trace, \
             status, shutdown)"
            opname)
     | Some op -> (
@@ -101,6 +117,14 @@ let request_of_json j =
               window_ms =
                 Option.value ~default:1.0 (Json.float_member "window_ms" j);
               deadline_ms = Json.float_member "deadline_ms" j;
+              kernels = Json.str_member "kernels" j;
+              cores =
+                Option.value ~default:"2x2" (Json.str_member "cores" j);
+              place =
+                Option.value ~default:"greedy" (Json.str_member "place" j);
+              sa_iters =
+                Option.value ~default:2000 (Json.int_member "sa_iters" j);
+              seed = Option.value ~default:0 (Json.int_member "seed" j);
             })))
 
 let request_of_line line =

@@ -10,7 +10,15 @@
 
 open Tdfa_regalloc
 
-type op = Analyze | Reanalyze | Predict | Lint | Trace | Status | Shutdown
+type op =
+  | Analyze
+  | Reanalyze
+  | Predict
+  | Place
+  | Lint
+  | Trace
+  | Status
+  | Shutdown
 
 val op_name : op -> string
 val op_of_string : string -> op option
@@ -35,6 +43,13 @@ type request = {
   cells : int;  (** trace: RF cell count (default 64) *)
   window_ms : float;  (** trace: discretisation window (default 1.0) *)
   deadline_ms : float option;  (** per-request deadline override *)
+  kernels : string option;
+      (** place: comma-separated kernel names; [None] = all built-ins
+          (the CLI default) *)
+  cores : string;  (** place: chip geometry ROWSxCOLS (default "2x2") *)
+  place : string;  (** place: allocation policy (default "greedy") *)
+  sa_iters : int;  (** place: annealing iterations (default 2000) *)
+  seed : int;  (** place: annealing seed (default 0) *)
 }
 
 val policy_of_string : string -> Policy.t option

@@ -205,6 +205,82 @@ let predict ?(obs = Tdfa_obs.Obs.null) ~policy ~granularity ~delta ~pre_ra
     ranked;
   (Buffer.contents buf, b)
 
+(* The one source of truth for what `tdfa place' prints: the jobs'
+   thermal profiles, the chosen allocation over the chip's cores, the
+   steady core-temperature map, and the round-robin baseline it beat.
+   Everything printed is deterministic (seeded annealing, fixed sweep
+   order), so the daemon ships the same bytes. *)
+let place ?(obs = Tdfa_obs.Obs.null) ~policy ~granularity ~delta ~geometry
+    ~place_policy (funcs : Func.t list) =
+  let buf = Buffer.create 2048 in
+  let pf fmt = Printf.bprintf buf fmt in
+  let cfg =
+    {
+      (Tdfa.Driver.default ~layout:Common.standard_layout) with
+      Tdfa.Driver.granularity;
+      settings = { Analysis.default_settings with Analysis.delta_k = delta };
+      policy;
+      obs;
+    }
+  in
+  let inputs = List.map (fun f -> Tdfa.Driver.Unallocated f) funcs in
+  let placed = Tdfa.Driver.place ~geometry ~policy:place_policy cfg inputs in
+  let open Tdfa_alloc in
+  let rows, cols = geometry in
+  let chip =
+    Chip.make ~params:cfg.Tdfa.Driver.params ~core:Common.standard_layout
+      ~rows ~cols ()
+  in
+  let p = placed.Tdfa.Driver.placement in
+  let blind = Place.run chip Place.Round_robin placed.Tdfa.Driver.profiles in
+  pf "placing %d task(s) on a %s chip of %dx%d-cell cores, policy %s\n\n"
+    (List.length placed.Tdfa.Driver.profiles)
+    (Chip.geometry_to_string chip)
+    (Chip.core chip).Tdfa_floorplan.Layout.rows
+    (Chip.core chip).Tdfa_floorplan.Layout.cols
+    (Place.policy_name p.Place.policy);
+  pf "task profiles (hottest first):\n";
+  let by_power =
+    List.sort
+      (fun (a : Task.t) (b : Task.t) ->
+        match Float.compare (Task.sustained_w b) (Task.sustained_w a) with
+        | 0 -> Task.compare a b
+        | n -> n)
+      placed.Tdfa.Driver.profiles
+  in
+  List.iter
+    (fun (t : Task.t) ->
+      let core =
+        match List.assoc_opt t.Task.name p.Place.assignment with
+        | Some c -> c
+        | None -> -1
+      in
+      pf "  %-12s %8.3f mW sustained  +%6.2f K transient  -> core %d\n"
+        t.Task.name
+        (Task.sustained_w t *. 1000.0)
+        (Task.transient_rise_k t) core)
+    by_power;
+  pf "\nsteady core-temperature map:\n";
+  Buffer.add_string buf (Heatmap.render (Chip.grid chip) p.Place.core_temps_k);
+  pf "\nper-core:\n";
+  Array.iteri
+    (fun c temp_k ->
+      let names =
+        List.filter_map
+          (fun (n, c') -> if c' = c then Some n else None)
+          p.Place.assignment
+      in
+      pf "  core %d  steady %.2f K  local peak %.2f K  %s\n" c temp_k
+        p.Place.local_peak_k.(c)
+        (if names = [] then "(idle)" else String.concat "," names))
+    p.Place.core_temps_k;
+  pf "\nplacement peak %.2f K, gradient %.2f K, score %.2f\n" p.Place.peak_k
+    p.Place.gradient_k p.Place.score;
+  pf "round-robin baseline peak %.2f K -> improvement %.2f K\n"
+    blind.Place.peak_k
+    (blind.Place.peak_k -. p.Place.peak_k);
+  (Buffer.contents buf, placed, blind)
+
 (* The one source of truth for a `tdfa lint' text report of one input:
    the CLI prints it per input, the daemon ships it in the response. *)
 let lint_report ~display findings =

@@ -220,7 +220,8 @@ let handle_work t session (req : Protocol.request) ~rebuilding =
               ( "peak_hi_k",
                 Json.Float b.Tdfa_absint.Absint.peak_hi_k );
             ] )
-        | Protocol.Trace | Protocol.Status | Protocol.Shutdown ->
+        | Protocol.Trace | Protocol.Place | Protocol.Status
+        | Protocol.Shutdown ->
           assert false
       in
       let respond ~degraded (out, extra) =
@@ -364,6 +365,62 @@ let handle_trace t (req : Protocol.request) =
                ~kind:Protocol.Failed ~message:(Printexc.to_string e) ())
       end)
 
+(* Task placement: kernels ride by name in the request (no session
+   residency — the task set is the input), and the shared renderer
+   guarantees the reply is the exact text of the one-shot
+   [tdfa place]. *)
+let handle_place t (req : Protocol.request) =
+  let obs = t.cfg.obs in
+  let bad message =
+    Reply
+      (Protocol.error_response ~id:req.Protocol.id ~kind:Protocol.Bad_request
+         ~message ())
+  in
+  let funcs =
+    match req.Protocol.kernels with
+    | None -> Ok (List.map snd Tdfa_workload.Kernels.all)
+    | Some names ->
+      List.fold_right
+        (fun name acc ->
+          match acc with
+          | Error _ as e -> e
+          | Ok fs -> (
+            match Tdfa_workload.Kernels.find (String.trim name) with
+            | Some f -> Ok (f :: fs)
+            | None ->
+              Error
+                (Printf.sprintf "unknown kernel %s (try list-kernels)"
+                   (String.trim name))))
+        (String.split_on_char ',' names)
+        (Ok [])
+  in
+  match funcs with
+  | Error msg -> bad msg
+  | Ok funcs -> (
+    match Tdfa_alloc.Chip.geometry_of_string req.Protocol.cores with
+    | Error msg -> bad msg
+    | Ok geometry -> (
+      match
+        Tdfa_alloc.Place.policy_of_string ~seed:req.Protocol.seed
+          ~iters:req.Protocol.sa_iters req.Protocol.place
+      with
+      | Error msg -> bad msg
+      | Ok place_policy -> (
+        match
+          Render.place ~obs ~policy:req.Protocol.policy
+            ~granularity:req.Protocol.granularity ~delta:req.Protocol.delta
+            ~geometry ~place_policy funcs
+        with
+        | out, _, _ ->
+          Reply
+            (Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Place
+               ~output:out ())
+        | exception e ->
+          Obs.incr obs "serve.failed";
+          Reply
+            (Protocol.error_response ~id:req.Protocol.id
+               ~kind:Protocol.Failed ~message:(Printexc.to_string e) ()))))
+
 let handle_request t session ~rebuilding (req : Protocol.request) =
   Session.record session req;
   if not rebuilding then t.served <- t.served + 1;
@@ -375,6 +432,7 @@ let handle_request t session ~rebuilding (req : Protocol.request) =
       (Protocol.ok_response ~id:req.Protocol.id ~op:Protocol.Shutdown
          ~output:"shutting down\n" ())
   | Protocol.Trace -> handle_trace t req
+  | Protocol.Place -> handle_place t req
   | Protocol.Analyze | Protocol.Reanalyze | Protocol.Predict | Protocol.Lint
     ->
     handle_work t session req ~rebuilding

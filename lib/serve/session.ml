@@ -26,7 +26,8 @@ let record t (req : Protocol.request) =
    | Protocol.Analyze | Protocol.Reanalyze | Protocol.Predict | Protocol.Lint
      ->
      t.log <- take t.max_log (req :: t.log)
-   | Protocol.Trace | Protocol.Status | Protocol.Shutdown -> ());
+   | Protocol.Trace | Protocol.Place | Protocol.Status | Protocol.Shutdown ->
+     ());
   t.served <- t.served + 1
 
 let quarantine t =

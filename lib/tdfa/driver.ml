@@ -10,9 +10,12 @@ include Tdfa_core.Driver
    accepts the same closed set of inputs as [run] — allocation still
    happens for [Unallocated] — but never iterates the thermal state. *)
 
-type mode = Analyze | Predict
+type mode = Analyze | Predict | Place
 
-let mode_name = function Analyze -> "analyze" | Predict -> "predict"
+let mode_name = function
+  | Analyze -> "analyze"
+  | Predict -> "predict"
+  | Place -> "place"
 
 type prediction = {
   pre_alloc : Tdfa_regalloc.Alloc.result option;
@@ -20,7 +23,56 @@ type prediction = {
   bounds : Tdfa_absint.Absint.t;
 }
 
-type mode_result = Analyzed of result | Predicted of prediction
+type mode_result =
+  | Analyzed of result
+  | Predicted of prediction
+  | Placed of placed
+
+(* Place mode: the jobs' thermal profiles decide where they run. Every
+   input is analysed exactly as [run] would (allocation included), its
+   fixpoint outcome folded into a [Tdfa_alloc.Task.t], and the multiset
+   placed onto an N-core chip whose cores carry [cfg.layout]. *)
+and placed = {
+  profiles : Tdfa_alloc.Task.t list;
+      (** per input, in submission order — names from the carrier
+          functions *)
+  placement : Tdfa_alloc.Place.placement;
+}
+
+let input_func : input -> Tdfa_ir.Func.t = function
+  | Unallocated f
+  | Assigned (f, _)
+  | Configured (_, f)
+  | Custom { func = f; _ }
+  | Warm_start { func = f; _ }
+  | Trace { func = f; _ } ->
+    f
+
+let place ?(geometry = (2, 2)) ?(policy = Tdfa_alloc.Place.Greedy)
+    (cfg : config) (inputs : input list) =
+  let rows, cols = geometry in
+  let chip =
+    Tdfa_alloc.Chip.make ~params:cfg.params ~core:cfg.layout ~rows ~cols ()
+  in
+  let obs = cfg.obs in
+  Tdfa_obs.Obs.span obs "driver.place"
+    ~args:
+      [
+        ("cores", Tdfa_obs.Obs.Int (Tdfa_alloc.Chip.num_cores chip));
+        ("tasks", Tdfa_obs.Obs.Int (List.length inputs));
+      ]
+    (fun () ->
+      Tdfa_obs.Obs.incr obs "driver.places";
+      let profiles =
+        List.map
+          (fun input ->
+            let name = (input_func input).Tdfa_ir.Func.name in
+            let r = run cfg input in
+            Tdfa_alloc.Task.of_outcome ~params:cfg.params ~core:cfg.layout
+              ~name r.outcome)
+          inputs
+      in
+      { profiles; placement = Tdfa_alloc.Place.run chip policy profiles })
 
 let predict (cfg : config) input =
   let module Analysis = Tdfa_core.Analysis in
@@ -71,3 +123,4 @@ let run_mode ~mode cfg input =
   match mode with
   | Analyze -> Analyzed (run cfg input)
   | Predict -> Predicted (predict cfg input)
+  | Place -> Placed (place cfg [ input ])

@@ -1,0 +1,94 @@
+`tdfa place` allocates batch jobs onto the cores of a multi-core chip.
+Each built-in kernel is profiled through the real fixpoint into a task
+(sustained power plus transient headroom), then placed by the chosen
+policy; the report always shows the round-robin baseline it beat.
+
+  $ ../../bin/tdfa_cli.exe place --kernels fir,matmul,horner,stencil
+  placing 4 task(s) on a 2x2 chip of 8x8-cell cores, policy greedy
+  
+  task profiles (hottest first):
+    matmul         13.610 mW sustained  + 14.65 K transient  -> core 2
+    stencil        13.307 mW sustained  + 18.79 K transient  -> core 3
+    fir            12.527 mW sustained  + 15.75 K transient  -> core 0
+    horner         12.393 mW sustained  + 28.65 K transient  -> core 1
+  
+  steady core-temperature map:
+  :.
+  @#
+  min=323.01K max=323.12K
+  
+  per-core:
+    core 0  steady 323.02 K  local peak 347.27 K  fir
+    core 1  steady 323.01 K  local peak 366.27 K  horner
+    core 2  steady 323.12 K  local peak 344.62 K  matmul
+    core 3  steady 323.10 K  local peak 352.64 K  stencil
+  
+  placement peak 366.27 K, gradient 0.10 K, score 366.28
+  round-robin baseline peak 366.27 K -> improvement 0.00 K
+
+The JSON view feeds the place-smoke CI gate: peak_k can never exceed
+round_robin_peak_k (the never-worse guarantee), and every task appears
+in the assignment.
+
+  $ ../../bin/tdfa_cli.exe place --kernels fir,matmul,horner,stencil --json
+  {"place": "greedy", "cores": "2x2", "tasks": 4, "peak_k": 366.265307, "gradient_k": 0.099101, "score": 366.275217, "round_robin_peak_k": 366.265307, "improvement_k": 0.000000, "assignment": [{"task": "fir", "core": 0}, {"task": "horner", "core": 1}, {"task": "matmul", "core": 2}, {"task": "stencil", "core": 3}], "core_temps_k": [323.023057, 323.006957, 323.122158, 323.096938]}
+
+All 16 kernels crowd a 2x2 chip, so annealing finds real headroom over
+the blind baseline (the guarantee makes the improvement non-negative;
+here it is strictly positive).
+
+  $ ../../bin/tdfa_cli.exe place --place anneal --sa-iters 500 | tail -2
+  placement peak 384.78 K, gradient 1.99 K, score 384.98
+  round-robin baseline peak 398.16 K -> improvement 13.37 K
+
+Malformed geometries and unknown kernels are usage errors.
+
+  $ ../../bin/tdfa_cli.exe place --cores 9x9x --kernels fir
+  tdfa: bad chip geometry "9x9x": expected positive ROWSxCOLS
+  [2]
+  $ ../../bin/tdfa_cli.exe place --kernels nosuch
+  tdfa: unknown kernel nosuch (try list-kernels)
+  [2]
+
+`tdfa batch --place` appends a placement of the batch's own reports to
+the run. Placement happens after the join on canonicalized tasks, so
+the output is byte-identical whatever the worker count.
+
+  $ ../../bin/tdfa_cli.exe batch --kernels --place greedy --cores 2x2 \
+  >   --jobs 1 > jobs1.txt 2>&1
+  $ ../../bin/tdfa_cli.exe batch --kernels --place greedy --cores 2x2 \
+  >   --jobs 4 > jobs4.txt 2>&1
+  $ cmp jobs1.txt jobs4.txt && echo "placement deterministic across -j"
+  placement deterministic across -j
+  $ sed -n '/^placement/,$p' jobs1.txt
+  placement greedy on 2x2 cores: peak 361.20 K, gradient 8.07 K
+    core 0  steady 334.11 K  idct_row
+    core 1  steady 341.93 K  bubble_sort,conv2d,crc,dotprod,fib,fir,high_pressure,histogram,max_reduce,scale,transpose,vecadd
+    core 2  steady 332.55 K  horner,stencil
+    core 3  steady 333.86 K  matmul
+
+The serve daemon answers place requests with the exact bytes of the
+one-shot CLI — same renderer, same defaults.
+
+  $ SOCKDIR=$(mktemp -d /tmp/tdfa-cram-XXXXXX)
+  $ SOCK=$SOCKDIR/tdfa.sock
+  $ ../../bin/tdfa_cli.exe serve -s $SOCK > serve.log 2>&1 &
+  $ SERVE_PID=$!
+  $ printf '{"op":"place","kernels":"fir,matmul,horner,stencil"}\n' \
+  >   | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  $ ../../bin/tdfa_cli.exe place --kernels fir,matmul,horner,stencil > via-cli.txt
+  $ cmp via-serve.txt via-cli.txt && echo "place identical"
+  place identical
+  $ printf '{"op":"place"}\n' \
+  >   | ../../bin/tdfa_cli.exe client -s $SOCK > via-serve.txt
+  $ ../../bin/tdfa_cli.exe place > via-cli.txt
+  $ cmp via-serve.txt via-cli.txt && echo "default place identical"
+  default place identical
+  $ printf '{"op":"place","kernels":"nosuch"}\n' \
+  >   | ../../bin/tdfa_cli.exe client -s $SOCK
+  tdfa: server error (bad-request): unknown kernel nosuch (try list-kernels)
+  [1]
+  $ printf '{"op":"shutdown"}\n' | ../../bin/tdfa_cli.exe client -s $SOCK
+  shutting down
+  $ wait $SERVE_PID
+  $ rm -rf $SOCKDIR

@@ -129,6 +129,55 @@ let test_region_invalid () =
      | (_ : Region.t) -> false
      | exception Invalid_argument _ -> true)
 
+let test_degenerate_layouts () =
+  (* A 1xN strip: no vertical neighbours, distances accumulate along
+     the row in cell-width steps. *)
+  let strip = Layout.make ~rows:1 ~cols:5 () in
+  Alcotest.(check int) "strip end has 1 neighbour" 1
+    (List.length (Layout.neighbors strip 0));
+  Alcotest.(check int) "strip middle has 2 neighbours" 2
+    (List.length (Layout.neighbors strip 2));
+  Alcotest.(check (float 1e-9)) "adjacent strip cells one width apart" 12.0
+    (Layout.distance_um strip 0 1);
+  Alcotest.(check (float 1e-9)) "strip ends four widths apart" 48.0
+    (Layout.distance_um strip 0 4);
+  (* A single cell: no neighbours, zero self-distance. *)
+  let dot = Layout.make ~rows:1 ~cols:1 () in
+  Alcotest.(check int) "single cell has no neighbours" 0
+    (List.length (Layout.neighbors dot 0));
+  Alcotest.(check (float 1e-9)) "single cell self distance" 0.0
+    (Layout.distance_um dot 0 0);
+  (* A vertical 1-column strip measures in cell heights. *)
+  let col = Layout.make ~rows:4 ~cols:1 () in
+  Alcotest.(check (float 1e-9)) "adjacent column cells one height apart" 6.0
+    (Layout.distance_um col 0 1)
+
+let test_banks_degenerate () =
+  (* Banks on a 1xN strip: one single-cell region per column — the
+     degenerate partition quadrants cannot express (2 rows > 1). *)
+  let strip = Layout.make ~rows:1 ~cols:5 () in
+  let r = Region.banks strip ~n:5 in
+  Alcotest.(check int) "5 single-cell banks" 5 (Region.num_regions r);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "bank %d has one cell" q)
+        1
+        (List.length (Region.cells_of_region r q));
+      Alcotest.(check int) "its centroid is that cell" q
+        (Region.centroid_cell r q))
+    (List.init 5 Fun.id);
+  (* n = 1 collapses every cell into a single bank. *)
+  let one = Region.banks strip ~n:1 in
+  Alcotest.(check int) "one bank" 1 (Region.num_regions one);
+  Alcotest.(check int) "it holds the whole strip" 5
+    (List.length (Region.cells_of_region one 0));
+  (* Quadrants on the strip are rejected, banks are the only shape. *)
+  Alcotest.(check bool) "quadrants rejected on a strip" true
+    (match Region.quadrants strip with
+     | (_ : Region.t) -> false
+     | exception Invalid_argument _ -> true)
+
 let test_nonsquare_layout () =
   let l = Layout.make ~rows:4 ~cols:16 () in
   Alcotest.(check int) "cells" 64 (Layout.num_cells l);
@@ -168,6 +217,7 @@ let suite =
         tc "neighbors" `Quick test_neighbors;
         tc "chessboard colouring" `Quick test_chessboard_color;
         tc "non-square layout" `Quick test_nonsquare_layout;
+        tc "degenerate layouts" `Quick test_degenerate_layouts;
         QCheck_alcotest.to_alcotest qcheck_layout_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_manhattan_triangle;
       ] );
@@ -176,6 +226,7 @@ let suite =
         tc "partition" `Quick test_region_partition;
         tc "quadrant shape" `Quick test_region_quadrants_shape;
         tc "banks" `Quick test_region_banks;
+        tc "degenerate banks" `Quick test_banks_degenerate;
         tc "centroid inside" `Quick test_region_centroid_inside;
         tc "invalid grid" `Quick test_region_invalid;
       ] );
